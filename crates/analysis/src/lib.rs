@@ -1,0 +1,32 @@
+//! # rfid-analysis — the paper's closed-form models
+//!
+//! Every equation and theorem of *Fast RFID Polling Protocols* (ICPP 2016),
+//! implemented and unit-tested against the values the paper reports:
+//!
+//! * [`hpp`] — Eqs. (1)–(5): the singleton probability per round, the
+//!   expected-unread recurrence, HPP's average polling-vector length `w(n)`
+//!   and its `⌈log₂ n⌉` upper bound (Fig. 3),
+//! * [`ehpp`] — Theorem 1: the optimal circle subset size
+//!   `n* ∈ [l_c·ln 2, e·l_c·ln 2]`, its exact numeric search (Fig. 4) and
+//!   the resulting flat `w(n)` (Fig. 5),
+//! * [`mu`] — the singleton probability `μ(λ) = λ·e^{-λ}` and Theorem 2
+//!   (Fig. 8),
+//! * [`tpp`] — Eqs. (6)–(16): the polling-tree node-count bound `L⁺`, the
+//!   per-round bound `w⁺`, the optimal index length `h_i` of Eq. (15) and
+//!   the global `2 + 1/ln 2 ≈ 3.44`-bit ceiling (Fig. 9),
+//! * [`timing`] — the C1G2 execution-time model behind Fig. 1 and the
+//!   per-protocol rows of Tables I–III,
+//! * [`numeric`] — the small numeric toolbox (integer grid search,
+//!   golden-section minimization, bisection) the models use.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ehpp;
+pub mod energy;
+pub mod hpp;
+pub mod mic;
+pub mod mu;
+pub mod numeric;
+pub mod timing;
+pub mod tpp;

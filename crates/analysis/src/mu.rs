@@ -1,0 +1,112 @@
+//! The singleton probability `μ(λ)` and Theorem 2 (Fig. 8).
+//!
+//! With `n` tags hashing uniformly into `2^h` indices and load
+//! `λ = n / 2^h`, the probability that a given index is a singleton is
+//! `μ(λ) = λ·e^{-λ}` (Poisson approximation of Eq. (12)). `μ` peaks at
+//! `1/e` when `λ = 1`; Theorem 2 shows TPP's per-round bound `w⁺` shrinks as
+//! `μ` grows, so TPP picks the integer index length `h` that maximizes `μ` —
+//! which by Eq. (13)/(14) keeps `λ ∈ [ln 2, 2·ln 2)`.
+
+/// `μ(λ) = λ·e^{-λ}`: the fraction of indices that are singletons at load λ.
+#[inline]
+pub fn mu(lambda: f64) -> f64 {
+    lambda * (-lambda).exp()
+}
+
+/// The load `λ = ln 2` at which `μ(λ) = μ(2λ)` (Eq. (13)) — the balance
+/// point that determines the optimal integer index length.
+pub const LAMBDA_BALANCE: f64 = core::f64::consts::LN_2;
+
+/// Lower edge of the optimal-load interval `[ln 2, 2·ln 2)` of Eq. (14).
+pub fn optimal_load_interval() -> (f64, f64) {
+    (LAMBDA_BALANCE, 2.0 * LAMBDA_BALANCE)
+}
+
+/// The guaranteed minimum of `max(μ)` over integer index lengths:
+/// `min(max(μ)) = ln 2 · e^{-ln 2} = (ln 2)/2 ≈ 0.3466` (discussion after
+/// Eq. (13)).
+pub fn min_max_mu() -> f64 {
+    mu(LAMBDA_BALANCE)
+}
+
+/// The series behind Fig. 8: `(λ, μ(λ))` samples over `(0, hi]`.
+pub fn mu_series(hi: f64, steps: usize) -> Vec<(f64, f64)> {
+    assert!(hi > 0.0 && steps > 1);
+    (1..=steps)
+        .map(|i| {
+            let l = hi * i as f64 / steps as f64;
+            (l, mu(l))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mu_peaks_at_one_over_e_at_lambda_one() {
+        let peak = mu(1.0);
+        assert!((peak - (-1f64).exp()).abs() < 1e-12);
+        // Strictly smaller on either side.
+        assert!(mu(0.9) < peak);
+        assert!(mu(1.1) < peak);
+    }
+
+    #[test]
+    fn balance_point_equalizes_mu_and_mu_of_double() {
+        let l = LAMBDA_BALANCE;
+        assert!((mu(l) - mu(2.0 * l)).abs() < 1e-12, "{} vs {}", mu(l), mu(2.0 * l));
+    }
+
+    #[test]
+    fn min_max_mu_is_half_ln2() {
+        // ln2 · e^{-ln2} = ln2 / 2.
+        assert!((min_max_mu() - core::f64::consts::LN_2 / 2.0).abs() < 1e-12);
+        assert!((min_max_mu() - 0.3466).abs() < 1e-4);
+    }
+
+    #[test]
+    fn mu_monotone_up_then_down() {
+        let s = mu_series(4.0, 400);
+        let peak_idx = s
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1 .1.total_cmp(&b.1 .1))
+            .unwrap()
+            .0;
+        assert!((s[peak_idx].0 - 1.0).abs() < 0.02);
+        for w in s[..peak_idx].windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+        for w in s[peak_idx..].windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn theorem2_w_plus_decreases_as_mu_increases() {
+        // Directly check the Theorem-2 statement on Eq. (9): for fixed h,
+        // w⁺(μ₂) < w⁺(μ₁) whenever μ₁ < μ₂.
+        let h = 10u32;
+        let w_plus = |mu_val: f64| {
+            let m = mu_val * (1u64 << h) as f64;
+            let k = (m.log2().ceil() - 1.0).max(0.0) as u32; // 2^k < m ≤ 2^{k+1}
+            ((1u64 << (k + 1)) as f64 - 2.0) / m + (h - k) as f64
+        };
+        let mut prev = f64::INFINITY;
+        for mu_val in [0.05, 0.1, 0.2, 0.3, 1.0 / core::f64::consts::E] {
+            let w = w_plus(mu_val);
+            assert!(w <= prev + 1e-9, "w⁺ not decreasing at μ={mu_val}: {w} > {prev}");
+            prev = w;
+        }
+    }
+
+    #[test]
+    fn optimal_interval_is_ln2_to_2ln2() {
+        let (lo, hi) = optimal_load_interval();
+        let ln2 = core::f64::consts::LN_2;
+        assert!((lo - ln2).abs() < 1e-12);
+        assert!((hi - 2.0 * ln2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,153 @@
+//! Small numeric toolbox used by the analytical models.
+
+/// Minimizes `f` over the integer range `[lo, hi]` by exhaustive evaluation,
+/// returning `(argmin, min)`. Ties break toward the smaller argument.
+///
+/// # Panics
+/// Panics if `lo > hi`.
+pub fn grid_min_int<F: FnMut(u64) -> f64>(lo: u64, hi: u64, mut f: F) -> (u64, f64) {
+    assert!(lo <= hi, "empty range [{lo}, {hi}]");
+    let mut best = (lo, f(lo));
+    for x in lo + 1..=hi {
+        let y = f(x);
+        if y < best.1 {
+            best = (x, y);
+        }
+    }
+    best
+}
+
+/// Golden-section minimization of a unimodal `f` on `[a, b]` to within
+/// `tol`, returning `(argmin, min)`.
+///
+/// # Panics
+/// Panics if the interval is empty or `tol` is not positive.
+pub fn golden_min<F: Fn(f64) -> f64>(mut a: f64, mut b: f64, tol: f64, f: F) -> (f64, f64) {
+    assert!(a < b, "empty interval [{a}, {b}]");
+    assert!(tol > 0.0, "non-positive tolerance");
+    let inv_phi = (5f64.sqrt() - 1.0) / 2.0;
+    let mut c = b - inv_phi * (b - a);
+    let mut d = a + inv_phi * (b - a);
+    let mut fc = f(c);
+    let mut fd = f(d);
+    while (b - a) > tol {
+        if fc < fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - inv_phi * (b - a);
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + inv_phi * (b - a);
+            fd = f(d);
+        }
+    }
+    let x = (a + b) / 2.0;
+    (x, f(x))
+}
+
+/// Bisection root finding for a continuous `f` with `f(a)` and `f(b)` of
+/// opposite sign; returns the root to within `tol`.
+///
+/// # Panics
+/// Panics if the signs at the endpoints agree.
+pub fn bisect<F: Fn(f64) -> f64>(mut a: f64, mut b: f64, tol: f64, f: F) -> f64 {
+    let (fa, fb) = (f(a), f(b));
+    assert!(
+        fa == 0.0 || fb == 0.0 || (fa < 0.0) != (fb < 0.0),
+        "f({a}) = {fa} and f({b}) = {fb} do not bracket a root"
+    );
+    if fa == 0.0 {
+        return a;
+    }
+    if fb == 0.0 {
+        return b;
+    }
+    let neg_left = fa < 0.0;
+    while (b - a) > tol {
+        let m = 0.5 * (a + b);
+        let fm = f(m);
+        if fm == 0.0 {
+            return m;
+        }
+        if (fm < 0.0) == neg_left {
+            a = m;
+        } else {
+            b = m;
+        }
+    }
+    0.5 * (a + b)
+}
+
+/// `⌈log₂ n⌉` for `n ≥ 1` — the index length with `2^{h-1} < n ≤ 2^h`.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn ceil_log2(n: u64) -> u32 {
+    assert!(n > 0, "log2(0)");
+    64 - (n - 1).leading_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_min_finds_parabola_vertex() {
+        let (x, y) = grid_min_int(0, 100, |x| (x as f64 - 37.0).powi(2) + 2.0);
+        assert_eq!(x, 37);
+        assert_eq!(y, 2.0);
+    }
+
+    #[test]
+    fn grid_min_ties_break_low() {
+        let (x, _) = grid_min_int(0, 10, |x| if x >= 5 { 1.0 } else { 2.0 });
+        assert_eq!(x, 5);
+    }
+
+    #[test]
+    fn golden_min_on_smooth_function() {
+        // min of x·ln x at x = 1/e.
+        let (x, _) = golden_min(0.05, 1.0, 1e-9, |x| x * x.ln());
+        assert!((x - (-1f64).exp()).abs() < 1e-6, "x = {x}");
+    }
+
+    #[test]
+    fn bisect_finds_sqrt2() {
+        let r = bisect(0.0, 2.0, 1e-12, |x| x * x - 2.0);
+        assert!((r - 2f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bisect_accepts_exact_endpoint_roots() {
+        assert_eq!(bisect(0.0, 1.0, 1e-9, |x| x), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bracket")]
+    fn bisect_rejects_unbracketed() {
+        let _ = bisect(1.0, 2.0, 1e-9, |x| x);
+    }
+
+    #[test]
+    fn ceil_log2_matches_paper_rule() {
+        // 2^{h-1} < n ≤ 2^h.
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(1024), 10);
+        assert_eq!(ceil_log2(1025), 11);
+        for n in 1u64..5_000 {
+            let h = ceil_log2(n);
+            assert!(n <= (1u64 << h));
+            if h > 0 {
+                assert!(n > (1u64 << (h - 1)));
+            }
+        }
+    }
+}

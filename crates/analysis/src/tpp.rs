@@ -1,0 +1,247 @@
+//! TPP's analytical model — Eqs. (6)–(16), Theorem 2 and Fig. 9.
+//!
+//! TPP broadcasts, per round, a binary *polling tree* over the singleton
+//! indices; every tree node costs one reader bit (Eq. (6)). For a round with
+//! `m_i` singletons of `h_i` bits:
+//!
+//! * Eq. (7): the node count is maximized when the tree bifurcates as early
+//!   as possible — `L⁺ = 2^{k+1} - 2 + (h_i - k)·m_i` with
+//!   `2^k < m_i ≤ 2^{k+1}`,
+//! * Eq. (8): per-singleton bound `w⁺ = L⁺ / m_i`,
+//! * Eq. (11)/(12): `m_i = n_i·e^{-(n_i-1)/2^{h_i}}`, singleton probability
+//!   `μ = λ·e^{-λ}` at load `λ = n_i / 2^{h_i}`,
+//! * Eq. (14)/(15): `w⁺` is minimized by keeping `λ ∈ [ln 2, 2·ln 2)`, i.e.
+//!   `log₂(n_i / (2·ln 2)) < h_i ≤ log₂(n_i / ln 2)`,
+//! * Eq. (16): globally `w ≤ 2 + 1/ln 2 ≈ 3.44` bits, independent of `n`.
+
+use crate::hpp;
+
+/// Eq. (15): the optimal index length for `n` unread tags — the unique
+/// integer `h` with `λ = n/2^h ∈ [ln 2, 2·ln 2)`.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn optimal_index_length(n: u64) -> u32 {
+    assert!(n > 0);
+    let ln2 = core::f64::consts::LN_2;
+    // h = ⌊log₂(n / ln 2)⌋ puts λ in [ln2, 2·ln2).
+    let h = (n as f64 / ln2).log2().floor() as i64;
+    let h = h.max(0) as u32;
+    debug_assert!({
+        let lambda = n as f64 / (1u64 << h) as f64;
+        h == 0 || (ln2 <= lambda && lambda < 2.0 * ln2 + 1e-9)
+    });
+    h
+}
+
+/// Eq. (7): the worst-case polling-tree node count (excluding the virtual
+/// root) for `m` singleton indices of `h` bits.
+///
+/// # Panics
+/// Panics if `m == 0` or `m > 2^h`.
+pub fn l_plus(m: u64, h: u32) -> f64 {
+    assert!(m >= 1, "empty tree");
+    assert!(h >= 64 || m <= (1u64 << h), "{m} singletons cannot fit {h}-bit indices");
+    if m == 1 {
+        // A single index is a bare path of h nodes.
+        return h as f64;
+    }
+    // k with 2^k < m ≤ 2^{k+1}.
+    let k = 64 - (m - 1).leading_zeros() - 1;
+    ((1u64 << (k + 1)) as f64 - 2.0) + (h.saturating_sub(k)) as f64 * m as f64
+}
+
+/// Eq. (8): per-singleton upper bound `w⁺ = L⁺ / m`.
+pub fn w_plus(m: u64, h: u32) -> f64 {
+    l_plus(m, h) / m as f64
+}
+
+/// Eq. (16): the global, population-independent ceiling on TPP's average
+/// polling-vector length: `2 + 1/ln 2 ≈ 3.4427` bits.
+pub fn global_bound() -> f64 {
+    2.0 + 1.0 / core::f64::consts::LN_2
+}
+
+/// Per-round trace of the analytic TPP execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TppRound {
+    /// Index length `h_i`.
+    pub h: u32,
+    /// Expected unread tags at the start of the round.
+    pub unread: f64,
+    /// Expected singletons `m_i` (tags read this round).
+    pub read: f64,
+    /// Worst-case tree bits `L⁺` charged for the round.
+    pub tree_bits: f64,
+}
+
+/// Runs the Eq. (6)/(11)/(15) recurrence to exhaustion.
+pub fn round_trace(n: u64) -> Vec<TppRound> {
+    assert!(n >= 1);
+    let mut rounds = Vec::new();
+    let mut unread = n as f64;
+    for _ in 0..10_000 {
+        if unread < 0.5 {
+            break;
+        }
+        let n_i = unread.round().max(1.0) as u64;
+        let h = optimal_index_length(n_i);
+        let f = (1u64 << h) as f64;
+        let read = (unread * (-(unread - 1.0) / f).exp()).min(unread).max(1e-9);
+        let m = read.round().max(1.0) as u64;
+        let tree_bits = l_plus(m.min(1u64 << h), h);
+        rounds.push(TppRound {
+            h,
+            unread,
+            read,
+            tree_bits,
+        });
+        unread -= read;
+    }
+    rounds
+}
+
+/// Eq. (6) with the Eq.-(8) per-round bound: TPP's analytic average
+/// polling-vector length for `n` tags (the Fig. 9 curve, ≈ 3.38 bits).
+pub fn average_vector_length(n: u64) -> f64 {
+    let trace = round_trace(n);
+    let total_read: f64 = trace.iter().map(|r| r.read).sum();
+    let bits: f64 = trace.iter().map(|r| r.tree_bits).sum();
+    bits / total_read.max(1e-12)
+}
+
+/// The Fig. 9 series: `(n, w(n))` samples.
+pub fn fig9_series(ns: &[u64]) -> Vec<(u64, f64)> {
+    ns.iter().map(|&n| (n, average_vector_length(n))).collect()
+}
+
+/// Expected number of TPP rounds for `n` tags.
+pub fn expected_rounds(n: u64) -> usize {
+    round_trace(n).len()
+}
+
+/// How TPP's optimal `h` compares with HPP's `⌈log₂ n⌉` rule: TPP centres
+/// the load at `λ ∈ [ln 2, 2·ln 2)` where HPP keeps `λ ∈ (1/2, 1]`, so
+/// TPP's index is the same length or one bit *shorter* — it tolerates more
+/// collisions per round because shared prefixes are cheap in the tree.
+pub fn index_length_excess(n: u64) -> i64 {
+    optimal_index_length(n) as i64 - hpp::index_length(n) as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimal_h_keeps_load_in_ln2_band() {
+        let ln2 = core::f64::consts::LN_2;
+        for n in [2u64, 3, 10, 100, 1_000, 12_345, 100_000] {
+            let h = optimal_index_length(n);
+            let lambda = n as f64 / (1u64 << h) as f64;
+            assert!(
+                lambda >= ln2 - 1e-12 && lambda < 2.0 * ln2 + 1e-9,
+                "n = {n}: λ = {lambda}"
+            );
+        }
+    }
+
+    #[test]
+    fn optimal_h_within_one_bit_of_hpp_h() {
+        // TPP's load band [ln2, 2·ln2) sits above HPP's (1/2, 1], so TPP's
+        // index length is equal or one bit shorter than HPP's.
+        for n in [10u64, 100, 1_000, 10_000, 100_000] {
+            let excess = index_length_excess(n);
+            assert!((-1..=0).contains(&excess), "n = {n}: excess {excess}");
+        }
+    }
+
+    #[test]
+    fn l_plus_matches_fig6_example() {
+        // Fig. 6: five 3-bit singleton indices {000, 010, 011, 101, 111}
+        // build a tree of 11 nodes (a…k minus the virtual root). Eq. (7)
+        // upper-bounds any 5-leaf 3-level tree: k = 2, L⁺ = 2³-2 + 1·5 = 11.
+        assert_eq!(l_plus(5, 3) as u64, 11);
+    }
+
+    #[test]
+    fn l_plus_single_index_is_a_path() {
+        assert_eq!(l_plus(1, 7) as u64, 7);
+    }
+
+    #[test]
+    fn l_plus_full_tree() {
+        // m = 2^h leaves: complete tree has 2^{h+1} - 2 nodes.
+        assert_eq!(l_plus(8, 3) as u64, 14);
+    }
+
+    #[test]
+    fn w_plus_at_balanced_load_is_near_344() {
+        // At λ = ln 2, μ = ln2/2, m = μ·2^h, k = h-2 → w⁺ = 2 + 1/ln2 - ε.
+        let h = 16u32;
+        let m = (core::f64::consts::LN_2 / 2.0 * (1u64 << h) as f64) as u64;
+        let w = w_plus(m, h);
+        assert!(
+            (w - global_bound()).abs() < 0.1,
+            "w⁺ = {w}, bound = {}",
+            global_bound()
+        );
+    }
+
+    #[test]
+    fn global_bound_value() {
+        assert!((global_bound() - 3.4427).abs() < 1e-4);
+    }
+
+    #[test]
+    fn fig9_curve_levels_at_about_3_38() {
+        // Fig. 9: "w remains stable at about 3.38 regardless of n".
+        for n in [1_000u64, 10_000, 50_000, 100_000] {
+            let w = average_vector_length(n);
+            assert!((w - 3.38).abs() < 0.25, "w({n}) = {w}");
+        }
+    }
+
+    #[test]
+    fn analytic_average_respects_global_bound() {
+        for n in [100u64, 1_000, 10_000, 100_000] {
+            let w = average_vector_length(n);
+            assert!(
+                w <= global_bound() + 0.05,
+                "w({n}) = {w} exceeds the Eq. (16) ceiling"
+            );
+        }
+    }
+
+    #[test]
+    fn tpp_far_below_hpp() {
+        let n = 100_000;
+        let tpp = average_vector_length(n);
+        let hpp_w = crate::hpp::average_vector_length(n);
+        assert!(tpp < hpp_w / 3.0, "TPP {tpp} vs HPP {hpp_w}");
+    }
+
+    #[test]
+    fn recurrence_conserves_tags() {
+        let trace = round_trace(50_000);
+        let read: f64 = trace.iter().map(|r| r.read).sum();
+        assert!((read - 50_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn rounds_grow_slowly() {
+        assert!(expected_rounds(100_000) < 50);
+        assert!(expected_rounds(100) <= expected_rounds(100_000) + 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty tree")]
+    fn l_plus_rejects_zero_leaves() {
+        let _ = l_plus(0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fit")]
+    fn l_plus_rejects_overfull_tree() {
+        let _ = l_plus(9, 3);
+    }
+}

@@ -1,0 +1,114 @@
+//! Information collection: the paper's driving application (Section II-C).
+//!
+//! "Collect m-bit information from each tag in a request-response way as
+//! quickly as possible." [`run_polling`] builds the population from a
+//! [`Scenario`], runs any [`PollingProtocol`] to completion, verifies the
+//! polling invariant (every tag interrogated exactly once, nothing missed),
+//! and returns the collected `(id, payload)` pairs with the cost report.
+
+use rfid_protocols::{PollingProtocol, Report};
+use rfid_system::{BitVec, SimConfig, SimContext, TagId};
+use rfid_workloads::Scenario;
+
+/// The result of one collection run.
+#[derive(Debug, Clone)]
+pub struct CollectionOutcome {
+    /// Cost report of the run.
+    pub report: Report,
+    /// Collected `(tag id, payload)` pairs, in tag order.
+    pub collected: Vec<(TagId, BitVec)>,
+}
+
+impl CollectionOutcome {
+    /// Looks up the collected payload of one tag.
+    pub fn payload_of(&self, id: TagId) -> Option<&BitVec> {
+        self.collected
+            .iter()
+            .find(|(tid, _)| *tid == id)
+            .map(|(_, p)| p)
+    }
+}
+
+/// Runs `protocol` over the population described by `scenario` and returns
+/// the validated outcome.
+///
+/// # Panics
+/// Panics if the protocol fails the polling invariant (a tag was never
+/// interrogated, or poll counts disagree) — protocol bugs must not be
+/// silently reported as results.
+pub fn run_polling(protocol: &dyn PollingProtocol, scenario: &Scenario) -> CollectionOutcome {
+    let population = scenario.build_population();
+    let mut ctx = SimContext::new(population, &SimConfig::paper(scenario.protocol_seed()));
+    run_polling_in(protocol, &mut ctx)
+}
+
+/// Runs `protocol` over an existing context (for callers that customize the
+/// channel or link parameters) and returns the validated outcome.
+pub fn run_polling_in(
+    protocol: &dyn PollingProtocol,
+    ctx: &mut SimContext,
+) -> CollectionOutcome {
+    let report = protocol.run(ctx);
+    ctx.assert_complete();
+    let collected = ctx
+        .population
+        .iter()
+        .map(|(_, tag)| (tag.id, tag.info.clone()))
+        .collect();
+    CollectionOutcome { report, collected }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfid_baselines::{CppConfig, MicConfig};
+    use rfid_protocols::{EhppConfig, HppConfig, TppConfig};
+    use rfid_workloads::PayloadKind;
+
+    #[test]
+    fn collects_correct_payloads_with_every_protocol() {
+        let scenario = Scenario::uniform(200, 16)
+            .with_seed(7)
+            .with_payload(PayloadKind::Random);
+        let protocols: Vec<Box<dyn PollingProtocol>> = vec![
+            Box::new(HppConfig::default().into_protocol()),
+            Box::new(EhppConfig::default().into_protocol()),
+            Box::new(TppConfig::default().into_protocol()),
+            Box::new(CppConfig::default().into_protocol()),
+            Box::new(MicConfig::default().into_protocol()),
+        ];
+        let reference = scenario.build_population();
+        for p in &protocols {
+            let outcome = run_polling(p.as_ref(), &scenario);
+            assert_eq!(outcome.collected.len(), 200, "{}", p.name());
+            for (_, tag) in reference.iter() {
+                assert_eq!(
+                    outcome.payload_of(tag.id),
+                    Some(&tag.info),
+                    "{} corrupted payload of {}",
+                    p.name(),
+                    tag.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tpp_is_fastest_of_the_polling_family() {
+        let scenario = Scenario::uniform(2_000, 1).with_seed(3);
+        let tpp = run_polling(&TppConfig::default().into_protocol(), &scenario);
+        let hpp = run_polling(&HppConfig::default().into_protocol(), &scenario);
+        let ehpp = run_polling(&EhppConfig::default().into_protocol(), &scenario);
+        let cpp = run_polling(&CppConfig::default().into_protocol(), &scenario);
+        assert!(tpp.report.total_time < ehpp.report.total_time);
+        assert!(ehpp.report.total_time < hpp.report.total_time);
+        assert!(hpp.report.total_time < cpp.report.total_time);
+    }
+
+    #[test]
+    fn payload_lookup_misses_unknown_ids() {
+        let scenario = Scenario::uniform(10, 1).with_seed(1);
+        let outcome = run_polling(&TppConfig::default().into_protocol(), &scenario);
+        assert!(outcome.payload_of(TagId::from_raw(u32::MAX, u64::MAX)).is_none());
+    }
+}

@@ -1,0 +1,185 @@
+//! Framed-slotted ALOHA (FSA / DFSA) — the classical baseline whose slot
+//! waste motivates both MIC and the paper's polling protocols.
+//!
+//! Each frame, every unread tag picks a uniform slot; the reader walks all
+//! `f` slots and reads the singletons. At the optimal load `f = n` a slot
+//! is empty with probability `e⁻¹ ≈ 36.8 %` and collides with probability
+//! `1 - 2e⁻¹ ≈ 26.4 %` — the "63.2 % wasted slots" the MIC paper (and
+//! Section VI) quote. Dynamic FSA re-sizes each frame to the remaining tag
+//! count.
+
+use serde::{Deserialize, Serialize};
+
+use rfid_hash::TagHash;
+use rfid_protocols::{PollingProtocol, Report};
+use rfid_system::{SimContext, SlotOutcome};
+
+/// FSA configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FsaConfig {
+    /// Frame size as a multiple of the unread-tag count (1.0 = optimal
+    /// load; classic DFSA).
+    pub frame_factor: f64,
+    /// Reader bits to announce each frame.
+    pub round_init_bits: u64,
+    /// Safety cap on frames.
+    pub max_rounds: u64,
+}
+
+impl Default for FsaConfig {
+    fn default() -> Self {
+        FsaConfig {
+            frame_factor: 1.0,
+            round_init_bits: 32,
+            max_rounds: 1_000_000,
+        }
+    }
+}
+
+impl FsaConfig {
+    /// Wraps the config into a runnable protocol.
+    pub fn into_protocol(self) -> Fsa {
+        Fsa { cfg: self }
+    }
+}
+
+/// Dynamic framed-slotted ALOHA.
+#[derive(Debug, Clone, Default)]
+pub struct Fsa {
+    cfg: FsaConfig,
+}
+
+impl Fsa {
+    /// Creates FSA with the given configuration.
+    pub fn new(cfg: FsaConfig) -> Self {
+        Fsa { cfg }
+    }
+}
+
+impl PollingProtocol for Fsa {
+    fn name(&self) -> &'static str {
+        "FSA"
+    }
+
+    fn run(&self, ctx: &mut SimContext) -> Report {
+        // Framed slots are fixed-duration: an empty slot still occupies the
+        // full reply window (same convention as MIC's timing model).
+        let payload_bits = ctx
+            .population
+            .iter()
+            .map(|(_, t)| t.info.len())
+            .max()
+            .unwrap_or(0) as u64;
+        let mut rounds = 0u64;
+        while ctx.population.active_count() > 0 {
+            rounds += 1;
+            assert!(
+                rounds <= self.cfg.max_rounds,
+                "FSA did not converge within {} rounds",
+                self.cfg.max_rounds
+            );
+            let unread = ctx.population.active_count() as u64;
+            let frame = ((unread as f64 * self.cfg.frame_factor).ceil() as u64).max(1);
+            let seed = ctx.draw_round_seed();
+            let hash = TagHash::new(seed);
+            ctx.begin_round(0, self.cfg.round_init_bits);
+
+            // Each tag picks its slot; the reader walks every slot.
+            let mut slots: Vec<Vec<usize>> = vec![Vec::new(); frame as usize];
+            for (handle, tag) in ctx.population.iter() {
+                if tag.is_active() {
+                    slots[hash.modulo(tag.id.hi(), tag.id.lo(), frame) as usize].push(handle);
+                }
+            }
+            for repliers in &slots {
+                match ctx.slot(repliers, rfid_c1g2::QUERY_REP_BITS) {
+                    SlotOutcome::Singleton(tag) => ctx.mark_read(tag),
+                    SlotOutcome::Empty => {
+                        let pad = ctx.link.tag_tx(payload_bits);
+                        ctx.wait(rfid_c1g2::TimeCategory::WastedSlot, pad);
+                    }
+                    SlotOutcome::Collision(_) => {}
+                }
+            }
+        }
+        Report::from_context(self.name(), ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mic::{Mic, MicConfig};
+    use rfid_system::{BitVec, SimConfig, TagPopulation};
+
+    fn run(n: usize, seed: u64, cfg: FsaConfig) -> (Report, SimContext) {
+        let pop = TagPopulation::sequential(n, |_| BitVec::from_value(1, 1));
+        let mut ctx = SimContext::new(pop, &SimConfig::paper(seed));
+        let report = Fsa::new(cfg).run(&mut ctx);
+        (report, ctx)
+    }
+
+    #[test]
+    fn reads_every_tag() {
+        let (report, ctx) = run(500, 1, FsaConfig::default());
+        ctx.assert_complete();
+        assert_eq!(report.counters.polls, 500);
+    }
+
+    #[test]
+    fn wastes_the_textbook_63_percent_in_the_first_frame() {
+        // At load 1, wasted slots (empty + collision) ≈ 63.2 %.
+        let pop = TagPopulation::sequential(10_000, |_| BitVec::from_value(1, 1));
+        let mut ctx = SimContext::new(pop, &SimConfig::paper(2));
+        // Run exactly one frame by capping rounds at 1 and catching the
+        // panic? No — replicate the frame walk inline via the protocol's
+        // first iteration: easiest is to run to completion and inspect
+        // totals, which preserve the per-frame ratios at load 1.
+        let report = Fsa::default().run(&mut ctx);
+        let useful = report.counters.polls as f64;
+        let wasted =
+            (report.counters.empty_slots + report.counters.collision_slots) as f64;
+        let frac = wasted / (useful + wasted);
+        assert!(
+            (frac - 0.632).abs() < 0.03,
+            "wasted fraction {frac} (expected ≈ 0.632)"
+        );
+    }
+
+    #[test]
+    fn mic_beats_plain_fsa() {
+        let n = 2_000;
+        let (fsa, _) = run(n, 3, FsaConfig::default());
+        let pop = TagPopulation::sequential(n, |_| BitVec::from_value(1, 1));
+        let mut ctx = SimContext::new(pop, &SimConfig::paper(3));
+        let mic = Mic::new(MicConfig::default()).run(&mut ctx);
+        assert!(
+            mic.total_time < fsa.total_time,
+            "MIC {} vs FSA {}",
+            mic.total_time,
+            fsa.total_time
+        );
+    }
+
+    #[test]
+    fn oversized_frames_reduce_collisions_but_add_empties() {
+        let (tight, _) = run(1_000, 4, FsaConfig::default());
+        let (wide, _) = run(
+            1_000,
+            4,
+            FsaConfig {
+                frame_factor: 3.0,
+                ..FsaConfig::default()
+            },
+        );
+        assert!(wide.counters.collision_slots < tight.counters.collision_slots);
+        assert!(wide.counters.empty_slots > tight.counters.empty_slots);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (a, _) = run(300, 5, FsaConfig::default());
+        let (b, _) = run(300, 5, FsaConfig::default());
+        assert_eq!(a.total_time, b.total_time);
+    }
+}

@@ -1,0 +1,150 @@
+//! Coded Polling (Qiao et al., MobiHoc'11) — the closest prior work.
+//!
+//! CP halves the polling vector "through validating the cyclic redundancy
+//! code": instead of the 96-bit ID, the reader broadcasts a 48-bit code
+//! derived from the ID; each tag derives its own code and answers when the
+//! broadcast matches. The original is closed-source; we reconstruct the
+//! code as two CRC-16/CCITT passes plus a 16-bit mixing fold over the EPC
+//! (`rfid_c1g2::crc::crc48_code`), with the reader validating uniqueness
+//! over its known population — tags whose codes collide (once in ~2⁴⁸ per
+//! pair) are polled with their full ID instead. Only the 48-bit vector
+//! length matters for the paper's comparisons (DESIGN.md §5.3).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use rfid_c1g2::crc::crc48_code;
+use rfid_protocols::{PollingProtocol, Report};
+use rfid_system::{id::EPC_BITS, SimContext};
+
+/// Coded-Polling configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CodedPollingConfig {
+    /// Safety cap on retry sweeps over a lossy channel.
+    pub max_sweeps: u64,
+}
+
+impl Default for CodedPollingConfig {
+    fn default() -> Self {
+        CodedPollingConfig {
+            max_sweeps: 1_000_000,
+        }
+    }
+}
+
+impl CodedPollingConfig {
+    /// Wraps the config into a runnable protocol.
+    pub fn into_protocol(self) -> CodedPolling {
+        CodedPolling { cfg: self }
+    }
+}
+
+/// Number of bits in a CP polling code.
+pub const CODE_BITS: u64 = 48;
+
+/// The Coded Polling protocol.
+#[derive(Debug, Clone, Default)]
+pub struct CodedPolling {
+    cfg: CodedPollingConfig,
+}
+
+impl CodedPolling {
+    /// Creates CP with the given configuration.
+    pub fn new(cfg: CodedPollingConfig) -> Self {
+        CodedPolling { cfg }
+    }
+}
+
+impl PollingProtocol for CodedPolling {
+    fn name(&self) -> &'static str {
+        "CP"
+    }
+
+    fn run(&self, ctx: &mut SimContext) -> Report {
+        // Reader-side validation pass: compute every tag's code and find
+        // collisions (those tags must be addressed by full ID).
+        let mut by_code: HashMap<u64, Vec<usize>> = HashMap::new();
+        for (handle, tag) in ctx.population.iter() {
+            by_code
+                .entry(crc48_code(&tag.id.to_bytes()))
+                .or_default()
+                .push(handle);
+        }
+        let ambiguous: std::collections::HashSet<usize> = by_code
+            .values()
+            .filter(|v| v.len() > 1)
+            .flatten()
+            .copied()
+            .collect();
+
+        let mut sweeps = 0u64;
+        while ctx.population.active_count() > 0 {
+            sweeps += 1;
+            assert!(
+                sweeps <= self.cfg.max_sweeps,
+                "CP did not converge within {} sweeps",
+                self.cfg.max_sweeps
+            );
+            for handle in ctx.population.active_handles() {
+                let bits = if ambiguous.contains(&handle) {
+                    EPC_BITS as u64
+                } else {
+                    CODE_BITS
+                };
+                ctx.poll_tag(bits, false, handle);
+            }
+        }
+        Report::from_context(self.name(), ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpp::Cpp;
+    use rfid_system::{BitVec, SimConfig, TagPopulation};
+
+    fn run(n: usize, seed: u64) -> (Report, SimContext) {
+        let pop = TagPopulation::sequential(n, |_| BitVec::from_value(1, 1));
+        let mut ctx = SimContext::new(pop, &SimConfig::paper(seed));
+        let report = CodedPolling::default().run(&mut ctx);
+        (report, ctx)
+    }
+
+    #[test]
+    fn reads_everything_with_48_bit_vectors() {
+        let (report, ctx) = run(300, 1);
+        ctx.assert_complete();
+        assert_eq!(report.counters.polls, 300);
+        assert_eq!(report.mean_vector_bits(), 48.0);
+    }
+
+    #[test]
+    fn halves_cpp_reader_bits() {
+        let (cp, _) = run(100, 2);
+        let pop = TagPopulation::sequential(100, |_| BitVec::from_value(1, 1));
+        let mut ctx = SimContext::new(pop, &SimConfig::paper(2));
+        let cpp = Cpp::default().run(&mut ctx);
+        assert_eq!(cp.counters.reader_bits * 2, cpp.counters.reader_bits);
+        assert!(cp.total_time < cpp.total_time);
+    }
+
+    #[test]
+    fn code_collisions_fall_back_to_full_ids() {
+        // Force an artificial "collision" by checking behaviour through the
+        // public path: with distinct sequential IDs the 48-bit codes are
+        // collision-free, so no fallback occurs (48-bit mean). This pins the
+        // uniqueness-validation plumbing.
+        let (report, _) = run(2_000, 3);
+        assert_eq!(report.mean_vector_bits(), 48.0);
+    }
+
+    #[test]
+    fn still_far_from_the_proposed_protocols() {
+        // The paper's point: 48 bits is an improvement but nowhere near
+        // TPP's ~3 bits.
+        let (cp, _) = run(500, 4);
+        assert!(cp.mean_vector_bits() > 10.0 * 3.1);
+    }
+}

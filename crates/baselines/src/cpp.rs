@@ -1,0 +1,136 @@
+//! The Conventional Polling Protocol (Section II-B).
+//!
+//! The reader broadcasts a 96-bit tag ID; all tags listen and only the tag
+//! whose ID matches replies. One tag per exchange, no collisions ever — but
+//! the 96-bit polling vector makes every poll expensive. CPP is the paper's
+//! baseline: 37.70 s to collect one bit from 10⁴ tags.
+
+use serde::{Deserialize, Serialize};
+
+use rfid_protocols::{PollingProtocol, Report};
+use rfid_system::{id::EPC_BITS, SimContext};
+
+/// CPP configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CppConfig {
+    /// Whether the ID broadcast rides behind a 4-bit QueryRep. The paper's
+    /// CPP accounting treats the bare ID as the command (Table I's 37.70 s
+    /// = 37.45·96 + T1 + 25 + T2 per tag), so the default is `false`.
+    pub with_query_rep: bool,
+    /// Safety cap on retry sweeps over a lossy channel.
+    pub max_sweeps: u64,
+}
+
+impl Default for CppConfig {
+    fn default() -> Self {
+        CppConfig {
+            with_query_rep: false,
+            max_sweeps: 1_000_000,
+        }
+    }
+}
+
+impl CppConfig {
+    /// Wraps the config into a runnable protocol.
+    pub fn into_protocol(self) -> Cpp {
+        Cpp { cfg: self }
+    }
+}
+
+/// The Conventional Polling Protocol.
+#[derive(Debug, Clone, Default)]
+pub struct Cpp {
+    cfg: CppConfig,
+}
+
+impl Cpp {
+    /// Creates CPP with the given configuration.
+    pub fn new(cfg: CppConfig) -> Self {
+        Cpp { cfg }
+    }
+}
+
+impl PollingProtocol for Cpp {
+    fn name(&self) -> &'static str {
+        "CPP"
+    }
+
+    fn run(&self, ctx: &mut SimContext) -> Report {
+        let mut sweeps = 0u64;
+        while ctx.population.active_count() > 0 {
+            sweeps += 1;
+            assert!(
+                sweeps <= self.cfg.max_sweeps,
+                "CPP did not converge within {} sweeps",
+                self.cfg.max_sweeps
+            );
+            // The reader walks its known ID list; active tags are the ones
+            // not yet read (or whose reply was lost last sweep).
+            for handle in ctx.population.active_handles() {
+                ctx.poll_tag(EPC_BITS as u64, self.cfg.with_query_rep, handle);
+            }
+        }
+        Report::from_context(self.name(), ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfid_system::{BitVec, Channel, SimConfig, TagPopulation};
+
+    fn run(n: usize, info_bits: usize, seed: u64) -> (Report, SimContext) {
+        let pop = TagPopulation::sequential(n, |_| BitVec::from_value(1, info_bits));
+        let mut ctx = SimContext::new(pop, &SimConfig::paper(seed));
+        let report = Cpp::default().run(&mut ctx);
+        (report, ctx)
+    }
+
+    #[test]
+    fn reads_every_tag_once() {
+        let (report, ctx) = run(100, 1, 1);
+        ctx.assert_complete();
+        assert_eq!(report.counters.polls, 100);
+        assert_eq!(report.mean_vector_bits(), 96.0);
+    }
+
+    #[test]
+    fn table1_anchor_time() {
+        // Table I: 37.70 s for n = 10⁴, l = 1 — scaled down 100× here.
+        let (report, _) = run(100, 1, 2);
+        let expect_per_tag = 37.45 * 96.0 + 100.0 + 25.0 + 50.0;
+        assert!(
+            (report.total_time.as_f64() - 100.0 * expect_per_tag).abs() < 1e-6,
+            "{}",
+            report.total_time
+        );
+        // Per-tag: 3770.2 µs → ×10⁴ = 37.70 s.
+        assert!((expect_per_tag * 1e4 / 1e6 - 37.70).abs() < 0.01);
+    }
+
+    #[test]
+    fn single_round_no_rounds_counter() {
+        let (report, _) = run(10, 1, 3);
+        assert_eq!(report.counters.rounds, 0);
+        assert_eq!(report.counters.reader_bits, 10 * 96);
+    }
+
+    #[test]
+    fn lossy_channel_retries_until_done() {
+        let pop = TagPopulation::sequential(50, |_| BitVec::from_value(1, 1));
+        let cfg = SimConfig::paper(4).with_channel(Channel::lossy(0.4));
+        let mut ctx = SimContext::new(pop, &cfg);
+        let report = Cpp::default().run(&mut ctx);
+        ctx.assert_complete();
+        assert!(report.counters.lost_replies > 0);
+        assert_eq!(report.counters.polls, 50);
+    }
+
+    #[test]
+    fn payload_length_only_affects_tag_side() {
+        let (r1, _) = run(20, 1, 5);
+        let (r32, _) = run(20, 32, 5);
+        let diff = r32.total_time - r1.total_time;
+        assert!((diff.as_f64() - 20.0 * 25.0 * 31.0).abs() < 1e-6);
+    }
+}

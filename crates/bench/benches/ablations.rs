@@ -1,0 +1,88 @@
+//! Ablation benches for the design choices DESIGN.md §7 calls out.
+//! Each bench measures the *simulated protocol metric* (total inventory
+//! time on the C1G2 clock) rather than host CPU time: Criterion's iteration
+//! wall-time tracks the simulator work, while the printed custom metric is
+//! what the paper's tables report. Run `repro ablations` for the
+//! metric-level summary table.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rfid_baselines::MicConfig;
+use rfid_protocols::{EhppConfig, IndexRule, PollingProtocol, TppConfig};
+use rfid_system::{BitVec, SimConfig, SimContext, TagPopulation};
+
+fn run_once(protocol: &dyn PollingProtocol, n: usize, seed: u64) -> f64 {
+    let pop = TagPopulation::sequential(n, |_| BitVec::from_value(1, 1));
+    let mut ctx = SimContext::new(pop, &SimConfig::paper(seed));
+    protocol.run(&mut ctx).total_time.as_secs()
+}
+
+fn ablation_tpp_h(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_tpp_h");
+    group.sample_size(10);
+    let n = 10_000;
+    for (name, rule) in [
+        ("eq15", IndexRule::Eq15Optimal),
+        ("hpp_rule", IndexRule::HppRule),
+    ] {
+        let protocol = TppConfig {
+            index_rule: rule,
+            ..TppConfig::default()
+        }
+        .into_protocol();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(run_once(&protocol, n, seed))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn ablation_ehpp_subset(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_ehpp_subset");
+    group.sample_size(10);
+    let n = 10_000;
+    let n_star = EhppConfig::default().effective_subset_size();
+    for (name, size) in [("half", n_star / 2), ("thm1", n_star), ("double", n_star * 2)] {
+        let protocol = EhppConfig {
+            subset_size: Some(size),
+            ..EhppConfig::default()
+        }
+        .into_protocol();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(run_once(&protocol, n, seed))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn ablation_mic_k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_mic_k");
+    group.sample_size(10);
+    let n = 10_000;
+    for k in [1usize, 4, 7] {
+        let protocol = MicConfig {
+            k,
+            ..MicConfig::default()
+        }
+        .into_protocol();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(run_once(&protocol, n, seed))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation_tpp_h, ablation_ehpp_subset, ablation_mic_k);
+criterion_main!(benches);

@@ -1,0 +1,497 @@
+//! `repro` — regenerates every table and figure of *Fast RFID Polling
+//! Protocols* (ICPP 2016).
+//!
+//! ```text
+//! repro <experiment> [--runs N] [--max-n N]
+//!
+//! experiments:
+//!   fig1    execution time vs polling-vector length (analytic)
+//!   fig3    HPP average vector length vs n            (Eq. 4)
+//!   fig4    optimal EHPP subset size vs l_c           (Theorem 1)
+//!   fig5    EHPP vector length vs n for l_c ∈ {100, 200, 400}
+//!   fig8    singleton probability μ(λ)                (Eq. 12/13)
+//!   fig9    TPP analytic vector length vs n           (Eqs. 6/8/11/15)
+//!   fig10   simulated vector lengths: HPP / EHPP / TPP
+//!   table1  execution time, l = 1  bit   (CPP/HPP/EHPP/MIC/TPP/LB)
+//!   table2  execution time, l = 16 bits
+//!   table3  execution time, l = 32 bits
+//!   ablations  design-choice ablations (TPP h-rule, EHPP subset, MIC k/α)
+//!   all     everything above
+//! ```
+//!
+//! `--runs` (default 20) controls Monte-Carlo repetitions for the simulated
+//! experiments; `--max-n` (default 100000) caps the population sweep.
+//! Paper-reported values are printed beside measurements where the text
+//! quotes them.
+
+use rfid_analysis as analysis;
+use rfid_baselines::{CppConfig, EcppConfig, LowerBound, MicConfig};
+use rfid_bench::anchors;
+use rfid_bench::{montecarlo, Summary};
+use rfid_c1g2::LinkParams;
+use rfid_protocols::{EhppConfig, HppConfig, IndexRule, PollingProtocol, TppConfig};
+use rfid_workloads::{IdDistribution, Scenario};
+
+struct Options {
+    runs: u64,
+    max_n: u64,
+}
+
+/// A table row: label plus a thread-safe factory of fresh protocol
+/// instances.
+type ProtocolRow = (&'static str, Box<dyn Fn() -> Box<dyn PollingProtocol> + Sync>);
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut experiment = String::from("all");
+    let mut opts = Options {
+        runs: 20,
+        max_n: 100_000,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--runs" => {
+                opts.runs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--runs needs a number")
+            }
+            "--max-n" => {
+                opts.max_n = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--max-n needs a number")
+            }
+            other if !other.starts_with('-') => experiment = other.to_string(),
+            other => {
+                eprintln!("unknown option {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    match experiment.as_str() {
+        "fig1" => fig1(),
+        "fig3" => fig3(&opts),
+        "fig4" => fig4(),
+        "fig5" => fig5(&opts),
+        "fig8" => fig8(),
+        "fig9" => fig9(&opts),
+        "fig10" => fig10(&opts),
+        "table1" => table(&opts, 1),
+        "table2" => table(&opts, 16),
+        "table3" => table(&opts, 32),
+        "ablations" => ablations(&opts),
+        "energy" => energy(&opts),
+        "all" => {
+            fig1();
+            fig3(&opts);
+            fig4();
+            fig5(&opts);
+            fig8();
+            fig9(&opts);
+            fig10(&opts);
+            table(&opts, 1);
+            table(&opts, 16);
+            table(&opts, 32);
+            ablations(&opts);
+            energy(&opts);
+        }
+        other => {
+            eprintln!("unknown experiment {other}; see the module docs");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn sweep_ns(max_n: u64) -> Vec<u64> {
+    [1_000u64, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000]
+        .into_iter()
+        .filter(|&n| n <= max_n)
+        .collect()
+}
+
+// ---------------------------------------------------------------- figures
+
+fn fig1() {
+    println!("\n== Fig. 1 — execution time vs polling-vector length (l = 1) ==");
+    println!("{:>6} {:>12}", "w bits", "time (ms)");
+    for (w, ms) in analysis::timing::fig1_series(&LinkParams::paper(), 100) {
+        if w % 10 == 0 {
+            println!("{w:>6} {ms:>12.4}");
+        }
+    }
+    println!("(linear, slope 0.03745 ms/bit — matches the paper's Fig. 1)");
+}
+
+fn fig3(opts: &Options) {
+    println!("\n== Fig. 3 — HPP average polling-vector length w(n), Eq. (4) ==");
+    println!("{:>8} {:>10} {:>10}", "n", "w (bits)", "ceil log2");
+    for (n, w) in analysis::hpp::fig3_series(&sweep_ns(opts.max_n)) {
+        println!("{n:>8} {w:>10.2} {:>10}", analysis::hpp::upper_bound(n));
+    }
+    println!("(paper anchors: w ≈ 10 at n = 10^3, w ≈ 16 at n = 10^5)");
+}
+
+fn fig4() {
+    println!("\n== Fig. 4 — optimal EHPP subset size vs circle-command length (Theorem 1) ==");
+    println!(
+        "{:>6} {:>12} {:>10} {:>12}",
+        "l_c", "lower bound", "optimal", "upper bound"
+    );
+    let lcs: Vec<u64> = (50..=500).step_by(50).collect();
+    for (lc, lo, opt, hi) in analysis::ehpp::fig4_series(&lcs) {
+        println!("{lc:>6} {lo:>12.1} {opt:>10} {hi:>12.1}");
+    }
+    println!("(optimal n* sandwiched in [l_c·ln2, e·l_c·ln2], growing with l_c)");
+}
+
+fn fig5(opts: &Options) {
+    println!("\n== Fig. 5 — EHPP average vector length vs n (Sec. III-D) ==");
+    let ns = sweep_ns(opts.max_n);
+    print!("{:>8}", "n");
+    for lc in [100u64, 200, 400] {
+        print!(" {:>12}", format!("l_c={lc}"));
+    }
+    println!();
+    for &n in &ns {
+        print!("{n:>8}");
+        for lc in [100u64, 200, 400] {
+            print!(" {:>12.2}", analysis::ehpp::average_vector_length(n, lc, 0));
+        }
+        println!();
+    }
+    println!("(paper anchor: ≈ 7.94 bits at l_c = 200, n = 10^5; flat in n)");
+}
+
+fn fig8() {
+    println!("\n== Fig. 8 — singleton probability mu(lambda) = lambda*e^(-lambda) ==");
+    println!("{:>8} {:>10}", "lambda", "mu");
+    for (l, m) in analysis::mu::mu_series(4.0, 16) {
+        println!("{l:>8.2} {m:>10.4}");
+    }
+    let (lo, hi) = analysis::mu::optimal_load_interval();
+    println!(
+        "(peak 1/e ≈ {:.4} at λ = 1; μ(ln2) = μ(2ln2) = {:.4}; optimal λ ∈ [{lo:.3}, {hi:.3}))",
+        (-1f64).exp(),
+        analysis::mu::min_max_mu()
+    );
+}
+
+fn fig9(opts: &Options) {
+    println!("\n== Fig. 9 — TPP analytic average vector length, Eqs. (6)(8)(11)(15) ==");
+    println!("{:>8} {:>10}", "n", "w (bits)");
+    for (n, w) in analysis::tpp::fig9_series(&sweep_ns(opts.max_n)) {
+        println!("{n:>8} {w:>10.3}");
+    }
+    println!(
+        "(paper: stable ≈ {}; global Eq. (16) bound {:.4})",
+        anchors::FIG9_TPP_ANALYTIC,
+        analysis::tpp::global_bound()
+    );
+}
+
+fn fig10(opts: &Options) {
+    println!(
+        "\n== Fig. 10 — simulated average polling-vector length ({} runs) ==",
+        opts.runs
+    );
+    println!("{:>8} {:>14} {:>14} {:>14}", "n", "HPP", "EHPP", "TPP");
+    let ns: Vec<u64> = [10_000u64, 20_000, 40_000, 60_000, 80_000, 100_000]
+        .into_iter()
+        .filter(|&n| n <= opts.max_n)
+        .collect();
+    for &n in &ns {
+        let scenario = Scenario::uniform(n as usize, 1).with_seed(n);
+        let hpp = vector_summary(&scenario, opts.runs, false, &|| {
+            Box::new(HppConfig::default().into_protocol())
+        });
+        let ehpp = vector_summary(&scenario, opts.runs, true, &|| {
+            Box::new(EhppConfig::default().into_protocol())
+        });
+        let tpp = vector_summary(&scenario, opts.runs, false, &|| {
+            Box::new(TppConfig::default().into_protocol())
+        });
+        println!(
+            "{n:>8} {:>9.2}±{:<4.2} {:>9.2}±{:<4.2} {:>9.2}±{:<4.2}",
+            hpp.mean, hpp.std, ehpp.mean, ehpp.std, tpp.mean, tpp.std
+        );
+    }
+    println!(
+        "(paper anchors: HPP {}→{} bits, EHPP ≈ {}, TPP ≈ {}; EHPP/TPP flat in n)",
+        anchors::FIG10_HPP_AT_1K,
+        anchors::FIG10_HPP_AT_100K,
+        anchors::FIG10_EHPP,
+        anchors::FIG10_TPP
+    );
+}
+
+fn vector_summary(
+    scenario: &Scenario,
+    runs: u64,
+    with_overhead: bool,
+    factory: &rfid_bench::ProtocolFactory<'_>,
+) -> Summary {
+    let reports = montecarlo(scenario, runs, factory);
+    let ws: Vec<f64> = reports
+        .iter()
+        .map(|r| {
+            if with_overhead {
+                r.mean_vector_bits_with_overhead()
+            } else {
+                r.mean_vector_bits()
+            }
+        })
+        .collect();
+    Summary::of(&ws)
+}
+
+// ----------------------------------------------------------------- tables
+
+fn table(opts: &Options, l: usize) {
+    let which = match l {
+        1 => "I",
+        16 => "II",
+        _ => "III",
+    };
+    println!(
+        "\n== Table {which} — execution time (s) to collect {l}-bit information ({} runs) ==",
+        opts.runs
+    );
+    let ns: Vec<u64> = anchors::TABLE_NS
+        .into_iter()
+        .filter(|&n| n <= opts.max_n)
+        .collect();
+    print!("{:<12}", "protocol");
+    for n in &ns {
+        print!(" {:>16}", format!("n={n}"));
+    }
+    println!();
+
+    let rows: Vec<ProtocolRow> = vec![
+        ("CPP", Box::new(|| Box::new(CppConfig::default().into_protocol()))),
+        ("HPP", Box::new(|| Box::new(HppConfig::default().into_protocol()))),
+        ("EHPP", Box::new(|| Box::new(EhppConfig::default().into_protocol()))),
+        ("MIC", Box::new(|| Box::new(MicConfig::default().into_protocol()))),
+        ("TPP", Box::new(|| Box::new(TppConfig::default().into_protocol()))),
+        ("LowerBound", Box::new(|| Box::new(LowerBound))),
+    ];
+
+    let mut measured: Vec<Vec<f64>> = Vec::new();
+    for (label, factory) in &rows {
+        print!("{label:<12}");
+        let mut row = Vec::new();
+        for &n in &ns {
+            let scenario = Scenario::uniform(n as usize, l).with_seed(n + l as u64);
+            // CPP and LowerBound are deterministic in time; one run suffices.
+            let runs = if *label == "CPP" || *label == "LowerBound" {
+                1
+            } else {
+                opts.runs
+            };
+            let reports = montecarlo(&scenario, runs, factory.as_ref());
+            let secs: Vec<f64> = reports.iter().map(|r| r.total_time.as_secs()).collect();
+            let s = Summary::of(&secs);
+            row.push(s.mean);
+            print!(" {:>16.3}", s.mean);
+        }
+        measured.push(row);
+        println!();
+    }
+
+    // Paper anchors where the text quotes them.
+    match l {
+        1 => {
+            println!("paper (n = 10^4): CPP 37.70, HPP 8.12, EHPP 6.63, MIC 5.15, TPP 4.39, LB 3.25");
+            if let Some(col) = ns.iter().position(|&n| n == 10_000) {
+                for (row, anchor) in measured.iter().zip(anchors::TABLE1.iter()) {
+                    if let Some(p) = anchor.seconds[2] {
+                        let dev = (row[col] - p) / p * 100.0;
+                        println!(
+                            "  {:<12} measured {:>7.2} vs paper {:>6.2}  ({dev:+.1} %)",
+                            anchor.protocol, row[col], p
+                        );
+                    }
+                }
+            }
+        }
+        16 => {
+            println!("paper (n = 10^4): TPP = 85.7 % of MIC, 78.3 % of EHPP, 68.6 % of HPP, 19.6 % of CPP");
+            if let Some(col) = ns.iter().position(|&n| n == 10_000) {
+                let tpp = measured[4][col];
+                for (name, ratio) in anchors::TABLE2_TPP_RATIOS {
+                    let idx = rows.iter().position(|(lbl, _)| *lbl == name).expect("row");
+                    println!(
+                        "  TPP/{name:<5} measured {:>6.3} vs paper {ratio:.3}",
+                        tpp / measured[idx][col]
+                    );
+                }
+            }
+        }
+        _ => {
+            println!("paper (n = 10^4): xLB — TPP 1.10, MIC 1.28, EHPP 1.31, HPP 1.45, CPP 4.14");
+            if let Some(col) = ns.iter().position(|&n| n == 10_000) {
+                let lb = measured[5][col];
+                for (name, ratio) in anchors::TABLE3_LB_RATIOS {
+                    let idx = rows.iter().position(|(lbl, _)| *lbl == name).expect("row");
+                    println!(
+                        "  {name:<5}/LB measured {:>6.3} vs paper {ratio:.2}",
+                        measured[idx][col] / lb
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- energy
+
+/// Extension experiment (after Qiao et al., MobiHoc'11): tag-side energy
+/// per protocol — tags listen until read, so shorter polling vectors save
+/// energy twice.
+fn energy(opts: &Options) {
+    use rfid_analysis::energy::EnergyParams;
+    let n = 10_000.min(opts.max_n) as usize;
+    let runs = opts.runs.max(5);
+    let scenario = Scenario::uniform(n, 1).with_seed(123);
+    let link = LinkParams::paper();
+    let params = EnergyParams::semi_passive();
+    println!("\n== Energy extension — per-tag energy, semi-passive tags (n = {n}, {runs} runs) ==");
+    println!("{:<12} {:>14} {:>12} {:>12}", "protocol", "per tag (µJ)", "rx (mJ)", "tx (mJ)");
+    let rows: Vec<ProtocolRow> = vec![
+        ("CPP", Box::new(|| Box::new(CppConfig::default().into_protocol()))),
+        ("HPP", Box::new(|| Box::new(HppConfig::default().into_protocol()))),
+        ("EHPP", Box::new(|| Box::new(EhppConfig::default().into_protocol()))),
+        ("MIC", Box::new(|| Box::new(MicConfig::default().into_protocol()))),
+        ("TPP", Box::new(|| Box::new(TppConfig::default().into_protocol()))),
+    ];
+    for (label, factory) in &rows {
+        let reports = montecarlo(&scenario, runs, factory.as_ref());
+        let per_tag: Vec<f64> = reports
+            .iter()
+            .map(|r| r.tag_energy(&params, &link).per_tag_uj())
+            .collect();
+        let rx: Vec<f64> = reports
+            .iter()
+            .map(|r| r.tag_energy(&params, &link).rx_mj)
+            .collect();
+        let tx: Vec<f64> = reports
+            .iter()
+            .map(|r| r.tag_energy(&params, &link).tx_mj)
+            .collect();
+        println!(
+            "{label:<12} {:>14.2} {:>12.2} {:>12.3}",
+            Summary::of(&per_tag).mean,
+            Summary::of(&rx).mean,
+            Summary::of(&tx).mean
+        );
+    }
+    println!("(listen energy dominates; TPP's short vectors and early sleeps win)");
+}
+
+// -------------------------------------------------------------- ablations
+
+fn ablations(opts: &Options) {
+    let n = 10_000.min(opts.max_n) as usize;
+    let runs = opts.runs.max(5);
+    let scenario = Scenario::uniform(n, 1).with_seed(99);
+    println!("\n== Ablations (n = {n}, l = 1, {runs} runs) ==");
+
+    // 1. TPP index-length rule: Eq. (15) vs HPP's rule.
+    let opt = vector_summary(&scenario, runs, false, &|| {
+        Box::new(TppConfig::default().into_protocol())
+    });
+    let hpp_rule = vector_summary(&scenario, runs, false, &|| {
+        Box::new(
+            TppConfig {
+                index_rule: IndexRule::HppRule,
+                ..TppConfig::default()
+            }
+            .into_protocol(),
+        )
+    });
+    println!(
+        "TPP h-rule:      Eq.(15) {:.3} bits  vs  HPP-rule {:.3} bits",
+        opt.mean, hpp_rule.mean
+    );
+
+    // 2. EHPP subset size: Theorem-1 optimum vs halved/doubled.
+    let n_star = EhppConfig::default().effective_subset_size();
+    for (label, size) in [
+        ("n*/2", n_star / 2),
+        ("n* (Thm 1)", n_star),
+        ("2n*", n_star * 2),
+    ] {
+        let s = vector_summary(&scenario, runs, true, &|| {
+            Box::new(
+                EhppConfig {
+                    subset_size: Some(size),
+                    ..EhppConfig::default()
+                }
+                .into_protocol(),
+            )
+        });
+        println!(
+            "EHPP subset {label:<11} ({size:>4} tags): {:.3} bits incl. overhead",
+            s.mean
+        );
+    }
+
+    // 3. MIC hash count.
+    for k in [1usize, 2, 4, 7] {
+        let reports = montecarlo(&scenario, runs, &|| {
+            Box::new(
+                MicConfig {
+                    k,
+                    ..MicConfig::default()
+                }
+                .into_protocol(),
+            )
+        });
+        let secs: Vec<f64> = reports.iter().map(|r| r.total_time.as_secs()).collect();
+        let waste: Vec<f64> = reports
+            .iter()
+            .map(|r| {
+                r.counters.empty_slots as f64
+                    / (r.counters.empty_slots + r.counters.polls) as f64
+            })
+            .collect();
+        println!(
+            "MIC k={k}:  {:.3} s, wasted slots {:.1} %",
+            Summary::of(&secs).mean,
+            Summary::of(&waste).mean * 100.0
+        );
+    }
+
+    // 4. Tree encoding vs flat singleton broadcast at the same h (isolates
+    //    the polling tree itself): TPP with HPP's h vs HPP.
+    let flat = vector_summary(&scenario, runs, false, &|| {
+        Box::new(HppConfig::default().into_protocol())
+    });
+    println!(
+        "tree encoding:   flat HPP {:.3} bits  vs  tree @ same h {:.3} bits",
+        flat.mean, hpp_rule.mean
+    );
+
+    // 5. ID-distribution sensitivity: the hashed protocols are
+    //    distribution-free; eCPP is not.
+    for (label, dist) in [
+        ("uniform", IdDistribution::UniformRandom),
+        ("clustered", IdDistribution::Clustered { categories: 10 }),
+    ] {
+        let sc = scenario.clone().with_ids(dist);
+        let tpp = vector_summary(&sc, runs, false, &|| {
+            Box::new(TppConfig::default().into_protocol())
+        });
+        let reports = montecarlo(&sc, runs, &|| {
+            Box::new(EcppConfig::default().into_protocol())
+        });
+        let ecpp: Vec<f64> = reports.iter().map(|r| r.mean_vector_bits()).collect();
+        println!(
+            "IDs {label:<10} TPP {:.3} bits, eCPP {:.1} bits",
+            tpp.mean,
+            Summary::of(&ecpp).mean
+        );
+    }
+}

@@ -1,0 +1,16 @@
+//! # rfid-bench — experiment harness shared by `repro` and the Criterion
+//! benches.
+//!
+//! Provides the parallel Monte-Carlo runner (crossbeam-scoped threads, one
+//! deterministic seed per run fanned out from a master seed), summary
+//! statistics, and the paper's anchor values for side-by-side reporting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod anchors;
+pub mod runner;
+pub mod stats;
+
+pub use runner::{montecarlo, ProtocolFactory};
+pub use stats::Summary;

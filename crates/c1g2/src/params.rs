@@ -1,0 +1,246 @@
+//! Link-budget parameters of the C1G2 air interface.
+//!
+//! The C1G2 standard derives all its timing from a small set of symbols the
+//! reader announces in each frame preamble:
+//!
+//! * `Tari` — the duration of a reader data-0 symbol (6.25–25 µs);
+//! * `RTcal` (reader→tag calibration) — `data-0 + data-1` duration; a tag
+//!   classifies every subsequent reader symbol as 0 or 1 by comparing it to
+//!   `RTcal / 2`;
+//! * `TRcal` (tag→reader calibration) — together with the divide ratio `DR`
+//!   it fixes the backscatter link frequency `BLF = DR / TRcal` and hence the
+//!   pulse-repetition interval `Tpri = 1 / BLF`;
+//! * `T1 = max(RTcal, 10·Tpri)` — how long a tag waits after the reader stops
+//!   talking before it replies;
+//! * `T2 ∈ [3·Tpri, 20·Tpri]` — how long the reader waits after a tag reply
+//!   before issuing the next command.
+//!
+//! The evaluation in *Fast RFID Polling Protocols* fixes the derived
+//! quantities directly (Section V-A): `T1 = 100 µs`, `T2 = 50 µs`, reader→tag
+//! 26.7 kbps, tag→reader 40 kbps. [`LinkParams::paper`] reproduces exactly
+//! those numbers; [`LinkParams::from_symbols`] derives a parameter set from
+//! the primitive symbols instead, for users who want to explore other
+//! operating points of the standard.
+
+use serde::{Deserialize, Serialize};
+
+use crate::encoding::{ReaderEncoding, TagEncoding};
+use crate::time::Micros;
+
+/// Divide ratio announced in the `Query` command (`DR` field).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DivideRatio {
+    /// DR = 8.
+    Dr8,
+    /// DR = 64/3.
+    Dr64Over3,
+}
+
+impl DivideRatio {
+    /// The numeric divide ratio.
+    pub fn value(self) -> f64 {
+        match self {
+            DivideRatio::Dr8 => 8.0,
+            DivideRatio::Dr64Over3 => 64.0 / 3.0,
+        }
+    }
+}
+
+/// The complete reader↔tag link budget used by the simulator.
+///
+/// Data rates are stored as per-bit durations, which is what every cost
+/// computation actually needs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkParams {
+    /// Duration of one reader→tag bit.
+    pub reader_bit: Micros,
+    /// Duration of one tag→reader bit.
+    pub tag_bit: Micros,
+    /// Transmit-to-receive turnaround: tag waits `T1` before replying.
+    pub t1: Micros,
+    /// Receive-to-transmit turnaround: reader waits `T2` before next command.
+    pub t2: Micros,
+    /// Time a reader waits for a reply before declaring the slot empty.
+    ///
+    /// Polling protocols never pay this (they only address singletons), but
+    /// ALOHA baselines observe empty slots and must time them.
+    pub t3: Micros,
+}
+
+impl LinkParams {
+    /// The exact parameter set of the paper's evaluation (Section V-A):
+    /// `T1 = 100 µs`, `T2 = 50 µs`, reader→tag 26.7 kbps (37.45 µs/bit,
+    /// the constant used throughout the paper's formulas), tag→reader
+    /// 40 kbps (25 µs/bit).
+    pub fn paper() -> Self {
+        LinkParams {
+            reader_bit: Micros::from_us(37.45),
+            tag_bit: Micros::from_us(25.0),
+            t1: Micros::from_us(100.0),
+            t2: Micros::from_us(50.0),
+            // The paper never times an empty slot (polling has none). For the
+            // ALOHA baselines we follow common practice and charge T1 plus a
+            // short detection window.
+            t3: Micros::from_us(50.0),
+        }
+    }
+
+    /// Derives a parameter set from the primitive C1G2 symbols.
+    ///
+    /// * `tari` — reader data-0 duration (6.25–25 µs per the standard),
+    /// * `dr` — divide ratio from the Query command,
+    /// * `trcal` — tag→reader calibration symbol (µs),
+    /// * `tag_encoding` — FM0 or one of the Miller subcarrier modes,
+    /// * `reader_encoding` — PIE data-1 length as a multiple of Tari.
+    ///
+    /// # Panics
+    /// Panics if `tari` is outside the standard's 6.25–25 µs range or if
+    /// `trcal` is not in `[1.1·RTcal, 3·RTcal]` as the standard requires.
+    pub fn from_symbols(
+        tari: Micros,
+        dr: DivideRatio,
+        trcal: Micros,
+        tag_encoding: TagEncoding,
+        reader_encoding: ReaderEncoding,
+    ) -> Self {
+        assert!(
+            (6.25..=25.0).contains(&tari.as_f64()),
+            "Tari {} outside the C1G2 range of 6.25-25 µs",
+            tari
+        );
+        let rtcal = reader_encoding.rtcal(tari);
+        assert!(
+            trcal.as_f64() >= 1.1 * rtcal.as_f64() && trcal.as_f64() <= 3.0 * rtcal.as_f64(),
+            "TRcal {} outside [1.1 RTcal, 3 RTcal] = [{}, {}]",
+            trcal,
+            rtcal * 1.1,
+            rtcal * 3.0
+        );
+        let blf_hz = dr.value() / (trcal.as_f64() * 1e-6);
+        let tpri = Micros::from_us(1e6 / blf_hz);
+        let t1 = rtcal.max(tpri * 10.0);
+        let t2 = tpri * 10.0; // mid-range of the permitted [3, 20]·Tpri
+        LinkParams {
+            reader_bit: reader_encoding.mean_bit(tari),
+            tag_bit: tag_encoding.bit_duration(tpri),
+            t1,
+            t2,
+            t3: tpri * 3.0,
+        }
+    }
+
+    /// Time for the reader to transmit `bits` bits.
+    #[inline]
+    pub fn reader_tx(&self, bits: u64) -> Micros {
+        self.reader_bit * bits
+    }
+
+    /// Time for a tag to transmit `bits` bits.
+    #[inline]
+    pub fn tag_tx(&self, bits: u64) -> Micros {
+        self.tag_bit * bits
+    }
+
+    /// The cost of one complete polling exchange: the reader transmits
+    /// `reader_bits`, waits `T1`, the tag replies with `tag_bits`, and the
+    /// reader waits `T2` before the next command.
+    ///
+    /// With the paper's parameters and `reader_bits = 4 + w` this is exactly
+    /// the `37.45·(4+w) + T1 + 25·l + T2` µs formula of Section V-A.
+    #[inline]
+    pub fn poll_exchange(&self, reader_bits: u64, tag_bits: u64) -> Micros {
+        self.reader_tx(reader_bits) + self.t1 + self.tag_tx(tag_bits) + self.t2
+    }
+
+    /// The cost of a slot in which the reader transmitted `reader_bits` but
+    /// no tag replied: the reader still waits `T1` and then the empty-slot
+    /// detection window `T3`.
+    #[inline]
+    pub fn empty_slot(&self, reader_bits: u64) -> Micros {
+        self.reader_tx(reader_bits) + self.t1 + self.t3
+    }
+}
+
+impl Default for LinkParams {
+    fn default() -> Self {
+        LinkParams::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants() {
+        let p = LinkParams::paper();
+        assert_eq!(p.reader_bit, Micros::from_us(37.45));
+        assert_eq!(p.tag_bit, Micros::from_us(25.0));
+        assert_eq!(p.t1, Micros::from_us(100.0));
+        assert_eq!(p.t2, Micros::from_us(50.0));
+    }
+
+    #[test]
+    fn paper_poll_exchange_matches_section_v_formula() {
+        let p = LinkParams::paper();
+        // Collecting l=1 bit with a w=3 bit polling vector behind a 4-bit
+        // QueryRep: 37.45*(4+3) + 100 + 25 + 50.
+        let t = p.poll_exchange(4 + 3, 1);
+        assert!((t.as_f64() - (37.45 * 7.0 + 100.0 + 25.0 + 50.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn symbol_derivation_produces_sane_rates() {
+        // Tari = 12.5 µs, PIE data-1 = 2 Tari, DR = 64/3, TRcal = 66.7 µs
+        // gives BLF = 320 kHz: a fast FM0 link.
+        let p = LinkParams::from_symbols(
+            Micros::from_us(12.5),
+            DivideRatio::Dr64Over3,
+            Micros::from_us(66.7),
+            TagEncoding::Fm0,
+            ReaderEncoding::pie(2.0),
+        );
+        let blf = 64.0 / 3.0 / 66.7e-6;
+        assert!((p.tag_bit.as_f64() - 1e6 / blf).abs() < 1e-6);
+        // Mean PIE bit = (Tari + 2 Tari)/2 = 18.75 µs.
+        assert!((p.reader_bit.as_f64() - 18.75).abs() < 1e-9);
+        // T1 = max(RTcal, 10 Tpri); RTcal = 37.5 µs, 10 Tpri ≈ 31.3 µs.
+        assert!((p.t1.as_f64() - 37.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn divide_ratio_values() {
+        assert_eq!(DivideRatio::Dr8.value(), 8.0);
+        assert!((DivideRatio::Dr64Over3.value() - 21.333_333).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the C1G2 range")]
+    fn tari_out_of_range_rejected() {
+        let _ = LinkParams::from_symbols(
+            Micros::from_us(5.0),
+            DivideRatio::Dr8,
+            Micros::from_us(50.0),
+            TagEncoding::Fm0,
+            ReaderEncoding::pie(1.5),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "TRcal")]
+    fn trcal_out_of_range_rejected() {
+        let _ = LinkParams::from_symbols(
+            Micros::from_us(12.5),
+            DivideRatio::Dr8,
+            Micros::from_us(500.0),
+            TagEncoding::Fm0,
+            ReaderEncoding::pie(1.5),
+        );
+    }
+
+    #[test]
+    fn empty_slot_is_cheaper_than_exchange() {
+        let p = LinkParams::paper();
+        assert!(p.empty_slot(4) < p.poll_exchange(4, 1));
+    }
+}

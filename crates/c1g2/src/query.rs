@@ -1,0 +1,396 @@
+//! Bit-exact images of the C1G2 inventory commands.
+//!
+//! The rest of the workspace mostly needs command *lengths* (see
+//! [`crate::commands`]); this module assembles the actual bit patterns a
+//! reader modulates, so link-level tests and tooling can check framing,
+//! CRC-5 protection, and field packing against the standard:
+//!
+//! * `Query` — 22 bits: code `1000`, DR(1), M(2), TRext(1), Sel(2),
+//!   Session(2), Target(1), Q(4), CRC-5(5);
+//! * `QueryRep` — 4 bits: code `00`, Session(2);
+//! * `QueryAdjust` — 9 bits: code `1001`, Session(2), UpDn(3).
+
+use serde::{Deserialize, Serialize};
+
+use crate::crc::crc5;
+use crate::encoding::TagEncoding;
+use crate::params::DivideRatio;
+
+/// C1G2 inventory session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Session {
+    /// Session S0.
+    S0,
+    /// Session S1.
+    S1,
+    /// Session S2.
+    S2,
+    /// Session S3.
+    S3,
+}
+
+impl Session {
+    fn code(self) -> u32 {
+        match self {
+            Session::S0 => 0b00,
+            Session::S1 => 0b01,
+            Session::S2 => 0b10,
+            Session::S3 => 0b11,
+        }
+    }
+}
+
+/// Which tags a Query addresses (the `Sel` field).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SelField {
+    /// All tags.
+    All,
+    /// Tags with SL deasserted.
+    NotSl,
+    /// Tags with SL asserted.
+    Sl,
+}
+
+impl SelField {
+    fn code(self) -> u32 {
+        match self {
+            SelField::All => 0b00,
+            SelField::NotSl => 0b10,
+            SelField::Sl => 0b11,
+        }
+    }
+}
+
+/// Inventoried-flag target (the `Target` field).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Target {
+    /// Tags whose inventoried flag is A.
+    A,
+    /// Tags whose inventoried flag is B.
+    B,
+}
+
+/// Frame-size adjustment of QueryAdjust (the `UpDn` field).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UpDn {
+    /// Q unchanged.
+    Unchanged,
+    /// Q + 1.
+    Increment,
+    /// Q − 1.
+    Decrement,
+}
+
+impl UpDn {
+    fn code(self) -> u32 {
+        match self {
+            UpDn::Unchanged => 0b000,
+            UpDn::Increment => 0b110,
+            UpDn::Decrement => 0b011,
+        }
+    }
+}
+
+/// A fully specified `Query` command.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueryCommand {
+    /// Divide ratio DR.
+    pub dr: DivideRatio,
+    /// Tag backscatter encoding (the `M` field).
+    pub m: TagEncoding,
+    /// Pilot-tone request.
+    pub trext: bool,
+    /// Addressed SL population.
+    pub sel: SelField,
+    /// Inventory session.
+    pub session: Session,
+    /// Inventoried-flag target.
+    pub target: Target,
+    /// Slot-count exponent Q (0–15); the frame has 2^Q slots.
+    pub q: u8,
+}
+
+impl QueryCommand {
+    /// Bit length of a Query (fixed by the standard).
+    pub const BITS: u32 = 22;
+
+    /// Assembles the 22-bit image, MSB first, including the CRC-5.
+    ///
+    /// # Panics
+    /// Panics if `q > 15`.
+    pub fn to_bits(&self) -> Vec<bool> {
+        assert!(self.q <= 15, "Q exponent {} out of range", self.q);
+        fn push(bits: &mut Vec<bool>, value: u32, width: u32) {
+            for i in (0..width).rev() {
+                bits.push((value >> i) & 1 == 1);
+            }
+        }
+        let mut bits = Vec::with_capacity(Self::BITS as usize);
+        let bits = &mut bits;
+        push(bits, 0b1000, 4); // command code
+        push(bits, matches!(self.dr, DivideRatio::Dr64Over3) as u32, 1);
+        push(
+            bits,
+            match self.m {
+                TagEncoding::Fm0 => 0b00,
+                TagEncoding::Miller2 => 0b01,
+                TagEncoding::Miller4 => 0b10,
+                TagEncoding::Miller8 => 0b11,
+            },
+            2,
+        );
+        push(bits, self.trext as u32, 1);
+        push(bits, self.sel.code(), 2);
+        push(bits, self.session.code(), 2);
+        push(bits, matches!(self.target, Target::B) as u32, 1);
+        push(bits, self.q as u32, 4);
+        let crc = crc5(bits);
+        push(bits, crc as u32, 5);
+        debug_assert_eq!(bits.len(), Self::BITS as usize);
+        std::mem::take(bits)
+    }
+
+    /// Checks a received 22-bit image's CRC-5 and field framing; returns
+    /// the Q exponent on success. (Tag-side validation path.)
+    pub fn validate(bits: &[bool]) -> Option<u8> {
+        if bits.len() != Self::BITS as usize {
+            return None;
+        }
+        if bits[..4] != [true, false, false, false] {
+            return None;
+        }
+        let (payload, crc_bits) = bits.split_at(17);
+        let mut crc_received = 0u8;
+        for &b in crc_bits {
+            crc_received = (crc_received << 1) | b as u8;
+        }
+        if crc5(payload) != crc_received {
+            return None;
+        }
+        let mut q = 0u8;
+        for &b in &bits[13..17] {
+            q = (q << 1) | b as u8;
+        }
+        Some(q)
+    }
+}
+
+/// Assembles the 4-bit `QueryRep` image for a session.
+pub fn query_rep_bits(session: Session) -> Vec<bool> {
+    let mut bits = vec![false, false]; // command code 00
+    bits.push(session.code() & 0b10 != 0);
+    bits.push(session.code() & 0b01 != 0);
+    bits
+}
+
+/// Assembles the 9-bit `QueryAdjust` image.
+pub fn query_adjust_bits(session: Session, updn: UpDn) -> Vec<bool> {
+    let mut bits = Vec::with_capacity(9);
+    for &b in &[true, false, false, true] {
+        bits.push(b); // command code 1001
+    }
+    bits.push(session.code() & 0b10 != 0);
+    bits.push(session.code() & 0b01 != 0);
+    let u = updn.code();
+    for i in (0..3).rev() {
+        bits.push((u >> i) & 1 == 1);
+    }
+    bits
+}
+
+/// Memory bank addressed by a Select mask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemBank {
+    /// Reserved bank.
+    Reserved,
+    /// EPC bank (where polling masks point).
+    Epc,
+    /// TID bank.
+    Tid,
+    /// User memory.
+    User,
+}
+
+impl MemBank {
+    fn code(self) -> u32 {
+        match self {
+            MemBank::Reserved => 0b00,
+            MemBank::Epc => 0b01,
+            MemBank::Tid => 0b10,
+            MemBank::User => 0b11,
+        }
+    }
+}
+
+/// Assembles a `Select` command image: code `1010`, Target(3), Action(3),
+/// MemBank(2), Pointer(8, single-byte EBV), Length(8), the mask bits, a
+/// Truncate flag and CRC-16. Length is limited to ≤ 255 mask bits and a
+/// ≤ 127-bit pointer (single EBV byte) — sufficient for EPC-bank masks.
+///
+/// # Panics
+/// Panics if `mask.len() > 255` or `pointer > 127`.
+pub fn select_bits(bank: MemBank, pointer: u8, mask: &[bool], truncate: bool) -> Vec<bool> {
+    assert!(mask.len() <= 255, "mask of {} bits too long", mask.len());
+    assert!(pointer <= 127, "pointer {pointer} needs a multi-byte EBV");
+    fn push(bits: &mut Vec<bool>, value: u32, width: u32) {
+        for i in (0..width).rev() {
+            bits.push((value >> i) & 1 == 1);
+        }
+    }
+    let mut bits = Vec::with_capacity(45 + mask.len());
+    push(&mut bits, 0b1010, 4); // command code
+    push(&mut bits, 0b100, 3); // Target: SL flag
+    push(&mut bits, 0b000, 3); // Action: assert SL on match
+    push(&mut bits, bank.code(), 2);
+    push(&mut bits, pointer as u32, 8); // EBV single byte (extension bit 0)
+    push(&mut bits, mask.len() as u32, 8);
+    bits.extend_from_slice(mask);
+    bits.push(truncate);
+    let crc = crate::crc::crc16_bits(&bits);
+    push(&mut bits, crc as u32, 16);
+    bits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn default_query() -> QueryCommand {
+        QueryCommand {
+            dr: DivideRatio::Dr8,
+            m: TagEncoding::Fm0,
+            trext: false,
+            sel: SelField::All,
+            session: Session::S0,
+            target: Target::A,
+            q: 4,
+        }
+    }
+
+    #[test]
+    fn query_is_22_bits_and_starts_with_its_code() {
+        let bits = default_query().to_bits();
+        assert_eq!(bits.len(), 22);
+        assert_eq!(&bits[..4], &[true, false, false, false]);
+    }
+
+    #[test]
+    fn query_length_matches_commands_module() {
+        assert_eq!(QueryCommand::BITS as u64, crate::commands::QUERY_BITS);
+        assert_eq!(query_rep_bits(Session::S1).len() as u64, crate::commands::QUERY_REP_BITS);
+    }
+
+    #[test]
+    fn query_validates_and_extracts_q() {
+        for q in [0u8, 1, 7, 15] {
+            let cmd = QueryCommand {
+                q,
+                ..default_query()
+            };
+            assert_eq!(QueryCommand::validate(&cmd.to_bits()), Some(q));
+        }
+    }
+
+    #[test]
+    fn corrupted_query_is_rejected() {
+        let bits = default_query().to_bits();
+        for i in 0..bits.len() {
+            let mut bad = bits.clone();
+            bad[i] = !bad[i];
+            assert_eq!(QueryCommand::validate(&bad), None, "missed flip at {i}");
+        }
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        assert_eq!(QueryCommand::validate(&[true; 21]), None);
+        assert_eq!(QueryCommand::validate(&[true; 23]), None);
+    }
+
+    #[test]
+    fn field_packing_differs_per_configuration() {
+        let a = default_query().to_bits();
+        let b = QueryCommand {
+            session: Session::S2,
+            ..default_query()
+        }
+        .to_bits();
+        let c = QueryCommand {
+            m: TagEncoding::Miller4,
+            trext: true,
+            ..default_query()
+        }
+        .to_bits();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn query_rep_encodes_session() {
+        assert_eq!(query_rep_bits(Session::S0), vec![false, false, false, false]);
+        assert_eq!(query_rep_bits(Session::S3), vec![false, false, true, true]);
+    }
+
+    #[test]
+    fn query_adjust_is_9_bits() {
+        let bits = query_adjust_bits(Session::S1, UpDn::Increment);
+        assert_eq!(bits.len(), 9);
+        assert_eq!(&bits[..4], &[true, false, false, true]);
+        // UpDn = 110.
+        assert_eq!(&bits[6..], &[true, true, false]);
+    }
+
+    #[test]
+    fn select_length_matches_commands_module() {
+        // The fixed part of Select (everything but the mask) must agree
+        // with the length model in `commands`.
+        for mask_len in [0usize, 8, 60] {
+            let mask = vec![true; mask_len];
+            let bits = select_bits(MemBank::Epc, 32, &mask, false);
+            assert_eq!(
+                bits.len() as u64,
+                crate::commands::SELECT_FIXED_BITS + mask_len as u64
+            );
+        }
+    }
+
+    #[test]
+    fn select_embeds_the_mask_verbatim() {
+        let mask = [true, false, true, true, false];
+        let bits = select_bits(MemBank::Epc, 0, &mask, false);
+        // Mask sits after 4+3+3+2+8+8 = 28 header bits.
+        assert_eq!(&bits[28..33], &mask);
+    }
+
+    #[test]
+    fn select_crc_detects_corruption() {
+        let mask = [true; 16];
+        let bits = select_bits(MemBank::User, 5, &mask, true);
+        let (payload, crc_bits) = bits.split_at(bits.len() - 16);
+        let mut crc = 0u16;
+        for &b in crc_bits {
+            crc = (crc << 1) | b as u16;
+        }
+        assert_eq!(crate::crc::crc16_bits(payload), crc);
+        let mut bad = payload.to_vec();
+        bad[7] = !bad[7];
+        assert_ne!(crate::crc::crc16_bits(&bad), crc);
+    }
+
+    #[test]
+    #[should_panic(expected = "too long")]
+    fn oversized_select_mask_rejected() {
+        let _ = select_bits(MemBank::Epc, 0, &[false; 256], false);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_q_rejected() {
+        let _ = QueryCommand {
+            q: 16,
+            ..default_query()
+        }
+        .to_bits();
+    }
+}

@@ -1,0 +1,243 @@
+//! Microsecond time arithmetic.
+//!
+//! All timing in the workspace is carried in [`Micros`], a thin `f64`
+//! newtype. Microseconds are the natural unit of the C1G2 standard (symbol
+//! durations are fractions of a microsecond; inventory runs span seconds),
+//! and `f64` holds a full inventory of 10⁵ tags (≈ 4·10⁷ µs) with more than
+//! nine significant digits to spare.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A span of time in microseconds.
+///
+/// `Micros` is ordered, hashable via its bit pattern is *not* provided
+/// (floats), but ordering uses `partial_cmp` with the invariant — enforced by
+/// construction — that values are finite and non-negative.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Micros(f64);
+
+impl Micros {
+    /// Zero duration.
+    pub const ZERO: Micros = Micros(0.0);
+
+    /// Creates a duration from a microsecond count.
+    ///
+    /// # Panics
+    /// Panics if `us` is negative, NaN or infinite — durations in the
+    /// simulator are always finite sums of positive symbol times, so a bad
+    /// value here is a logic error worth failing loudly on.
+    #[inline]
+    pub fn from_us(us: f64) -> Self {
+        assert!(us.is_finite() && us >= 0.0, "invalid duration: {us} µs");
+        Micros(us)
+    }
+
+    /// Creates a duration from milliseconds.
+    #[inline]
+    pub fn from_ms(ms: f64) -> Self {
+        Self::from_us(ms * 1_000.0)
+    }
+
+    /// Creates a duration from seconds.
+    #[inline]
+    pub fn from_secs(s: f64) -> Self {
+        Self::from_us(s * 1_000_000.0)
+    }
+
+    /// The raw microsecond count.
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        self.0
+    }
+
+    /// This duration expressed in milliseconds.
+    #[inline]
+    pub fn as_ms(self) -> f64 {
+        self.0 / 1_000.0
+    }
+
+    /// This duration expressed in seconds.
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.0 / 1_000_000.0
+    }
+
+    /// Saturating subtraction: returns zero instead of a negative duration.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Micros) -> Micros {
+        Micros((self.0 - rhs.0).max(0.0))
+    }
+
+    /// `true` if this is exactly zero.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0.0
+    }
+
+    /// The larger of two durations.
+    #[inline]
+    pub fn max(self, other: Micros) -> Micros {
+        Micros(self.0.max(other.0))
+    }
+
+    /// The smaller of two durations.
+    #[inline]
+    pub fn min(self, other: Micros) -> Micros {
+        Micros(self.0.min(other.0))
+    }
+}
+
+impl Add for Micros {
+    type Output = Micros;
+    #[inline]
+    fn add(self, rhs: Micros) -> Micros {
+        Micros(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Micros {
+    #[inline]
+    fn add_assign(&mut self, rhs: Micros) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Micros {
+    type Output = Micros;
+    /// # Panics
+    /// Panics in debug builds if the result would be negative.
+    #[inline]
+    fn sub(self, rhs: Micros) -> Micros {
+        let d = self.0 - rhs.0;
+        debug_assert!(d >= -1e-9, "negative duration: {} - {}", self.0, rhs.0);
+        Micros(d.max(0.0))
+    }
+}
+
+impl SubAssign for Micros {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Micros) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f64> for Micros {
+    type Output = Micros;
+    #[inline]
+    fn mul(self, rhs: f64) -> Micros {
+        Micros::from_us(self.0 * rhs)
+    }
+}
+
+impl Mul<u64> for Micros {
+    type Output = Micros;
+    #[inline]
+    fn mul(self, rhs: u64) -> Micros {
+        Micros(self.0 * rhs as f64)
+    }
+}
+
+impl Div<f64> for Micros {
+    type Output = Micros;
+    #[inline]
+    fn div(self, rhs: f64) -> Micros {
+        Micros::from_us(self.0 / rhs)
+    }
+}
+
+impl Div for Micros {
+    type Output = f64;
+    /// The dimensionless ratio between two durations.
+    #[inline]
+    fn div(self, rhs: Micros) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for Micros {
+    fn sum<I: Iterator<Item = Micros>>(iter: I) -> Micros {
+        iter.fold(Micros::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Micros {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000.0 {
+            write!(f, "{:.3} s", self.as_secs())
+        } else if self.0 >= 1_000.0 {
+            write!(f, "{:.3} ms", self.as_ms())
+        } else {
+            write!(f, "{:.3} µs", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(Micros::from_ms(1.5), Micros::from_us(1_500.0));
+        assert_eq!(Micros::from_secs(2.0), Micros::from_us(2_000_000.0));
+    }
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let a = Micros::from_us(100.0);
+        let b = Micros::from_us(37.45);
+        assert!(((a + b) - b - a).as_f64().abs() < 1e-12);
+        assert_eq!(a * 2.0, Micros::from_us(200.0));
+        assert_eq!(a * 3u64, Micros::from_us(300.0));
+        assert!((a / b - 100.0 / 37.45).abs() < 1e-12);
+        assert_eq!(a / 4.0, Micros::from_us(25.0));
+    }
+
+    #[test]
+    fn saturating_sub_clamps_to_zero() {
+        let a = Micros::from_us(1.0);
+        let b = Micros::from_us(2.0);
+        assert_eq!(a.saturating_sub(b), Micros::ZERO);
+        assert_eq!(b.saturating_sub(a), Micros::from_us(1.0));
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: Micros = (1..=4).map(|i| Micros::from_us(i as f64)).sum();
+        assert_eq!(total, Micros::from_us(10.0));
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(format!("{}", Micros::from_us(12.5)), "12.500 µs");
+        assert_eq!(format!("{}", Micros::from_us(12_500.0)), "12.500 ms");
+        assert_eq!(format!("{}", Micros::from_secs(3.25)), "3.250 s");
+    }
+
+    #[test]
+    fn ordering_and_extrema() {
+        let a = Micros::from_us(5.0);
+        let b = Micros::from_us(7.0);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert!(!a.is_zero());
+        assert!(Micros::ZERO.is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid duration")]
+    fn negative_duration_rejected() {
+        let _ = Micros::from_us(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid duration")]
+    fn nan_duration_rejected() {
+        let _ = Micros::from_us(f64::NAN);
+    }
+}

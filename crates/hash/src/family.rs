@@ -1,0 +1,107 @@
+//! Indexed hash family `H_j(r, id)` for multi-hash protocols.
+//!
+//! MIC gives every tag `k` candidate slots `H_1 … H_k`; the paper's own
+//! protocols need only `H_1` (the tag-side storage advantage discussed in
+//! Section V). The family derives member `j` by mixing `j` into the seed, so
+//! members are pairwise independent while tags still only implement a single
+//! hash circuit.
+
+use crate::mix::{mix64, TagHash};
+
+/// A family of `k` seeded hash functions.
+#[derive(Debug, Clone)]
+pub struct HashFamily {
+    members: Vec<TagHash>,
+}
+
+impl HashFamily {
+    /// Builds the family `H_1 … H_k` for round seed `r`.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(seed: u64, k: usize) -> Self {
+        assert!(k > 0, "hash family needs at least one member");
+        let members = (0..k as u64)
+            .map(|j| TagHash::new(mix64(seed ^ j.wrapping_mul(0xA076_1D64_78BD_642F))))
+            .collect();
+        HashFamily { members }
+    }
+
+    /// Number of members `k`.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `true` if the family is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The `j`-th member (0-based).
+    pub fn member(&self, j: usize) -> &TagHash {
+        &self.members[j]
+    }
+
+    /// `H_j(r, id) mod frame` — candidate slot `j` for a tag.
+    pub fn slot(&self, j: usize, id_hi: u32, id_lo: u64, frame: u64) -> u64 {
+        self.members[j].modulo(id_hi, id_lo, frame)
+    }
+
+    /// All `k` candidate slots for a tag in a frame of the given size.
+    pub fn slots(&self, id_hi: u32, id_lo: u64, frame: u64) -> Vec<u64> {
+        self.members
+            .iter()
+            .map(|h| h.modulo(id_hi, id_lo, frame))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn members_are_distinct_functions() {
+        let fam = HashFamily::new(42, 7);
+        assert_eq!(fam.len(), 7);
+        let id = (3u32, 123_456_789u64);
+        let outputs: Vec<u64> = (0..7).map(|j| fam.member(j).hash(id.0, id.1)).collect();
+        let unique: std::collections::HashSet<_> = outputs.iter().collect();
+        assert_eq!(unique.len(), 7, "members collided on one input: {outputs:?}");
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let a = HashFamily::new(7, 3);
+        let b = HashFamily::new(7, 3);
+        for j in 0..3 {
+            assert_eq!(a.slot(j, 1, 2, 97), b.slot(j, 1, 2, 97));
+        }
+    }
+
+    #[test]
+    fn slots_within_frame() {
+        let fam = HashFamily::new(1, 5);
+        for id in 0..100u64 {
+            for s in fam.slots(0, id, 37) {
+                assert!(s < 37);
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_families() {
+        let a = HashFamily::new(1, 4);
+        let b = HashFamily::new(2, 4);
+        let matches = (0..4)
+            .filter(|&j| a.member(j).hash(0, 5) == b.member(j).hash(0, 5))
+            .count();
+        assert_eq!(matches, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn empty_family_rejected() {
+        let _ = HashFamily::new(0, 0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Statistical checkers for hash quality.
+//!
+//! Every closed-form result in the paper (Eqs. (1)–(16)) assumes tags pick
+//! indices uniformly at random. These helpers let the test-suite *verify*
+//! that assumption for [`crate::TagHash`] instead of taking it on faith:
+//! a χ² goodness-of-fit test against the uniform distribution and an
+//! avalanche matrix for input-bit sensitivity.
+
+/// Pearson's χ² statistic of observed bin counts against the uniform
+/// distribution over `counts.len()` bins.
+///
+/// # Panics
+/// Panics if `counts` is empty or all-zero.
+pub fn chi_square_uniform(counts: &[u64]) -> f64 {
+    assert!(!counts.is_empty(), "no bins");
+    let total: u64 = counts.iter().sum();
+    assert!(total > 0, "no observations");
+    let expected = total as f64 / counts.len() as f64;
+    counts
+        .iter()
+        .map(|&c| {
+            let d = c as f64 - expected;
+            d * d / expected
+        })
+        .sum()
+}
+
+/// A conservative pass threshold for a χ² statistic with `bins - 1` degrees
+/// of freedom: mean + 5·stddev of the χ² distribution. A uniform sample
+/// passes with overwhelming probability; a biased one fails loudly.
+pub fn chi_square_threshold(bins: usize) -> f64 {
+    let dof = (bins - 1) as f64;
+    dof + 5.0 * (2.0 * dof).sqrt()
+}
+
+/// Measures avalanche behaviour: for `samples` random inputs, flips each of
+/// the `in_bits` low input bits and records the fraction of the 64 output
+/// bits that change. Returns the worst (most lopsided) per-input-bit flip
+/// probability observed. Ideal mixing gives 0.5 for every input bit.
+pub fn avalanche_worst<F: Fn(u64) -> u64>(f: F, in_bits: u32, samples: u64) -> f64 {
+    assert!(in_bits <= 64 && in_bits > 0);
+    let mut worst: f64 = 0.5;
+    for bit in 0..in_bits {
+        let mut flips = 0u64;
+        for s in 0..samples {
+            // Stride the sample space deterministically.
+            let x = s.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(12345);
+            let y = f(x) ^ f(x ^ (1 << bit));
+            flips += y.count_ones() as u64;
+        }
+        let p = flips as f64 / (samples * 64) as f64;
+        if (p - 0.5).abs() > (worst - 0.5).abs() {
+            worst = p;
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mix::{mix64, TagHash};
+
+    #[test]
+    fn chi_square_of_perfectly_uniform_counts_is_zero() {
+        assert_eq!(chi_square_uniform(&[10, 10, 10, 10]), 0.0);
+    }
+
+    #[test]
+    fn chi_square_flags_concentration() {
+        let stat = chi_square_uniform(&[400, 0, 0, 0]);
+        assert!(stat > chi_square_threshold(4), "stat {stat}");
+    }
+
+    #[test]
+    fn tag_hash_indices_pass_chi_square() {
+        // 2^10 bins, 100k sequential IDs: sequential inputs are the hardest
+        // realistic case (real EPC serials are often sequential).
+        let h = TagHash::new(0xDEAD_BEEF);
+        let bins = 1usize << 10;
+        let mut counts = vec![0u64; bins];
+        for id in 0..100_000u64 {
+            counts[h.index(0, id, 10) as usize] += 1;
+        }
+        let stat = chi_square_uniform(&counts);
+        assert!(
+            stat < chi_square_threshold(bins),
+            "χ² = {stat} over threshold {}",
+            chi_square_threshold(bins)
+        );
+    }
+
+    #[test]
+    fn tag_hash_uniform_across_seeds_for_one_id() {
+        // Fix a tag; vary the round seed. The per-round index must be fresh.
+        let bins = 256usize;
+        let mut counts = vec![0u64; bins];
+        for r in 0..50_000u64 {
+            counts[TagHash::new(r).index(7, 42, 8) as usize] += 1;
+        }
+        let stat = chi_square_uniform(&counts);
+        assert!(stat < chi_square_threshold(bins), "χ² = {stat}");
+    }
+
+    #[test]
+    fn mix64_avalanches() {
+        let worst = avalanche_worst(mix64, 32, 2_000);
+        assert!((worst - 0.5).abs() < 0.02, "worst flip prob {worst}");
+    }
+
+    #[test]
+    fn tag_hash_avalanches_on_id_bits() {
+        let h = TagHash::new(31337);
+        let worst = avalanche_worst(|x| h.hash(0, x), 48, 2_000);
+        assert!((worst - 0.5).abs() < 0.02, "worst flip prob {worst}");
+    }
+
+    #[test]
+    fn threshold_grows_with_bins() {
+        assert!(chi_square_threshold(1024) > chi_square_threshold(16));
+    }
+}

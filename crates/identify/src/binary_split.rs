@@ -1,0 +1,192 @@
+//! Randomized binary splitting (Capetanakis-style collision resolution).
+//!
+//! Tags keep a counter, initially 0. In each slot, counter-zero tags reply
+//! with their full ID:
+//!
+//! * **collision** — every counter-zero tag flips a fair coin: heads stay
+//!   at 0, tails go to 1; everyone else increments,
+//! * **success / empty** — everyone decrements.
+//!
+//! The reader only broadcasts a feedback trit (modelled as a 4-bit slot
+//! command), and the random coins come from the tags — unlike Query Tree,
+//! no prefix is transmitted, at the price of tag-side state. Expected slot
+//! count is ≈ 2.89 per tag, like QT, but the slot layout differs.
+
+use serde::{Deserialize, Serialize};
+
+use rfid_c1g2::TimeCategory;
+use rfid_protocols::{PollingProtocol, Report};
+use rfid_system::id::EPC_BITS;
+use rfid_system::{SimContext, SlotOutcome};
+
+/// Binary-splitting configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BinarySplitConfig {
+    /// Feedback/command bits per slot.
+    pub command_bits: u64,
+    /// CRC bits appended to ID replies.
+    pub reply_crc_bits: u64,
+    /// Safety cap on slots.
+    pub max_slots: u64,
+}
+
+impl Default for BinarySplitConfig {
+    fn default() -> Self {
+        BinarySplitConfig {
+            command_bits: 4,
+            reply_crc_bits: 16,
+            max_slots: 100_000_000,
+        }
+    }
+}
+
+impl BinarySplitConfig {
+    /// Wraps the config into a runnable protocol.
+    pub fn into_protocol(self) -> BinarySplit {
+        BinarySplit { cfg: self }
+    }
+}
+
+/// The binary-splitting identification protocol.
+#[derive(Debug, Clone, Default)]
+pub struct BinarySplit {
+    cfg: BinarySplitConfig,
+}
+
+impl BinarySplit {
+    /// Creates binary splitting with the given configuration.
+    pub fn new(cfg: BinarySplitConfig) -> Self {
+        BinarySplit { cfg }
+    }
+}
+
+impl PollingProtocol for BinarySplit {
+    fn name(&self) -> &'static str {
+        "BinSplit"
+    }
+
+    fn run(&self, ctx: &mut SimContext) -> Report {
+        let reply_bits = EPC_BITS as u64 + self.cfg.reply_crc_bits;
+        // Tag-side counters, indexed by handle; identified tags drop out.
+        let mut counter: std::collections::HashMap<usize, u64> = ctx
+            .population
+            .active_handles()
+            .into_iter()
+            .map(|h| (h, 0u64))
+            .collect();
+        let mut slots = 0u64;
+        while !counter.is_empty() {
+            slots += 1;
+            assert!(slots < self.cfg.max_slots, "binary splitting did not converge");
+            let repliers: Vec<usize> = counter
+                .iter()
+                .filter(|(_, &c)| c == 0)
+                .map(|(&h, _)| h)
+                .collect();
+            // Everyone at counter > 0 sits the slot out. If nobody is at
+            // zero (can only happen transiently after losses), everyone
+            // decrements via the empty-slot rule below.
+            let outcome = ctx.slot(&repliers, self.cfg.command_bits);
+            match outcome {
+                SlotOutcome::Collision(_) => {
+                    // `slot` charged the payload-length occupancy; top it up
+                    // to the full ID+CRC burst the colliding tags sent.
+                    let charged = repliers
+                        .iter()
+                        .map(|&t| ctx.population.get(t).info.len() as u64)
+                        .max()
+                        .unwrap_or(0);
+                    ctx.wait(
+                        TimeCategory::WastedSlot,
+                        ctx.link.tag_tx(reply_bits.saturating_sub(charged)),
+                    );
+                    for c in counter.values_mut() {
+                        if *c == 0 {
+                            if ctx.rng.chance(0.5) {
+                                *c = 1;
+                            }
+                        } else {
+                            *c += 1;
+                        }
+                    }
+                }
+                SlotOutcome::Singleton(tag) => {
+                    ctx.counters.tag_bits += reply_bits - ctx.population.get(tag).info.len() as u64;
+                    ctx.wait(
+                        TimeCategory::TagReply,
+                        ctx.link
+                            .tag_tx(reply_bits - ctx.population.get(tag).info.len() as u64),
+                    );
+                    ctx.mark_read(tag);
+                    counter.remove(&tag);
+                    for c in counter.values_mut() {
+                        *c = c.saturating_sub(1);
+                    }
+                }
+                SlotOutcome::Empty => {
+                    for c in counter.values_mut() {
+                        *c = c.saturating_sub(1);
+                    }
+                }
+            }
+        }
+        Report::from_context(self.name(), ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfid_system::{BitVec, Channel, SimConfig, TagPopulation};
+
+    fn run(n: usize, seed: u64) -> (Report, SimContext) {
+        let pop = TagPopulation::sequential(n, |_| BitVec::from_value(1, 1));
+        let mut ctx = SimContext::new(pop, &SimConfig::paper(seed));
+        let report = BinarySplit::default().run(&mut ctx);
+        (report, ctx)
+    }
+
+    #[test]
+    fn identifies_every_tag() {
+        let (report, ctx) = run(400, 1);
+        ctx.assert_complete();
+        assert_eq!(report.counters.polls, 400);
+    }
+
+    #[test]
+    fn slot_count_is_about_2_9_per_tag() {
+        let n = 2_000;
+        let (report, _) = run(n, 2);
+        let slots =
+            report.counters.polls + report.counters.empty_slots + report.counters.collision_slots;
+        let per_tag = slots as f64 / n as f64;
+        assert!(
+            (2.3..=3.4).contains(&per_tag),
+            "slots per tag = {per_tag} (expected ≈ 2.9)"
+        );
+    }
+
+    #[test]
+    fn single_tag_is_one_slot() {
+        let (report, _) = run(1, 3);
+        assert_eq!(report.counters.polls, 1);
+        assert_eq!(report.counters.collision_slots, 0);
+    }
+
+    #[test]
+    fn survives_reply_loss() {
+        let pop = TagPopulation::sequential(150, |_| BitVec::from_value(1, 1));
+        let cfg = SimConfig::paper(4).with_channel(Channel::lossy(0.2));
+        let mut ctx = SimContext::new(pop, &cfg);
+        let report = BinarySplit::default().run(&mut ctx);
+        ctx.assert_complete();
+        assert_eq!(report.counters.polls, 150);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (a, _) = run(300, 5);
+        let (b, _) = run(300, 5);
+        assert_eq!(a.total_time, b.total_time);
+    }
+}

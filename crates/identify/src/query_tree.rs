@@ -1,0 +1,261 @@
+//! The Query Tree protocol (Law, Lee, Siu — the classical memoryless
+//! tree-based anti-collision scheme).
+//!
+//! The reader keeps a LIFO of candidate prefixes, initially {0, 1}. For
+//! each prefix `p` it broadcasts `|p|` bits; every unidentified tag whose
+//! ID starts with `p` backscatters the *remainder* of its ID (plus CRC-16):
+//!
+//! * empty → the subtree is vacant, discard,
+//! * singleton → the reply decodes to a full ID: identified,
+//! * collision → push `p·0` and `p·1`.
+//!
+//! Tags need no state beyond their ID (memoryless); the expected query
+//! count on uniform IDs is ≈ 2.89 per tag.
+
+use serde::{Deserialize, Serialize};
+
+use rfid_c1g2::TimeCategory;
+use rfid_protocols::{PollingProtocol, Report};
+use rfid_system::id::EPC_BITS;
+use rfid_system::{BitVec, SimContext, SlotOutcome};
+
+/// Query-Tree configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryTreeConfig {
+    /// Fixed command overhead preceding each prefix broadcast.
+    pub command_bits: u64,
+    /// CRC bits appended to every tag reply.
+    pub reply_crc_bits: u64,
+    /// Re-query a prefix after reading a singleton from it. On a perfect
+    /// channel this wastes one empty slot per tag; on a lossy channel it is
+    /// *required* for completeness — a collision whose other replies were
+    /// all lost looks exactly like a singleton, and pruning the prefix
+    /// would strand the masked tags.
+    pub verify_singletons: bool,
+}
+
+impl Default for QueryTreeConfig {
+    fn default() -> Self {
+        QueryTreeConfig {
+            command_bits: 4,
+            reply_crc_bits: 16,
+            verify_singletons: false,
+        }
+    }
+}
+
+impl QueryTreeConfig {
+    /// Wraps the config into a runnable protocol.
+    pub fn into_protocol(self) -> QueryTree {
+        QueryTree { cfg: self }
+    }
+}
+
+/// The Query Tree identification protocol.
+#[derive(Debug, Clone, Default)]
+pub struct QueryTree {
+    cfg: QueryTreeConfig,
+}
+
+impl QueryTree {
+    /// Creates Query Tree with the given configuration.
+    pub fn new(cfg: QueryTreeConfig) -> Self {
+        QueryTree { cfg }
+    }
+}
+
+impl PollingProtocol for QueryTree {
+    fn name(&self) -> &'static str {
+        "QueryTree"
+    }
+
+    fn run(&self, ctx: &mut SimContext) -> Report {
+        // LIFO keeps memory logarithmic on random IDs (depth-first).
+        let mut stack: Vec<BitVec> = vec![
+            BitVec::from_str_bits("1"),
+            BitVec::from_str_bits("0"),
+        ];
+        let mut queries = 0u64;
+        while let Some(prefix) = stack.pop() {
+            queries += 1;
+            assert!(
+                queries < 100_000_000,
+                "Query Tree did not converge — channel too lossy?"
+            );
+            // Matching tags: active tags whose ID begins with the prefix.
+            let repliers: Vec<usize> = ctx
+                .population
+                .iter()
+                .filter(|(_, t)| t.is_active() && prefix.is_prefix_of(&t.id.to_bits()))
+                .map(|(h, _)| h)
+                .collect();
+
+            // The query costs the command overhead plus the prefix bits.
+            ctx.reader_tx(self.cfg.command_bits, TimeCategory::ReaderCommand);
+            ctx.counters.query_rep_bits += self.cfg.command_bits;
+            ctx.reader_tx(prefix.len() as u64, TimeCategory::PollingVector);
+            ctx.wait(TimeCategory::Turnaround, ctx.link.t1);
+
+            let reply_bits = (EPC_BITS - prefix.len()) as u64 + self.cfg.reply_crc_bits;
+            match ctx.channel.resolve(&repliers, &mut ctx.rng) {
+                SlotOutcome::Empty => {
+                    if repliers.is_empty() {
+                        ctx.wait(TimeCategory::WastedSlot, ctx.link.t3);
+                        ctx.counters.empty_slots += 1;
+                    } else {
+                        // A reply was lost; the subtree must be revisited.
+                        ctx.wait(TimeCategory::WastedSlot, ctx.link.t3);
+                        ctx.counters.lost_replies += 1;
+                        ctx.counters.empty_slots += 1;
+                        stack.push(prefix);
+                    }
+                }
+                SlotOutcome::Singleton(tag) => {
+                    ctx.wait(TimeCategory::TagReply, ctx.link.tag_tx(reply_bits));
+                    ctx.counters.tag_bits += reply_bits;
+                    ctx.wait(TimeCategory::Turnaround, ctx.link.t2);
+                    ctx.counters.vector_bits += prefix.len() as u64;
+                    ctx.mark_read(tag);
+                    if self.cfg.verify_singletons {
+                        stack.push(prefix);
+                    }
+                }
+                SlotOutcome::Collision(_) => {
+                    // Collided replies occupy the slot, then split.
+                    ctx.wait(TimeCategory::WastedSlot, ctx.link.tag_tx(reply_bits));
+                    ctx.wait(TimeCategory::Turnaround, ctx.link.t2);
+                    ctx.counters.collision_slots += 1;
+                    debug_assert!(
+                        prefix.len() < EPC_BITS,
+                        "full-length prefix cannot collide among unique IDs"
+                    );
+                    let mut zero = prefix.clone();
+                    zero.push(false);
+                    let mut one = prefix;
+                    one.push(true);
+                    stack.push(one);
+                    stack.push(zero);
+                }
+            }
+        }
+        Report::from_context(self.name(), ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfid_system::{Channel, SimConfig, TagId, TagPopulation};
+
+    fn random_population(n: usize, seed: u64) -> TagPopulation {
+        let mut rng = rfid_hash::Xoshiro256::seed_from_u64(seed);
+        let mut seen = std::collections::HashSet::new();
+        let mut tags = Vec::new();
+        while tags.len() < n {
+            let id = TagId::from_raw(rng.next_u64() as u32, rng.next_u64());
+            if seen.insert(id) {
+                tags.push((id, BitVec::from_value(1, 1)));
+            }
+        }
+        TagPopulation::new(tags)
+    }
+
+    #[test]
+    fn identifies_every_tag() {
+        let mut ctx = SimContext::new(random_population(300, 1), &SimConfig::paper(1));
+        let report = QueryTree::default().run(&mut ctx);
+        ctx.assert_complete();
+        assert_eq!(report.counters.polls, 300);
+    }
+
+    #[test]
+    fn query_count_is_about_2_9_per_tag() {
+        // The classical expected query count for QT on uniform IDs.
+        let n = 2_000;
+        let mut ctx = SimContext::new(random_population(n, 2), &SimConfig::paper(2));
+        let report = QueryTree::default().run(&mut ctx);
+        let queries =
+            report.counters.polls + report.counters.empty_slots + report.counters.collision_slots;
+        let per_tag = queries as f64 / n as f64;
+        assert!(
+            (2.5..=3.3).contains(&per_tag),
+            "queries per tag = {per_tag} (expected ≈ 2.9)"
+        );
+    }
+
+    #[test]
+    fn clustered_ids_are_fine_too() {
+        // Shared prefixes deepen the tree but never break it.
+        let tags: Vec<_> = (0..200u64)
+            .map(|i| {
+                (
+                    TagId::from_fields(0x30, 1, 1, i),
+                    BitVec::from_value(1, 1),
+                )
+            })
+            .collect();
+        let mut ctx = SimContext::new(TagPopulation::new(tags), &SimConfig::paper(3));
+        let report = QueryTree::default().run(&mut ctx);
+        ctx.assert_complete();
+        assert_eq!(report.counters.polls, 200);
+    }
+
+    #[test]
+    fn single_tag_identified_without_collisions() {
+        let mut ctx = SimContext::new(random_population(1, 4), &SimConfig::paper(4));
+        let report = QueryTree::default().run(&mut ctx);
+        assert_eq!(report.counters.polls, 1);
+        assert_eq!(report.counters.collision_slots, 0);
+    }
+
+    #[test]
+    fn survives_reply_loss_with_verification() {
+        // Without verification a masked collision (all-but-one replies
+        // lost) prunes a subtree that still holds tags; with it, QT stays
+        // complete on a lossy channel.
+        let cfg = SimConfig::paper(5).with_channel(Channel::lossy(0.2));
+        let mut ctx = SimContext::new(random_population(150, 5), &cfg);
+        let qt = QueryTree::new(QueryTreeConfig {
+            verify_singletons: true,
+            ..QueryTreeConfig::default()
+        });
+        let report = qt.run(&mut ctx);
+        ctx.assert_complete();
+        assert_eq!(report.counters.polls, 150);
+        assert!(report.counters.lost_replies > 0);
+    }
+
+    #[test]
+    fn verification_costs_one_extra_query_per_tag_when_clean() {
+        let n = 400;
+        let mut ctx = SimContext::new(random_population(n, 9), &SimConfig::paper(9));
+        let plain = QueryTree::default().run(&mut ctx);
+        let mut ctx2 = SimContext::new(random_population(n, 9), &SimConfig::paper(9));
+        let verified = QueryTree::new(QueryTreeConfig {
+            verify_singletons: true,
+            ..QueryTreeConfig::default()
+        })
+        .run(&mut ctx2);
+        let extra = verified.counters.empty_slots - plain.counters.empty_slots;
+        assert_eq!(extra, n as u64, "one verification query per read tag");
+    }
+
+    #[test]
+    fn identification_is_far_slower_than_polling() {
+        // The paper's premise in one assertion.
+        let n = 500;
+        let mut ctx = SimContext::new(random_population(n, 6), &SimConfig::paper(6));
+        let qt = QueryTree::default().run(&mut ctx);
+        let pop = random_population(n, 6);
+        let mut ctx2 = SimContext::new(pop, &SimConfig::paper(6));
+        let tpp = rfid_protocols::TppConfig::default()
+            .into_protocol()
+            .run(&mut ctx2);
+        assert!(
+            qt.total_time > tpp.total_time * 4.0,
+            "QT {} vs TPP {}",
+            qt.total_time,
+            tpp.total_time
+        );
+    }
+}

@@ -1,0 +1,277 @@
+//! The Enhanced Hash Polling Protocol (Section III-D).
+//!
+//! HPP's polling vector grows as `⌈log₂ n⌉`; EHPP keeps it flat by splitting
+//! the population into *circles* of `n*` tags and running HPP inside each:
+//!
+//! 1. The reader broadcasts an `l_c`-bit circle command `(f, F, r)`. Each
+//!    active tag computes `H(r, id) mod F` and joins the circle only if its
+//!    value is below the threshold — the probabilistic variant of Select
+//!    that works under any ID distribution (a bit mask cannot carve out an
+//!    exact count of tags from arbitrary IDs).
+//! 2. With `F` = number of remaining tags and threshold `n*`, the expected
+//!    circle size is `n*` — the Theorem-1 optimum `n* ∈ [l_c·ln2, e·l_c·ln2]`
+//!    (shifted upward when per-round initiations are charged).
+//! 3. HPP runs to exhaustion inside the circle; deselected tags then rejoin
+//!    and the next circle starts.
+//!
+//! When the whole remaining population fits in one circle EHPP "just
+//! executes HPP as-is" (the paper's `n = 100` observation), charging no
+//! circle command.
+
+use serde::{Deserialize, Serialize};
+
+use rfid_analysis::ehpp::optimal_subset_size_with_overhead;
+use rfid_hash::TagHash;
+use rfid_system::SimContext;
+
+use crate::hpp::{run_hpp_rounds, HppConfig};
+use crate::report::Report;
+use crate::PollingProtocol;
+
+/// EHPP configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EhppConfig {
+    /// Circle-command length `l_c` in bits (the paper sweeps 100–400 and
+    /// simulates with 128).
+    pub circle_cmd_bits: u64,
+    /// Reader bits to initiate each HPP round inside a circle (paper: 32).
+    pub round_init_bits: u64,
+    /// Fixed subset size; `None` uses the Theorem-1 numeric optimum for the
+    /// configured overheads.
+    pub subset_size: Option<u64>,
+    /// Whether polling vectors ride behind a 4-bit QueryRep.
+    pub with_query_rep: bool,
+    /// Safety cap on circles.
+    pub max_circles: u64,
+}
+
+impl Default for EhppConfig {
+    fn default() -> Self {
+        EhppConfig {
+            circle_cmd_bits: 128,
+            round_init_bits: 32,
+            subset_size: None,
+            with_query_rep: true,
+            max_circles: 1_000_000,
+        }
+    }
+}
+
+impl EhppConfig {
+    /// Wraps the config into a runnable protocol.
+    pub fn into_protocol(self) -> Ehpp {
+        Ehpp { cfg: self }
+    }
+
+    /// The subset size the protocol will target.
+    pub fn effective_subset_size(&self) -> u64 {
+        self.subset_size
+            .unwrap_or_else(|| optimal_subset_size_with_overhead(self.circle_cmd_bits, self.round_init_bits))
+            .max(1)
+    }
+}
+
+/// The Enhanced Hash Polling Protocol.
+#[derive(Debug, Clone, Default)]
+pub struct Ehpp {
+    cfg: EhppConfig,
+}
+
+impl Ehpp {
+    /// Creates EHPP with the given configuration.
+    pub fn new(cfg: EhppConfig) -> Self {
+        Ehpp { cfg }
+    }
+}
+
+impl PollingProtocol for Ehpp {
+    fn name(&self) -> &'static str {
+        "EHPP"
+    }
+
+    fn run(&self, ctx: &mut SimContext) -> Report {
+        let n_star = self.cfg.effective_subset_size();
+        let hpp_cfg = HppConfig {
+            round_init_bits: self.cfg.round_init_bits,
+            with_query_rep: self.cfg.with_query_rep,
+            max_rounds: 1_000_000,
+        };
+        let mut circles = 0u64;
+        while ctx.population.active_count() > 0 {
+            circles += 1;
+            assert!(
+                circles <= self.cfg.max_circles,
+                "EHPP did not converge within {} circles",
+                self.cfg.max_circles
+            );
+            let remaining = ctx.population.active_count() as u64;
+            if remaining <= n_star {
+                // Final (or only) circle: run HPP over everyone, no circle
+                // command — EHPP degenerates to HPP on small populations.
+                run_hpp_rounds(ctx, &hpp_cfg);
+                break;
+            }
+            // Probabilistic selection: tag joins iff H(r, id) mod F < n*.
+            let seed = ctx.draw_round_seed();
+            let selector = TagHash::new(seed);
+            let f_range = remaining;
+            let deselected: Vec<usize> = ctx
+                .population
+                .iter()
+                .filter(|(_, t)| {
+                    t.is_active() && selector.modulo(t.id.hi(), t.id.lo(), f_range) >= n_star
+                })
+                .map(|(handle, _)| handle)
+                .collect();
+            let selected = remaining as usize - deselected.len();
+            ctx.begin_circle(selected, self.cfg.circle_cmd_bits);
+            if selected == 0 {
+                // Nobody joined (rare); re-draw a selection seed. The circle
+                // command was still spent on the air.
+                continue;
+            }
+            for handle in deselected {
+                ctx.population.deselect(handle);
+            }
+            run_hpp_rounds(ctx, &hpp_cfg);
+            ctx.population.reselect_all();
+        }
+        Report::from_context(self.name(), ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hpp::Hpp;
+    use rfid_system::{BitVec, Channel, SimConfig, TagPopulation};
+
+    fn run(n: usize, seed: u64, cfg: EhppConfig) -> (Report, SimContext) {
+        let pop = TagPopulation::sequential(n, |_| BitVec::from_value(1, 1));
+        let mut ctx = SimContext::new(pop, &SimConfig::paper(seed));
+        let report = Ehpp::new(cfg).run(&mut ctx);
+        (report, ctx)
+    }
+
+    #[test]
+    fn reads_every_tag_exactly_once() {
+        let (report, ctx) = run(2_000, 1, EhppConfig::default());
+        ctx.assert_complete();
+        assert_eq!(report.counters.polls, 2_000);
+        assert_eq!(report.counters.empty_slots, 0);
+    }
+
+    #[test]
+    fn uses_multiple_circles_at_scale() {
+        let (report, _) = run(5_000, 2, EhppConfig::default());
+        assert!(
+            report.counters.circles >= 5,
+            "only {} circles for 5000 tags",
+            report.counters.circles
+        );
+    }
+
+    #[test]
+    fn small_population_matches_hpp_cost() {
+        // Tables I–III note: EHPP == HPP at n = 100 because a single circle
+        // executes HPP as-is.
+        let n = 100;
+        let (ehpp, _) = run(n, 3, EhppConfig::default());
+        let pop = TagPopulation::sequential(n, |_| BitVec::from_value(1, 1));
+        let mut ctx = SimContext::new(pop, &SimConfig::paper(3));
+        let hpp = Hpp::default().run(&mut ctx);
+        assert_eq!(ehpp.total_time, hpp.total_time);
+        assert_eq!(ehpp.counters.reader_bits, hpp.counters.reader_bits);
+    }
+
+    #[test]
+    fn vector_length_is_flat_in_population_size() {
+        // Fig. 10: EHPP stays ≈ 9 bits from 10⁴ to 10⁵ tags. Use the
+        // overhead-inclusive metric the paper plots.
+        let (small, _) = run(5_000, 4, EhppConfig::default());
+        let (large, _) = run(20_000, 5, EhppConfig::default());
+        let ws = small.mean_vector_bits_with_overhead();
+        let wl = large.mean_vector_bits_with_overhead();
+        assert!((ws - wl).abs() < 1.0, "w(5k) = {ws}, w(20k) = {wl}");
+    }
+
+    #[test]
+    fn fig10_anchor_about_nine_bits() {
+        let (report, _) = run(20_000, 6, EhppConfig::default());
+        let w = report.mean_vector_bits_with_overhead();
+        assert!((w - 9.0).abs() < 1.0, "w = {w}");
+    }
+
+    #[test]
+    fn beats_hpp_at_scale() {
+        let n = 20_000;
+        let (ehpp, _) = run(n, 7, EhppConfig::default());
+        let pop = TagPopulation::sequential(n, |_| BitVec::from_value(1, 1));
+        let mut ctx = SimContext::new(pop, &SimConfig::paper(7));
+        let hpp = Hpp::default().run(&mut ctx);
+        assert!(
+            ehpp.total_time < hpp.total_time,
+            "EHPP {} not faster than HPP {}",
+            ehpp.total_time,
+            hpp.total_time
+        );
+    }
+
+    #[test]
+    fn fixed_subset_size_is_respected() {
+        let cfg = EhppConfig {
+            subset_size: Some(100),
+            ..EhppConfig::default()
+        };
+        assert_eq!(cfg.effective_subset_size(), 100);
+        let (report, ctx) = run(1_000, 8, cfg);
+        ctx.assert_complete();
+        // ~10 circles of ~100 tags (probabilistic selection wobbles).
+        assert!(
+            (5..=25).contains(&report.counters.circles),
+            "{} circles",
+            report.counters.circles
+        );
+    }
+
+    #[test]
+    fn completes_on_a_lossy_channel() {
+        let pop = TagPopulation::sequential(500, |_| BitVec::from_value(1, 1));
+        let cfg = SimConfig::paper(9).with_channel(Channel::lossy(0.2));
+        let mut ctx = SimContext::new(pop, &cfg);
+        let report = Ehpp::default().run(&mut ctx);
+        ctx.assert_complete();
+        assert_eq!(report.counters.polls, 500);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (a, _) = run(800, 10, EhppConfig::default());
+        let (b, _) = run(800, 10, EhppConfig::default());
+        assert_eq!(a.total_time, b.total_time);
+        assert_eq!(a.counters.circles, b.counters.circles);
+    }
+
+    #[test]
+    fn selection_is_unbiased_in_expectation() {
+        // Average first-circle size over seeds tracks n*.
+        let n = 4_000usize;
+        let n_star = EhppConfig::default().effective_subset_size();
+        let selector_sizes: Vec<usize> = (0..20)
+            .map(|s| {
+                let pop = TagPopulation::sequential(n, |_| BitVec::from_value(1, 1));
+                let ctx = SimContext::new(pop, &SimConfig::paper(s));
+                let selector = TagHash::new(s * 31 + 1);
+                ctx.population
+                    .iter()
+                    .filter(|(_, t)| selector.modulo(t.id.hi(), t.id.lo(), n as u64) < n_star)
+                    .count()
+            })
+            .collect();
+        let mean = selector_sizes.iter().sum::<usize>() as f64 / selector_sizes.len() as f64;
+        assert!(
+            (mean - n_star as f64).abs() < n_star as f64 * 0.15,
+            "mean circle size {mean} vs target {n_star}"
+        );
+    }
+}

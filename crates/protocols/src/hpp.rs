@@ -1,0 +1,295 @@
+//! The Hash Polling Protocol (Section III).
+//!
+//! HPP replaces the 96-bit ID with a short hashed index:
+//!
+//! 1. The reader initiates a round by broadcasting `(h, r)` where
+//!    `2^{h-1} < n' ≤ 2^h` for the `n'` unread tags and `r` is a fresh seed.
+//! 2. Every unread tag picks the index `H(r, id) mod 2^h` (zero-padded to
+//!    `h` bits). The reader — knowing every ID — precomputes all picks.
+//! 3. The reader broadcasts the *singleton* indices one by one. Only the tag
+//!    whose own index matches replies, then sleeps. Collision-index tags
+//!    stay awake for the next round; empty indices are never transmitted,
+//!    so no slot is ever wasted.
+//! 4. Rounds repeat until every tag is read (36.8 %–60.7 % of the residue
+//!    is cleared per round).
+
+use serde::{Deserialize, Serialize};
+
+use rfid_analysis::hpp::index_length;
+use rfid_hash::TagHash;
+use rfid_system::SimContext;
+
+use crate::report::Report;
+use crate::PollingProtocol;
+
+/// HPP configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HppConfig {
+    /// Reader bits charged to initiate each round (broadcasting `(h, r)`).
+    /// The Section-V simulation setting charges 32.
+    pub round_init_bits: u64,
+    /// Whether each polling vector rides behind a 4-bit QueryRep (the
+    /// paper's `37.45·(4+w)` accounting).
+    pub with_query_rep: bool,
+    /// Safety cap on rounds (loops can only persist on a pathologically
+    /// lossy channel).
+    pub max_rounds: u64,
+}
+
+impl Default for HppConfig {
+    fn default() -> Self {
+        HppConfig {
+            round_init_bits: 32,
+            with_query_rep: true,
+            max_rounds: 1_000_000,
+        }
+    }
+}
+
+impl HppConfig {
+    /// Wraps the config into a runnable protocol.
+    pub fn into_protocol(self) -> Hpp {
+        Hpp { cfg: self }
+    }
+}
+
+/// The Hash Polling Protocol.
+#[derive(Debug, Clone, Default)]
+pub struct Hpp {
+    cfg: HppConfig,
+}
+
+impl Hpp {
+    /// Creates HPP with the given configuration.
+    pub fn new(cfg: HppConfig) -> Self {
+        Hpp { cfg }
+    }
+}
+
+impl PollingProtocol for Hpp {
+    fn name(&self) -> &'static str {
+        "HPP"
+    }
+
+    fn run(&self, ctx: &mut SimContext) -> Report {
+        run_hpp_rounds(ctx, &self.cfg);
+        Report::from_context(self.name(), ctx)
+    }
+}
+
+/// The index every tag (and the reader, by precomputation) derives in a
+/// round: `H(r, id) mod 2^h`. Exposed so tests can replay the tag-side
+/// computation independently of the reader-side sift.
+#[inline]
+pub fn tag_index(seed: u64, id: rfid_system::TagId, h: u32) -> u64 {
+    TagHash::new(seed).index(id.hi(), id.lo(), h)
+}
+
+/// Reader-side sift: the singleton indices of the current round, as sorted
+/// `(index, tag handle)` pairs. Indices picked by two or more tags
+/// (collision indices) and by none (empty indices) are skipped entirely —
+/// this is where HPP's zero slot waste comes from.
+pub(crate) fn singleton_indices(ctx: &SimContext, seed: u64, h: u32) -> Vec<(u64, usize)> {
+    let mut pairs: Vec<(u64, usize)> = ctx
+        .population
+        .iter()
+        .filter(|(_, t)| t.is_active())
+        .map(|(handle, t)| (tag_index(seed, t.id, h), handle))
+        .collect();
+    pairs.sort_unstable();
+    let mut singles = Vec::with_capacity(pairs.len());
+    let mut i = 0;
+    while i < pairs.len() {
+        let mut j = i + 1;
+        while j < pairs.len() && pairs[j].0 == pairs[i].0 {
+            j += 1;
+        }
+        if j - i == 1 {
+            singles.push(pairs[i]);
+        }
+        i = j;
+    }
+    singles
+}
+
+/// Runs one HPP round over the currently active tags; returns the number of
+/// tags successfully polled.
+pub(crate) fn hpp_round(ctx: &mut SimContext, cfg: &HppConfig) -> usize {
+    let n = ctx.population.active_count();
+    debug_assert!(n > 0, "round over an empty population");
+    let h = index_length(n as u64);
+    let seed = ctx.draw_round_seed();
+    ctx.begin_round(h, cfg.round_init_bits);
+    let singles = singleton_indices(ctx, seed, h);
+    let mut polled = 0;
+    for (_, tag) in singles {
+        if ctx.poll_tag(h as u64, cfg.with_query_rep, tag) {
+            polled += 1;
+        }
+    }
+    polled
+}
+
+/// Runs HPP rounds until every active tag is read. Shared with EHPP, which
+/// invokes it once per circle.
+pub(crate) fn run_hpp_rounds(ctx: &mut SimContext, cfg: &HppConfig) {
+    let mut rounds = 0u64;
+    while ctx.population.active_count() > 0 {
+        rounds += 1;
+        assert!(
+            rounds <= cfg.max_rounds,
+            "HPP did not converge within {} rounds — channel too lossy?",
+            cfg.max_rounds
+        );
+        hpp_round(ctx, cfg);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfid_system::{BitVec, Channel, SimConfig, TagPopulation};
+
+    fn run(n: usize, seed: u64, cfg: HppConfig) -> (Report, SimContext) {
+        let pop = TagPopulation::sequential(n, |_| BitVec::from_value(1, 1));
+        let mut ctx = SimContext::new(pop, &SimConfig::paper(seed));
+        let report = Hpp::new(cfg).run(&mut ctx);
+        (report, ctx)
+    }
+
+    #[test]
+    fn reads_every_tag_exactly_once() {
+        let (report, ctx) = run(500, 1, HppConfig::default());
+        ctx.assert_complete();
+        assert_eq!(report.counters.polls, 500);
+        // Polling never wastes a slot on a perfect channel.
+        assert_eq!(report.counters.empty_slots, 0);
+        assert_eq!(report.counters.collision_slots, 0);
+    }
+
+    #[test]
+    fn vector_length_is_bounded_by_log2_n() {
+        // Eq. (5): every index is at most ⌈log₂ n⌉ bits.
+        let (report, _) = run(1_000, 2, HppConfig::default());
+        let w = report.mean_vector_bits();
+        assert!(w <= 10.0, "w = {w}");
+        // And Fig. 3/10: w ≈ 9.4–10 at n = 1000.
+        assert!(w > 8.5, "w = {w}");
+    }
+
+    #[test]
+    fn matches_analytic_average_within_noise() {
+        let n = 2_000u64;
+        let analytic = rfid_analysis::hpp::average_vector_length(n);
+        let mut acc = 0.0;
+        let runs = 5;
+        for s in 0..runs {
+            let (r, _) = run(n as usize, 100 + s, HppConfig::default());
+            acc += r.mean_vector_bits();
+        }
+        let sim = acc / runs as f64;
+        assert!(
+            (sim - analytic).abs() < 0.25,
+            "simulated {sim} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn first_round_reads_paper_fraction() {
+        // 36.8 %–60.7 % of tags are read in a round (Section III-A).
+        let pop = TagPopulation::sequential(4_096, |_| BitVec::from_value(1, 1));
+        let mut ctx = SimContext::new(pop, &SimConfig::paper(3));
+        let polled = hpp_round(&mut ctx, &HppConfig::default());
+        let frac = polled as f64 / 4_096.0;
+        assert!((0.33..=0.64).contains(&frac), "first-round fraction {frac}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (a, _) = run(300, 7, HppConfig::default());
+        let (b, _) = run(300, 7, HppConfig::default());
+        assert_eq!(a.total_time, b.total_time);
+        assert_eq!(a.counters.rounds, b.counters.rounds);
+        let (c, _) = run(300, 8, HppConfig::default());
+        assert_ne!(a.total_time, c.total_time);
+    }
+
+    #[test]
+    fn completes_on_a_lossy_channel() {
+        let pop = TagPopulation::sequential(200, |_| BitVec::from_value(1, 1));
+        let cfg = SimConfig::paper(5).with_channel(Channel::lossy(0.3));
+        let mut ctx = SimContext::new(pop, &cfg);
+        let report = Hpp::default().run(&mut ctx);
+        ctx.assert_complete();
+        assert_eq!(report.counters.polls, 200);
+        assert!(report.counters.lost_replies > 0);
+    }
+
+    #[test]
+    fn single_tag_needs_zero_bit_vector() {
+        let (report, ctx) = run(1, 9, HppConfig::default());
+        ctx.assert_complete();
+        assert_eq!(report.counters.vector_bits, 0);
+        assert_eq!(report.counters.rounds, 1);
+    }
+
+    #[test]
+    fn singleton_sift_matches_tag_side_replay() {
+        // Fidelity check: replay every tag's own index computation and
+        // confirm the reader's sift picked exactly the indices chosen once.
+        let pop = TagPopulation::sequential(64, |_| BitVec::from_value(1, 1));
+        let ctx = SimContext::new(pop, &SimConfig::paper(11));
+        let seed = 0xFEED;
+        let h = 6;
+        let singles = singleton_indices(&ctx, seed, h);
+        let mut counts = std::collections::HashMap::new();
+        for (_, t) in ctx.population.iter() {
+            *counts.entry(tag_index(seed, t.id, h)).or_insert(0u32) += 1;
+        }
+        for &(idx, tag) in &singles {
+            assert_eq!(counts[&idx], 1, "index {idx} not a singleton");
+            assert_eq!(tag_index(seed, ctx.population.get(tag).id, h), idx);
+        }
+        let expected = counts.values().filter(|&&c| c == 1).count();
+        assert_eq!(singles.len(), expected);
+    }
+
+    #[test]
+    fn fig2_style_round_with_four_tags() {
+        // Four tags, h = 2: at most 4 singleton indices; every polled tag
+        // sleeps; the rest stay alert for the next round — the Fig. 2 story.
+        let pop = TagPopulation::sequential(4, |_| BitVec::from_value(1, 1));
+        let mut ctx = SimContext::new(pop, &SimConfig::paper(21).with_trace());
+        // A single round may read 0–4 tags (all four can pair up into
+        // collision indices); whatever it reads goes to sleep, the rest
+        // stay alert, and repetition drains everyone — the Fig. 2 story.
+        let mut asleep = 0;
+        for _ in 0..1_000 {
+            if ctx.population.active_count() == 0 {
+                break;
+            }
+            let polled = hpp_round(&mut ctx, &HppConfig::default());
+            asleep += polled;
+            assert_eq!(ctx.population.asleep_count(), asleep);
+            assert_eq!(ctx.population.active_count(), 4 - asleep);
+        }
+        ctx.assert_complete();
+        assert!(!ctx.log.is_empty());
+    }
+
+    #[test]
+    fn round_init_bits_increase_time_but_not_vector_metric() {
+        let (with, _) = run(100, 13, HppConfig::default());
+        let (without, _) = run(
+            100,
+            13,
+            HppConfig {
+                round_init_bits: 0,
+                ..HppConfig::default()
+            },
+        );
+        assert!(with.total_time > without.total_time);
+        assert_eq!(with.mean_vector_bits(), without.mean_vector_bits());
+        assert!(with.mean_vector_bits_with_overhead() > with.mean_vector_bits());
+    }
+}

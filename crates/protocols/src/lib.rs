@@ -1,0 +1,65 @@
+//! # rfid-protocols — HPP, EHPP and TPP
+//!
+//! The contribution of *Fast RFID Polling Protocols* (ICPP 2016): three
+//! polling protocols that interrogate every tag exactly once (no empty or
+//! collision slots) while shrinking the per-tag *polling vector* far below
+//! the conventional 96-bit tag ID.
+//!
+//! * [`hpp::Hpp`] — **Hash Polling Protocol.** Each round the reader
+//!   broadcasts `(h, r)`; every unread tag picks the index
+//!   `H(r, id) mod 2^h`. The reader — knowing all IDs — sifts out the
+//!   *singleton* indices and broadcasts exactly those, each answered by its
+//!   unique tag. Polling vector ≤ `⌈log₂ n⌉` bits.
+//! * [`ehpp::Ehpp`] — **Enhanced HPP.** Splits the population into circles
+//!   of the Theorem-1-optimal size so the vector length stays flat in `n`.
+//! * [`tpp::Tpp`] — **Tree-based Polling Protocol.** Builds a binary
+//!   [`tree::PollingTree`] over the singleton indices and broadcasts its
+//!   pre-order traversal, so each tag costs only the *differential suffix*
+//!   relative to the previous index — ~3 bits regardless of `n`.
+//!
+//! All three implement [`PollingProtocol`] over a
+//! [`rfid_system::SimContext`] and produce a [`Report`].
+//!
+//! ```
+//! use rfid_protocols::{PollingProtocol, TppConfig};
+//! use rfid_system::{SimConfig, SimContext, TagPopulation, BitVec};
+//!
+//! let pop = TagPopulation::sequential(100, |_| BitVec::from_value(1, 1));
+//! let mut ctx = SimContext::new(pop, &SimConfig::paper(1));
+//! let report = TppConfig::default().into_protocol().run(&mut ctx);
+//! assert_eq!(report.counters.polls, 100);
+//! assert!(report.mean_vector_bits() < 6.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ehpp;
+pub mod hpp;
+pub mod report;
+pub mod tagside;
+pub mod tpp;
+pub mod tree;
+
+pub use ehpp::{Ehpp, EhppConfig};
+pub use hpp::{Hpp, HppConfig};
+pub use report::Report;
+pub use tagside::{Broadcast, TagMachine};
+pub use tpp::{IndexRule, Tpp, TppConfig};
+pub use tree::PollingTree;
+
+use rfid_system::SimContext;
+
+/// A polling protocol: drives a [`SimContext`] until every active tag has
+/// been interrogated exactly once, and reports what it cost.
+pub trait PollingProtocol {
+    /// Short display name (used in tables and reports).
+    fn name(&self) -> &'static str;
+
+    /// Runs the protocol to completion on `ctx`.
+    ///
+    /// Implementations must leave every tag asleep (verified by callers via
+    /// [`SimContext::assert_complete`]) on a lossless channel; on a lossy
+    /// channel they must retry lost tags until done.
+    fn run(&self, ctx: &mut SimContext) -> Report;
+}

@@ -1,0 +1,102 @@
+//! Property-based protocol invariants: for *any* population size and seed,
+//! each protocol must complete, never waste a slot, and satisfy its exact
+//! reader-bit accounting identity.
+
+use proptest::prelude::*;
+
+use rfid_protocols::{EhppConfig, HppConfig, PollingProtocol, TppConfig};
+use rfid_system::{BitVec, SimConfig, SimContext, TagPopulation};
+
+fn context(n: usize, seed: u64) -> SimContext {
+    let pop = TagPopulation::sequential(n, |i| BitVec::from_value((i % 2) as u64, 1));
+    SimContext::new(pop, &SimConfig::paper(seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hpp_invariants(n in 1usize..300, seed in any::<u64>()) {
+        let mut ctx = context(n, seed);
+        let report = HppConfig::default().into_protocol().run(&mut ctx);
+        ctx.assert_complete();
+        prop_assert_eq!(report.counters.polls as usize, n);
+        prop_assert_eq!(report.counters.empty_slots, 0);
+        prop_assert_eq!(report.counters.collision_slots, 0);
+        // Exact accounting: every reader bit is a round initiation (32), a
+        // QueryRep prefix (4 per poll) or polling-vector payload.
+        prop_assert_eq!(
+            report.counters.reader_bits,
+            32 * report.counters.rounds
+                + report.counters.query_rep_bits
+                + report.counters.vector_bits
+        );
+        prop_assert_eq!(report.counters.query_rep_bits, 4 * report.counters.polls);
+        // Eq. (5): no vector exceeds ⌈log₂ n⌉ bits, so neither does the mean.
+        let bound = rfid_analysis::hpp::upper_bound(n as u64) as f64;
+        prop_assert!(report.mean_vector_bits() <= bound + 1e-9);
+    }
+
+    #[test]
+    fn tpp_invariants(n in 1usize..300, seed in any::<u64>()) {
+        let mut ctx = context(n, seed);
+        let report = TppConfig::default().into_protocol().run(&mut ctx);
+        ctx.assert_complete();
+        prop_assert_eq!(report.counters.polls as usize, n);
+        prop_assert_eq!(report.counters.empty_slots, 0);
+        prop_assert_eq!(report.counters.collision_slots, 0);
+        prop_assert_eq!(
+            report.counters.reader_bits,
+            32 * report.counters.rounds
+                + report.counters.query_rep_bits
+                + report.counters.vector_bits
+        );
+        // The tree never transmits more bits than flat singleton broadcast
+        // would: per round L ≤ h·m, so totals obey the same inequality
+        // against an h ≤ ⌈log₂ n⌉ + 1 ceiling (TPP may use one extra bit).
+        let h_cap = rfid_analysis::hpp::upper_bound(n as u64) as u64 + 1;
+        prop_assert!(report.counters.vector_bits <= h_cap * report.counters.polls);
+    }
+
+    #[test]
+    fn ehpp_invariants(n in 1usize..400, seed in any::<u64>()) {
+        let mut ctx = context(n, seed);
+        let report = EhppConfig::default().into_protocol().run(&mut ctx);
+        ctx.assert_complete();
+        prop_assert_eq!(report.counters.polls as usize, n);
+        prop_assert_eq!(report.counters.empty_slots, 0);
+        prop_assert_eq!(
+            report.counters.reader_bits,
+            32 * report.counters.rounds
+                + 128 * report.counters.circles
+                + report.counters.query_rep_bits
+                + report.counters.vector_bits
+        );
+    }
+
+    #[test]
+    fn tpp_time_equals_component_sum(n in 1usize..200, seed in any::<u64>()) {
+        // The clock total must equal the sum of its breakdown — across any
+        // protocol execution path.
+        let mut ctx = context(n, seed);
+        let report = TppConfig::default().into_protocol().run(&mut ctx);
+        let total = report.total_time.as_f64();
+        let parts = report.breakdown.total().as_f64();
+        prop_assert!((total - parts).abs() < 1e-6 * total.max(1.0));
+    }
+
+    #[test]
+    fn protocols_agree_on_who_gets_read(n in 1usize..150, seed in any::<u64>()) {
+        // Different protocols, same population: all must read exactly the
+        // same set (everyone) — no protocol may lose or duplicate a tag.
+        for protocol in [
+            &HppConfig::default().into_protocol() as &dyn PollingProtocol,
+            &TppConfig::default().into_protocol(),
+            &EhppConfig::default().into_protocol(),
+        ] {
+            let mut ctx = context(n, seed);
+            protocol.run(&mut ctx);
+            prop_assert!(ctx.population.all_asleep(), "{} missed tags", protocol.name());
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! The shared wireless channel.
+//!
+//! When several tags backscatter in the same slot the reader sees a
+//! collision; when none replies the slot is empty. Polling protocols never
+//! produce either (they address singletons only) — the channel model is what
+//! lets the simulator *verify* that, and what gives the ALOHA baselines
+//! their empty/collision slots. A configurable reply-loss rate supports
+//! robustness experiments (a lost reply leaves the tag active, so a correct
+//! protocol retries it).
+
+use serde::{Deserialize, Serialize};
+
+use rfid_hash::Xoshiro256;
+
+/// What the reader observed in one slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SlotOutcome {
+    /// No tag replied.
+    Empty,
+    /// Exactly one tag replied (carries the tag handle).
+    Singleton(usize),
+    /// Two or more tags replied concurrently (carries the count).
+    Collision(usize),
+}
+
+impl SlotOutcome {
+    /// `true` for a singleton slot.
+    pub fn is_singleton(&self) -> bool {
+        matches!(self, SlotOutcome::Singleton(_))
+    }
+}
+
+/// Channel configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Channel {
+    /// Probability that a tag's reply is lost/corrupted and the reader
+    /// cannot decode it (the slot then looks empty to the reader).
+    pub reply_loss_rate: f64,
+    /// Capture effect: probability that a 2-tag collision is nevertheless
+    /// decoded as the stronger tag (0.0 = classical collision model).
+    pub capture_prob: f64,
+}
+
+impl Channel {
+    /// A perfect channel (the paper's setting).
+    pub fn perfect() -> Self {
+        Channel {
+            reply_loss_rate: 0.0,
+            capture_prob: 0.0,
+        }
+    }
+
+    /// A lossy channel with the given reply-loss probability.
+    ///
+    /// # Panics
+    /// Panics if `loss` is outside `[0, 1]`.
+    pub fn lossy(loss: f64) -> Self {
+        assert!((0.0..=1.0).contains(&loss), "loss rate {loss}");
+        Channel {
+            reply_loss_rate: loss,
+            capture_prob: 0.0,
+        }
+    }
+
+    /// Resolves a slot given the handles of the tags that replied.
+    pub fn resolve(&self, repliers: &[usize], rng: &mut Xoshiro256) -> SlotOutcome {
+        // Apply per-reply loss first: a lost reply is as if never sent.
+        let survivors: Vec<usize> = if self.reply_loss_rate > 0.0 {
+            repliers
+                .iter()
+                .copied()
+                .filter(|_| !rng.chance(self.reply_loss_rate))
+                .collect()
+        } else {
+            repliers.to_vec()
+        };
+        match survivors.len() {
+            0 => SlotOutcome::Empty,
+            1 => SlotOutcome::Singleton(survivors[0]),
+            2 if self.capture_prob > 0.0 && rng.chance(self.capture_prob) => {
+                // The reader locks onto one of the two at random.
+                SlotOutcome::Singleton(survivors[rng.below(2) as usize])
+            }
+            n => SlotOutcome::Collision(n),
+        }
+    }
+}
+
+impl Default for Channel {
+    fn default() -> Self {
+        Channel::perfect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> Xoshiro256 {
+        Xoshiro256::seed_from_u64(1)
+    }
+
+    #[test]
+    fn perfect_channel_is_deterministic() {
+        let ch = Channel::perfect();
+        let mut r = rng();
+        assert_eq!(ch.resolve(&[], &mut r), SlotOutcome::Empty);
+        assert_eq!(ch.resolve(&[7], &mut r), SlotOutcome::Singleton(7));
+        assert_eq!(ch.resolve(&[1, 2, 3], &mut r), SlotOutcome::Collision(3));
+    }
+
+    #[test]
+    fn lossy_channel_drops_expected_fraction() {
+        let ch = Channel::lossy(0.25);
+        let mut r = rng();
+        let lost = (0..100_000)
+            .filter(|_| ch.resolve(&[0], &mut r) == SlotOutcome::Empty)
+            .count();
+        let rate = lost as f64 / 100_000.0;
+        assert!((rate - 0.25).abs() < 0.01, "loss rate {rate}");
+    }
+
+    #[test]
+    fn loss_can_demote_collision_to_singleton() {
+        let ch = Channel::lossy(0.5);
+        let mut r = rng();
+        let mut saw_singleton = false;
+        let mut saw_collision = false;
+        for _ in 0..1_000 {
+            match ch.resolve(&[4, 9], &mut r) {
+                SlotOutcome::Singleton(t) => {
+                    assert!(t == 4 || t == 9);
+                    saw_singleton = true;
+                }
+                SlotOutcome::Collision(2) => saw_collision = true,
+                SlotOutcome::Empty => {}
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(saw_singleton && saw_collision);
+    }
+
+    #[test]
+    fn capture_effect_rescues_some_two_tag_collisions() {
+        let ch = Channel {
+            reply_loss_rate: 0.0,
+            capture_prob: 0.5,
+        };
+        let mut r = rng();
+        let captured = (0..10_000)
+            .filter(|_| ch.resolve(&[1, 2], &mut r).is_singleton())
+            .count();
+        let rate = captured as f64 / 10_000.0;
+        assert!((rate - 0.5).abs() < 0.03, "capture rate {rate}");
+        // Three-way collisions are never captured.
+        for _ in 0..100 {
+            assert_eq!(ch.resolve(&[1, 2, 3], &mut r), SlotOutcome::Collision(3));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "loss rate")]
+    fn invalid_loss_rejected() {
+        let _ = Channel::lossy(1.5);
+    }
+}

@@ -1,0 +1,429 @@
+//! The simulation context a protocol drives.
+//!
+//! [`SimContext`] owns everything one protocol run touches — the link
+//! parameters, the clock, the tag population, the channel, the RNG, the
+//! event log and the counters — and exposes the composite operations with
+//! correct C1G2 time accounting:
+//!
+//! * [`SimContext::poll_tag`] — one polling exchange: reader transmits the
+//!   (QueryRep +) polling vector, waits `T1`, the addressed tag backscatters
+//!   its payload, reader waits `T2`,
+//! * [`SimContext::slot`] — one ALOHA slot for the frame-based baselines,
+//!   resolving empty/singleton/collision with their distinct costs,
+//! * [`SimContext::reader_tx`] — bulk reader broadcasts (round initiations,
+//!   circle commands, indicator vectors).
+//!
+//! Every operation updates [`Counters`], from which protocol reports derive
+//! the paper's metrics (average polling-vector length, total execution
+//! time, slot-waste fractions).
+
+use serde::{Deserialize, Serialize};
+
+use rfid_c1g2::{Clock, LinkParams, Micros, TimeCategory};
+use rfid_hash::Xoshiro256;
+
+use crate::channel::{Channel, SlotOutcome};
+use crate::event::{Event, EventLog};
+use crate::population::TagPopulation;
+
+/// Configuration for a simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Link-timing parameters.
+    pub link: LinkParams,
+    /// Channel model.
+    pub channel: Channel,
+    /// Master seed for all randomness in the run.
+    pub seed: u64,
+    /// Whether to record an event trace.
+    pub trace: bool,
+}
+
+impl SimConfig {
+    /// The paper's setting: C1G2 paper constants, perfect channel.
+    pub fn paper(seed: u64) -> Self {
+        SimConfig {
+            link: LinkParams::paper(),
+            channel: Channel::perfect(),
+            seed,
+            trace: false,
+        }
+    }
+
+    /// Enables event tracing.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    /// Replaces the channel model.
+    pub fn with_channel(mut self, channel: Channel) -> Self {
+        self.channel = channel;
+        self
+    }
+}
+
+/// Aggregate counters over a protocol run.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct Counters {
+    /// Bits the reader transmitted, total.
+    pub reader_bits: u64,
+    /// Bits tags transmitted, total.
+    pub tag_bits: u64,
+    /// Polling-vector payload bits (excluding QueryRep prefixes) — the
+    /// numerator of the paper's average polling-vector length `w`.
+    pub vector_bits: u64,
+    /// Bits spent on fixed QueryRep/slot-advance prefixes (subtracted when
+    /// computing overhead-inclusive vector metrics).
+    pub query_rep_bits: u64,
+    /// Successful interrogations.
+    pub polls: u64,
+    /// Inventory rounds started.
+    pub rounds: u64,
+    /// EHPP circles started.
+    pub circles: u64,
+    /// Empty slots observed (ALOHA baselines / lost replies).
+    pub empty_slots: u64,
+    /// Collision slots observed (ALOHA baselines).
+    pub collision_slots: u64,
+    /// Replies lost to the channel (robustness runs).
+    pub lost_replies: u64,
+    /// Tag·microseconds of listening: each elapsed interval weighted by the
+    /// number of tags still active (awake, not yet read) during it. The
+    /// basis of the per-tag energy model in `rfid_analysis::energy`.
+    pub tag_listen_us: f64,
+}
+
+impl Counters {
+    /// Average polling-vector length `w` = vector bits per successful poll.
+    pub fn mean_vector_bits(&self) -> f64 {
+        if self.polls == 0 {
+            0.0
+        } else {
+            self.vector_bits as f64 / self.polls as f64
+        }
+    }
+}
+
+/// Everything a protocol needs to run once.
+#[derive(Debug)]
+pub struct SimContext {
+    /// Link-timing parameters.
+    pub link: LinkParams,
+    /// The accumulating clock.
+    pub clock: Clock,
+    /// Tags in the interrogation zone.
+    pub population: TagPopulation,
+    /// Channel model.
+    pub channel: Channel,
+    /// Deterministic RNG (round seeds, channel losses, …).
+    pub rng: Xoshiro256,
+    /// Optional event trace.
+    pub log: EventLog,
+    /// Aggregate counters.
+    pub counters: Counters,
+}
+
+impl SimContext {
+    /// Creates a context over a population.
+    pub fn new(population: TagPopulation, config: &SimConfig) -> Self {
+        SimContext {
+            link: config.link,
+            clock: Clock::new(),
+            population,
+            channel: config.channel,
+            rng: Xoshiro256::seed_from_u64(config.seed),
+            log: if config.trace {
+                EventLog::enabled()
+            } else {
+                EventLog::disabled()
+            },
+            counters: Counters::default(),
+        }
+    }
+
+    /// Draws a fresh 64-bit round seed `r` (what the reader broadcasts).
+    pub fn draw_round_seed(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// Advances time by `dt` under `category`, accruing listen time for
+    /// every still-active tag (tags listen continuously until read).
+    #[inline]
+    fn advance(&mut self, category: TimeCategory, dt: Micros) {
+        self.clock.spend(category, dt);
+        self.counters.tag_listen_us +=
+            dt.as_f64() * self.population.listening_count() as f64;
+    }
+
+    /// Charges a reader transmission of `bits` bits to `category`.
+    pub fn reader_tx(&mut self, bits: u64, category: TimeCategory) {
+        let dt = self.link.reader_tx(bits);
+        self.advance(category, dt);
+        self.counters.reader_bits += bits;
+    }
+
+    /// Records the start of an inventory round with index length `h`.
+    pub fn begin_round(&mut self, h: u32, round_init_bits: u64) {
+        self.counters.rounds += 1;
+        let round = self.counters.rounds as usize;
+        let unread = self.population.active_count();
+        self.log.record(|| Event::RoundStarted { round, h, unread });
+        if round_init_bits > 0 {
+            self.reader_tx(round_init_bits, TimeCategory::ReaderCommand);
+        }
+    }
+
+    /// Records the start of an EHPP circle of `selected` tags, charging the
+    /// `l_c`-bit circle command.
+    pub fn begin_circle(&mut self, selected: usize, circle_cmd_bits: u64) {
+        self.counters.circles += 1;
+        let circle = self.counters.circles as usize;
+        self.log.record(|| Event::CircleStarted { circle, selected });
+        if circle_cmd_bits > 0 {
+            self.reader_tx(circle_cmd_bits, TimeCategory::ReaderCommand);
+        }
+    }
+
+    /// One polling exchange addressing tag `target` with a `vector_bits`-bit
+    /// polling vector (optionally behind a 4-bit QueryRep).
+    ///
+    /// Returns `true` if the reply was received (the tag is then asleep) or
+    /// `false` if the channel lost it (the tag stays active; a correct
+    /// protocol retries in a later round).
+    ///
+    /// # Panics
+    /// Panics if `target` is not active — addressing a slept tag is a
+    /// protocol bug the simulator refuses to mask.
+    pub fn poll_tag(&mut self, vector_bits: u64, with_query_rep: bool, target: usize) -> bool {
+        assert!(
+            self.population.get(target).is_active(),
+            "polling inactive tag {target}"
+        );
+        if with_query_rep {
+            self.reader_tx(rfid_c1g2::QUERY_REP_BITS, TimeCategory::ReaderCommand);
+            self.counters.query_rep_bits += rfid_c1g2::QUERY_REP_BITS;
+        }
+        self.reader_tx(vector_bits, TimeCategory::PollingVector);
+        self.advance(TimeCategory::Turnaround, self.link.t1);
+        self.counters.vector_bits += vector_bits;
+
+        match self.channel.resolve(&[target], &mut self.rng) {
+            SlotOutcome::Singleton(tag) => {
+                debug_assert_eq!(tag, target);
+                let info_bits = self.population.get(tag).info.len() as u64;
+                self.advance(TimeCategory::TagReply, self.link.tag_tx(info_bits));
+                self.counters.tag_bits += info_bits;
+                self.advance(TimeCategory::Turnaround, self.link.t2);
+                self.population.sleep(tag);
+                self.counters.polls += 1;
+                self.log.record(|| Event::TagPolled {
+                    tag,
+                    vector_bits,
+                });
+                true
+            }
+            SlotOutcome::Empty => {
+                // The reply was lost: the reader times out waiting.
+                self.advance(TimeCategory::WastedSlot, self.link.t3);
+                self.counters.lost_replies += 1;
+                self.counters.empty_slots += 1;
+                self.log.record(|| Event::SlotEmpty);
+                false
+            }
+            SlotOutcome::Collision(_) => unreachable!("single addressed tag cannot collide"),
+        }
+    }
+
+    /// One ALOHA slot: the reader transmits `prefix_bits` (e.g. a QueryRep),
+    /// waits `T1`, and the given tags reply concurrently.
+    ///
+    /// On a singleton the payload is received and `T2` elapses, but the tag
+    /// is *not* marked read — the caller decides (MIC reads it; plain ALOHA
+    /// might need an ACK first) via [`SimContext::mark_read`].
+    pub fn slot(&mut self, repliers: &[usize], prefix_bits: u64) -> SlotOutcome {
+        if prefix_bits > 0 {
+            self.reader_tx(prefix_bits, TimeCategory::ReaderCommand);
+            self.counters.query_rep_bits += prefix_bits;
+        }
+        self.advance(TimeCategory::Turnaround, self.link.t1);
+        let outcome = self.channel.resolve(repliers, &mut self.rng);
+        match outcome {
+            SlotOutcome::Empty => {
+                self.advance(TimeCategory::WastedSlot, self.link.t3);
+                self.counters.empty_slots += 1;
+                self.log.record(|| Event::SlotEmpty);
+            }
+            SlotOutcome::Singleton(tag) => {
+                let info_bits = self.population.get(tag).info.len() as u64;
+                self.advance(TimeCategory::TagReply, self.link.tag_tx(info_bits));
+                self.counters.tag_bits += info_bits;
+                self.advance(TimeCategory::Turnaround, self.link.t2);
+            }
+            SlotOutcome::Collision(count) => {
+                // The colliding replies occupy the air for the longest
+                // payload among them, then the reader recovers with T2.
+                let max_bits = repliers
+                    .iter()
+                    .map(|&t| self.population.get(t).info.len() as u64)
+                    .max()
+                    .unwrap_or(0);
+                self.advance(TimeCategory::WastedSlot, self.link.tag_tx(max_bits));
+                self.advance(TimeCategory::Turnaround, self.link.t2);
+                self.counters.collision_slots += 1;
+                self.log.record(|| Event::SlotCollision { count });
+            }
+        }
+        outcome
+    }
+
+    /// Marks `tag` successfully read after a singleton slot.
+    pub fn mark_read(&mut self, tag: usize) {
+        self.population.sleep(tag);
+        self.counters.polls += 1;
+    }
+
+    /// Waits for `dt` attributed to `category` (protocol-specific gaps).
+    pub fn wait(&mut self, category: TimeCategory, dt: Micros) {
+        self.advance(category, dt);
+    }
+
+    /// Asserts the run completed correctly: every tag read exactly once.
+    ///
+    /// # Panics
+    /// Panics (with diagnostics) if any tag is still awake or the poll count
+    /// disagrees with the population size.
+    pub fn assert_complete(&self) {
+        assert!(
+            self.population.all_asleep(),
+            "{} of {} tags were never interrogated",
+            self.population.len() - self.population.asleep_count(),
+            self.population.len()
+        );
+        assert_eq!(
+            self.counters.polls as usize,
+            self.population.len(),
+            "poll count disagrees with population size"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitvec::BitVec;
+
+    fn ctx(n: usize, info_bits: usize) -> SimContext {
+        let pop = TagPopulation::sequential(n, |i| {
+            BitVec::from_value((i % 2) as u64, info_bits.max(1))
+        });
+        SimContext::new(pop, &SimConfig::paper(7))
+    }
+
+    #[test]
+    fn poll_tag_charges_the_paper_formula() {
+        let mut c = ctx(1, 1);
+        assert!(c.poll_tag(3, true, 0));
+        // 37.45*(4+3) + 100 + 25*1 + 50
+        let expect = 37.45 * 7.0 + 100.0 + 25.0 + 50.0;
+        assert!((c.clock.total().as_f64() - expect).abs() < 1e-9);
+        assert_eq!(c.counters.polls, 1);
+        assert_eq!(c.counters.vector_bits, 3);
+        assert_eq!(c.counters.reader_bits, 7);
+        assert_eq!(c.counters.tag_bits, 1);
+        c.assert_complete();
+    }
+
+    #[test]
+    fn poll_without_query_rep_omits_prefix() {
+        let mut c = ctx(1, 1);
+        assert!(c.poll_tag(96, false, 0));
+        let expect = 37.45 * 96.0 + 100.0 + 25.0 + 50.0;
+        assert!((c.clock.total().as_f64() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "polling inactive tag")]
+    fn polling_slept_tag_panics() {
+        let mut c = ctx(2, 1);
+        c.poll_tag(1, true, 0);
+        c.poll_tag(1, true, 0);
+    }
+
+    #[test]
+    fn lossy_poll_leaves_tag_active() {
+        let pop = TagPopulation::sequential(1, |_| BitVec::from_str_bits("1"));
+        let cfg = SimConfig::paper(3).with_channel(Channel::lossy(1.0));
+        let mut c = SimContext::new(pop, &cfg);
+        assert!(!c.poll_tag(5, true, 0));
+        assert!(c.population.get(0).is_active());
+        assert_eq!(c.counters.lost_replies, 1);
+        assert_eq!(c.counters.polls, 0);
+    }
+
+    #[test]
+    fn slot_outcomes_charge_distinct_costs() {
+        let mut c = ctx(3, 8);
+        let t_empty = {
+            let before = c.clock.total();
+            c.slot(&[], 4);
+            c.clock.total() - before
+        };
+        let t_single = {
+            let before = c.clock.total();
+            let out = c.slot(&[0], 4);
+            assert!(out.is_singleton());
+            c.clock.total() - before
+        };
+        let t_coll = {
+            let before = c.clock.total();
+            c.slot(&[1, 2], 4);
+            c.clock.total() - before
+        };
+        // Empty slots are the cheapest; singleton and collision both carry
+        // a payload-length air occupancy.
+        assert!(t_empty < t_single);
+        assert!(t_empty < t_coll);
+        assert_eq!(c.counters.empty_slots, 1);
+        assert_eq!(c.counters.collision_slots, 1);
+    }
+
+    #[test]
+    fn mark_read_completes_inventory() {
+        let mut c = ctx(2, 1);
+        for t in 0..2 {
+            match c.slot(&[t], 4) {
+                SlotOutcome::Singleton(tag) => c.mark_read(tag),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        c.assert_complete();
+        assert_eq!(c.counters.mean_vector_bits(), 0.0);
+    }
+
+    #[test]
+    fn mean_vector_bits_averages_over_polls() {
+        let mut c = ctx(2, 1);
+        c.poll_tag(10, true, 0);
+        c.poll_tag(2, true, 1);
+        assert_eq!(c.counters.mean_vector_bits(), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "never interrogated")]
+    fn assert_complete_catches_missed_tags() {
+        let c = ctx(2, 1);
+        c.assert_complete();
+    }
+
+    #[test]
+    fn round_and_circle_overheads_are_charged() {
+        let mut c = ctx(1, 1);
+        c.begin_round(4, 32);
+        c.begin_circle(1, 128);
+        assert_eq!(c.counters.rounds, 1);
+        assert_eq!(c.counters.circles, 1);
+        assert_eq!(c.counters.reader_bits, 160);
+        assert!((c.clock.total().as_f64() - 160.0 * 37.45).abs() < 1e-9);
+    }
+}

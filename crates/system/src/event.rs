@@ -1,0 +1,182 @@
+//! Protocol-run event traces.
+//!
+//! When enabled, the simulator records a self-describing event per protocol
+//! action. Traces serve three purposes: debugging protocol implementations,
+//! asserting fine-grained behaviour in tests (e.g. "TPP never broadcast the
+//! same prefix twice in a round"), and producing the worked examples in the
+//! documentation (Figs. 2, 6 and 7 of the paper are reproduced from traces).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// One recorded protocol action.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    /// A new inventory round began (HPP/TPP round or ALOHA frame).
+    RoundStarted {
+        /// 1-based round number.
+        round: usize,
+        /// Index length `h` (or frame size exponent, protocol-specific).
+        h: u32,
+        /// Number of tags still unread at the start of the round.
+        unread: usize,
+    },
+    /// An EHPP circle began.
+    CircleStarted {
+        /// 1-based circle number.
+        circle: usize,
+        /// Number of tags selected into the circle.
+        selected: usize,
+    },
+    /// The reader broadcast `bits` payload bits (vector/segment/indicator).
+    ReaderBroadcast {
+        /// Payload description.
+        what: String,
+        /// Number of bits.
+        bits: u64,
+    },
+    /// A tag was polled successfully.
+    TagPolled {
+        /// Tag handle.
+        tag: usize,
+        /// Polling-vector bits charged for this tag.
+        vector_bits: u64,
+    },
+    /// A slot passed with no decodable reply.
+    SlotEmpty,
+    /// A slot collided.
+    SlotCollision {
+        /// Number of concurrent repliers.
+        count: usize,
+    },
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::RoundStarted { round, h, unread } => {
+                write!(f, "round {round}: h={h}, {unread} unread")
+            }
+            Event::CircleStarted { circle, selected } => {
+                write!(f, "circle {circle}: {selected} tags selected")
+            }
+            Event::ReaderBroadcast { what, bits } => write!(f, "reader → {what} ({bits} bits)"),
+            Event::TagPolled { tag, vector_bits } => {
+                write!(f, "tag {tag} polled ({vector_bits}-bit vector)")
+            }
+            Event::SlotEmpty => write!(f, "empty slot"),
+            Event::SlotCollision { count } => write!(f, "collision ({count} tags)"),
+        }
+    }
+}
+
+/// An optional event log. Disabled by default: large Monte-Carlo sweeps must
+/// not pay for tracing.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EventLog {
+    enabled: bool,
+    events: Vec<Event>,
+}
+
+impl EventLog {
+    /// A disabled log (records nothing).
+    pub fn disabled() -> Self {
+        EventLog::default()
+    }
+
+    /// An enabled log.
+    pub fn enabled() -> Self {
+        EventLog {
+            enabled: true,
+            events: Vec::new(),
+        }
+    }
+
+    /// Whether recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event (no-op when disabled). The closure form avoids
+    /// constructing event payloads on the hot path.
+    #[inline]
+    pub fn record(&mut self, make: impl FnOnce() -> Event) {
+        if self.enabled {
+            self.events.push(make());
+        }
+    }
+
+    /// The recorded events.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Renders the trace one event per line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let mut log = EventLog::disabled();
+        log.record(|| Event::SlotEmpty);
+        assert!(log.is_empty());
+        assert!(!log.is_enabled());
+    }
+
+    #[test]
+    fn enabled_log_records_in_order() {
+        let mut log = EventLog::enabled();
+        log.record(|| Event::RoundStarted {
+            round: 1,
+            h: 2,
+            unread: 4,
+        });
+        log.record(|| Event::TagPolled {
+            tag: 2,
+            vector_bits: 2,
+        });
+        assert_eq!(log.len(), 2);
+        assert!(matches!(log.events()[0], Event::RoundStarted { round: 1, .. }));
+    }
+
+    #[test]
+    fn render_is_line_per_event() {
+        let mut log = EventLog::enabled();
+        log.record(|| Event::SlotEmpty);
+        log.record(|| Event::SlotCollision { count: 3 });
+        let text = log.render();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("collision (3 tags)"));
+    }
+
+    #[test]
+    fn display_formats() {
+        let e = Event::ReaderBroadcast {
+            what: "tree segment".into(),
+            bits: 2,
+        };
+        assert_eq!(e.to_string(), "reader → tree segment (2 bits)");
+    }
+}

@@ -1,0 +1,41 @@
+//! # rfid-system — the RFID system simulator substrate
+//!
+//! Models the system of *Fast RFID Polling Protocols*: a reader that knows
+//! every tag ID, a population of C1G2 tags that answer only when addressed
+//! (Reader-Talks-First), and the shared wireless channel in which concurrent
+//! replies collide. Protocol crates build on these pieces:
+//!
+//! * [`TagId`] — structured 96-bit EPC identifiers,
+//! * [`BitVec`] — the compact bit vector used for polling vectors, indicator
+//!   vectors, tag payloads and the TPP tag-side array `A`,
+//! * [`Tag`] / [`TagPopulation`] — tag state (payload, awake/asleep) and
+//!   population bookkeeping,
+//! * [`Channel`] / [`SlotOutcome`] — slot resolution (empty / singleton /
+//!   collision) with optional reply-loss injection for robustness studies,
+//! * [`EventLog`] — an optional, self-describing trace of a protocol run,
+//! * [`SimContext`] — the facility a protocol drives: it owns the clock, the
+//!   population, the channel and the counters, and exposes the composite
+//!   operations (broadcast, poll exchange, ALOHA slots) with correct C1G2
+//!   time accounting.
+//!
+//! The simulator is fully deterministic: all randomness flows from the
+//! [`rfid_hash::Xoshiro256`] generator seeded by the caller.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitvec;
+pub mod channel;
+pub mod context;
+pub mod event;
+pub mod id;
+pub mod population;
+pub mod tag;
+
+pub use bitvec::BitVec;
+pub use channel::{Channel, SlotOutcome};
+pub use context::{Counters, SimConfig, SimContext};
+pub use event::{Event, EventLog};
+pub use id::TagId;
+pub use population::TagPopulation;
+pub use tag::{Tag, TagState};

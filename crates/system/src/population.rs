@@ -1,0 +1,206 @@
+//! Tag population bookkeeping.
+//!
+//! The reader-side protocols iterate over "unread tags" constantly; the
+//! population keeps tags in a dense `Vec` (index = stable handle) and tracks
+//! how many are still active so protocols can terminate without scanning.
+
+use serde::{Deserialize, Serialize};
+
+use crate::bitvec::BitVec;
+use crate::id::TagId;
+use crate::tag::{Tag, TagState};
+
+/// The set of tags in the interrogation zone.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TagPopulation {
+    tags: Vec<Tag>,
+    active: usize,
+    asleep: usize,
+}
+
+impl TagPopulation {
+    /// Builds a population from `(id, info)` pairs.
+    ///
+    /// # Panics
+    /// Panics if two tags share an ID — EPCs are unique by definition and
+    /// every protocol in the paper relies on it.
+    pub fn new(tags: impl IntoIterator<Item = (TagId, BitVec)>) -> Self {
+        let tags: Vec<Tag> = tags
+            .into_iter()
+            .map(|(id, info)| Tag::new(id, info))
+            .collect();
+        let mut seen = std::collections::HashSet::with_capacity(tags.len());
+        for t in &tags {
+            assert!(seen.insert(t.id), "duplicate tag ID {}", t.id);
+        }
+        let active = tags.len();
+        TagPopulation {
+            tags,
+            active,
+            asleep: 0,
+        }
+    }
+
+    /// Convenience: `n` tags with sequential raw IDs and the given payload
+    /// generator (mostly for tests).
+    pub fn sequential(n: usize, info: impl Fn(usize) -> BitVec) -> Self {
+        TagPopulation::new((0..n).map(|i| (TagId::from_raw(0, i as u64), info(i))))
+    }
+
+    /// Total number of tags.
+    pub fn len(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// `true` if the population has no tags.
+    pub fn is_empty(&self) -> bool {
+        self.tags.is_empty()
+    }
+
+    /// Number of tags still active (unread and not deselected).
+    pub fn active_count(&self) -> usize {
+        self.active
+    }
+
+    /// Immutable access to a tag by handle.
+    pub fn get(&self, idx: usize) -> &Tag {
+        &self.tags[idx]
+    }
+
+    /// All tags (any state), with handles.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &Tag)> {
+        self.tags.iter().enumerate()
+    }
+
+    /// Handles of currently active tags.
+    pub fn active_handles(&self) -> Vec<usize> {
+        self.tags
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_active())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Puts tag `idx` to sleep (after a successful interrogation).
+    pub fn sleep(&mut self, idx: usize) {
+        if self.tags[idx].is_active() {
+            self.tags[idx].sleep();
+            self.active -= 1;
+            self.asleep += 1;
+        } else {
+            panic!("tag {idx} slept twice");
+        }
+    }
+
+    /// Deselects tag `idx` for the current circle.
+    pub fn deselect(&mut self, idx: usize) {
+        if self.tags[idx].is_active() {
+            self.tags[idx].deselect();
+            self.active -= 1;
+        }
+    }
+
+    /// Re-activates every deselected tag (start of the next circle).
+    pub fn reselect_all(&mut self) {
+        for t in &mut self.tags {
+            if t.state == TagState::Deselected {
+                t.reselect();
+                self.active += 1;
+            }
+        }
+    }
+
+    /// Number of tags asleep (successfully read).
+    pub fn asleep_count(&self) -> usize {
+        debug_assert_eq!(
+            self.asleep,
+            self.tags
+                .iter()
+                .filter(|t| t.state == TagState::Asleep)
+                .count()
+        );
+        self.asleep
+    }
+
+    /// Number of tags whose receivers are on: everyone not yet read —
+    /// deselected tags still listen (they must hear the next circle
+    /// command). Drives the energy model's listen integral.
+    pub fn listening_count(&self) -> usize {
+        self.tags.len() - self.asleep
+    }
+
+    /// `true` once every tag has been read.
+    pub fn all_asleep(&self) -> bool {
+        self.asleep_count() == self.tags.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pop(n: usize) -> TagPopulation {
+        TagPopulation::sequential(n, |_| BitVec::from_str_bits("1"))
+    }
+
+    #[test]
+    fn counts_track_state_changes() {
+        let mut p = pop(5);
+        assert_eq!(p.len(), 5);
+        assert_eq!(p.active_count(), 5);
+        p.sleep(2);
+        assert_eq!(p.active_count(), 4);
+        assert_eq!(p.asleep_count(), 1);
+        p.deselect(0);
+        p.deselect(1);
+        assert_eq!(p.active_count(), 2);
+        p.reselect_all();
+        assert_eq!(p.active_count(), 4);
+        assert!(!p.all_asleep());
+    }
+
+    #[test]
+    fn active_handles_excludes_slept_and_deselected() {
+        let mut p = pop(4);
+        p.sleep(1);
+        p.deselect(3);
+        assert_eq!(p.active_handles(), vec![0, 2]);
+    }
+
+    #[test]
+    fn all_asleep_after_sleeping_everyone() {
+        let mut p = pop(3);
+        for i in 0..3 {
+            p.sleep(i);
+        }
+        assert!(p.all_asleep());
+        assert_eq!(p.active_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "slept twice")]
+    fn double_sleep_panics() {
+        let mut p = pop(2);
+        p.sleep(0);
+        p.sleep(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate tag ID")]
+    fn duplicate_ids_rejected() {
+        let id = TagId::from_raw(0, 7);
+        let _ = TagPopulation::new(vec![
+            (id, BitVec::new()),
+            (id, BitVec::new()),
+        ]);
+    }
+
+    #[test]
+    fn reselect_does_not_wake_sleepers() {
+        let mut p = pop(2);
+        p.sleep(0);
+        p.reselect_all();
+        assert_eq!(p.active_count(), 1);
+    }
+}

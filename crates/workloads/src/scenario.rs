@@ -1,0 +1,188 @@
+//! Serializable experiment scenarios.
+//!
+//! A [`Scenario`] pins down everything that determines a tag population —
+//! size, ID distribution, payload kind and width, and the master seed — so
+//! experiments are reproducible and configurations can be stored as JSON
+//! next to their results.
+
+use serde::{Deserialize, Serialize};
+
+use rfid_hash::{split_seed, Xoshiro256};
+use rfid_system::{TagId, TagPopulation};
+
+use crate::ids::IdDistribution;
+use crate::payload::PayloadKind;
+
+/// A complete experiment-population description.
+///
+/// ```
+/// use rfid_workloads::{IdDistribution, Scenario};
+///
+/// let scenario = Scenario::uniform(250, 16)
+///     .with_seed(7)
+///     .with_ids(IdDistribution::Clustered { categories: 5 });
+/// let population = scenario.build_population();
+/// assert_eq!(population.len(), 250);
+/// // Bit-exact reproducibility: same scenario, same tags.
+/// assert_eq!(
+///     population.get(0).id,
+///     scenario.build_population().get(0).id,
+/// );
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Number of tags `n`.
+    pub n: usize,
+    /// How IDs are distributed.
+    pub id_dist: IdDistribution,
+    /// Payload width `m` in bits (the paper's `l`).
+    pub info_bits: usize,
+    /// What the payload encodes.
+    pub payload: PayloadKind,
+    /// Master seed; IDs, payloads and the protocol run derive from it.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// The paper's default: `n` uniform-random IDs, presence payloads of
+    /// `info_bits` bits, seed 0.
+    pub fn uniform(n: usize, info_bits: usize) -> Self {
+        Scenario {
+            n,
+            id_dist: IdDistribution::UniformRandom,
+            info_bits,
+            payload: PayloadKind::Presence,
+            seed: 0,
+        }
+    }
+
+    /// Replaces the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the ID distribution.
+    pub fn with_ids(mut self, id_dist: IdDistribution) -> Self {
+        self.id_dist = id_dist;
+        self
+    }
+
+    /// Replaces the payload kind.
+    pub fn with_payload(mut self, payload: PayloadKind) -> Self {
+        self.payload = payload;
+        self
+    }
+
+    /// The seed protocols should run under (distinct from the generation
+    /// streams).
+    pub fn protocol_seed(&self) -> u64 {
+        split_seed(self.seed, 2)
+    }
+
+    /// Deterministically builds the tag population.
+    pub fn build_population(&self) -> TagPopulation {
+        let mut id_rng = Xoshiro256::seed_from_u64(split_seed(self.seed, 0));
+        let mut payload_rng = Xoshiro256::seed_from_u64(split_seed(self.seed, 1));
+        let ids = self.id_dist.generate(self.n, &mut id_rng);
+        TagPopulation::new(
+            ids.into_iter()
+                .map(|id| (id, self.payload.generate(self.info_bits, &mut payload_rng))),
+        )
+    }
+
+    /// Builds a missing-tag variant: the reader expects all `n` IDs but only
+    /// `n - missing` tags are present. Returns `(expected_ids, present)`.
+    ///
+    /// # Panics
+    /// Panics if `missing > n`.
+    pub fn split_missing(&self, missing: usize) -> (Vec<TagId>, TagPopulation) {
+        assert!(missing <= self.n, "cannot remove {missing} of {} tags", self.n);
+        let full = self.build_population();
+        let expected: Vec<TagId> = full.iter().map(|(_, t)| t.id).collect();
+        let mut pick_rng = Xoshiro256::seed_from_u64(split_seed(self.seed, 3));
+        let gone: std::collections::HashSet<usize> = pick_rng
+            .sample_indices(self.n, missing)
+            .into_iter()
+            .collect();
+        let present = TagPopulation::new(
+            full.iter()
+                .filter(|(i, _)| !gone.contains(i))
+                .map(|(_, t)| (t.id, t.info.clone())),
+        );
+        (expected, present)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_is_deterministic() {
+        let s = Scenario::uniform(200, 8).with_seed(9);
+        let a = s.build_population();
+        let b = s.build_population();
+        assert_eq!(a.len(), 200);
+        for (i, tag) in a.iter() {
+            assert_eq!(tag.id, b.get(i).id);
+            assert_eq!(tag.info, b.get(i).info);
+        }
+    }
+
+    #[test]
+    fn different_seeds_different_populations() {
+        let a = Scenario::uniform(50, 1).with_seed(1).build_population();
+        let b = Scenario::uniform(50, 1).with_seed(2).build_population();
+        let ids_a: Vec<_> = a.iter().map(|(_, t)| t.id).collect();
+        let ids_b: Vec<_> = b.iter().map(|(_, t)| t.id).collect();
+        assert_ne!(ids_a, ids_b);
+    }
+
+    #[test]
+    fn info_bits_respected() {
+        let s = Scenario::uniform(10, 32);
+        for (_, t) in s.build_population().iter() {
+            assert_eq!(t.info.len(), 32);
+        }
+    }
+
+    #[test]
+    fn split_missing_partitions() {
+        let s = Scenario::uniform(100, 1).with_seed(5);
+        let (expected, present) = s.split_missing(20);
+        assert_eq!(expected.len(), 100);
+        assert_eq!(present.len(), 80);
+        let present_ids: std::collections::HashSet<_> =
+            present.iter().map(|(_, t)| t.id).collect();
+        let missing = expected
+            .iter()
+            .filter(|id| !present_ids.contains(id))
+            .count();
+        assert_eq!(missing, 20);
+    }
+
+    #[test]
+    fn split_missing_zero_keeps_everyone() {
+        let s = Scenario::uniform(30, 1);
+        let (expected, present) = s.split_missing(0);
+        assert_eq!(expected.len(), present.len());
+    }
+
+    #[test]
+    fn scenario_round_trips_through_json() {
+        let s = Scenario::uniform(42, 16)
+            .with_seed(77)
+            .with_ids(IdDistribution::Clustered { categories: 5 })
+            .with_payload(PayloadKind::BatteryLevel);
+        let json = serde_json::to_string(&s).expect("serialize");
+        let back: Scenario = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot remove")]
+    fn split_missing_rejects_overdraw() {
+        Scenario::uniform(5, 1).split_missing(6);
+    }
+}
