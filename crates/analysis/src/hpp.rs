@@ -179,9 +179,7 @@ mod tests {
     #[test]
     fn overhead_increases_average() {
         let n = 1_000;
-        assert!(
-            average_vector_length_with_overhead(n, 32) > average_vector_length(n)
-        );
+        assert!(average_vector_length_with_overhead(n, 32) > average_vector_length(n));
     }
 
     #[test]

@@ -56,7 +56,12 @@ mod tests {
     #[test]
     fn balance_point_equalizes_mu_and_mu_of_double() {
         let l = LAMBDA_BALANCE;
-        assert!((mu(l) - mu(2.0 * l)).abs() < 1e-12, "{} vs {}", mu(l), mu(2.0 * l));
+        assert!(
+            (mu(l) - mu(2.0 * l)).abs() < 1e-12,
+            "{} vs {}",
+            mu(l),
+            mu(2.0 * l)
+        );
     }
 
     #[test]
@@ -97,7 +102,10 @@ mod tests {
         let mut prev = f64::INFINITY;
         for mu_val in [0.05, 0.1, 0.2, 0.3, 1.0 / core::f64::consts::E] {
             let w = w_plus(mu_val);
-            assert!(w <= prev + 1e-9, "w⁺ not decreasing at μ={mu_val}: {w} > {prev}");
+            assert!(
+                w <= prev + 1e-9,
+                "w⁺ not decreasing at μ={mu_val}: {w} > {prev}"
+            );
             prev = w;
         }
     }

@@ -16,11 +16,7 @@ use rfid_c1g2::{LinkParams, Micros, QUERY_REP_BITS};
 /// Per-tag time for a polling protocol with average vector length `w` bits
 /// collecting `l` payload bits (Fig. 1's y-axis for `l = 1`).
 pub fn poll_time_per_tag(link: &LinkParams, w: f64, l: u64) -> Micros {
-    link.reader_tx(QUERY_REP_BITS)
-        + link.reader_bit * w
-        + link.t1
-        + link.tag_tx(l)
-        + link.t2
+    link.reader_tx(QUERY_REP_BITS) + link.reader_bit * w + link.t1 + link.tag_tx(l) + link.t2
 }
 
 /// Per-tag time of the conventional polling protocol (96-bit ID, no

@@ -41,7 +41,10 @@ pub fn optimal_index_length(n: u64) -> u32 {
 /// Panics if `m == 0` or `m > 2^h`.
 pub fn l_plus(m: u64, h: u32) -> f64 {
     assert!(m >= 1, "empty tree");
-    assert!(h >= 64 || m <= (1u64 << h), "{m} singletons cannot fit {h}-bit indices");
+    assert!(
+        h >= 64 || m <= (1u64 << h),
+        "{m} singletons cannot fit {h}-bit indices"
+    );
     if m == 1 {
         // A single index is a bare path of h nodes.
         return h as f64;

@@ -32,7 +32,10 @@ pub struct CategoryStats {
 pub fn aggregate_by_category(collected: &[(TagId, BitVec)]) -> BTreeMap<u64, CategoryStats> {
     let mut groups: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
     for (id, payload) in collected {
-        groups.entry(id.category()).or_default().push(payload.to_value());
+        groups
+            .entry(id.category())
+            .or_default()
+            .push(payload.to_value());
     }
     groups
         .into_iter()

@@ -44,10 +44,7 @@ pub fn run_polling(protocol: &dyn PollingProtocol, scenario: &Scenario) -> Colle
 
 /// Runs `protocol` over an existing context (for callers that customize the
 /// channel or link parameters) and returns the validated outcome.
-pub fn run_polling_in(
-    protocol: &dyn PollingProtocol,
-    ctx: &mut SimContext,
-) -> CollectionOutcome {
+pub fn run_polling_in(protocol: &dyn PollingProtocol, ctx: &mut SimContext) -> CollectionOutcome {
     let report = protocol.run(ctx);
     ctx.assert_complete();
     let collected = ctx
@@ -109,6 +106,8 @@ mod tests {
     fn payload_lookup_misses_unknown_ids() {
         let scenario = Scenario::uniform(10, 1).with_seed(1);
         let outcome = run_polling(&TppConfig::default().into_protocol(), &scenario);
-        assert!(outcome.payload_of(TagId::from_raw(u32::MAX, u64::MAX)).is_none());
+        assert!(outcome
+            .payload_of(TagId::from_raw(u32::MAX, u64::MAX))
+            .is_none());
     }
 }

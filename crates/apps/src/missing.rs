@@ -13,8 +13,6 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 use rfid_analysis::{hpp::index_length, tpp::optimal_index_length};
 use rfid_c1g2::TimeCategory;
 use rfid_hash::TagHash;
@@ -22,7 +20,7 @@ use rfid_protocols::PollingTree;
 use rfid_system::{SimContext, TagId};
 
 /// Which broadcast scheme carries the singleton indices.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MissingStrategy {
     /// Broadcast each singleton index in full (HPP-style).
     Hpp,
@@ -193,7 +191,10 @@ impl MissingTagApp {
             _ => {
                 // Nobody answers: the reader transmits the vector, waits T1,
                 // and times out — an empty slot that certifies the absence.
-                ctx.wait(TimeCategory::ReaderCommand, ctx.link.reader_tx(4 + vector_bits));
+                ctx.wait(
+                    TimeCategory::ReaderCommand,
+                    ctx.link.reader_tx(4 + vector_bits),
+                );
                 ctx.wait(TimeCategory::Turnaround, ctx.link.t1);
                 ctx.wait(TimeCategory::WastedSlot, ctx.link.t3);
                 ctx.counters.reader_bits += 4 + vector_bits;
@@ -255,7 +256,9 @@ impl MissingTagDetector {
             "confidence must be in [0, 1)"
         );
         let survive = 1.0 - (-1.0f64).exp();
-        ((1.0 - self.confidence).ln() / survive.ln()).ceil().max(1.0) as u64
+        ((1.0 - self.confidence).ln() / survive.ln())
+            .ceil()
+            .max(1.0) as u64
     }
 
     /// Runs detection over the context's population against `expected`.
@@ -306,10 +309,7 @@ impl MissingTagDetector {
                         // Present: replies. Detection must not consume the
                         // tag for later rounds, so wake it back up is not
                         // possible — instead charge the exchange manually.
-                        ctx.wait(
-                            TimeCategory::ReaderCommand,
-                            ctx.link.reader_tx(4 + bits),
-                        );
+                        ctx.wait(TimeCategory::ReaderCommand, ctx.link.reader_tx(4 + bits));
                         ctx.counters.reader_bits += 4 + bits;
                         ctx.counters.query_rep_bits += 4;
                         ctx.wait(TimeCategory::Turnaround, ctx.link.t1);
@@ -318,10 +318,7 @@ impl MissingTagDetector {
                         ctx.wait(TimeCategory::Turnaround, ctx.link.t2);
                     }
                     _ => {
-                        ctx.wait(
-                            TimeCategory::ReaderCommand,
-                            ctx.link.reader_tx(4 + bits),
-                        );
+                        ctx.wait(TimeCategory::ReaderCommand, ctx.link.reader_tx(4 + bits));
                         ctx.counters.reader_bits += 4 + bits;
                         ctx.counters.query_rep_bits += 4;
                         ctx.wait(TimeCategory::Turnaround, ctx.link.t1);
@@ -343,6 +340,8 @@ impl MissingTagDetector {
         }
     }
 }
+
+rfid_system::impl_json_enum_units!(MissingStrategy { Hpp, Tpp });
 
 #[cfg(test)]
 mod tests {
@@ -499,6 +498,10 @@ mod tests {
         // All 10 truly-missing found; false positives ≤ 0.25 % expected
         // (0.05² per tag) — allow a couple.
         assert!(report.missing.len() >= 10);
-        assert!(report.missing.len() <= 13, "{} missing", report.missing.len());
+        assert!(
+            report.missing.len() <= 13,
+            "{} missing",
+            report.missing.len()
+        );
     }
 }

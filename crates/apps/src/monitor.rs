@@ -142,12 +142,7 @@ mod tests {
                 .map(|&id| (id, BitVec::from_value(1, 1))),
         );
         let ctx = SimContext::new(present, &SimConfig::paper(seed));
-        (
-            known_ids.to_vec(),
-            ctx,
-            departed_ids,
-            newcomer_ids.to_vec(),
-        )
+        (known_ids.to_vec(), ctx, departed_ids, newcomer_ids.to_vec())
     }
 
     #[test]
@@ -179,8 +174,7 @@ mod tests {
         let mut monitor = InventoryMonitor::new(known, MonitorConfig::default());
         let report = monitor.epoch(&mut ctx);
         assert_eq!(report.newcomers.len(), 40);
-        let list: std::collections::HashSet<TagId> =
-            monitor.known_ids().into_iter().collect();
+        let list: std::collections::HashSet<TagId> = monitor.known_ids().into_iter().collect();
         for id in newcomers {
             assert!(list.contains(&id), "newcomer {id} not adopted");
         }
@@ -198,9 +192,8 @@ mod tests {
         // After the epoch the list matches the physical population exactly:
         // a follow-up epoch on the same floor is clean.
         let survivors: Vec<TagId> = monitor.known_ids();
-        let present = TagPopulation::new(
-            survivors.iter().map(|&id| (id, BitVec::from_value(1, 1))),
-        );
+        let present =
+            TagPopulation::new(survivors.iter().map(|&id| (id, BitVec::from_value(1, 1))));
         let mut ctx2 = SimContext::new(present, &SimConfig::paper(5));
         let follow_up = monitor.epoch(&mut ctx2);
         assert!(follow_up.clean);

@@ -10,8 +10,6 @@
 //! and the deployment time is the sum over colors of the slowest reader in
 //! each color.
 
-use serde::{Deserialize, Serialize};
-
 use rfid_c1g2::Micros;
 use rfid_hash::{split_seed, Xoshiro256};
 use rfid_protocols::{PollingProtocol, Report};
@@ -19,7 +17,7 @@ use rfid_system::{SimConfig, SimContext, TagPopulation};
 use rfid_workloads::Scenario;
 
 /// One reader and its interrogation zone (a disk).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ReaderZone {
     /// Reader position.
     pub x: f64,
@@ -46,7 +44,7 @@ impl ReaderZone {
 }
 
 /// A planned deployment: readers on a floor, tags scattered uniformly.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeploymentPlan {
     /// Reader zones.
     pub readers: Vec<ReaderZone>,
@@ -190,6 +188,13 @@ pub fn run_deployment(
         total_work,
     }
 }
+
+rfid_system::impl_json_struct!(ReaderZone { x, y, radius });
+rfid_system::impl_json_struct!(DeploymentPlan {
+    readers,
+    width,
+    height
+});
 
 #[cfg(test)]
 mod tests {

@@ -68,7 +68,10 @@ pub fn run_hpp_with_aliens(
         };
         let mut by_index: HashMap<u64, Vec<usize>> = HashMap::new();
         for &handle in &unread {
-            by_index.entry(index_of(ctx, handle)).or_default().push(handle);
+            by_index
+                .entry(index_of(ctx, handle))
+                .or_default()
+                .push(handle);
         }
         // Tag side: every *active* tag — alien or not — picks an index too.
         let mut repliers_of: HashMap<u64, Vec<usize>> = HashMap::new();

@@ -1,0 +1,54 @@
+//! JSON round-trips for the application-layer configuration types.
+
+use rfid_apps::missing::MissingStrategy;
+use rfid_apps::{DeploymentPlan, ReaderZone};
+use rfid_system::{from_json_str, to_json_string, FromJson, ToJson};
+
+fn round_trip<T>(value: &T)
+where
+    T: ToJson + FromJson + PartialEq + std::fmt::Debug,
+{
+    let compact = to_json_string(value);
+    let back: T = from_json_str(&compact).expect("compact parse");
+    assert_eq!(&back, value, "compact round-trip for {compact}");
+    let pretty = value.to_json().to_pretty_string();
+    let back: T = from_json_str(&pretty).expect("pretty parse");
+    assert_eq!(&back, value, "pretty round-trip");
+}
+
+#[test]
+fn missing_strategy_round_trips() {
+    round_trip(&MissingStrategy::Hpp);
+    round_trip(&MissingStrategy::Tpp);
+    assert_eq!(to_json_string(&MissingStrategy::Hpp), "\"Hpp\"");
+}
+
+#[test]
+fn reader_zone_round_trips() {
+    round_trip(&ReaderZone {
+        x: 3.25,
+        y: -1.5,
+        radius: 10.0,
+    });
+}
+
+#[test]
+fn deployment_plan_round_trips() {
+    round_trip(&DeploymentPlan::grid(3, 2, 60.0, 40.0));
+    round_trip(&DeploymentPlan {
+        readers: vec![
+            ReaderZone {
+                x: 0.0,
+                y: 0.0,
+                radius: 5.0,
+            },
+            ReaderZone {
+                x: 12.5,
+                y: 7.75,
+                radius: 8.0,
+            },
+        ],
+        width: 25.0,
+        height: 15.5,
+    });
+}

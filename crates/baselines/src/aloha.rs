@@ -8,14 +8,12 @@
 //! Section VI) quote. Dynamic FSA re-sizes each frame to the remaining tag
 //! count.
 
-use serde::{Deserialize, Serialize};
-
 use rfid_hash::TagHash;
 use rfid_protocols::{PollingProtocol, Report};
 use rfid_system::{SimContext, SlotOutcome};
 
 /// FSA configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FsaConfig {
     /// Frame size as a multiple of the unread-tag count (1.0 = optimal
     /// load; classic DFSA).
@@ -106,6 +104,12 @@ impl PollingProtocol for Fsa {
     }
 }
 
+rfid_system::impl_json_struct!(FsaConfig {
+    frame_factor,
+    round_init_bits,
+    max_rounds
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,8 +141,7 @@ mod tests {
         // totals, which preserve the per-frame ratios at load 1.
         let report = Fsa::default().run(&mut ctx);
         let useful = report.counters.polls as f64;
-        let wasted =
-            (report.counters.empty_slots + report.counters.collision_slots) as f64;
+        let wasted = (report.counters.empty_slots + report.counters.collision_slots) as f64;
         let frac = wasted / (useful + wasted);
         assert!(
             (frac - 0.632).abs() < 0.03,

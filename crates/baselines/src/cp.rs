@@ -12,14 +12,12 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 use rfid_c1g2::crc::crc48_code;
 use rfid_protocols::{PollingProtocol, Report};
 use rfid_system::{id::EPC_BITS, SimContext};
 
 /// Coded-Polling configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CodedPollingConfig {
     /// Safety cap on retry sweeps over a lossy channel.
     pub max_sweeps: u64,
@@ -98,6 +96,8 @@ impl PollingProtocol for CodedPolling {
         Report::from_context(self.name(), ctx)
     }
 }
+
+rfid_system::impl_json_struct!(CodedPollingConfig { max_sweeps });
 
 #[cfg(test)]
 mod tests {

@@ -5,13 +5,11 @@
 //! the 96-bit polling vector makes every poll expensive. CPP is the paper's
 //! baseline: 37.70 s to collect one bit from 10⁴ tags.
 
-use serde::{Deserialize, Serialize};
-
 use rfid_protocols::{PollingProtocol, Report};
 use rfid_system::{id::EPC_BITS, SimContext};
 
 /// CPP configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CppConfig {
     /// Whether the ID broadcast rides behind a 4-bit QueryRep. The paper's
     /// CPP accounting treats the bare ID as the command (Table I's 37.70 s
@@ -73,6 +71,11 @@ impl PollingProtocol for Cpp {
         Report::from_context(self.name(), ctx)
     }
 }
+
+rfid_system::impl_json_struct!(CppConfig {
+    with_query_rep,
+    max_sweeps
+});
 
 #[cfg(test)]
 mod tests {

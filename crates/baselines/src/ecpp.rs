@@ -10,15 +10,13 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use rfid_c1g2::commands::SELECT_FIXED_BITS;
 use rfid_c1g2::TimeCategory;
 use rfid_protocols::{PollingProtocol, Report};
 use rfid_system::{id::EPC_BITS, SimContext};
 
 /// Enhanced-CPP configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EcppConfig {
     /// Prefix length used for grouping (default: the 60-bit category —
     /// header + manager + object class).
@@ -107,12 +105,18 @@ impl PollingProtocol for Ecpp {
     }
 }
 
+rfid_system::impl_json_struct!(EcppConfig {
+    prefix_bits,
+    min_group,
+    max_sweeps
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::cpp::Cpp;
     use rfid_hash::Xoshiro256;
-    use rfid_system::{BitVec, SimConfig, TagPopulation, TagId};
+    use rfid_system::{BitVec, SimConfig, TagId, TagPopulation};
 
     fn clustered_population(n: usize, categories: u32, seed: u64) -> TagPopulation {
         let mut rng = Xoshiro256::seed_from_u64(seed);

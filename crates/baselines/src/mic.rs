@@ -20,15 +20,13 @@
 //! implement `k` hash functions (the storage cost Section V-C holds against
 //! MIC, vs. the single hash of HPP/EHPP/TPP).
 
-use serde::{Deserialize, Serialize};
-
+use rfid_c1g2::TimeCategory;
 use rfid_hash::HashFamily;
 use rfid_protocols::{PollingProtocol, Report};
-use rfid_c1g2::TimeCategory;
 use rfid_system::{SimContext, SlotOutcome};
 
 /// MIC configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MicConfig {
     /// Number of hash functions per tag (the paper compares against k = 7).
     pub k: usize,
@@ -214,6 +212,13 @@ impl PollingProtocol for Mic {
     }
 }
 
+rfid_system::impl_json_struct!(MicConfig {
+    k,
+    frame_factor,
+    round_init_bits,
+    max_rounds
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -265,10 +270,10 @@ mod tests {
                 ..MicConfig::default()
             },
         );
-        let waste7 = r7.counters.empty_slots as f64
-            / (r7.counters.empty_slots + r7.counters.polls) as f64;
-        let waste1 = r1.counters.empty_slots as f64
-            / (r1.counters.empty_slots + r1.counters.polls) as f64;
+        let waste7 =
+            r7.counters.empty_slots as f64 / (r7.counters.empty_slots + r7.counters.polls) as f64;
+        let waste1 =
+            r1.counters.empty_slots as f64 / (r1.counters.empty_slots + r1.counters.polls) as f64;
         assert!(
             waste7 < waste1 / 2.0,
             "waste k=7: {waste7:.3}, k=1: {waste1:.3}"
@@ -312,7 +317,10 @@ mod tests {
         let assigned_count = assignment.iter().flatten().count();
         assert_eq!(replies.len(), assigned_count);
         // k = 7 resolves the lion's share in one frame.
-        assert!(assigned_count > 450, "only {assigned_count} of 500 resolved");
+        assert!(
+            assigned_count > 450,
+            "only {assigned_count} of 500 resolved"
+        );
     }
 
     #[test]

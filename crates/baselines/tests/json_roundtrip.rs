@@ -1,0 +1,62 @@
+//! JSON round-trips for every baseline config that used to derive serde.
+
+use rfid_baselines::{CodedPollingConfig, CppConfig, EcppConfig, FsaConfig, MicConfig};
+use rfid_system::{from_json_str, to_json_string, FromJson, ToJson};
+
+fn round_trip<T>(value: &T)
+where
+    T: ToJson + FromJson + PartialEq + std::fmt::Debug,
+{
+    let compact = to_json_string(value);
+    let back: T = from_json_str(&compact).expect("compact parse");
+    assert_eq!(&back, value, "compact round-trip for {compact}");
+    let pretty = value.to_json().to_pretty_string();
+    let back: T = from_json_str(&pretty).expect("pretty parse");
+    assert_eq!(&back, value, "pretty round-trip");
+}
+
+#[test]
+fn fsa_config_round_trips() {
+    round_trip(&FsaConfig::default());
+    round_trip(&FsaConfig {
+        frame_factor: 1.5,
+        round_init_bits: 48,
+        max_rounds: 1_000,
+    });
+}
+
+#[test]
+fn coded_polling_config_round_trips() {
+    round_trip(&CodedPollingConfig::default());
+    round_trip(&CodedPollingConfig { max_sweeps: 7 });
+}
+
+#[test]
+fn cpp_config_round_trips() {
+    round_trip(&CppConfig::default());
+    round_trip(&CppConfig {
+        with_query_rep: false,
+        max_sweeps: 3,
+    });
+}
+
+#[test]
+fn ecpp_config_round_trips() {
+    round_trip(&EcppConfig::default());
+    round_trip(&EcppConfig {
+        prefix_bits: 9,
+        min_group: 4,
+        max_sweeps: 12,
+    });
+}
+
+#[test]
+fn mic_config_round_trips() {
+    round_trip(&MicConfig::default());
+    round_trip(&MicConfig {
+        k: 5,
+        frame_factor: 0.875,
+        round_init_bits: 64,
+        max_rounds: 200,
+    });
+}

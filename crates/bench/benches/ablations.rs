@@ -1,13 +1,14 @@
 //! Ablation benches for the design choices DESIGN.md §7 calls out.
 //! Each bench measures the *simulated protocol metric* (total inventory
-//! time on the C1G2 clock) rather than host CPU time: Criterion's iteration
-//! wall-time tracks the simulator work, while the printed custom metric is
-//! what the paper's tables report. Run `repro ablations` for the
+//! time on the C1G2 clock) rather than host CPU time: the harness's
+//! iteration wall-time tracks the simulator work, while the printed custom
+//! metric is what the paper's tables report. Run `repro ablations` for the
 //! metric-level summary table.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
 
 use rfid_baselines::MicConfig;
+use rfid_bench::Bench;
 use rfid_protocols::{EhppConfig, IndexRule, PollingProtocol, TppConfig};
 use rfid_system::{BitVec, SimConfig, SimContext, TagPopulation};
 
@@ -17,9 +18,7 @@ fn run_once(protocol: &dyn PollingProtocol, n: usize, seed: u64) -> f64 {
     protocol.run(&mut ctx).total_time.as_secs()
 }
 
-fn ablation_tpp_h(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_tpp_h");
-    group.sample_size(10);
+fn ablation_tpp_h(b: &mut Bench) {
     let n = 10_000;
     for (name, rule) in [
         ("eq15", IndexRule::Eq15Optimal),
@@ -30,42 +29,36 @@ fn ablation_tpp_h(c: &mut Criterion) {
             ..TppConfig::default()
         }
         .into_protocol();
-        group.bench_with_input(BenchmarkId::from_parameter(name), &n, |b, &n| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                black_box(run_once(&protocol, n, seed))
-            })
+        let mut seed = 0u64;
+        b.bench(&format!("ablation_tpp_h/{name}"), || {
+            seed += 1;
+            black_box(run_once(&protocol, n, seed))
         });
     }
-    group.finish();
 }
 
-fn ablation_ehpp_subset(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_ehpp_subset");
-    group.sample_size(10);
+fn ablation_ehpp_subset(b: &mut Bench) {
     let n = 10_000;
     let n_star = EhppConfig::default().effective_subset_size();
-    for (name, size) in [("half", n_star / 2), ("thm1", n_star), ("double", n_star * 2)] {
+    for (name, size) in [
+        ("half", n_star / 2),
+        ("thm1", n_star),
+        ("double", n_star * 2),
+    ] {
         let protocol = EhppConfig {
             subset_size: Some(size),
             ..EhppConfig::default()
         }
         .into_protocol();
-        group.bench_with_input(BenchmarkId::from_parameter(name), &n, |b, &n| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                black_box(run_once(&protocol, n, seed))
-            })
+        let mut seed = 0u64;
+        b.bench(&format!("ablation_ehpp_subset/{name}"), || {
+            seed += 1;
+            black_box(run_once(&protocol, n, seed))
         });
     }
-    group.finish();
 }
 
-fn ablation_mic_k(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_mic_k");
-    group.sample_size(10);
+fn ablation_mic_k(b: &mut Bench) {
     let n = 10_000;
     for k in [1usize, 4, 7] {
         let protocol = MicConfig {
@@ -73,16 +66,19 @@ fn ablation_mic_k(c: &mut Criterion) {
             ..MicConfig::default()
         }
         .into_protocol();
-        group.bench_with_input(BenchmarkId::from_parameter(k), &n, |b, &n| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                black_box(run_once(&protocol, n, seed))
-            })
+        let mut seed = 0u64;
+        b.bench(&format!("ablation_mic_k/{k}"), || {
+            seed += 1;
+            black_box(run_once(&protocol, n, seed))
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, ablation_tpp_h, ablation_ehpp_subset, ablation_mic_k);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::new("ablations");
+    b.sample_size(10);
+    ablation_tpp_h(&mut b);
+    ablation_ehpp_subset(&mut b);
+    ablation_mic_k(&mut b);
+    b.finish();
+}

@@ -1,11 +1,13 @@
 //! End-to-end simulator throughput: one full inventory per protocol.
 //! (The *protocol-metric* regeneration lives in the `repro` binary; these
 //! benches measure how fast the simulator itself runs, which is what caps
-//! Monte-Carlo experiment turnaround.)
+//! Monte-Carlo experiment turnaround.) Runs on the in-repo harness
+//! (`rfid_bench::Bench`), so `cargo bench` needs nothing from crates-io.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
 
 use rfid_baselines::{CppConfig, MicConfig};
+use rfid_bench::Bench;
 use rfid_estimate::EstimationProtocol;
 use rfid_identify::{BinarySplitConfig, QAlgorithmConfig, QueryTreeConfig};
 use rfid_protocols::{EhppConfig, HppConfig, PollingProtocol, TppConfig};
@@ -20,9 +22,7 @@ fn run_once(protocol: &dyn PollingProtocol, n: usize, seed: u64) -> f64 {
     protocol.run(&mut ctx).total_time.as_secs()
 }
 
-fn bench_full_runs(c: &mut Criterion) {
-    let mut group = c.benchmark_group("inventory");
-    group.sample_size(10);
+fn bench_full_runs(b: &mut Bench) {
     let n = 10_000;
     let protocols: Vec<(&str, Box<dyn PollingProtocol>)> = vec![
         ("cpp", Box::new(CppConfig::default().into_protocol())),
@@ -32,75 +32,67 @@ fn bench_full_runs(c: &mut Criterion) {
         ("mic", Box::new(MicConfig::default().into_protocol())),
     ];
     for (name, protocol) in &protocols {
-        group.bench_with_input(BenchmarkId::new(*name, n), &n, |b, &n| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                black_box(run_once(protocol.as_ref(), n, seed))
-            })
+        let mut seed = 0u64;
+        b.bench(&format!("inventory/{name}/{n}"), || {
+            seed += 1;
+            black_box(run_once(protocol.as_ref(), n, seed))
         });
     }
-    group.finish();
 }
 
-fn bench_tpp_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("tpp_scaling");
-    group.sample_size(10);
+fn bench_tpp_scaling(b: &mut Bench) {
     let tpp = TppConfig::default().into_protocol();
-    for &n in &[1_000usize, 10_000, 100_000] {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                black_box(run_once(&tpp, n, seed))
-            })
+    for n in [1_000usize, 10_000, 100_000] {
+        let mut seed = 0u64;
+        b.bench(&format!("tpp_scaling/{n}"), || {
+            seed += 1;
+            black_box(run_once(&tpp, n, seed))
         });
     }
-    group.finish();
 }
 
-fn bench_identification(c: &mut Criterion) {
-    let mut group = c.benchmark_group("identification");
-    group.sample_size(10);
+fn bench_identification(b: &mut Bench) {
     let n = 2_000;
     let protocols: Vec<(&str, Box<dyn PollingProtocol>)> = vec![
-        ("q_algo", Box::new(QAlgorithmConfig::default().into_protocol())),
-        ("query_tree", Box::new(QueryTreeConfig::default().into_protocol())),
-        ("bin_split", Box::new(BinarySplitConfig::default().into_protocol())),
+        (
+            "q_algo",
+            Box::new(QAlgorithmConfig::default().into_protocol()),
+        ),
+        (
+            "query_tree",
+            Box::new(QueryTreeConfig::default().into_protocol()),
+        ),
+        (
+            "bin_split",
+            Box::new(BinarySplitConfig::default().into_protocol()),
+        ),
     ];
     for (name, protocol) in &protocols {
-        group.bench_with_input(BenchmarkId::new(*name, n), &n, |b, &n| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                black_box(run_once(protocol.as_ref(), n, seed))
-            })
+        let mut seed = 0u64;
+        b.bench(&format!("identification/{name}/{n}"), || {
+            seed += 1;
+            black_box(run_once(protocol.as_ref(), n, seed))
         });
     }
-    group.finish();
 }
 
-fn bench_estimation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("estimation");
-    group.sample_size(10);
-    for &n in &[1_000usize, 10_000, 100_000] {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                let mut ctx = SimContext::new(population(n), &SimConfig::paper(seed));
-                black_box(EstimationProtocol::default().run(&mut ctx).estimate)
-            })
+fn bench_estimation(b: &mut Bench) {
+    for n in [1_000usize, 10_000, 100_000] {
+        let mut seed = 0u64;
+        b.bench(&format!("estimation/{n}"), || {
+            seed += 1;
+            let mut ctx = SimContext::new(population(n), &SimConfig::paper(seed));
+            black_box(EstimationProtocol::default().run(&mut ctx).estimate)
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_full_runs,
-    bench_tpp_scaling,
-    bench_identification,
-    bench_estimation
-);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::new("protocols");
+    b.sample_size(10);
+    bench_full_runs(&mut b);
+    bench_tpp_scaling(&mut b);
+    bench_identification(&mut b);
+    bench_estimation(&mut b);
+    b.finish();
+}

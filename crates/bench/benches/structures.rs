@@ -1,27 +1,26 @@
 //! Micro-benchmarks of the core data structures: the polling tree, the
 //! singleton sift, the tag hash, and the bit vector — the hot paths of a
-//! reader implementation.
+//! reader implementation. Runs on the in-repo harness (`rfid_bench::Bench`),
+//! so `cargo bench` needs nothing from crates-io.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
 
+use rfid_bench::Bench;
 use rfid_hash::{TagHash, Xoshiro256};
 use rfid_protocols::PollingTree;
 use rfid_system::BitVec;
 
-fn bench_tag_hash(c: &mut Criterion) {
+fn bench_tag_hash(b: &mut Bench) {
     let hash = TagHash::new(0xDEAD_BEEF);
-    c.bench_function("hash/tag_index", |b| {
-        let mut id = 0u64;
-        b.iter(|| {
-            id = id.wrapping_add(1);
-            black_box(hash.index(7, id, 14))
-        })
+    let mut id = 0u64;
+    b.bench("hash/tag_index", || {
+        id = id.wrapping_add(1);
+        black_box(hash.index(7, id, 14))
     });
 }
 
-fn bench_polling_tree(c: &mut Criterion) {
-    let mut group = c.benchmark_group("tree");
-    for &m in &[100usize, 1_000, 10_000] {
+fn bench_polling_tree(b: &mut Bench) {
+    for m in [100usize, 1_000, 10_000] {
         let h = 16u32;
         let mut rng = Xoshiro256::seed_from_u64(1);
         let mut set = std::collections::BTreeSet::new();
@@ -29,83 +28,71 @@ fn bench_polling_tree(c: &mut Criterion) {
             set.insert(rng.below(1 << h));
         }
         let indices: Vec<u64> = set.into_iter().collect();
-        group.bench_with_input(BenchmarkId::new("build", m), &indices, |b, idx| {
-            b.iter(|| black_box(PollingTree::from_indices(h, idx)))
+        b.bench(&format!("tree/build/{m}"), || {
+            black_box(PollingTree::from_indices(h, &indices))
         });
         let tree = PollingTree::from_indices(h, &indices);
-        group.bench_with_input(BenchmarkId::new("traverse", m), &tree, |b, t| {
-            b.iter(|| black_box(t.preorder_segments()))
+        b.bench(&format!("tree/traverse/{m}"), || {
+            black_box(tree.preorder_segments())
         });
         let segments = tree.preorder_segments();
-        group.bench_with_input(BenchmarkId::new("decode", m), &segments, |b, segs| {
-            b.iter(|| black_box(PollingTree::decode_segments(h, segs)))
+        b.bench(&format!("tree/decode/{m}"), || {
+            black_box(PollingTree::decode_segments(h, &segments))
         });
     }
-    group.finish();
 }
 
-fn bench_bitvec(c: &mut Criterion) {
-    let mut group = c.benchmark_group("bitvec");
-    group.bench_function("push_1k", |b| {
-        b.iter(|| {
-            let mut v = BitVec::with_capacity(1_000);
-            for i in 0..1_000 {
-                v.push(i % 3 == 0);
-            }
-            black_box(v)
-        })
+fn bench_bitvec(b: &mut Bench) {
+    b.bench("bitvec/push_1k", || {
+        let mut v = BitVec::with_capacity(1_000);
+        for i in 0..1_000 {
+            v.push(i % 3 == 0);
+        }
+        black_box(v)
     });
     let a = BitVec::from_value(0xDEAD_BEEF_F00D, 48);
     let mut big = BitVec::zeros(48);
-    group.bench_function("overwrite_suffix", |b| {
-        b.iter(|| {
-            big.overwrite_suffix(black_box(&a));
-            black_box(&big);
-        })
+    b.bench("bitvec/overwrite_suffix", || {
+        big.overwrite_suffix(black_box(&a));
+        black_box(&big);
     });
-    group.finish();
 }
 
-fn bench_singleton_sift(c: &mut Criterion) {
+fn bench_singleton_sift(b: &mut Bench) {
     // The reader-side per-round cost at scale: hash + sort + group.
-    let mut group = c.benchmark_group("sift");
-    group.sample_size(20);
-    for &n in &[10_000usize, 100_000] {
+    for n in [10_000usize, 100_000] {
         let hash = TagHash::new(42);
         let ids: Vec<u64> = (0..n as u64).collect();
         let h = 17u32;
-        group.bench_with_input(BenchmarkId::new("round", n), &ids, |b, ids| {
-            b.iter(|| {
-                let mut pairs: Vec<(u64, usize)> = ids
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &id)| (hash.index(0, id, h), i))
-                    .collect();
-                pairs.sort_unstable();
-                let mut singles = 0usize;
-                let mut i = 0;
-                while i < pairs.len() {
-                    let mut j = i + 1;
-                    while j < pairs.len() && pairs[j].0 == pairs[i].0 {
-                        j += 1;
-                    }
-                    if j - i == 1 {
-                        singles += 1;
-                    }
-                    i = j;
+        b.bench(&format!("sift/round/{n}"), || {
+            let mut pairs: Vec<(u64, usize)> = ids
+                .iter()
+                .enumerate()
+                .map(|(i, &id)| (hash.index(0, id, h), i))
+                .collect();
+            pairs.sort_unstable();
+            let mut singles = 0usize;
+            let mut i = 0;
+            while i < pairs.len() {
+                let mut j = i + 1;
+                while j < pairs.len() && pairs[j].0 == pairs[i].0 {
+                    j += 1;
                 }
-                black_box(singles)
-            })
+                if j - i == 1 {
+                    singles += 1;
+                }
+                i = j;
+            }
+            black_box(singles)
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_tag_hash,
-    bench_polling_tree,
-    bench_bitvec,
-    bench_singleton_sift
-);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::new("structures");
+    bench_tag_hash(&mut b);
+    bench_polling_tree(&mut b);
+    bench_bitvec(&mut b);
+    bench_singleton_sift(&mut b);
+    b.finish();
+}

@@ -39,7 +39,10 @@ struct Options {
 
 /// A table row: label plus a thread-safe factory of fresh protocol
 /// instances.
-type ProtocolRow = (&'static str, Box<dyn Fn() -> Box<dyn PollingProtocol> + Sync>);
+type ProtocolRow = (
+    &'static str,
+    Box<dyn Fn() -> Box<dyn PollingProtocol> + Sync>,
+);
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -270,11 +273,26 @@ fn table(opts: &Options, l: usize) {
     println!();
 
     let rows: Vec<ProtocolRow> = vec![
-        ("CPP", Box::new(|| Box::new(CppConfig::default().into_protocol()))),
-        ("HPP", Box::new(|| Box::new(HppConfig::default().into_protocol()))),
-        ("EHPP", Box::new(|| Box::new(EhppConfig::default().into_protocol()))),
-        ("MIC", Box::new(|| Box::new(MicConfig::default().into_protocol()))),
-        ("TPP", Box::new(|| Box::new(TppConfig::default().into_protocol()))),
+        (
+            "CPP",
+            Box::new(|| Box::new(CppConfig::default().into_protocol())),
+        ),
+        (
+            "HPP",
+            Box::new(|| Box::new(HppConfig::default().into_protocol())),
+        ),
+        (
+            "EHPP",
+            Box::new(|| Box::new(EhppConfig::default().into_protocol())),
+        ),
+        (
+            "MIC",
+            Box::new(|| Box::new(MicConfig::default().into_protocol())),
+        ),
+        (
+            "TPP",
+            Box::new(|| Box::new(TppConfig::default().into_protocol())),
+        ),
         ("LowerBound", Box::new(|| Box::new(LowerBound))),
     ];
 
@@ -303,7 +321,9 @@ fn table(opts: &Options, l: usize) {
     // Paper anchors where the text quotes them.
     match l {
         1 => {
-            println!("paper (n = 10^4): CPP 37.70, HPP 8.12, EHPP 6.63, MIC 5.15, TPP 4.39, LB 3.25");
+            println!(
+                "paper (n = 10^4): CPP 37.70, HPP 8.12, EHPP 6.63, MIC 5.15, TPP 4.39, LB 3.25"
+            );
             if let Some(col) = ns.iter().position(|&n| n == 10_000) {
                 for (row, anchor) in measured.iter().zip(anchors::TABLE1.iter()) {
                     if let Some(p) = anchor.seconds[2] {
@@ -358,13 +378,31 @@ fn energy(opts: &Options) {
     let link = LinkParams::paper();
     let params = EnergyParams::semi_passive();
     println!("\n== Energy extension — per-tag energy, semi-passive tags (n = {n}, {runs} runs) ==");
-    println!("{:<12} {:>14} {:>12} {:>12}", "protocol", "per tag (µJ)", "rx (mJ)", "tx (mJ)");
+    println!(
+        "{:<12} {:>14} {:>12} {:>12}",
+        "protocol", "per tag (µJ)", "rx (mJ)", "tx (mJ)"
+    );
     let rows: Vec<ProtocolRow> = vec![
-        ("CPP", Box::new(|| Box::new(CppConfig::default().into_protocol()))),
-        ("HPP", Box::new(|| Box::new(HppConfig::default().into_protocol()))),
-        ("EHPP", Box::new(|| Box::new(EhppConfig::default().into_protocol()))),
-        ("MIC", Box::new(|| Box::new(MicConfig::default().into_protocol()))),
-        ("TPP", Box::new(|| Box::new(TppConfig::default().into_protocol()))),
+        (
+            "CPP",
+            Box::new(|| Box::new(CppConfig::default().into_protocol())),
+        ),
+        (
+            "HPP",
+            Box::new(|| Box::new(HppConfig::default().into_protocol())),
+        ),
+        (
+            "EHPP",
+            Box::new(|| Box::new(EhppConfig::default().into_protocol())),
+        ),
+        (
+            "MIC",
+            Box::new(|| Box::new(MicConfig::default().into_protocol())),
+        ),
+        (
+            "TPP",
+            Box::new(|| Box::new(TppConfig::default().into_protocol())),
+        ),
     ];
     for (label, factory) in &rows {
         let reports = montecarlo(&scenario, runs, factory.as_ref());
@@ -453,8 +491,7 @@ fn ablations(opts: &Options) {
         let waste: Vec<f64> = reports
             .iter()
             .map(|r| {
-                r.counters.empty_slots as f64
-                    / (r.counters.empty_slots + r.counters.polls) as f64
+                r.counters.empty_slots as f64 / (r.counters.empty_slots + r.counters.polls) as f64
             })
             .collect();
         println!(

@@ -1,16 +1,19 @@
-//! # rfid-bench — experiment harness shared by `repro` and the Criterion
-//! benches.
+//! # rfid-bench — experiment harness shared by `repro` and the micro-benches.
 //!
-//! Provides the parallel Monte-Carlo runner (crossbeam-scoped threads, one
+//! Provides the parallel Monte-Carlo runner (std scoped threads, one
 //! deterministic seed per run fanned out from a master seed), summary
-//! statistics, and the paper's anchor values for side-by-side reporting.
+//! statistics, a dependency-free wall-clock micro-bench harness, and the
+//! paper's anchor values for side-by-side reporting. Everything here builds
+//! offline against the standard library alone.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod anchors;
+pub mod harness;
 pub mod runner;
 pub mod stats;
 
+pub use harness::{Bench, Measurement};
 pub use runner::{montecarlo, ProtocolFactory};
 pub use stats::Summary;

@@ -1,7 +1,5 @@
 //! Parallel Monte-Carlo execution of protocol runs.
 
-use crossbeam::thread;
-
 use rfid_apps::info_collect::run_polling;
 use rfid_protocols::{PollingProtocol, Report};
 use rfid_workloads::Scenario;
@@ -22,10 +20,12 @@ pub fn montecarlo(scenario: &Scenario, runs: u64, factory: &ProtocolFactory<'_>)
     let chunk = runs.div_ceil(workers as u64);
     let mut out: Vec<Option<Report>> = vec![None; runs as usize];
 
-    thread::scope(|scope| {
+    // std scoped threads (stable since 1.63): a panic in any worker
+    // propagates when the scope joins, like crossbeam's `.expect` did.
+    std::thread::scope(|scope| {
         for (w, slice) in out.chunks_mut(chunk as usize).enumerate() {
             let base = w as u64 * chunk;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (i, slot) in slice.iter_mut().enumerate() {
                     let run_seed = rfid_hash::split_seed(scenario.seed, base + i as u64);
                     let sc = scenario.clone().with_seed(run_seed);
@@ -34,10 +34,11 @@ pub fn montecarlo(scenario: &Scenario, runs: u64, factory: &ProtocolFactory<'_>)
                 }
             });
         }
-    })
-    .expect("worker panicked");
+    });
 
-    out.into_iter().map(|r| r.expect("all runs filled")).collect()
+    out.into_iter()
+        .map(|r| r.expect("all runs filled"))
+        .collect()
 }
 
 #[cfg(test)]

@@ -5,8 +5,6 @@
 //! (polling vectors, tree segments, indicator vectors, circle commands) carry
 //! their own explicit bit counts.
 
-use serde::{Deserialize, Serialize};
-
 use crate::params::LinkParams;
 use crate::time::Micros;
 
@@ -29,7 +27,7 @@ pub const SELECT_FIXED_BITS: u64 = 4 + 3 + 3 + 2 + 8 + 8 + 1 + 16;
 ///
 /// The enum distinguishes the standard inventory commands from the
 /// protocol-specific broadcasts so event traces stay self-describing.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Command {
     /// Standard 22-bit `Query`, starting an inventory round.
     Query,
@@ -119,7 +117,10 @@ mod tests {
         assert_eq!(Command::Query.bits(), 22);
         assert_eq!(Command::QueryRep.bits(), 4);
         assert_eq!(Command::Ack.bits(), 18);
-        assert_eq!(Command::Select { mask_bits: 32 }.bits(), SELECT_FIXED_BITS + 32);
+        assert_eq!(
+            Command::Select { mask_bits: 32 }.bits(),
+            SELECT_FIXED_BITS + 32
+        );
     }
 
     #[test]

@@ -10,12 +10,10 @@
 //! `M ∈ {2, 4, 8}` subcarrier cycles per bit: one bit takes `M · Tpri`
 //! (with FM0 counted as `M = 1`). Higher `M` trades data rate for robustness.
 
-use serde::{Deserialize, Serialize};
-
 use crate::time::Micros;
 
 /// Reader→tag PIE encoding, parameterized by the data-1 length.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ReaderEncoding {
     /// Length of a data-1 symbol as a multiple of Tari (1.5 ..= 2.0).
     data1_tari: f64,
@@ -32,6 +30,12 @@ impl ReaderEncoding {
             "PIE data-1 must be 1.5-2.0 Tari, got {data1_tari}"
         );
         ReaderEncoding { data1_tari }
+    }
+
+    /// The data-1 length in Tari units this encoding was built with.
+    #[inline]
+    pub fn data1_tari(&self) -> f64 {
+        self.data1_tari
     }
 
     /// Duration of a data-0 symbol.
@@ -67,7 +71,7 @@ impl ReaderEncoding {
 }
 
 /// Tag→reader backscatter encoding.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TagEncoding {
     /// FM0 baseband: one pulse-repetition interval per bit.
     Fm0,

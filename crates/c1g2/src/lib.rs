@@ -50,6 +50,8 @@ pub mod time;
 pub mod timing;
 
 pub use commands::{Command, QUERY_REP_BITS};
-pub use params::LinkParams;
+pub use encoding::{ReaderEncoding, TagEncoding};
+pub use params::{DivideRatio, LinkParams};
+pub use query::{MemBank, QueryCommand, SelField, Session, Target, UpDn};
 pub use time::Micros;
 pub use timing::{Clock, TimeBreakdown, TimeCategory};

@@ -22,13 +22,11 @@
 //! the primitive symbols instead, for users who want to explore other
 //! operating points of the standard.
 
-use serde::{Deserialize, Serialize};
-
 use crate::encoding::{ReaderEncoding, TagEncoding};
 use crate::time::Micros;
 
 /// Divide ratio announced in the `Query` command (`DR` field).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DivideRatio {
     /// DR = 8.
     Dr8,
@@ -50,7 +48,7 @@ impl DivideRatio {
 ///
 /// Data rates are stored as per-bit durations, which is what every cost
 /// computation actually needs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinkParams {
     /// Duration of one reader→tag bit.
     pub reader_bit: Micros,

@@ -61,11 +61,7 @@ pub fn pie_demodulate(symbols: &[f64], rtcal: Micros) -> Option<Vec<bool>> {
 
 /// The reader frame preamble: delimiter (fixed 12.5 µs), a data-0, `RTcal`,
 /// and (for Query frames) `TRcal`. Returned as raw durations.
-pub fn reader_preamble(
-    tari: Micros,
-    encoding: &ReaderEncoding,
-    trcal: Option<Micros>,
-) -> Vec<f64> {
+pub fn reader_preamble(tari: Micros, encoding: &ReaderEncoding, trcal: Option<Micros>) -> Vec<f64> {
     let mut p = vec![
         12.5,
         encoding.data0(tari).as_f64(),
@@ -194,7 +190,8 @@ pub fn subcarrier_expand(baseband: &[bool], m: u32) -> Vec<bool> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use rfid_hash::prop::check;
+    use rfid_hash::{prop_assert_eq, prop_assert_ne};
 
     fn tari() -> Micros {
         Micros::from_us(25.0)
@@ -228,7 +225,7 @@ mod tests {
         assert!((p[1] - 25.0).abs() < 1e-9); // data-0
         assert!((p[2] - 75.0).abs() < 1e-9); // RTcal = 25 + 50
         assert!((p[3] - 200.0).abs() < 1e-9); // TRcal
-        // Frame-sync (non-Query) omits TRcal.
+                                              // Frame-sync (non-Query) omits TRcal.
         assert_eq!(reader_preamble(tari(), &enc(), None).len(), 3);
     }
 
@@ -310,31 +307,42 @@ mod tests {
         assert_eq!(QueryCommand::validate(&received), Some(9));
     }
 
-    proptest! {
-        #[test]
-        fn prop_pie_round_trips(bits in proptest::collection::vec(any::<bool>(), 0..200)) {
+    #[test]
+    fn prop_pie_round_trips() {
+        check("pie round-trips", 256, |g| {
+            let bits = g.vec_bool(0, 200);
             let symbols = pie_modulate(&bits, tari(), &enc());
             let rtcal = enc().rtcal(tari());
             prop_assert_eq!(pie_demodulate(&symbols, rtcal), Some(bits));
-        }
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn prop_fm0_round_trips(bits in proptest::collection::vec(any::<bool>(), 0..200)) {
+    #[test]
+    fn prop_fm0_round_trips() {
+        check("fm0 round-trips", 256, |g| {
+            let bits = g.vec_bool(0, 200);
             let levels = fm0_encode(&bits);
             prop_assert_eq!(fm0_decode(&levels), Some(bits));
-        }
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn prop_miller_round_trips(bits in proptest::collection::vec(any::<bool>(), 0..200)) {
+    #[test]
+    fn prop_miller_round_trips() {
+        check("miller round-trips", 256, |g| {
+            let bits = g.vec_bool(0, 200);
             let levels = miller_baseband(&bits);
             prop_assert_eq!(miller_baseband_decode(&levels), Some(bits));
-        }
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn prop_fm0_detects_any_single_level_flip(
-            bits in proptest::collection::vec(any::<bool>(), 1..100),
-            flip_frac in 0.0f64..1.0,
-        ) {
+    #[test]
+    fn prop_fm0_detects_any_single_level_flip() {
+        check("fm0 detects any single level flip", 256, |g| {
+            let bits = g.vec_bool(1, 100);
+            let flip_frac = g.f64_unit();
             let levels = fm0_encode(&bits);
             let flip = ((levels.len() - 1) as f64 * flip_frac) as usize;
             let mut bad = levels.clone();
@@ -344,6 +352,7 @@ mod tests {
             // the original.
             let decoded = fm0_decode(&bad);
             prop_assert_ne!(decoded, Some(bits));
-        }
+            Ok(())
+        });
     }
 }

@@ -10,14 +10,12 @@
 //! * `QueryRep` — 4 bits: code `00`, Session(2);
 //! * `QueryAdjust` — 9 bits: code `1001`, Session(2), UpDn(3).
 
-use serde::{Deserialize, Serialize};
-
 use crate::crc::crc5;
 use crate::encoding::TagEncoding;
 use crate::params::DivideRatio;
 
 /// C1G2 inventory session.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Session {
     /// Session S0.
     S0,
@@ -41,7 +39,7 @@ impl Session {
 }
 
 /// Which tags a Query addresses (the `Sel` field).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SelField {
     /// All tags.
     All,
@@ -62,7 +60,7 @@ impl SelField {
 }
 
 /// Inventoried-flag target (the `Target` field).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Target {
     /// Tags whose inventoried flag is A.
     A,
@@ -71,7 +69,7 @@ pub enum Target {
 }
 
 /// Frame-size adjustment of QueryAdjust (the `UpDn` field).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum UpDn {
     /// Q unchanged.
     Unchanged,
@@ -92,7 +90,7 @@ impl UpDn {
 }
 
 /// A fully specified `Query` command.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QueryCommand {
     /// Divide ratio DR.
     pub dr: DivideRatio,
@@ -199,7 +197,7 @@ pub fn query_adjust_bits(session: Session, updn: UpDn) -> Vec<bool> {
 }
 
 /// Memory bank addressed by a Select mask.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MemBank {
     /// Reserved bank.
     Reserved,
@@ -277,7 +275,10 @@ mod tests {
     #[test]
     fn query_length_matches_commands_module() {
         assert_eq!(QueryCommand::BITS as u64, crate::commands::QUERY_BITS);
-        assert_eq!(query_rep_bits(Session::S1).len() as u64, crate::commands::QUERY_REP_BITS);
+        assert_eq!(
+            query_rep_bits(Session::S1).len() as u64,
+            crate::commands::QUERY_REP_BITS
+        );
     }
 
     #[test]
@@ -328,7 +329,10 @@ mod tests {
 
     #[test]
     fn query_rep_encodes_session() {
-        assert_eq!(query_rep_bits(Session::S0), vec![false, false, false, false]);
+        assert_eq!(
+            query_rep_bits(Session::S0),
+            vec![false, false, false, false]
+        );
         assert_eq!(query_rep_bits(Session::S3), vec![false, false, true, true]);
     }
 

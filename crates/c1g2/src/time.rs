@@ -10,14 +10,12 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
-
 /// A span of time in microseconds.
 ///
 /// `Micros` is ordered, hashable via its bit pattern is *not* provided
 /// (floats), but ordering uses `partial_cmp` with the invariant — enforced by
 /// construction — that values are finite and non-negative.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Micros(f64);
 
 impl Micros {

@@ -9,12 +9,10 @@
 use std::fmt;
 use std::ops::{Add, AddAssign};
 
-use serde::{Deserialize, Serialize};
-
 use crate::time::Micros;
 
 /// Buckets for the time breakdown.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TimeCategory {
     /// Fixed reader command overhead (Query/QueryRep/Select/round-init).
     ReaderCommand,
@@ -66,7 +64,7 @@ impl TimeCategory {
 }
 
 /// Per-category time totals.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct TimeBreakdown {
     buckets: [Micros; 6],
 }
@@ -117,15 +115,24 @@ impl fmt::Display for TimeBreakdown {
             if t.is_zero() {
                 continue;
             }
-            let pct = if total.is_zero() { 0.0 } else { t / total * 100.0 };
-            writeln!(f, "  {:<18} {:>12}  ({pct:5.1} %)", cat.label(), t.to_string())?;
+            let pct = if total.is_zero() {
+                0.0
+            } else {
+                t / total * 100.0
+            };
+            writeln!(
+                f,
+                "  {:<18} {:>12}  ({pct:5.1} %)",
+                cat.label(),
+                t.to_string()
+            )?;
         }
         Ok(())
     }
 }
 
 /// An accumulating clock: total elapsed time plus the breakdown.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Clock {
     elapsed: Micros,
     breakdown: TimeBreakdown,
@@ -174,8 +181,14 @@ mod tests {
         c.spend(TimeCategory::TagReply, Micros::from_us(25.0));
         c.spend(TimeCategory::ReaderCommand, Micros::from_us(5.0));
         assert_eq!(c.total(), Micros::from_us(40.0));
-        assert_eq!(c.breakdown().get(TimeCategory::ReaderCommand), Micros::from_us(15.0));
-        assert_eq!(c.breakdown().get(TimeCategory::TagReply), Micros::from_us(25.0));
+        assert_eq!(
+            c.breakdown().get(TimeCategory::ReaderCommand),
+            Micros::from_us(15.0)
+        );
+        assert_eq!(
+            c.breakdown().get(TimeCategory::TagReply),
+            Micros::from_us(25.0)
+        );
         assert_eq!(c.breakdown().get(TimeCategory::Turnaround), Micros::ZERO);
     }
 
@@ -197,7 +210,10 @@ mod tests {
         b.spend(TimeCategory::PollingVector, Micros::from_us(7.0));
         a.absorb(&b);
         assert_eq!(a.total(), Micros::from_us(157.0));
-        assert_eq!(a.breakdown().get(TimeCategory::Turnaround), Micros::from_us(150.0));
+        assert_eq!(
+            a.breakdown().get(TimeCategory::Turnaround),
+            Micros::from_us(150.0)
+        );
     }
 
     #[test]

@@ -1,9 +1,7 @@
 //! Frame observations: what a reader sees in one estimation frame.
 
-use serde::{Deserialize, Serialize};
-
 /// Slot-status counts of one observed ALOHA frame.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FrameObservation {
     /// Frame size `f`.
     pub frame: u64,
@@ -50,6 +48,13 @@ impl FrameObservation {
         FrameObservation::new(frame, empty, singleton, frame - empty - singleton)
     }
 }
+
+rfid_system::impl_json_struct!(FrameObservation {
+    frame,
+    empty,
+    singleton,
+    collision
+});
 
 #[cfg(test)]
 mod tests {

@@ -6,8 +6,6 @@
 //! result seeds hashed polling when the reader must size an unknown
 //! population (see `examples/estimation.rs`).
 
-use serde::{Deserialize, Serialize};
-
 use rfid_c1g2::TimeCategory;
 use rfid_hash::TagHash;
 use rfid_system::{SimContext, SlotOutcome};
@@ -16,7 +14,7 @@ use crate::estimators::{geometric_estimator, geometric_slot, zero_estimator};
 use crate::frame::FrameObservation;
 
 /// Estimation configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EstimationConfig {
     /// Number of refinement frames after the coarse geometric frame.
     pub refinement_frames: u32,
@@ -42,7 +40,7 @@ impl Default for EstimationConfig {
 }
 
 /// Result of one estimation run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EstimationResult {
     /// Final estimate `n̂`.
     pub estimate: f64,
@@ -110,8 +108,7 @@ impl EstimationProtocol {
         let mut contributions: Vec<f64> = Vec::new();
         const JOIN_RANGE: u64 = 1 << 30;
         for _ in 0..self.cfg.refinement_frames {
-            let p = p_override
-                .unwrap_or_else(|| (frame as f64 / estimate.max(1.0)).min(1.0));
+            let p = p_override.unwrap_or_else(|| (frame as f64 / estimate.max(1.0)).min(1.0));
             let seed = ctx.draw_round_seed();
             let join_hash = TagHash::new(mix_seed(seed, 1));
             let slot_hash = TagHash::new(mix_seed(seed, 2));
@@ -144,8 +141,7 @@ impl EstimationProtocol {
             match zero_estimator(&obs) {
                 Some(participants) => {
                     contributions.push(participants / p);
-                    estimate =
-                        contributions.iter().sum::<f64>() / contributions.len() as f64;
+                    estimate = contributions.iter().sum::<f64>() / contributions.len() as f64;
                     p_override = None;
                 }
                 None => {
@@ -162,6 +158,18 @@ impl EstimationProtocol {
         }
     }
 }
+
+rfid_system::impl_json_struct!(EstimationConfig {
+    refinement_frames,
+    frame_size,
+    frame_init_bits,
+    geometric_slots,
+});
+rfid_system::impl_json_struct!(EstimationResult {
+    estimate,
+    coarse,
+    time
+});
 
 #[cfg(test)]
 mod tests {
@@ -184,7 +192,11 @@ mod tests {
             }
             let est = acc / trials as f64;
             let err = (est - n as f64).abs() / n as f64;
-            assert!(err < 0.10, "n = {n}: estimate {est} ({:.1} % off)", err * 100.0);
+            assert!(
+                err < 0.10,
+                "n = {n}: estimate {est} ({:.1} % off)",
+                err * 100.0
+            );
         }
     }
 
@@ -202,11 +214,7 @@ mod tests {
         let r = estimate(10_000, 2);
         // A full TPP inventory of 10⁴ tags takes ≈ 4.4 s; estimation must
         // be a small fraction of that.
-        assert!(
-            r.time.as_secs() < 0.5 * 4.4,
-            "estimation took {}",
-            r.time
-        );
+        assert!(r.time.as_secs() < 0.5 * 4.4, "estimation took {}", r.time);
     }
 
     #[test]

@@ -1,0 +1,47 @@
+//! JSON round-trips for the estimation configs and results.
+
+use rfid_c1g2::Micros;
+use rfid_estimate::{EstimationConfig, EstimationResult, FrameObservation};
+use rfid_system::{from_json_str, to_json_string, FromJson, ToJson};
+
+fn round_trip<T>(value: &T)
+where
+    T: ToJson + FromJson + PartialEq + std::fmt::Debug,
+{
+    let compact = to_json_string(value);
+    let back: T = from_json_str(&compact).expect("compact parse");
+    assert_eq!(&back, value, "compact round-trip for {compact}");
+    let pretty = value.to_json().to_pretty_string();
+    let back: T = from_json_str(&pretty).expect("pretty parse");
+    assert_eq!(&back, value, "pretty round-trip");
+}
+
+#[test]
+fn frame_observation_round_trips() {
+    round_trip(&FrameObservation {
+        frame: 128,
+        empty: 40,
+        singleton: 60,
+        collision: 28,
+    });
+}
+
+#[test]
+fn estimation_config_round_trips() {
+    round_trip(&EstimationConfig::default());
+    round_trip(&EstimationConfig {
+        refinement_frames: 3,
+        frame_size: 256,
+        frame_init_bits: 40,
+        geometric_slots: 48,
+    });
+}
+
+#[test]
+fn estimation_result_round_trips() {
+    round_trip(&EstimationResult {
+        estimate: 1234.5,
+        coarse: 1024.0,
+        time: Micros::from_us(98_765.25),
+    });
+}

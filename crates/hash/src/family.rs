@@ -67,7 +67,11 @@ mod tests {
         let id = (3u32, 123_456_789u64);
         let outputs: Vec<u64> = (0..7).map(|j| fam.member(j).hash(id.0, id.1)).collect();
         let unique: std::collections::HashSet<_> = outputs.iter().collect();
-        assert_eq!(unique.len(), 7, "members collided on one input: {outputs:?}");
+        assert_eq!(
+            unique.len(),
+            7,
+            "members collided on one input: {outputs:?}"
+        );
     }
 
     #[test]

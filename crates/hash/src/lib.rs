@@ -16,13 +16,17 @@
 //!   reproducible without external dependencies,
 //! * [`uniformity`] — χ² and avalanche checkers used by the test-suite to
 //!   certify that the hash family behaves uniformly (the assumption behind
-//!   every equation in the paper).
+//!   every equation in the paper),
+//! * [`prop`] — the in-repo deterministic property-test harness (seeded
+//!   SplitMix64 case stream, shrink-by-halving) that replaces `proptest`
+//!   so the workspace builds and tests offline with std alone.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod family;
 pub mod mix;
+pub mod prop;
 pub mod rng;
 pub mod uniformity;
 

@@ -117,7 +117,9 @@ impl Xoshiro256 {
 /// pairwise independent streams; the derivation is pure so parallel workers
 /// can compute their own seeds.
 pub fn split_seed(master: u64, index: u64) -> u64 {
-    mix64(master ^ index.wrapping_mul(0xD6E8_FEB8_6659_FD93).rotate_left(17) ^ 0x5851_F42D_4C95_7F2D)
+    mix64(
+        master ^ index.wrapping_mul(0xD6E8_FEB8_6659_FD93).rotate_left(17) ^ 0x5851_F42D_4C95_7F2D,
+    )
 }
 
 #[cfg(test)]
@@ -174,7 +176,10 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        assert_ne!(v, sorted, "shuffle left the identity (astronomically unlikely)");
+        assert_ne!(
+            v, sorted,
+            "shuffle left the identity (astronomically unlikely)"
+        );
     }
 
     #[test]

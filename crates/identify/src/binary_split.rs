@@ -12,15 +12,13 @@
 //! no prefix is transmitted, at the price of tag-side state. Expected slot
 //! count is ≈ 2.89 per tag, like QT, but the slot layout differs.
 
-use serde::{Deserialize, Serialize};
-
 use rfid_c1g2::TimeCategory;
 use rfid_protocols::{PollingProtocol, Report};
 use rfid_system::id::EPC_BITS;
 use rfid_system::{SimContext, SlotOutcome};
 
 /// Binary-splitting configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BinarySplitConfig {
     /// Feedback/command bits per slot.
     pub command_bits: u64,
@@ -77,7 +75,10 @@ impl PollingProtocol for BinarySplit {
         let mut slots = 0u64;
         while !counter.is_empty() {
             slots += 1;
-            assert!(slots < self.cfg.max_slots, "binary splitting did not converge");
+            assert!(
+                slots < self.cfg.max_slots,
+                "binary splitting did not converge"
+            );
             let repliers: Vec<usize> = counter
                 .iter()
                 .filter(|(_, &c)| c == 0)
@@ -133,6 +134,12 @@ impl PollingProtocol for BinarySplit {
         Report::from_context(self.name(), ctx)
     }
 }
+
+rfid_system::impl_json_struct!(BinarySplitConfig {
+    command_bits,
+    reply_crc_bits,
+    max_slots
+});
 
 #[cfg(test)]
 mod tests {

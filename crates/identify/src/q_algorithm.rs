@@ -14,20 +14,21 @@
 //! handshake moves ~150 reader/tag bits per tag plus the slot waste, an
 //! order of magnitude above polling's ~7.
 
-use serde::{Deserialize, Serialize};
-
 use rfid_c1g2::commands::{ACK_BITS, QUERY_BITS};
 use rfid_c1g2::TimeCategory;
 use rfid_protocols::{PollingProtocol, Report};
-use rfid_system::{SimContext, SlotOutcome};
+use rfid_system::{Event, SimContext, SlotOutcome};
 
 /// PC + EPC + CRC-16 backscatter length.
 const EPC_REPLY_BITS: u64 = 16 + 96 + 16;
 /// QueryAdjust length.
 const QUERY_ADJUST_BITS: u64 = 9;
+/// RN16 handle backscattered in a contention slot — 16 bits on the air
+/// whatever the tag's payload width is.
+const RN16_BITS: u64 = 16;
 
 /// Q-algorithm configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QAlgorithmConfig {
     /// Initial Q exponent.
     pub initial_q: u8,
@@ -87,10 +88,8 @@ impl PollingProtocol for QAlgorithm {
 
             // Every active tag draws its slot counter.
             let handles = ctx.population.active_handles();
-            let mut counters: Vec<(u64, usize)> = handles
-                .iter()
-                .map(|&h| (ctx.rng.below(frame), h))
-                .collect();
+            let mut counters: Vec<(u64, usize)> =
+                handles.iter().map(|&h| (ctx.rng.below(frame), h)).collect();
             counters.sort_unstable();
 
             let mut slot = 0u64;
@@ -107,25 +106,37 @@ impl PollingProtocol for QAlgorithm {
                     repliers.push(counters[i].1);
                     i += 1;
                 }
-                // The slot carries the RN16 burst (modelled as the tag's
-                // 16-bit payload); a decodable RN16 triggers the ACK → EPC
-                // handshake that completes identification.
-                match ctx.slot(&repliers, rfid_c1g2::QUERY_REP_BITS) {
+                // The slot carries an RN16 burst — 16 bits on the air no
+                // matter what payload the tag stores; a decodable RN16
+                // triggers the ACK → EPC handshake that completes
+                // identification.
+                ctx.reader_tx(rfid_c1g2::QUERY_REP_BITS, TimeCategory::ReaderCommand);
+                ctx.counters.query_rep_bits += rfid_c1g2::QUERY_REP_BITS;
+                ctx.wait(TimeCategory::Turnaround, ctx.link.t1);
+                let outcome = ctx.channel.resolve(&repliers, &mut ctx.rng);
+                match outcome {
                     SlotOutcome::Empty => {
+                        ctx.wait(TimeCategory::WastedSlot, ctx.link.t3);
+                        ctx.counters.empty_slots += 1;
+                        ctx.log.record(|| Event::SlotEmpty);
                         q_fp = (q_fp - self.cfg.c).max(0.0);
                     }
                     SlotOutcome::Singleton(tag) => {
+                        ctx.wait(TimeCategory::TagReply, ctx.link.tag_tx(RN16_BITS));
+                        ctx.counters.tag_bits += RN16_BITS;
+                        ctx.wait(TimeCategory::Turnaround, ctx.link.t2);
                         ctx.reader_tx(ACK_BITS, TimeCategory::ReaderCommand);
                         ctx.wait(TimeCategory::Turnaround, ctx.link.t1);
-                        ctx.wait(
-                            TimeCategory::TagReply,
-                            ctx.link.tag_tx(EPC_REPLY_BITS),
-                        );
+                        ctx.wait(TimeCategory::TagReply, ctx.link.tag_tx(EPC_REPLY_BITS));
                         ctx.counters.tag_bits += EPC_REPLY_BITS;
                         ctx.wait(TimeCategory::Turnaround, ctx.link.t2);
                         ctx.mark_read(tag);
                     }
-                    SlotOutcome::Collision(_) => {
+                    SlotOutcome::Collision(count) => {
+                        ctx.wait(TimeCategory::WastedSlot, ctx.link.tag_tx(RN16_BITS));
+                        ctx.wait(TimeCategory::Turnaround, ctx.link.t2);
+                        ctx.counters.collision_slots += 1;
+                        ctx.log.record(|| Event::SlotCollision { count });
                         q_fp = (q_fp + self.cfg.c).min(15.0);
                     }
                 }
@@ -143,6 +154,12 @@ impl PollingProtocol for QAlgorithm {
         Report::from_context(self.name(), ctx)
     }
 }
+
+rfid_system::impl_json_struct!(QAlgorithmConfig {
+    initial_q,
+    c,
+    max_slots
+});
 
 #[cfg(test)]
 mod tests {
@@ -173,10 +190,7 @@ mod tests {
         let slots =
             report.counters.polls + report.counters.empty_slots + report.counters.collision_slots;
         let per_tag = slots as f64 / 2_000.0;
-        assert!(
-            (1.5..=6.0).contains(&per_tag),
-            "slots per tag = {per_tag}"
-        );
+        assert!((1.5..=6.0).contains(&per_tag), "slots per tag = {per_tag}");
     }
 
     #[test]

@@ -12,15 +12,13 @@
 //! Tags need no state beyond their ID (memoryless); the expected query
 //! count on uniform IDs is ≈ 2.89 per tag.
 
-use serde::{Deserialize, Serialize};
-
 use rfid_c1g2::TimeCategory;
 use rfid_protocols::{PollingProtocol, Report};
 use rfid_system::id::EPC_BITS;
 use rfid_system::{BitVec, SimContext, SlotOutcome};
 
 /// Query-Tree configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QueryTreeConfig {
     /// Fixed command overhead preceding each prefix broadcast.
     pub command_bits: u64,
@@ -71,10 +69,7 @@ impl PollingProtocol for QueryTree {
 
     fn run(&self, ctx: &mut SimContext) -> Report {
         // LIFO keeps memory logarithmic on random IDs (depth-first).
-        let mut stack: Vec<BitVec> = vec![
-            BitVec::from_str_bits("1"),
-            BitVec::from_str_bits("0"),
-        ];
+        let mut stack: Vec<BitVec> = vec![BitVec::from_str_bits("1"), BitVec::from_str_bits("0")];
         let mut queries = 0u64;
         while let Some(prefix) = stack.pop() {
             queries += 1;
@@ -142,6 +137,12 @@ impl PollingProtocol for QueryTree {
     }
 }
 
+rfid_system::impl_json_struct!(QueryTreeConfig {
+    command_bits,
+    reply_crc_bits,
+    verify_singletons
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -187,12 +188,7 @@ mod tests {
     fn clustered_ids_are_fine_too() {
         // Shared prefixes deepen the tree but never break it.
         let tags: Vec<_> = (0..200u64)
-            .map(|i| {
-                (
-                    TagId::from_fields(0x30, 1, 1, i),
-                    BitVec::from_value(1, 1),
-                )
-            })
+            .map(|i| (TagId::from_fields(0x30, 1, 1, i), BitVec::from_value(1, 1)))
             .collect();
         let mut ctx = SimContext::new(TagPopulation::new(tags), &SimConfig::paper(3));
         let report = QueryTree::default().run(&mut ctx);

@@ -1,0 +1,46 @@
+//! JSON round-trips for the identification-baseline configs.
+
+use rfid_identify::{BinarySplitConfig, QAlgorithmConfig, QueryTreeConfig};
+use rfid_system::{from_json_str, to_json_string, FromJson, ToJson};
+
+fn round_trip<T>(value: &T)
+where
+    T: ToJson + FromJson + PartialEq + std::fmt::Debug,
+{
+    let compact = to_json_string(value);
+    let back: T = from_json_str(&compact).expect("compact parse");
+    assert_eq!(&back, value, "compact round-trip for {compact}");
+    let pretty = value.to_json().to_pretty_string();
+    let back: T = from_json_str(&pretty).expect("pretty parse");
+    assert_eq!(&back, value, "pretty round-trip");
+}
+
+#[test]
+fn query_tree_config_round_trips() {
+    round_trip(&QueryTreeConfig::default());
+    round_trip(&QueryTreeConfig {
+        command_bits: 24,
+        reply_crc_bits: 0,
+        verify_singletons: true,
+    });
+}
+
+#[test]
+fn binary_split_config_round_trips() {
+    round_trip(&BinarySplitConfig::default());
+    round_trip(&BinarySplitConfig {
+        command_bits: 8,
+        reply_crc_bits: 16,
+        max_slots: 50_000,
+    });
+}
+
+#[test]
+fn q_algorithm_config_round_trips() {
+    round_trip(&QAlgorithmConfig::default());
+    round_trip(&QAlgorithmConfig {
+        initial_q: 6,
+        c: 0.35,
+        max_slots: 123_456,
+    });
+}

@@ -18,8 +18,6 @@
 //! executes HPP as-is" (the paper's `n = 100` observation), charging no
 //! circle command.
 
-use serde::{Deserialize, Serialize};
-
 use rfid_analysis::ehpp::optimal_subset_size_with_overhead;
 use rfid_hash::TagHash;
 use rfid_system::SimContext;
@@ -29,7 +27,7 @@ use crate::report::Report;
 use crate::PollingProtocol;
 
 /// EHPP configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EhppConfig {
     /// Circle-command length `l_c` in bits (the paper sweeps 100–400 and
     /// simulates with 128).
@@ -66,7 +64,9 @@ impl EhppConfig {
     /// The subset size the protocol will target.
     pub fn effective_subset_size(&self) -> u64 {
         self.subset_size
-            .unwrap_or_else(|| optimal_subset_size_with_overhead(self.circle_cmd_bits, self.round_init_bits))
+            .unwrap_or_else(|| {
+                optimal_subset_size_with_overhead(self.circle_cmd_bits, self.round_init_bits)
+            })
             .max(1)
     }
 }
@@ -139,6 +139,14 @@ impl PollingProtocol for Ehpp {
         Report::from_context(self.name(), ctx)
     }
 }
+
+rfid_system::impl_json_struct!(EhppConfig {
+    circle_cmd_bits,
+    round_init_bits,
+    subset_size,
+    with_query_rep,
+    max_circles,
+});
 
 #[cfg(test)]
 mod tests {

@@ -13,8 +13,6 @@
 //! 4. Rounds repeat until every tag is read (36.8 %–60.7 % of the residue
 //!    is cleared per round).
 
-use serde::{Deserialize, Serialize};
-
 use rfid_analysis::hpp::index_length;
 use rfid_hash::TagHash;
 use rfid_system::SimContext;
@@ -23,7 +21,7 @@ use crate::report::Report;
 use crate::PollingProtocol;
 
 /// HPP configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HppConfig {
     /// Reader bits charged to initiate each round (broadcasting `(h, r)`).
     /// The Section-V simulation setting charges 32.
@@ -144,6 +142,12 @@ pub(crate) fn run_hpp_rounds(ctx: &mut SimContext, cfg: &HppConfig) {
         hpp_round(ctx, cfg);
     }
 }
+
+rfid_system::impl_json_struct!(HppConfig {
+    round_init_bits,
+    with_query_rep,
+    max_rounds
+});
 
 #[cfg(test)]
 mod tests {

@@ -2,13 +2,11 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use rfid_c1g2::{Micros, TimeBreakdown};
 use rfid_system::{Counters, SimContext};
 
 /// What one protocol run cost — the metrics of the paper's evaluation.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Report {
     /// Protocol display name.
     pub protocol: String,
@@ -109,6 +107,14 @@ impl fmt::Display for Report {
         write!(f, "{}", self.breakdown)
     }
 }
+
+rfid_system::impl_json_struct!(Report {
+    protocol,
+    tags,
+    total_time,
+    breakdown,
+    counters
+});
 
 #[cfg(test)]
 mod tests {

@@ -20,13 +20,11 @@
 //! identical replies throughout (see `tests::*` and
 //! `tests/tagside_replay.rs`).
 
-use serde::{Deserialize, Serialize};
-
 use rfid_hash::TagHash;
 use rfid_system::{BitVec, TagId};
 
 /// A reader broadcast as heard by tags.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Broadcast {
     /// Round initiation carrying the index length and the seed.
     RoundInit {
@@ -42,7 +40,7 @@ pub enum Broadcast {
 }
 
 /// One tag's protocol automaton.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TagMachine {
     id: TagId,
     read: bool,
@@ -126,6 +124,52 @@ impl TagMachine {
     }
 }
 
+impl rfid_system::ToJson for Broadcast {
+    fn to_json(&self) -> rfid_system::Json {
+        use rfid_system::Json;
+        match self {
+            Broadcast::RoundInit { h, seed } => Json::Obj(vec![(
+                "RoundInit".to_string(),
+                Json::Obj(vec![
+                    ("h".to_string(), h.to_json()),
+                    ("seed".to_string(), seed.to_json()),
+                ]),
+            )]),
+            Broadcast::PollIndex(v) => Json::Obj(vec![("PollIndex".to_string(), v.to_json())]),
+            Broadcast::TreeSegment(v) => Json::Obj(vec![("TreeSegment".to_string(), v.to_json())]),
+        }
+    }
+}
+
+impl rfid_system::FromJson for Broadcast {
+    fn from_json(json: &rfid_system::Json) -> Result<Self, rfid_system::JsonError> {
+        use rfid_system::{Json, JsonError};
+        let fields = match json {
+            Json::Obj(fields) if fields.len() == 1 => fields,
+            other => return Err(JsonError(format!("malformed Broadcast: {other}"))),
+        };
+        let (tag, body) = &fields[0];
+        match tag.as_str() {
+            "RoundInit" => Ok(Broadcast::RoundInit {
+                h: body.field("h")?,
+                seed: body.field("seed")?,
+            }),
+            "PollIndex" => Ok(Broadcast::PollIndex(BitVec::from_json(body)?)),
+            "TreeSegment" => Ok(Broadcast::TreeSegment(BitVec::from_json(body)?)),
+            other => Err(JsonError(format!("unknown Broadcast variant '{other}'"))),
+        }
+    }
+}
+
+rfid_system::impl_json_struct!(TagMachine {
+    id,
+    read,
+    h,
+    my_index,
+    a,
+    in_round
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,7 +198,10 @@ mod tests {
                 std::collections::HashMap::new();
             for (i, m) in machines.iter().enumerate() {
                 if !m.is_read() {
-                    groups.entry(m.current_index().to_value()).or_default().push(i);
+                    groups
+                        .entry(m.current_index().to_value())
+                        .or_default()
+                        .push(i);
                 }
             }
             let mut singles: Vec<u64> = groups
@@ -189,7 +236,10 @@ mod tests {
         let mut groups: std::collections::HashMap<u64, Vec<usize>> =
             std::collections::HashMap::new();
         for (i, m) in machines.iter().enumerate() {
-            groups.entry(m.current_index().to_value()).or_default().push(i);
+            groups
+                .entry(m.current_index().to_value())
+                .or_default()
+                .push(i);
         }
         let mut singles: Vec<(u64, usize)> = groups
             .iter()

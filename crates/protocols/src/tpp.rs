@@ -18,8 +18,6 @@
 //! analysis (Eq. (16)) caps the average at `2 + 1/ln 2 ≈ 3.44` bits and the
 //! simulation settles near 3.06 bits regardless of `n`.
 
-use serde::{Deserialize, Serialize};
-
 use rfid_analysis::tpp::optimal_index_length;
 use rfid_system::{Event, SimContext};
 
@@ -30,7 +28,7 @@ use crate::PollingProtocol;
 
 /// How the per-round index length `h` is chosen — the design choice
 /// Section IV-D analyzes (and the `ablation_tpp_h` bench measures).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum IndexRule {
     /// Eq. (15): keep the load `λ = n/2^h` in `[ln 2, 2·ln 2)` — maximizes
     /// the singleton probability and minimizes tree bits per read.
@@ -42,7 +40,7 @@ pub enum IndexRule {
 }
 
 /// TPP configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TppConfig {
     /// Reader bits charged to initiate each round (broadcasting `(h, r)`).
     pub round_init_bits: u64,
@@ -152,6 +150,17 @@ pub(crate) fn tpp_round(ctx: &mut SimContext, cfg: &TppConfig) -> usize {
     }
     polled
 }
+
+rfid_system::impl_json_enum_units!(IndexRule {
+    Eq15Optimal,
+    HppRule
+});
+rfid_system::impl_json_struct!(TppConfig {
+    round_init_bits,
+    with_query_rep,
+    index_rule,
+    max_rounds
+});
 
 #[cfg(test)]
 mod tests {

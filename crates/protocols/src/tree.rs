@@ -181,7 +181,8 @@ impl PollingTree {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use rfid_hash::prop::check;
+    use rfid_hash::{prop_assert, prop_assert_eq};
 
     /// The Fig. 6/7 worked example: indices 000, 010, 011, 101, 111.
     fn paper_tree() -> PollingTree {
@@ -278,18 +279,16 @@ mod tests {
         t.insert_value(8);
     }
 
-    proptest! {
-        #[test]
-        fn prop_roundtrip_any_index_set(
-            h in 1u32..=12,
-            raw in proptest::collection::hash_set(0u64..4096, 1..80),
-        ) {
-            let indices: Vec<u64> = raw
-                .into_iter()
-                .map(|v| v & ((1u64 << h) - 1))
-                .collect::<std::collections::BTreeSet<_>>()
-                .into_iter()
-                .collect();
+    /// Draws a sorted, distinct index set that fits an `h`-bit tree.
+    fn index_set(g: &mut rfid_hash::prop::Gen, h: u32, max_len: usize) -> Vec<u64> {
+        g.distinct_below(1u64 << h, 1, max_len)
+    }
+
+    #[test]
+    fn prop_roundtrip_any_index_set() {
+        check("polling tree round-trips any index set", 256, |g| {
+            let h = g.u64_in(1, 13) as u32;
+            let indices = index_set(g, h, 80);
             let t = PollingTree::from_indices(h, &indices);
             prop_assert_eq!(t.leaf_count(), indices.len());
             let decoded = PollingTree::decode_segments(h, &t.preorder_segments());
@@ -301,15 +300,15 @@ mod tests {
             prop_assert!(t.node_count() <= naive);
             let bound = rfid_analysis::tpp::l_plus(indices.len() as u64, h);
             prop_assert!(t.node_count() as f64 <= bound + 1e-9);
-        }
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn prop_segment_lengths_sum_to_node_count(
-            h in 1u32..=10,
-            raw in proptest::collection::hash_set(0u64..1024, 1..60),
-        ) {
-            let indices: Vec<u64> = raw.into_iter().map(|v| v & ((1u64 << h) - 1))
-                .collect::<std::collections::BTreeSet<_>>().into_iter().collect();
+    #[test]
+    fn prop_segment_lengths_sum_to_node_count() {
+        check("tree segment lengths sum to node count", 256, |g| {
+            let h = g.u64_in(1, 11) as u32;
+            let indices = index_set(g, h, 60);
             let t = PollingTree::from_indices(h, &indices);
             let segs = t.preorder_segments();
             prop_assert_eq!(segs.len(), indices.len());
@@ -317,6 +316,7 @@ mod tests {
             prop_assert_eq!(total, t.node_count());
             // The first segment is always a full h-bit index.
             prop_assert_eq!(segs[0].len(), h as usize);
-        }
+            Ok(())
+        });
     }
 }

@@ -2,8 +2,8 @@
 //! each protocol must complete, never waste a slot, and satisfy its exact
 //! reader-bit accounting identity.
 
-use proptest::prelude::*;
-
+use rfid_hash::prop::{check, Gen};
+use rfid_hash::{prop_assert, prop_assert_eq};
 use rfid_protocols::{EhppConfig, HppConfig, PollingProtocol, TppConfig};
 use rfid_system::{BitVec, SimConfig, SimContext, TagPopulation};
 
@@ -12,11 +12,14 @@ fn context(n: usize, seed: u64) -> SimContext {
     SimContext::new(pop, &SimConfig::paper(seed))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn draw_run(g: &mut Gen, max_n: usize) -> (usize, u64) {
+    (g.len_in(1, max_n), g.u64())
+}
 
-    #[test]
-    fn hpp_invariants(n in 1usize..300, seed in any::<u64>()) {
+#[test]
+fn hpp_invariants() {
+    check("hpp invariants", 64, |g| {
+        let (n, seed) = draw_run(g, 300);
         let mut ctx = context(n, seed);
         let report = HppConfig::default().into_protocol().run(&mut ctx);
         ctx.assert_complete();
@@ -35,10 +38,14 @@ proptest! {
         // Eq. (5): no vector exceeds ⌈log₂ n⌉ bits, so neither does the mean.
         let bound = rfid_analysis::hpp::upper_bound(n as u64) as f64;
         prop_assert!(report.mean_vector_bits() <= bound + 1e-9);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn tpp_invariants(n in 1usize..300, seed in any::<u64>()) {
+#[test]
+fn tpp_invariants() {
+    check("tpp invariants", 64, |g| {
+        let (n, seed) = draw_run(g, 300);
         let mut ctx = context(n, seed);
         let report = TppConfig::default().into_protocol().run(&mut ctx);
         ctx.assert_complete();
@@ -56,10 +63,14 @@ proptest! {
         // against an h ≤ ⌈log₂ n⌉ + 1 ceiling (TPP may use one extra bit).
         let h_cap = rfid_analysis::hpp::upper_bound(n as u64) as u64 + 1;
         prop_assert!(report.counters.vector_bits <= h_cap * report.counters.polls);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn ehpp_invariants(n in 1usize..400, seed in any::<u64>()) {
+#[test]
+fn ehpp_invariants() {
+    check("ehpp invariants", 64, |g| {
+        let (n, seed) = draw_run(g, 400);
         let mut ctx = context(n, seed);
         let report = EhppConfig::default().into_protocol().run(&mut ctx);
         ctx.assert_complete();
@@ -72,23 +83,31 @@ proptest! {
                 + report.counters.query_rep_bits
                 + report.counters.vector_bits
         );
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn tpp_time_equals_component_sum(n in 1usize..200, seed in any::<u64>()) {
+#[test]
+fn tpp_time_equals_component_sum() {
+    check("tpp time equals component sum", 64, |g| {
         // The clock total must equal the sum of its breakdown — across any
         // protocol execution path.
+        let (n, seed) = draw_run(g, 200);
         let mut ctx = context(n, seed);
         let report = TppConfig::default().into_protocol().run(&mut ctx);
         let total = report.total_time.as_f64();
         let parts = report.breakdown.total().as_f64();
         prop_assert!((total - parts).abs() < 1e-6 * total.max(1.0));
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn protocols_agree_on_who_gets_read(n in 1usize..150, seed in any::<u64>()) {
+#[test]
+fn protocols_agree_on_who_gets_read() {
+    check("protocols agree on who gets read", 64, |g| {
         // Different protocols, same population: all must read exactly the
         // same set (everyone) — no protocol may lose or duplicate a tag.
+        let (n, seed) = draw_run(g, 150);
         for protocol in [
             &HppConfig::default().into_protocol() as &dyn PollingProtocol,
             &TppConfig::default().into_protocol(),
@@ -96,7 +115,12 @@ proptest! {
         ] {
             let mut ctx = context(n, seed);
             protocol.run(&mut ctx);
-            prop_assert!(ctx.population.all_asleep(), "{} missed tags", protocol.name());
+            prop_assert!(
+                ctx.population.all_asleep(),
+                "{} missed tags",
+                protocol.name()
+            );
         }
-    }
+        Ok(())
+    });
 }

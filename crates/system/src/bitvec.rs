@@ -9,8 +9,6 @@
 use std::fmt;
 use std::hash::{Hash, Hasher};
 
-use serde::{Deserialize, Serialize};
-
 /// A growable bit vector with MSB-first indexing.
 ///
 /// ```
@@ -27,7 +25,7 @@ use serde::{Deserialize, Serialize};
 /// // "0011" and "0101" agree on their first bit only.
 /// assert_eq!(a.common_prefix_len(&index), 1);
 /// ```
-#[derive(Clone, Default, Serialize, Deserialize)]
+#[derive(Clone, Default)]
 pub struct BitVec {
     /// Bit `i` of the vector lives at `blocks[i / 64]`, bit `63 - i % 64`
     /// (so block bits are also in transmission order).
@@ -131,7 +129,11 @@ impl BitVec {
     /// Panics if `i >= len`.
     #[inline]
     pub fn get(&self, i: usize) -> bool {
-        assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range (len {})",
+            self.len
+        );
         (self.blocks[i / 64] >> (63 - i % 64)) & 1 == 1
     }
 
@@ -141,7 +143,11 @@ impl BitVec {
     /// Panics if `i >= len`.
     #[inline]
     pub fn set(&mut self, i: usize, bit: bool) {
-        assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range (len {})",
+            self.len
+        );
         let mask = 1u64 << (63 - i % 64);
         if bit {
             self.blocks[i / 64] |= mask;
@@ -223,7 +229,11 @@ impl BitVec {
     /// Panics if `patch.len() > self.len()`.
     pub fn overwrite_suffix(&mut self, patch: &BitVec) {
         let k = patch.len();
-        assert!(k <= self.len, "patch of {k} bits exceeds vector of {}", self.len);
+        assert!(
+            k <= self.len,
+            "patch of {k} bits exceeds vector of {}",
+            self.len
+        );
         let start = self.len - k;
         for (j, b) in patch.iter().enumerate() {
             self.set(start + j, b);
@@ -253,7 +263,11 @@ impl Hash for BitVec {
             // even if a set(false) left stale bits (it cannot, but cheap
             // defence keeps the Hash/Eq contract locally checkable).
             let bits_here = (self.len - i * 64).min(64);
-            let mask = if bits_here == 64 { u64::MAX } else { !(u64::MAX >> bits_here) };
+            let mask = if bits_here == 64 {
+                u64::MAX
+            } else {
+                !(u64::MAX >> bits_here)
+            };
             (block & mask).hash(state);
         }
     }
@@ -274,10 +288,31 @@ impl fmt::Debug for BitVec {
     }
 }
 
+impl crate::json::ToJson for BitVec {
+    /// A bit vector serializes as its `"0101"` string — compact, readable,
+    /// and unambiguous about length (leading zeros survive).
+    fn to_json(&self) -> crate::json::Json {
+        crate::json::Json::Str(self.to_string())
+    }
+}
+
+impl crate::json::FromJson for BitVec {
+    fn from_json(json: &crate::json::Json) -> Result<Self, crate::json::JsonError> {
+        let s = json.as_str()?;
+        if let Some(bad) = s.chars().find(|c| *c != '0' && *c != '1') {
+            return Err(crate::json::JsonError(format!(
+                "invalid bit character {bad:?} in bit string"
+            )));
+        }
+        Ok(BitVec::from_str_bits(s))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use rfid_hash::prop::check;
+    use rfid_hash::{prop_assert, prop_assert_eq};
 
     #[test]
     fn push_get_roundtrip() {
@@ -395,37 +430,50 @@ mod tests {
         let _ = BitVec::from_value(8, 3);
     }
 
-    proptest! {
-        #[test]
-        fn prop_roundtrip_value(v in 0u64..u64::MAX, n in 1usize..=64) {
+    #[test]
+    fn prop_roundtrip_value() {
+        check("bitvec value round-trips", 256, |g| {
+            let v = g.u64();
+            let n = g.len_in(1, 65);
             let masked = if n == 64 { v } else { v & ((1u64 << n) - 1) };
             let bv = BitVec::from_value(masked, n);
             prop_assert_eq!(bv.len(), n);
             prop_assert_eq!(bv.to_value(), masked);
-        }
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn prop_push_then_iter_identity(bits in proptest::collection::vec(any::<bool>(), 0..300)) {
+    #[test]
+    fn prop_push_then_iter_identity() {
+        check("bitvec push/iter is identity", 256, |g| {
+            let bits = g.vec_bool(0, 300);
             let bv = BitVec::from_bits(bits.iter().copied());
             prop_assert_eq!(bv.len(), bits.len());
             let back: Vec<bool> = bv.iter().collect();
             prop_assert_eq!(back, bits);
-        }
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn prop_prefix_plus_suffix_reassembles(bits in proptest::collection::vec(any::<bool>(), 1..200), cut_frac in 0.0f64..1.0) {
+    #[test]
+    fn prop_prefix_plus_suffix_reassembles() {
+        check("bitvec prefix+suffix reassembles", 256, |g| {
+            let bits = g.vec_bool(1, 200);
+            let cut_frac = g.f64_unit();
             let bv = BitVec::from_bits(bits.iter().copied());
             let cut = ((bits.len() as f64) * cut_frac) as usize;
             let mut rebuilt = bv.prefix(cut);
             rebuilt.extend_from(&bv.suffix(bits.len() - cut));
             prop_assert_eq!(rebuilt, bv);
-        }
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn prop_overwrite_suffix_preserves_prefix(
-            bits in proptest::collection::vec(any::<bool>(), 1..120),
-            patch in proptest::collection::vec(any::<bool>(), 0..120),
-        ) {
+    #[test]
+    fn prop_overwrite_suffix_preserves_prefix() {
+        check("bitvec overwrite_suffix keeps prefix", 256, |g| {
+            let bits = g.vec_bool(1, 120);
+            let patch = g.vec_bool(0, 120);
             let mut v = BitVec::from_bits(bits.iter().copied());
             let patch = &patch[..patch.len().min(bits.len())];
             let pv = BitVec::from_bits(patch.iter().copied());
@@ -434,16 +482,19 @@ mod tests {
             // Prefix untouched, suffix replaced.
             prop_assert!(v.prefix(keep).iter().eq(bits[..keep].iter().copied()));
             prop_assert_eq!(v.suffix(patch.len()), pv);
-        }
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn prop_common_prefix_symmetric(
-            a in proptest::collection::vec(any::<bool>(), 0..100),
-            b in proptest::collection::vec(any::<bool>(), 0..100),
-        ) {
+    #[test]
+    fn prop_common_prefix_symmetric() {
+        check("bitvec common_prefix_len is symmetric", 256, |g| {
+            let a = g.vec_bool(0, 100);
+            let b = g.vec_bool(0, 100);
             let va = BitVec::from_bits(a.iter().copied());
             let vb = BitVec::from_bits(b.iter().copied());
             prop_assert_eq!(va.common_prefix_len(&vb), vb.common_prefix_len(&va));
-        }
+            Ok(())
+        });
     }
 }

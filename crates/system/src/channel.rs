@@ -8,12 +8,10 @@
 //! robustness experiments (a lost reply leaves the tag active, so a correct
 //! protocol retries it).
 
-use serde::{Deserialize, Serialize};
-
 use rfid_hash::Xoshiro256;
 
 /// What the reader observed in one slot.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SlotOutcome {
     /// No tag replied.
     Empty,
@@ -31,7 +29,7 @@ impl SlotOutcome {
 }
 
 /// Channel configuration.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Channel {
     /// Probability that a tag's reply is lost/corrupted and the reader
     /// cannot decode it (the slot then looks empty to the reader).
@@ -89,6 +87,44 @@ impl Channel {
 impl Default for Channel {
     fn default() -> Self {
         Channel::perfect()
+    }
+}
+
+crate::impl_json_struct!(Channel {
+    reply_loss_rate,
+    capture_prob
+});
+
+impl crate::json::ToJson for SlotOutcome {
+    fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        match *self {
+            SlotOutcome::Empty => Json::str("Empty"),
+            SlotOutcome::Singleton(tag) => {
+                Json::Obj(vec![("Singleton".to_string(), tag.to_json())])
+            }
+            SlotOutcome::Collision(count) => {
+                Json::Obj(vec![("Collision".to_string(), count.to_json())])
+            }
+        }
+    }
+}
+
+impl crate::json::FromJson for SlotOutcome {
+    fn from_json(json: &crate::json::Json) -> Result<Self, crate::json::JsonError> {
+        use crate::json::{Json, JsonError};
+        match json {
+            Json::Str(tag) if tag == "Empty" => Ok(SlotOutcome::Empty),
+            Json::Obj(fields) if fields.len() == 1 => {
+                let (tag, body) = &fields[0];
+                match tag.as_str() {
+                    "Singleton" => Ok(SlotOutcome::Singleton(usize::from_json(body)?)),
+                    "Collision" => Ok(SlotOutcome::Collision(usize::from_json(body)?)),
+                    other => Err(JsonError(format!("unknown SlotOutcome variant '{other}'"))),
+                }
+            }
+            other => Err(JsonError(format!("malformed SlotOutcome: {other}"))),
+        }
     }
 }
 

@@ -17,8 +17,6 @@
 //! the paper's metrics (average polling-vector length, total execution
 //! time, slot-waste fractions).
 
-use serde::{Deserialize, Serialize};
-
 use rfid_c1g2::{Clock, LinkParams, Micros, TimeCategory};
 use rfid_hash::Xoshiro256;
 
@@ -27,7 +25,7 @@ use crate::event::{Event, EventLog};
 use crate::population::TagPopulation;
 
 /// Configuration for a simulation run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
     /// Link-timing parameters.
     pub link: LinkParams,
@@ -64,7 +62,7 @@ impl SimConfig {
 }
 
 /// Aggregate counters over a protocol run.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct Counters {
     /// Bits the reader transmitted, total.
     pub reader_bits: u64,
@@ -93,6 +91,26 @@ pub struct Counters {
     /// basis of the per-tag energy model in `rfid_analysis::energy`.
     pub tag_listen_us: f64,
 }
+
+crate::impl_json_struct!(SimConfig {
+    link,
+    channel,
+    seed,
+    trace
+});
+crate::impl_json_struct!(Counters {
+    reader_bits,
+    tag_bits,
+    vector_bits,
+    query_rep_bits,
+    polls,
+    rounds,
+    circles,
+    empty_slots,
+    collision_slots,
+    lost_replies,
+    tag_listen_us,
+});
 
 impl Counters {
     /// Average polling-vector length `w` = vector bits per successful poll.
@@ -152,8 +170,7 @@ impl SimContext {
     #[inline]
     fn advance(&mut self, category: TimeCategory, dt: Micros) {
         self.clock.spend(category, dt);
-        self.counters.tag_listen_us +=
-            dt.as_f64() * self.population.listening_count() as f64;
+        self.counters.tag_listen_us += dt.as_f64() * self.population.listening_count() as f64;
     }
 
     /// Charges a reader transmission of `bits` bits to `category`.
@@ -179,7 +196,8 @@ impl SimContext {
     pub fn begin_circle(&mut self, selected: usize, circle_cmd_bits: u64) {
         self.counters.circles += 1;
         let circle = self.counters.circles as usize;
-        self.log.record(|| Event::CircleStarted { circle, selected });
+        self.log
+            .record(|| Event::CircleStarted { circle, selected });
         if circle_cmd_bits > 0 {
             self.reader_tx(circle_cmd_bits, TimeCategory::ReaderCommand);
         }
@@ -217,10 +235,7 @@ impl SimContext {
                 self.advance(TimeCategory::Turnaround, self.link.t2);
                 self.population.sleep(tag);
                 self.counters.polls += 1;
-                self.log.record(|| Event::TagPolled {
-                    tag,
-                    vector_bits,
-                });
+                self.log.record(|| Event::TagPolled { tag, vector_bits });
                 true
             }
             SlotOutcome::Empty => {
@@ -314,9 +329,8 @@ mod tests {
     use crate::bitvec::BitVec;
 
     fn ctx(n: usize, info_bits: usize) -> SimContext {
-        let pop = TagPopulation::sequential(n, |i| {
-            BitVec::from_value((i % 2) as u64, info_bits.max(1))
-        });
+        let pop =
+            TagPopulation::sequential(n, |i| BitVec::from_value((i % 2) as u64, info_bits.max(1)));
         SimContext::new(pop, &SimConfig::paper(7))
     }
 

@@ -8,10 +8,8 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// One recorded protocol action.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Event {
     /// A new inventory round began (HPP/TPP round or ALOHA frame).
     RoundStarted {
@@ -71,9 +69,94 @@ impl fmt::Display for Event {
     }
 }
 
+impl crate::json::ToJson for Event {
+    fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        fn tagged(tag: &str, fields: Vec<(String, Json)>) -> Json {
+            Json::Obj(vec![(tag.to_string(), Json::Obj(fields))])
+        }
+        match self {
+            Event::RoundStarted { round, h, unread } => tagged(
+                "RoundStarted",
+                vec![
+                    ("round".to_string(), round.to_json()),
+                    ("h".to_string(), h.to_json()),
+                    ("unread".to_string(), unread.to_json()),
+                ],
+            ),
+            Event::CircleStarted { circle, selected } => tagged(
+                "CircleStarted",
+                vec![
+                    ("circle".to_string(), circle.to_json()),
+                    ("selected".to_string(), selected.to_json()),
+                ],
+            ),
+            Event::ReaderBroadcast { what, bits } => tagged(
+                "ReaderBroadcast",
+                vec![
+                    ("what".to_string(), what.to_json()),
+                    ("bits".to_string(), bits.to_json()),
+                ],
+            ),
+            Event::TagPolled { tag, vector_bits } => tagged(
+                "TagPolled",
+                vec![
+                    ("tag".to_string(), tag.to_json()),
+                    ("vector_bits".to_string(), vector_bits.to_json()),
+                ],
+            ),
+            Event::SlotEmpty => Json::str("SlotEmpty"),
+            Event::SlotCollision { count } => tagged(
+                "SlotCollision",
+                vec![("count".to_string(), count.to_json())],
+            ),
+        }
+    }
+}
+
+impl crate::json::FromJson for Event {
+    fn from_json(json: &crate::json::Json) -> Result<Self, crate::json::JsonError> {
+        use crate::json::{Json, JsonError};
+        if let Json::Str(tag) = json {
+            return match tag.as_str() {
+                "SlotEmpty" => Ok(Event::SlotEmpty),
+                other => Err(JsonError(format!("unknown Event variant '{other}'"))),
+            };
+        }
+        let fields = match json {
+            Json::Obj(fields) if fields.len() == 1 => fields,
+            other => return Err(JsonError(format!("malformed Event: {other}"))),
+        };
+        let (tag, body) = &fields[0];
+        match tag.as_str() {
+            "RoundStarted" => Ok(Event::RoundStarted {
+                round: body.field("round")?,
+                h: body.field("h")?,
+                unread: body.field("unread")?,
+            }),
+            "CircleStarted" => Ok(Event::CircleStarted {
+                circle: body.field("circle")?,
+                selected: body.field("selected")?,
+            }),
+            "ReaderBroadcast" => Ok(Event::ReaderBroadcast {
+                what: body.field("what")?,
+                bits: body.field("bits")?,
+            }),
+            "TagPolled" => Ok(Event::TagPolled {
+                tag: body.field("tag")?,
+                vector_bits: body.field("vector_bits")?,
+            }),
+            "SlotCollision" => Ok(Event::SlotCollision {
+                count: body.field("count")?,
+            }),
+            other => Err(JsonError(format!("unknown Event variant '{other}'"))),
+        }
+    }
+}
+
 /// An optional event log. Disabled by default: large Monte-Carlo sweeps must
 /// not pay for tracing.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct EventLog {
     enabled: bool,
     events: Vec<Event>,
@@ -133,6 +216,25 @@ impl EventLog {
     }
 }
 
+impl crate::json::ToJson for EventLog {
+    fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        Json::Obj(vec![
+            ("enabled".to_string(), self.enabled.to_json()),
+            ("events".to_string(), self.events.to_json()),
+        ])
+    }
+}
+
+impl crate::json::FromJson for EventLog {
+    fn from_json(json: &crate::json::Json) -> Result<Self, crate::json::JsonError> {
+        Ok(EventLog {
+            enabled: json.field("enabled")?,
+            events: json.field("events")?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -158,7 +260,10 @@ mod tests {
             vector_bits: 2,
         });
         assert_eq!(log.len(), 2);
-        assert!(matches!(log.events()[0], Event::RoundStarted { round: 1, .. }));
+        assert!(matches!(
+            log.events()[0],
+            Event::RoundStarted { round: 1, .. }
+        ));
     }
 
     #[test]

@@ -9,8 +9,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::bitvec::BitVec;
 
 /// Total EPC bits.
@@ -27,7 +25,7 @@ pub const SERIAL_BITS: usize = 36;
 pub const CATEGORY_BITS: usize = HEADER_BITS + MANAGER_BITS + CLASS_BITS;
 
 /// A 96-bit EPC tag ID, stored as the high 32 bits and low 64 bits.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TagId {
     hi: u32,
     lo: u64,
@@ -152,10 +150,35 @@ impl fmt::Display for TagId {
     }
 }
 
+impl crate::json::ToJson for TagId {
+    /// An ID serializes as its `urn:epc:hhhhhhhh.llllllllllllllll` display
+    /// form, keeping traces and persisted scenarios grep-able.
+    fn to_json(&self) -> crate::json::Json {
+        crate::json::Json::Str(self.to_string())
+    }
+}
+
+impl crate::json::FromJson for TagId {
+    fn from_json(json: &crate::json::Json) -> Result<Self, crate::json::JsonError> {
+        let s = json.as_str()?;
+        let bad = || crate::json::JsonError(format!("malformed tag ID '{s}'"));
+        let rest = s.strip_prefix("urn:epc:").ok_or_else(bad)?;
+        let (hi, lo) = rest.split_once('.').ok_or_else(bad)?;
+        if hi.len() != 8 || lo.len() != 16 {
+            return Err(bad());
+        }
+        Ok(TagId::from_raw(
+            u32::from_str_radix(hi, 16).map_err(|_| bad())?,
+            u64::from_str_radix(lo, 16).map_err(|_| bad())?,
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use rfid_hash::prop::check;
+    use rfid_hash::prop_assert_eq;
 
     #[test]
     fn field_roundtrip() {
@@ -226,35 +249,41 @@ mod tests {
         let _ = TagId::from_fields(0, 0, 0, 1u64 << 36);
     }
 
-    proptest! {
-        #[test]
-        fn prop_fields_roundtrip(
-            header in any::<u8>(),
-            manager in 0u32..(1 << 28),
-            class in 0u32..(1 << 24),
-            serial in 0u64..(1u64 << 36),
-        ) {
+    #[test]
+    fn prop_fields_roundtrip() {
+        check("tag-id fields round-trip", 256, |g| {
+            let header = g.u8();
+            let manager = g.u64_below(1 << 28) as u32;
+            let class = g.u64_below(1 << 24) as u32;
+            let serial = g.u64_below(1u64 << 36);
             let id = TagId::from_fields(header, manager, class, serial);
             prop_assert_eq!(id.header(), header);
             prop_assert_eq!(id.manager(), manager);
             prop_assert_eq!(id.class(), class);
             prop_assert_eq!(id.serial(), serial);
-        }
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn prop_bytes_roundtrip(hi in any::<u32>(), lo in any::<u64>()) {
-            let id = TagId::from_raw(hi, lo);
+    #[test]
+    fn prop_bytes_roundtrip() {
+        check("tag-id bytes round-trip", 256, |g| {
+            let id = TagId::from_raw(g.u32(), g.u64());
             prop_assert_eq!(TagId::from_bytes(&id.to_bytes()), id);
-        }
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn prop_bitvec_value_matches_u128(hi in any::<u32>(), lo in any::<u64>()) {
-            let id = TagId::from_raw(hi, lo);
+    #[test]
+    fn prop_bitvec_value_matches_u128() {
+        check("tag-id bits match u128 value", 256, |g| {
+            let id = TagId::from_raw(g.u32(), g.u64());
             let bits = id.to_bits();
             // Reassemble through two 48-bit halves to stay within u64.
             let hi48 = bits.prefix(48).to_value() as u128;
             let lo48 = bits.suffix(48).to_value() as u128;
             prop_assert_eq!((hi48 << 48) | lo48, id.as_u128());
-        }
+            Ok(())
+        });
     }
 }

@@ -13,6 +13,9 @@
 //! * [`Channel`] / [`SlotOutcome`] — slot resolution (empty / singleton /
 //!   collision) with optional reply-loss injection for robustness studies,
 //! * [`EventLog`] — an optional, self-describing trace of a protocol run,
+//! * [`json`] — the zero-dependency JSON writer/parser (with the
+//!   [`impl_json_struct!`] / [`impl_json_enum_units!`] macros) that persists
+//!   configurations and results without `serde`,
 //! * [`SimContext`] — the facility a protocol drives: it owns the clock, the
 //!   population, the channel and the counters, and exposes the composite
 //!   operations (broadcast, poll exchange, ALOHA slots) with correct C1G2
@@ -29,6 +32,7 @@ pub mod channel;
 pub mod context;
 pub mod event;
 pub mod id;
+pub mod json;
 pub mod population;
 pub mod tag;
 
@@ -37,5 +41,6 @@ pub use channel::{Channel, SlotOutcome};
 pub use context::{Counters, SimConfig, SimContext};
 pub use event::{Event, EventLog};
 pub use id::TagId;
+pub use json::{from_json_str, to_json_string, FromJson, Json, JsonError, ToJson};
 pub use population::TagPopulation;
 pub use tag::{Tag, TagState};

@@ -4,14 +4,12 @@
 //! population keeps tags in a dense `Vec` (index = stable handle) and tracks
 //! how many are still active so protocols can terminate without scanning.
 
-use serde::{Deserialize, Serialize};
-
 use crate::bitvec::BitVec;
 use crate::id::TagId;
 use crate::tag::{Tag, TagState};
 
 /// The set of tags in the interrogation zone.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TagPopulation {
     tags: Vec<Tag>,
     active: usize,
@@ -136,6 +134,38 @@ impl TagPopulation {
     }
 }
 
+impl crate::json::ToJson for TagPopulation {
+    /// A population serializes as its tag list; the active/asleep counts
+    /// are derived state and are rebuilt on load.
+    fn to_json(&self) -> crate::json::Json {
+        crate::json::ToJson::to_json(&self.tags)
+    }
+}
+
+impl crate::json::FromJson for TagPopulation {
+    fn from_json(json: &crate::json::Json) -> Result<Self, crate::json::JsonError> {
+        let tags: Vec<Tag> = crate::json::FromJson::from_json(json)?;
+        let mut seen = std::collections::HashSet::with_capacity(tags.len());
+        for t in &tags {
+            if !seen.insert(t.id) {
+                return Err(crate::json::JsonError(format!("duplicate tag ID {}", t.id)));
+            }
+        }
+        // Rebuild through the constructor, then replay the persisted states
+        // so the derived active/asleep counts stay consistent.
+        let states: Vec<TagState> = tags.iter().map(|t| t.state).collect();
+        let mut pop = TagPopulation::new(tags.into_iter().map(|t| (t.id, t.info)));
+        for (idx, state) in states.iter().enumerate() {
+            match state {
+                TagState::Active => {}
+                TagState::Asleep => pop.sleep(idx),
+                TagState::Deselected => pop.deselect(idx),
+            }
+        }
+        Ok(pop)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,10 +220,7 @@ mod tests {
     #[should_panic(expected = "duplicate tag ID")]
     fn duplicate_ids_rejected() {
         let id = TagId::from_raw(0, 7);
-        let _ = TagPopulation::new(vec![
-            (id, BitVec::new()),
-            (id, BitVec::new()),
-        ]);
+        let _ = TagPopulation::new(vec![(id, BitVec::new()), (id, BitVec::new())]);
     }
 
     #[test]

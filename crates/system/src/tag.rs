@@ -7,13 +7,11 @@
 //! execution"; tags that picked collision indices stay active for the next
 //! round.
 
-use serde::{Deserialize, Serialize};
-
 use crate::bitvec::BitVec;
 use crate::id::TagId;
 
 /// Inventory state of a tag.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TagState {
     /// Listening and willing to reply.
     Active,
@@ -24,7 +22,7 @@ pub enum TagState {
 }
 
 /// One RFID tag.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Tag {
     /// The 96-bit EPC.
     pub id: TagId,
@@ -73,6 +71,13 @@ impl Tag {
         }
     }
 }
+
+crate::impl_json_enum_units!(TagState {
+    Active,
+    Asleep,
+    Deselected
+});
+crate::impl_json_struct!(Tag { id, info, state });
 
 #[cfg(test)]
 mod tests {

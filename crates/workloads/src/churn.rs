@@ -4,13 +4,11 @@
 //! [`ChurnModel`] evolves an ID population between epochs with Poisson-like
 //! departure/arrival counts, feeding the continuous-monitoring application.
 
-use serde::{Deserialize, Serialize};
-
 use rfid_hash::Xoshiro256;
 use rfid_system::TagId;
 
 /// Churn rates per epoch.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ChurnModel {
     /// Fraction of the current population departing per epoch.
     pub departure_fraction: f64,
@@ -45,8 +43,8 @@ impl ChurnModel {
     ) -> (Vec<TagId>, Vec<TagId>, Vec<TagId>) {
         assert!((0.0..=1.0).contains(&self.departure_fraction));
         assert!(self.arrivals_per_epoch >= 0.0);
-        let departures = ((current.len() as f64 * self.departure_fraction).round() as usize)
-            .min(current.len());
+        let departures =
+            ((current.len() as f64 * self.departure_fraction).round() as usize).min(current.len());
         let gone: std::collections::HashSet<usize> = rng
             .sample_indices(current.len(), departures)
             .into_iter()
@@ -74,6 +72,11 @@ impl ChurnModel {
         (remaining, departed, arrivals)
     }
 }
+
+rfid_system::impl_json_struct!(ChurnModel {
+    departure_fraction,
+    arrivals_per_epoch
+});
 
 #[cfg(test)]
 mod tests {

@@ -5,13 +5,11 @@
 //! models what sensor-augmented tags actually report (Section I): a presence
 //! bit against theft, a battery energy level, or a chilled-food temperature.
 
-use serde::{Deserialize, Serialize};
-
 use rfid_hash::Xoshiro256;
 use rfid_system::BitVec;
 
 /// What the `m` information bits encode.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum PayloadKind {
     /// A constant presence marker (all-ones) — 1-bit missing-tag polling.
     Presence,
@@ -40,7 +38,11 @@ impl PayloadKind {
             PayloadKind::BatteryLevel => {
                 assert!(bits <= 64, "battery level payload too wide");
                 let level = rng.below(101); // 0..=100 %
-                let max = if bits >= 7 { level } else { level.min((1 << bits) - 1) };
+                let max = if bits >= 7 {
+                    level
+                } else {
+                    level.min((1 << bits) - 1)
+                };
                 BitVec::from_value(max, bits)
             }
             PayloadKind::Temperature { base_quarters } => {
@@ -49,7 +51,11 @@ impl PayloadKind {
                 let quarters = base_quarters + jitter;
                 // Offset from −40 °C so the encoding is unsigned.
                 let encoded = (quarters + 160).max(0) as u64;
-                let capped = encoded.min(if bits == 64 { u64::MAX } else { (1 << bits) - 1 });
+                let capped = encoded.min(if bits == 64 {
+                    u64::MAX
+                } else {
+                    (1 << bits) - 1
+                });
                 BitVec::from_value(capped, bits)
             }
         }
@@ -64,6 +70,41 @@ pub fn decode_battery(info: &BitVec) -> u64 {
 /// Decodes a temperature payload back to °C.
 pub fn decode_temperature(info: &BitVec) -> f64 {
     (info.to_value() as f64 - 160.0) / 4.0
+}
+
+impl rfid_system::ToJson for PayloadKind {
+    fn to_json(&self) -> rfid_system::Json {
+        use rfid_system::Json;
+        match self {
+            PayloadKind::Presence => Json::str("Presence"),
+            PayloadKind::Random => Json::str("Random"),
+            PayloadKind::BatteryLevel => Json::str("BatteryLevel"),
+            PayloadKind::Temperature { base_quarters } => Json::Obj(vec![(
+                "Temperature".to_string(),
+                Json::Obj(vec![("base_quarters".to_string(), base_quarters.to_json())]),
+            )]),
+        }
+    }
+}
+
+impl rfid_system::FromJson for PayloadKind {
+    fn from_json(json: &rfid_system::Json) -> Result<Self, rfid_system::JsonError> {
+        use rfid_system::{Json, JsonError};
+        match json {
+            Json::Str(tag) => match tag.as_str() {
+                "Presence" => Ok(PayloadKind::Presence),
+                "Random" => Ok(PayloadKind::Random),
+                "BatteryLevel" => Ok(PayloadKind::BatteryLevel),
+                other => Err(JsonError(format!("unknown PayloadKind variant '{other}'"))),
+            },
+            Json::Obj(fields) if fields.len() == 1 && fields[0].0 == "Temperature" => {
+                Ok(PayloadKind::Temperature {
+                    base_quarters: fields[0].1.field("base_quarters")?,
+                })
+            }
+            other => Err(JsonError(format!("malformed PayloadKind: {other}"))),
+        }
+    }
 }
 
 #[cfg(test)]

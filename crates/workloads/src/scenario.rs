@@ -5,8 +5,6 @@
 //! experiments are reproducible and configurations can be stored as JSON
 //! next to their results.
 
-use serde::{Deserialize, Serialize};
-
 use rfid_hash::{split_seed, Xoshiro256};
 use rfid_system::{TagId, TagPopulation};
 
@@ -29,7 +27,7 @@ use crate::payload::PayloadKind;
 ///     scenario.build_population().get(0).id,
 /// );
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
     /// Number of tags `n`.
     pub n: usize,
@@ -97,7 +95,11 @@ impl Scenario {
     /// # Panics
     /// Panics if `missing > n`.
     pub fn split_missing(&self, missing: usize) -> (Vec<TagId>, TagPopulation) {
-        assert!(missing <= self.n, "cannot remove {missing} of {} tags", self.n);
+        assert!(
+            missing <= self.n,
+            "cannot remove {missing} of {} tags",
+            self.n
+        );
         let full = self.build_population();
         let expected: Vec<TagId> = full.iter().map(|(_, t)| t.id).collect();
         let mut pick_rng = Xoshiro256::seed_from_u64(split_seed(self.seed, 3));
@@ -113,6 +115,14 @@ impl Scenario {
         (expected, present)
     }
 }
+
+rfid_system::impl_json_struct!(Scenario {
+    n,
+    id_dist,
+    info_bits,
+    payload,
+    seed
+});
 
 #[cfg(test)]
 mod tests {
@@ -153,8 +163,7 @@ mod tests {
         let (expected, present) = s.split_missing(20);
         assert_eq!(expected.len(), 100);
         assert_eq!(present.len(), 80);
-        let present_ids: std::collections::HashSet<_> =
-            present.iter().map(|(_, t)| t.id).collect();
+        let present_ids: std::collections::HashSet<_> = present.iter().map(|(_, t)| t.id).collect();
         let missing = expected
             .iter()
             .filter(|id| !present_ids.contains(id))
@@ -175,8 +184,8 @@ mod tests {
             .with_seed(77)
             .with_ids(IdDistribution::Clustered { categories: 5 })
             .with_payload(PayloadKind::BatteryLevel);
-        let json = serde_json::to_string(&s).expect("serialize");
-        let back: Scenario = serde_json::from_str(&json).expect("deserialize");
+        let json = rfid_system::to_json_string(&s);
+        let back: Scenario = rfid_system::from_json_str(&json).expect("deserialize");
         assert_eq!(back, s);
     }
 

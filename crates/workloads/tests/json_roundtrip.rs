@@ -1,0 +1,72 @@
+//! JSON round-trips for workload descriptions — every variant of the ID and
+//! payload enums, plus full scenarios and churn models.
+
+use rfid_system::{from_json_str, to_json_string, FromJson, ToJson};
+use rfid_workloads::{ChurnModel, IdDistribution, PayloadKind, Scenario};
+
+fn round_trip<T>(value: &T)
+where
+    T: ToJson + FromJson + PartialEq + std::fmt::Debug,
+{
+    let compact = to_json_string(value);
+    let back: T = from_json_str(&compact).expect("compact parse");
+    assert_eq!(&back, value, "compact round-trip for {compact}");
+    let pretty = value.to_json().to_pretty_string();
+    let back: T = from_json_str(&pretty).expect("pretty parse");
+    assert_eq!(&back, value, "pretty round-trip");
+}
+
+#[test]
+fn every_id_distribution_variant_round_trips() {
+    round_trip(&IdDistribution::UniformRandom);
+    round_trip(&IdDistribution::Sequential { start: 1_000_000 });
+    round_trip(&IdDistribution::Clustered { categories: 12 });
+    round_trip(&IdDistribution::Zipf {
+        categories: 40,
+        exponent: 1.25,
+    });
+    round_trip(&IdDistribution::SharedPrefix { prefix_bits: 48 });
+    // Unit variant serializes as a bare string (serde-compatible tagging).
+    assert_eq!(
+        to_json_string(&IdDistribution::UniformRandom),
+        "\"UniformRandom\""
+    );
+}
+
+#[test]
+fn every_payload_kind_variant_round_trips() {
+    round_trip(&PayloadKind::Presence);
+    round_trip(&PayloadKind::Random);
+    round_trip(&PayloadKind::BatteryLevel);
+    round_trip(&PayloadKind::Temperature { base_quarters: -80 });
+    round_trip(&PayloadKind::Temperature { base_quarters: 88 });
+}
+
+#[test]
+fn churn_model_round_trips() {
+    round_trip(&ChurnModel {
+        departure_fraction: 0.05,
+        arrivals_per_epoch: 12.5,
+    });
+}
+
+#[test]
+fn scenario_round_trips_with_nested_enums() {
+    round_trip(&Scenario::uniform(500, 16));
+    round_trip(
+        &Scenario::uniform(64, 8)
+            .with_seed(0xDEAD_BEEF_F00D_D00D)
+            .with_ids(IdDistribution::Zipf {
+                categories: 9,
+                exponent: 0.8,
+            })
+            .with_payload(PayloadKind::Temperature { base_quarters: 100 }),
+    );
+}
+
+#[test]
+fn malformed_scenario_is_rejected() {
+    assert!(from_json_str::<Scenario>("{\"n\": 5}").is_err());
+    assert!(from_json_str::<IdDistribution>("{\"Nope\": {}}").is_err());
+    assert!(from_json_str::<PayloadKind>("\"Sideways\"").is_err());
+}

@@ -55,7 +55,10 @@ fn main() {
         .filter(|(_, t)| *t > threshold)
         .collect();
 
-    println!("\nmean temperature {mean:.2} °C; {} tags above {threshold} °C", warm.len());
+    println!(
+        "\nmean temperature {mean:.2} °C; {} tags above {threshold} °C",
+        warm.len()
+    );
     for (id, t) in warm.iter().take(5) {
         println!("  over-temperature: {id} at {t:.2} °C");
     }

@@ -51,8 +51,7 @@ fn main() {
         est.estimate
     );
     let fsa = FsaConfig::default().into_protocol();
-    let report =
-        fast_rfid_polling::apps::info_collect::run_polling_in(&fsa, &mut ctx).report;
+    let report = fast_rfid_polling::apps::info_collect::run_polling_in(&fsa, &mut ctx).report;
     println!(
         "  estimation {} + identification {} = {} total",
         est.time,

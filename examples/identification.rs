@@ -24,9 +24,18 @@ fn main() {
     );
 
     let identifiers: Vec<(&str, Box<dyn PollingProtocol>)> = vec![
-        ("Q-algo", Box::new(QAlgorithmConfig::default().into_protocol())),
-        ("QueryTree", Box::new(QueryTreeConfig::default().into_protocol())),
-        ("BinSplit", Box::new(BinarySplitConfig::default().into_protocol())),
+        (
+            "Q-algo",
+            Box::new(QAlgorithmConfig::default().into_protocol()),
+        ),
+        (
+            "QueryTree",
+            Box::new(QueryTreeConfig::default().into_protocol()),
+        ),
+        (
+            "BinSplit",
+            Box::new(BinarySplitConfig::default().into_protocol()),
+        ),
     ];
 
     for (label, protocol) in &identifiers {
@@ -40,9 +49,8 @@ fn main() {
         );
         let report = protocol.run(&mut ctx);
         ctx.assert_complete();
-        let slots = report.counters.polls
-            + report.counters.empty_slots
-            + report.counters.collision_slots;
+        let slots =
+            report.counters.polls + report.counters.empty_slots + report.counters.collision_slots;
         println!(
             "{label:<12} {:>12} {:>12} {:>16}",
             report.total_time.to_string(),

@@ -20,10 +20,7 @@ use fast_rfid_polling::system::{Channel, SimConfig, SimContext};
 fn main() {
     let n = 2_000usize;
     println!("reply-loss sweep — {n} tags, 1-bit payloads\n");
-    println!(
-        "{:>6} {:>12} {:>12} {:>12}",
-        "loss", "TPP", "HPP", "MIC"
-    );
+    println!("{:>6} {:>12} {:>12} {:>12}", "loss", "TPP", "HPP", "MIC");
     for loss in [0.0f64, 0.1, 0.2, 0.3, 0.5] {
         let mut row = Vec::new();
         for protocol in [
@@ -32,8 +29,7 @@ fn main() {
             &MicConfig::default().into_protocol(),
         ] {
             let scenario = Scenario::uniform(n, 1).with_seed(42);
-            let cfg = SimConfig::paper(scenario.protocol_seed())
-                .with_channel(Channel::lossy(loss));
+            let cfg = SimConfig::paper(scenario.protocol_seed()).with_channel(Channel::lossy(loss));
             let mut ctx = SimContext::new(scenario.build_population(), &cfg);
             let outcome = run_polling_in(protocol, &mut ctx);
             assert_eq!(outcome.report.counters.polls as usize, n);

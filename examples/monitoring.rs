@@ -47,9 +47,7 @@ fn main() {
         floor.extend(&arrivals);
 
         // The reader sweeps the floor as it now stands.
-        let present = TagPopulation::new(
-            floor.iter().map(|&id| (id, BitVec::from_value(1, 1))),
-        );
+        let present = TagPopulation::new(floor.iter().map(|&id| (id, BitVec::from_value(1, 1))));
         let mut ctx = SimContext::new(present, &SimConfig::paper(split_seed(7, epoch as u64)));
         let report = monitor.epoch(&mut ctx);
         total_air += report.time;

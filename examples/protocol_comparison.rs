@@ -35,12 +35,30 @@ fn main() {
         println!();
 
         let rows: Vec<ProtocolRow> = vec![
-            ("CPP", Box::new(|| Box::new(CppConfig::default().into_protocol()))),
-            ("CP", Box::new(|| Box::new(CodedPollingConfig::default().into_protocol()))),
-            ("HPP", Box::new(|| Box::new(HppConfig::default().into_protocol()))),
-            ("EHPP", Box::new(|| Box::new(EhppConfig::default().into_protocol()))),
-            ("MIC k=7", Box::new(|| Box::new(MicConfig::default().into_protocol()))),
-            ("TPP", Box::new(|| Box::new(TppConfig::default().into_protocol()))),
+            (
+                "CPP",
+                Box::new(|| Box::new(CppConfig::default().into_protocol())),
+            ),
+            (
+                "CP",
+                Box::new(|| Box::new(CodedPollingConfig::default().into_protocol())),
+            ),
+            (
+                "HPP",
+                Box::new(|| Box::new(HppConfig::default().into_protocol())),
+            ),
+            (
+                "EHPP",
+                Box::new(|| Box::new(EhppConfig::default().into_protocol())),
+            ),
+            (
+                "MIC k=7",
+                Box::new(|| Box::new(MicConfig::default().into_protocol())),
+            ),
+            (
+                "TPP",
+                Box::new(|| Box::new(TppConfig::default().into_protocol())),
+            ),
             ("LowerBound", Box::new(|| Box::new(LowerBound))),
         ];
 

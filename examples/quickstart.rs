@@ -32,7 +32,8 @@ fn main() {
     ];
 
     for protocol in &protocols {
-        let outcome = fast_rfid_polling::apps::info_collect::run_polling(protocol.as_ref(), &scenario);
+        let outcome =
+            fast_rfid_polling::apps::info_collect::run_polling(protocol.as_ref(), &scenario);
         let r = &outcome.report;
         println!(
             "{:<12} {:>14.2} {:>16.2} {:>12} {:>8}",

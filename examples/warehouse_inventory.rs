@@ -46,8 +46,7 @@ fn main() {
     // zone their last known position falls in — here: round-robin over
     // claims of the full expected list.
     let claims = plan.claim_tags(expected.len(), scenario.seed);
-    let present_ids: std::collections::HashSet<TagId> =
-        present.iter().map(|(_, t)| t.id).collect();
+    let present_ids: std::collections::HashSet<TagId> = present.iter().map(|(_, t)| t.id).collect();
 
     let app = MissingTagApp {
         strategy: MissingStrategy::Tpp,
@@ -80,7 +79,10 @@ fn main() {
 
     let makespan: fast_rfid_polling::c1g2::Micros = per_color_time.iter().copied().sum();
     all_missing.sort();
-    println!("\nidentified {} missing tags in {makespan} wall-clock", all_missing.len());
+    println!(
+        "\nidentified {} missing tags in {makespan} wall-clock",
+        all_missing.len()
+    );
     for id in all_missing.iter().take(5) {
         println!("  missing: {id}");
     }

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Canonical tier-1 gate (see ROADMAP.md). Must pass on a clean checkout
+# with an empty cargo registry cache and no network: the workspace has no
+# external dependencies, so --offline is exact, not best-effort.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline
+cargo test -q --offline
+cargo fmt --check
+
+echo "verify: OK"

@@ -44,8 +44,8 @@ pub use rfid_apps as apps;
 pub use rfid_baselines as baselines;
 pub use rfid_c1g2 as c1g2;
 pub use rfid_estimate as estimate;
-pub use rfid_identify as identify;
 pub use rfid_hash as hash;
+pub use rfid_identify as identify;
 pub use rfid_protocols as protocols;
 pub use rfid_system as system;
 pub use rfid_workloads as workloads;
@@ -53,7 +53,7 @@ pub use rfid_workloads as workloads;
 /// One-stop imports for the common use cases.
 pub mod prelude {
     pub use rfid_apps::info_collect::run_polling;
-    pub use rfid_baselines::{CppConfig, CodedPollingConfig, EcppConfig, MicConfig};
+    pub use rfid_baselines::{CodedPollingConfig, CppConfig, EcppConfig, MicConfig};
     pub use rfid_c1g2::{Clock, LinkParams, Micros, TimeCategory};
     pub use rfid_protocols::{EhppConfig, HppConfig, PollingProtocol, Report, TppConfig};
     pub use rfid_system::{BitVec, SlotOutcome, TagId, TagPopulation};

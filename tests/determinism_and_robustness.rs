@@ -19,7 +19,8 @@ fn identical_seeds_produce_identical_runs() {
         let a = run_polling(protocol.as_ref(), &scenario);
         let b = run_polling(protocol.as_ref(), &scenario);
         assert_eq!(
-            a.report.total_time, b.report.total_time,
+            a.report.total_time,
+            b.report.total_time,
             "{} not deterministic",
             protocol.name()
         );
@@ -53,20 +54,19 @@ fn protocols_survive_heavy_loss() {
         for protocol in &protocols {
             let scenario = Scenario::uniform(200, 1).with_seed(77);
             let population = scenario.build_population();
-            let cfg = SimConfig::paper(scenario.protocol_seed())
-                .with_channel(Channel::lossy(loss));
+            let cfg = SimConfig::paper(scenario.protocol_seed()).with_channel(Channel::lossy(loss));
             let mut ctx = SimContext::new(population, &cfg);
             let outcome = run_polling_in(protocol.as_ref(), &mut ctx);
             assert_eq!(
-                outcome.report.counters.polls, 200,
+                outcome.report.counters.polls,
+                200,
                 "{} at loss {loss}",
                 protocol.name()
             );
             // Direct polls record losses explicitly; MIC's frame slots see
             // a lost reply as an empty slot instead.
             assert!(
-                outcome.report.counters.lost_replies > 0
-                    || outcome.report.counters.empty_slots > 0,
+                outcome.report.counters.lost_replies > 0 || outcome.report.counters.empty_slots > 0,
                 "{} at loss {loss} saw no channel impairment",
                 protocol.name()
             );
@@ -82,8 +82,7 @@ fn loss_increases_cost_monotonically_in_expectation() {
         for seed in 0..5u64 {
             let scenario = Scenario::uniform(300, 1).with_seed(seed);
             let population = scenario.build_population();
-            let cfg =
-                SimConfig::paper(scenario.protocol_seed()).with_channel(Channel::lossy(loss));
+            let cfg = SimConfig::paper(scenario.protocol_seed()).with_channel(Channel::lossy(loss));
             let mut ctx = SimContext::new(population, &cfg);
             let outcome = run_polling_in(&TppConfig::default().into_protocol(), &mut ctx);
             acc += outcome.report.total_time.as_secs();

@@ -60,9 +60,7 @@ fn estimate_identify_poll_monitor_lifecycle() {
         let (remaining, departed, arrivals) = churn.evolve(&floor, &mut rng);
         floor = remaining;
         floor.extend(&arrivals);
-        let present = TagPopulation::new(
-            floor.iter().map(|&id| (id, BitVec::from_value(1, 1))),
-        );
+        let present = TagPopulation::new(floor.iter().map(|&id| (id, BitVec::from_value(1, 1))));
         let mut ctx = SimContext::new(present, &SimConfig::paper(split_seed(555, 10 + epoch)));
         let report = monitor.epoch(&mut ctx);
         assert_eq!(report.missing.len(), departed.len(), "epoch {epoch}");

@@ -64,10 +64,10 @@ fn cpp_ratio_shrinks_with_payload_length() {
     // Table I: CPP ≈ 11.6× LB at l = 1; Table III: ≈ 4.14× at l = 32 —
     // the fixed 96-bit vector amortizes over longer payloads.
     let n = 500;
-    let r1 = time_of(&CppConfig::default().into_protocol(), n, 1, 5)
-        / time_of(&LowerBound, n, 1, 5);
-    let r32 = time_of(&CppConfig::default().into_protocol(), n, 32, 5)
-        / time_of(&LowerBound, n, 32, 5);
+    let r1 =
+        time_of(&CppConfig::default().into_protocol(), n, 1, 5) / time_of(&LowerBound, n, 1, 5);
+    let r32 =
+        time_of(&CppConfig::default().into_protocol(), n, 32, 5) / time_of(&LowerBound, n, 32, 5);
     assert!((r1 - 11.6).abs() < 0.2, "l=1 ratio {r1}");
     assert!((r32 - 4.14).abs() < 0.1, "l=32 ratio {r32}");
 }

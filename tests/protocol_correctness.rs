@@ -46,7 +46,8 @@ fn every_protocol_completes_on_every_distribution() {
         for protocol in all_protocols() {
             let outcome = run_polling(protocol.as_ref(), &scenario);
             assert_eq!(
-                outcome.report.counters.polls, 300,
+                outcome.report.counters.polls,
+                300,
                 "{} under {:?}",
                 protocol.name(),
                 dist
@@ -79,9 +80,15 @@ fn polling_protocols_never_waste_slots() {
     ];
     for protocol in polling {
         let outcome = run_polling(protocol.as_ref(), &scenario);
-        assert_eq!(outcome.report.counters.empty_slots, 0, "{}", protocol.name());
         assert_eq!(
-            outcome.report.counters.collision_slots, 0,
+            outcome.report.counters.empty_slots,
+            0,
+            "{}",
+            protocol.name()
+        );
+        assert_eq!(
+            outcome.report.counters.collision_slots,
+            0,
             "{}",
             protocol.name()
         );
@@ -92,7 +99,10 @@ fn polling_protocols_never_waste_slots() {
     assert!(fsa.report.counters.collision_slots > 0);
     let mic = run_polling(&MicConfig::default().into_protocol(), &scenario);
     assert!(mic.report.counters.empty_slots > 0);
-    assert_eq!(mic.report.counters.collision_slots, 0, "MIC's cascade is collision-free");
+    assert_eq!(
+        mic.report.counters.collision_slots, 0,
+        "MIC's cascade is collision-free"
+    );
 }
 
 #[test]

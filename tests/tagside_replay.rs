@@ -10,8 +10,8 @@
 
 use fast_rfid_polling::analysis;
 use fast_rfid_polling::hash::Xoshiro256;
-use fast_rfid_polling::protocols::{Broadcast, PollingTree, TagMachine, TppConfig};
 use fast_rfid_polling::prelude::*;
+use fast_rfid_polling::protocols::{Broadcast, PollingTree, TagMachine, TppConfig};
 use fast_rfid_polling::system::{SimConfig, SimContext};
 use fast_rfid_polling::workloads::Scenario;
 
@@ -45,7 +45,10 @@ fn tpp_fast_path_equals_tag_machine_replay() {
 
         if h == 0 {
             // Single tag left: the bare poll (empty index) addresses it.
-            let init = Broadcast::RoundInit { h, seed: round_seed };
+            let init = Broadcast::RoundInit {
+                h,
+                seed: round_seed,
+            };
             for m in &mut machines {
                 m.receive(&init);
             }
@@ -60,7 +63,10 @@ fn tpp_fast_path_equals_tag_machine_replay() {
             continue;
         }
 
-        let init = Broadcast::RoundInit { h, seed: round_seed };
+        let init = Broadcast::RoundInit {
+            h,
+            seed: round_seed,
+        };
         for m in &mut machines {
             m.receive(&init);
         }
@@ -130,7 +136,10 @@ fn hpp_fast_path_equals_tag_machine_replay() {
         let unread = machines.iter().filter(|m| !m.is_read()).count() as u64;
         let h = analysis::hpp::index_length(unread);
         let round_seed = rng.next_u64();
-        let init = Broadcast::RoundInit { h, seed: round_seed };
+        let init = Broadcast::RoundInit {
+            h,
+            seed: round_seed,
+        };
         for m in &mut machines {
             m.receive(&init);
         }
