@@ -6,7 +6,7 @@
 //! polling invariant (every tag interrogated exactly once, nothing missed),
 //! and returns the collected `(id, payload)` pairs with the cost report.
 
-use rfid_protocols::{PollingProtocol, Report};
+use rfid_protocols::{PollingError, PollingProtocol, Report};
 use rfid_system::{BitVec, SimConfig, SimContext, TagId};
 use rfid_workloads::Scenario;
 
@@ -35,24 +35,42 @@ impl CollectionOutcome {
 /// # Panics
 /// Panics if the protocol fails the polling invariant (a tag was never
 /// interrogated, or poll counts disagree) — protocol bugs must not be
-/// silently reported as results.
+/// silently reported as results — or if the run stalls; fault-injecting
+/// callers should use [`try_run_polling`] instead.
 pub fn run_polling(protocol: &dyn PollingProtocol, scenario: &Scenario) -> CollectionOutcome {
+    match try_run_polling(protocol, scenario) {
+        Ok(outcome) => outcome,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible variant of [`run_polling`]: a stalled run (possible only under
+/// injected faults) comes back as `Err(PollingError::Stalled { .. })` with
+/// the partial report intact.
+pub fn try_run_polling(
+    protocol: &dyn PollingProtocol,
+    scenario: &Scenario,
+) -> Result<CollectionOutcome, PollingError> {
     let population = scenario.build_population();
     let mut ctx = SimContext::new(population, &SimConfig::paper(scenario.protocol_seed()));
     run_polling_in(protocol, &mut ctx)
 }
 
 /// Runs `protocol` over an existing context (for callers that customize the
-/// channel or link parameters) and returns the validated outcome.
-pub fn run_polling_in(protocol: &dyn PollingProtocol, ctx: &mut SimContext) -> CollectionOutcome {
-    let report = protocol.run(ctx);
+/// channel, link parameters, or fault model) and returns the validated
+/// outcome, or the stall error if the protocol could not converge.
+pub fn run_polling_in(
+    protocol: &dyn PollingProtocol,
+    ctx: &mut SimContext,
+) -> Result<CollectionOutcome, PollingError> {
+    let report = protocol.try_run(ctx)?;
     ctx.assert_complete();
     let collected = ctx
         .population
         .iter()
         .map(|(_, tag)| (tag.id, tag.info.clone()))
         .collect();
-    CollectionOutcome { report, collected }
+    Ok(CollectionOutcome { report, collected })
 }
 
 #[cfg(test)]

@@ -126,14 +126,24 @@ impl DeploymentPlan {
 /// Result of a multi-reader run.
 #[derive(Debug, Clone)]
 pub struct MultiReaderOutcome {
-    /// Per-reader reports, reader order.
+    /// Per-reader reports, reader order. A stalled reader contributes its
+    /// partial report (whatever it collected before giving up).
     pub per_reader: Vec<Report>,
+    /// Indices of readers whose run stalled (empty on a clean deployment).
+    pub stalled_readers: Vec<usize>,
     /// Colors assigned to readers.
     pub colors: Vec<usize>,
     /// Wall-clock time: Σ over colors of the slowest reader in the color.
     pub makespan: Micros,
     /// Total reader-seconds spent (Σ of all reader run times).
     pub total_work: Micros,
+}
+
+impl MultiReaderOutcome {
+    /// Whether every reader collected its whole claim.
+    pub fn is_complete(&self) -> bool {
+        self.stalled_readers.is_empty()
+    }
 }
 
 /// Runs `protocol` over a deployment: tags are claimed per reader, the
@@ -149,6 +159,7 @@ pub fn run_deployment(
     let colors = plan.color_schedule();
 
     let mut per_reader = Vec::with_capacity(plan.readers.len());
+    let mut stalled_readers = Vec::new();
     for (r, claim) in claims.iter().enumerate() {
         let sub = TagPopulation::new(claim.iter().map(|&t| {
             let tag = population.get(t);
@@ -161,9 +172,18 @@ pub fn run_deployment(
         let report = if ctx.population.is_empty() {
             Report::from_context(protocol.name(), &ctx)
         } else {
-            let rep = protocol.run(&mut ctx);
-            ctx.assert_complete();
-            rep
+            match protocol.try_run(&mut ctx) {
+                Ok(rep) => {
+                    ctx.assert_complete();
+                    rep
+                }
+                Err(e) => {
+                    // One stalled reader must not sink the deployment:
+                    // keep its partial work and flag it.
+                    stalled_readers.push(r);
+                    e.partial_report().clone()
+                }
+            }
         };
         per_reader.push(report);
     }
@@ -183,6 +203,7 @@ pub fn run_deployment(
 
     MultiReaderOutcome {
         per_reader,
+        stalled_readers,
         colors,
         makespan,
         total_work,
@@ -257,6 +278,7 @@ mod tests {
         let outcome = run_deployment(&plan, &scenario, &TppConfig::default().into_protocol());
         let polls: u64 = outcome.per_reader.iter().map(|r| r.counters.polls).sum();
         assert_eq!(polls, 400);
+        assert!(outcome.is_complete());
         // Parallelism helps but cannot beat the per-color serialization:
         // makespan ≤ total work, and ≥ the slowest single reader.
         assert!(outcome.makespan <= outcome.total_work);

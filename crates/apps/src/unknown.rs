@@ -18,7 +18,7 @@ use std::collections::HashMap;
 
 use rfid_analysis::hpp::index_length;
 use rfid_hash::TagHash;
-use rfid_protocols::Report;
+use rfid_protocols::{PollingError, Report, StallGuard};
 use rfid_system::{SimContext, SlotOutcome};
 
 /// Result of an interference run.
@@ -35,27 +35,28 @@ pub struct InterferenceReport {
 /// HPP-style polling of the `known` handles while the remaining active tags
 /// in the population are aliens that interfere but are never addressed.
 ///
-/// # Panics
-/// Panics if convergence needs more than `max_rounds` rounds.
+/// Returns `Err(PollingError::Stalled)` (with the partial report) if
+/// convergence needs more than `max_rounds` rounds or progress stops — a
+/// jammed channel or kill rule, not mere interference.
 pub fn run_hpp_with_aliens(
     ctx: &mut SimContext,
     known: &[usize],
     max_rounds: u64,
-) -> InterferenceReport {
+) -> Result<InterferenceReport, PollingError> {
     let known_set: std::collections::HashSet<usize> = known.iter().copied().collect();
     let mut unread: Vec<usize> = known.to_vec();
     let mut alien_collisions = 0u64;
     let mut rounds = 0u64;
+    let mut guard = StallGuard::default();
     // Collision backoff: extra index bits added when polls keep colliding
     // with aliens the reader cannot see.
     let mut h_extra = 0u32;
 
     while !unread.is_empty() {
         rounds += 1;
-        assert!(
-            rounds <= max_rounds,
-            "interference run did not converge within {max_rounds} rounds"
-        );
+        if rounds > max_rounds || guard.no_progress(ctx) {
+            return Err(PollingError::stalled("HPP+aliens", ctx));
+        }
         let h = (index_length(unread.len() as u64) + h_extra).min(30);
         let seed = ctx.draw_round_seed();
         ctx.begin_round(h, 32);
@@ -95,11 +96,17 @@ pub fn run_hpp_with_aliens(
         for &(idx, target) in &singles {
             let repliers = repliers_of.get(&idx).cloned().unwrap_or_default();
             match ctx.slot(&repliers, 4 + h as u64) {
-                SlotOutcome::Singleton(tag) => {
-                    debug_assert_eq!(tag, target);
+                SlotOutcome::Singleton(tag) if tag == target => {
                     ctx.counters.vector_bits += h as u64;
                     ctx.mark_read(tag);
                     read_now.push(target);
+                }
+                SlotOutcome::Singleton(_) => {
+                    // The expected replier was silenced (lost downlink,
+                    // desync) and an alien's lone reply got through; the
+                    // reader's payload sanity check rejects it and the
+                    // known tag is retried next round.
+                    alien_collisions += 1;
                 }
                 SlotOutcome::Collision(_) => {
                     // An alien (or a lost-reply survivor) stepped on the
@@ -109,6 +116,10 @@ pub fn run_hpp_with_aliens(
                 }
                 SlotOutcome::Empty => {
                     // Reply lost on a lossy channel; retry next round.
+                }
+                SlotOutcome::Corrupted(_) => {
+                    // Reply mangled in flight; the tag stays active and the
+                    // reader re-polls it next round.
                 }
             }
         }
@@ -126,11 +137,11 @@ pub fn run_hpp_with_aliens(
         unread.retain(|handle| !read_set.contains(handle));
     }
 
-    InterferenceReport {
+    Ok(InterferenceReport {
         report: Report::from_context("HPP+aliens", ctx),
         alien_collisions,
         rounds,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -149,7 +160,7 @@ mod tests {
     #[test]
     fn all_known_tags_read_despite_aliens() {
         let (mut ctx, known) = setup(500, 100, 1);
-        let r = run_hpp_with_aliens(&mut ctx, &known, 10_000);
+        let r = run_hpp_with_aliens(&mut ctx, &known, 10_000).expect("converges");
         assert_eq!(r.report.counters.polls, 500);
         // Aliens remain active and unread.
         assert_eq!(ctx.population.active_count(), 100);
@@ -162,7 +173,7 @@ mod tests {
     fn aliens_cause_some_collisions() {
         // With 50 % aliens at matched index space, collisions are expected.
         let (mut ctx, known) = setup(1_000, 1_000, 2);
-        let r = run_hpp_with_aliens(&mut ctx, &known, 10_000);
+        let r = run_hpp_with_aliens(&mut ctx, &known, 10_000).expect("converges");
         assert!(r.alien_collisions > 0, "expected alien interference");
         assert_eq!(r.report.counters.polls, 1_000);
     }
@@ -170,7 +181,7 @@ mod tests {
     #[test]
     fn no_aliens_means_no_collisions() {
         let (mut ctx, known) = setup(800, 0, 3);
-        let r = run_hpp_with_aliens(&mut ctx, &known, 10_000);
+        let r = run_hpp_with_aliens(&mut ctx, &known, 10_000).expect("converges");
         assert_eq!(r.alien_collisions, 0);
         assert_eq!(r.report.counters.collision_slots, 0);
     }
@@ -180,6 +191,7 @@ mod tests {
         let time_with = |aliens: usize| {
             let (mut ctx, known) = setup(1_000, aliens, 4);
             run_hpp_with_aliens(&mut ctx, &known, 10_000)
+                .expect("converges")
                 .report
                 .total_time
         };

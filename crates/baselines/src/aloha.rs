@@ -9,7 +9,7 @@
 //! count.
 
 use rfid_hash::TagHash;
-use rfid_protocols::{PollingProtocol, Report};
+use rfid_protocols::{PollingError, PollingProtocol, Report, StallGuard};
 use rfid_system::{SimContext, SlotOutcome};
 
 /// FSA configuration.
@@ -59,7 +59,7 @@ impl PollingProtocol for Fsa {
         "FSA"
     }
 
-    fn run(&self, ctx: &mut SimContext) -> Report {
+    fn try_run(&self, ctx: &mut SimContext) -> Result<Report, PollingError> {
         // Framed slots are fixed-duration: an empty slot still occupies the
         // full reply window (same convention as MIC's timing model).
         let payload_bits = ctx
@@ -69,13 +69,12 @@ impl PollingProtocol for Fsa {
             .max()
             .unwrap_or(0) as u64;
         let mut rounds = 0u64;
+        let mut guard = StallGuard::default();
         while ctx.population.active_count() > 0 {
             rounds += 1;
-            assert!(
-                rounds <= self.cfg.max_rounds,
-                "FSA did not converge within {} rounds",
-                self.cfg.max_rounds
-            );
+            if rounds > self.cfg.max_rounds {
+                return Err(PollingError::stalled(self.name(), ctx));
+            }
             let unread = ctx.population.active_count() as u64;
             let frame = ((unread as f64 * self.cfg.frame_factor).ceil() as u64).max(1);
             let seed = ctx.draw_round_seed();
@@ -96,11 +95,17 @@ impl PollingProtocol for Fsa {
                         let pad = ctx.link.tag_tx(payload_bits);
                         ctx.wait(rfid_c1g2::TimeCategory::WastedSlot, pad);
                     }
-                    SlotOutcome::Collision(_) => {}
+                    // A corrupted singleton already burned its slot air time
+                    // inside `slot()`; the tag stays active for the next
+                    // frame, same as a collision.
+                    SlotOutcome::Collision(_) | SlotOutcome::Corrupted(_) => {}
                 }
             }
+            if guard.no_progress(ctx) {
+                return Err(PollingError::stalled(self.name(), ctx));
+            }
         }
-        Report::from_context(self.name(), ctx)
+        Ok(Report::from_context(self.name(), ctx))
     }
 }
 

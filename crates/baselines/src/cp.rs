@@ -13,7 +13,7 @@
 use std::collections::HashMap;
 
 use rfid_c1g2::crc::crc48_code;
-use rfid_protocols::{PollingProtocol, Report};
+use rfid_protocols::{PollingError, PollingProtocol, Report, StallGuard};
 use rfid_system::{id::EPC_BITS, SimContext};
 
 /// Coded-Polling configuration.
@@ -59,7 +59,7 @@ impl PollingProtocol for CodedPolling {
         "CP"
     }
 
-    fn run(&self, ctx: &mut SimContext) -> Report {
+    fn try_run(&self, ctx: &mut SimContext) -> Result<Report, PollingError> {
         // Reader-side validation pass: compute every tag's code and find
         // collisions (those tags must be addressed by full ID).
         let mut by_code: HashMap<u64, Vec<usize>> = HashMap::new();
@@ -77,13 +77,12 @@ impl PollingProtocol for CodedPolling {
             .collect();
 
         let mut sweeps = 0u64;
+        let mut guard = StallGuard::default();
         while ctx.population.active_count() > 0 {
             sweeps += 1;
-            assert!(
-                sweeps <= self.cfg.max_sweeps,
-                "CP did not converge within {} sweeps",
-                self.cfg.max_sweeps
-            );
+            if sweeps > self.cfg.max_sweeps {
+                return Err(PollingError::stalled(self.name(), ctx));
+            }
             for handle in ctx.population.active_handles() {
                 let bits = if ambiguous.contains(&handle) {
                     EPC_BITS as u64
@@ -92,8 +91,11 @@ impl PollingProtocol for CodedPolling {
                 };
                 ctx.poll_tag(bits, false, handle);
             }
+            if guard.no_progress(ctx) {
+                return Err(PollingError::stalled(self.name(), ctx));
+            }
         }
-        Report::from_context(self.name(), ctx)
+        Ok(Report::from_context(self.name(), ctx))
     }
 }
 

@@ -5,7 +5,7 @@
 //! the 96-bit polling vector makes every poll expensive. CPP is the paper's
 //! baseline: 37.70 s to collect one bit from 10⁴ tags.
 
-use rfid_protocols::{PollingProtocol, Report};
+use rfid_protocols::{PollingError, PollingProtocol, Report, StallGuard};
 use rfid_system::{id::EPC_BITS, SimContext};
 
 /// CPP configuration.
@@ -53,22 +53,24 @@ impl PollingProtocol for Cpp {
         "CPP"
     }
 
-    fn run(&self, ctx: &mut SimContext) -> Report {
+    fn try_run(&self, ctx: &mut SimContext) -> Result<Report, PollingError> {
         let mut sweeps = 0u64;
+        let mut guard = StallGuard::default();
         while ctx.population.active_count() > 0 {
             sweeps += 1;
-            assert!(
-                sweeps <= self.cfg.max_sweeps,
-                "CPP did not converge within {} sweeps",
-                self.cfg.max_sweeps
-            );
+            if sweeps > self.cfg.max_sweeps {
+                return Err(PollingError::stalled(self.name(), ctx));
+            }
             // The reader walks its known ID list; active tags are the ones
             // not yet read (or whose reply was lost last sweep).
             for handle in ctx.population.active_handles() {
                 ctx.poll_tag(EPC_BITS as u64, self.cfg.with_query_rep, handle);
             }
+            if guard.no_progress(ctx) {
+                return Err(PollingError::stalled(self.name(), ctx));
+            }
         }
-        Report::from_context(self.name(), ctx)
+        Ok(Report::from_context(self.name(), ctx))
     }
 }
 

@@ -12,7 +12,7 @@ use std::collections::BTreeMap;
 
 use rfid_c1g2::commands::SELECT_FIXED_BITS;
 use rfid_c1g2::TimeCategory;
-use rfid_protocols::{PollingProtocol, Report};
+use rfid_protocols::{PollingError, PollingProtocol, Report, StallGuard};
 use rfid_system::{id::EPC_BITS, SimContext};
 
 /// Enhanced-CPP configuration.
@@ -63,18 +63,17 @@ impl PollingProtocol for Ecpp {
         "eCPP"
     }
 
-    fn run(&self, ctx: &mut SimContext) -> Report {
+    fn try_run(&self, ctx: &mut SimContext) -> Result<Report, PollingError> {
         let p = self.cfg.prefix_bits as usize;
         assert!(p < EPC_BITS, "prefix must leave differential bits");
         let diff_bits = (EPC_BITS - p) as u64;
         let mut sweeps = 0u64;
+        let mut guard = StallGuard::default();
         while ctx.population.active_count() > 0 {
             sweeps += 1;
-            assert!(
-                sweeps <= self.cfg.max_sweeps,
-                "eCPP did not converge within {} sweeps",
-                self.cfg.max_sweeps
-            );
+            if sweeps > self.cfg.max_sweeps {
+                return Err(PollingError::stalled(self.name(), ctx));
+            }
             // Group active tags by their p-bit prefix. BTreeMap gives a
             // deterministic polling order.
             let mut groups: BTreeMap<u128, Vec<usize>> = BTreeMap::new();
@@ -100,8 +99,11 @@ impl PollingProtocol for Ecpp {
                     }
                 }
             }
+            if guard.no_progress(ctx) {
+                return Err(PollingError::stalled(self.name(), ctx));
+            }
         }
-        Report::from_context(self.name(), ctx)
+        Ok(Report::from_context(self.name(), ctx))
     }
 }
 

@@ -6,7 +6,7 @@
 //! `(37.45·4 + T1 + 25·l + T2)·n` µs. Implemented as a pseudo-protocol so
 //! table generation treats it uniformly.
 
-use rfid_protocols::{PollingProtocol, Report};
+use rfid_protocols::{PollingError, PollingProtocol, Report, StallGuard};
 use rfid_system::SimContext;
 
 /// The lower-bound pseudo-protocol: polls each tag with an empty (0-bit)
@@ -19,13 +19,17 @@ impl PollingProtocol for LowerBound {
         "LowerBound"
     }
 
-    fn run(&self, ctx: &mut SimContext) -> Report {
+    fn try_run(&self, ctx: &mut SimContext) -> Result<Report, PollingError> {
+        let mut guard = StallGuard::default();
         while ctx.population.active_count() > 0 {
             for handle in ctx.population.active_handles() {
                 ctx.poll_tag(0, true, handle);
             }
+            if guard.no_progress(ctx) {
+                return Err(PollingError::stalled(self.name(), ctx));
+            }
         }
-        Report::from_context(self.name(), ctx)
+        Ok(Report::from_context(self.name(), ctx))
     }
 }
 

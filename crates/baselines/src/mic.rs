@@ -22,7 +22,7 @@
 
 use rfid_c1g2::TimeCategory;
 use rfid_hash::HashFamily;
-use rfid_protocols::{PollingProtocol, Report};
+use rfid_protocols::{PollingError, PollingProtocol, Report, StallGuard};
 use rfid_system::{SimContext, SlotOutcome};
 
 /// MIC configuration.
@@ -148,7 +148,7 @@ impl PollingProtocol for Mic {
         "MIC"
     }
 
-    fn run(&self, ctx: &mut SimContext) -> Report {
+    fn try_run(&self, ctx: &mut SimContext) -> Result<Report, PollingError> {
         assert!(self.cfg.k >= 1, "MIC needs at least one hash function");
         let bits_per_slot = self.cfg.indicator_bits_per_slot();
         // In a frame, the reader must wait out the full reply window before
@@ -163,13 +163,12 @@ impl PollingProtocol for Mic {
             .max()
             .unwrap_or(0) as u64;
         let mut rounds = 0u64;
+        let mut guard = StallGuard::default();
         while ctx.population.active_count() > 0 {
             rounds += 1;
-            assert!(
-                rounds <= self.cfg.max_rounds,
-                "MIC did not converge within {} rounds",
-                self.cfg.max_rounds
-            );
+            if rounds > self.cfg.max_rounds {
+                return Err(PollingError::stalled(self.name(), ctx));
+            }
             let unresolved = ctx.population.active_count() as u64;
             let frame = ((unresolved as f64 * self.cfg.frame_factor).ceil() as u64).max(1);
             let seed = ctx.draw_round_seed();
@@ -207,8 +206,11 @@ impl PollingProtocol for Mic {
                     }
                 }
             }
+            if guard.no_progress(ctx) {
+                return Err(PollingError::stalled(self.name(), ctx));
+            }
         }
-        Report::from_context(self.name(), ctx)
+        Ok(Report::from_context(self.name(), ctx))
     }
 }
 

@@ -18,6 +18,10 @@ pub const QUERY_BITS: u64 = 22;
 /// Bit length of an `ACK` command (2-bit code + 16-bit RN16).
 pub const ACK_BITS: u64 = 18;
 
+/// Bit length of a `NAK` command (8-bit code, no handle) — sent when a reply
+/// fails its CRC-16 check to request a retransmission.
+pub const NAK_BITS: u64 = 8;
+
 /// Fixed portion of a `Select` command: 4-bit code, 3-bit target, 3-bit
 /// action, 2-bit bank, EBV pointer (8) and 8-bit length, 1 truncate bit and
 /// CRC-16 — the mask bits are added per use.

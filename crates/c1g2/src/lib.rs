@@ -49,7 +49,7 @@ pub mod query;
 pub mod time;
 pub mod timing;
 
-pub use commands::{Command, QUERY_REP_BITS};
+pub use commands::{Command, NAK_BITS, QUERY_REP_BITS};
 pub use encoding::{ReaderEncoding, TagEncoding};
 pub use params::{DivideRatio, LinkParams};
 pub use query::{MemBank, QueryCommand, SelField, Session, Target, UpDn};

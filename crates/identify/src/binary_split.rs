@@ -13,7 +13,7 @@
 //! count is ≈ 2.89 per tag, like QT, but the slot layout differs.
 
 use rfid_c1g2::TimeCategory;
-use rfid_protocols::{PollingProtocol, Report};
+use rfid_protocols::{PollingError, PollingProtocol, Report};
 use rfid_system::id::EPC_BITS;
 use rfid_system::{SimContext, SlotOutcome};
 
@@ -63,7 +63,7 @@ impl PollingProtocol for BinarySplit {
         "BinSplit"
     }
 
-    fn run(&self, ctx: &mut SimContext) -> Report {
+    fn try_run(&self, ctx: &mut SimContext) -> Result<Report, PollingError> {
         let reply_bits = EPC_BITS as u64 + self.cfg.reply_crc_bits;
         // Tag-side counters, indexed by handle; identified tags drop out.
         let mut counter: std::collections::HashMap<usize, u64> = ctx
@@ -75,10 +75,9 @@ impl PollingProtocol for BinarySplit {
         let mut slots = 0u64;
         while !counter.is_empty() {
             slots += 1;
-            assert!(
-                slots < self.cfg.max_slots,
-                "binary splitting did not converge"
-            );
+            if slots >= self.cfg.max_slots {
+                return Err(PollingError::stalled(self.name(), ctx));
+            }
             let repliers: Vec<usize> = counter
                 .iter()
                 .filter(|(_, &c)| c == 0)
@@ -129,9 +128,14 @@ impl PollingProtocol for BinarySplit {
                         *c = c.saturating_sub(1);
                     }
                 }
+                SlotOutcome::Corrupted(_) => {
+                    // CRC failure on a lone reply: leave every counter in
+                    // place so the same tag retries next slot. Splitting
+                    // here would descend forever on one unlucky tag.
+                }
             }
         }
-        Report::from_context(self.name(), ctx)
+        Ok(Report::from_context(self.name(), ctx))
     }
 }
 

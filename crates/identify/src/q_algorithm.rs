@@ -16,7 +16,7 @@
 
 use rfid_c1g2::commands::{ACK_BITS, QUERY_BITS};
 use rfid_c1g2::TimeCategory;
-use rfid_protocols::{PollingProtocol, Report};
+use rfid_protocols::{PollingError, PollingProtocol, Report};
 use rfid_system::{Event, SimContext, SlotOutcome};
 
 /// PC + EPC + CRC-16 backscatter length.
@@ -73,7 +73,7 @@ impl PollingProtocol for QAlgorithm {
         "Q-algo"
     }
 
-    fn run(&self, ctx: &mut SimContext) -> Report {
+    fn try_run(&self, ctx: &mut SimContext) -> Result<Report, PollingError> {
         assert!(self.cfg.initial_q <= 15, "Q must be ≤ 15");
         assert!(self.cfg.c > 0.0, "adaptation constant must be positive");
         let mut q_fp = self.cfg.initial_q as f64;
@@ -96,10 +96,9 @@ impl PollingProtocol for QAlgorithm {
             let mut i = 0usize;
             loop {
                 slots_total += 1;
-                assert!(
-                    slots_total < self.cfg.max_slots,
-                    "Q-algorithm did not converge"
-                );
+                if slots_total >= self.cfg.max_slots {
+                    return Err(PollingError::stalled(self.name(), ctx));
+                }
                 // Tags whose counter equals the current slot reply.
                 let mut repliers = Vec::new();
                 while i < counters.len() && counters[i].0 == slot {
@@ -139,6 +138,14 @@ impl PollingProtocol for QAlgorithm {
                         ctx.log.record(|| Event::SlotCollision { count });
                         q_fp = (q_fp + self.cfg.c).min(15.0);
                     }
+                    SlotOutcome::Corrupted(_) => {
+                        // Garbled RN16: the reader cannot ACK it. The tag
+                        // re-draws in the next frame; Q is left alone (the
+                        // slot was neither empty nor a collision).
+                        ctx.wait(TimeCategory::WastedSlot, ctx.link.tag_tx(RN16_BITS));
+                        ctx.wait(TimeCategory::Turnaround, ctx.link.t2);
+                        ctx.counters.corrupted_replies += 1;
+                    }
                 }
                 slot += 1;
                 // Frame ends when every slot has passed, or Q drifted.
@@ -151,7 +158,7 @@ impl PollingProtocol for QAlgorithm {
                 }
             }
         }
-        Report::from_context(self.name(), ctx)
+        Ok(Report::from_context(self.name(), ctx))
     }
 }
 

@@ -13,7 +13,7 @@
 //! count on uniform IDs is ≈ 2.89 per tag.
 
 use rfid_c1g2::TimeCategory;
-use rfid_protocols::{PollingProtocol, Report};
+use rfid_protocols::{PollingError, PollingProtocol, Report};
 use rfid_system::id::EPC_BITS;
 use rfid_system::{BitVec, SimContext, SlotOutcome};
 
@@ -67,16 +67,16 @@ impl PollingProtocol for QueryTree {
         "QueryTree"
     }
 
-    fn run(&self, ctx: &mut SimContext) -> Report {
+    fn try_run(&self, ctx: &mut SimContext) -> Result<Report, PollingError> {
         // LIFO keeps memory logarithmic on random IDs (depth-first).
         let mut stack: Vec<BitVec> = vec![BitVec::from_str_bits("1"), BitVec::from_str_bits("0")];
         let mut queries = 0u64;
         while let Some(prefix) = stack.pop() {
             queries += 1;
-            assert!(
-                queries < 100_000_000,
-                "Query Tree did not converge — channel too lossy?"
-            );
+            if queries >= 100_000_000 {
+                // Channel too lossy to ever drain the stack.
+                return Err(PollingError::stalled(self.name(), ctx));
+            }
             // Matching tags: active tags whose ID begins with the prefix.
             let repliers: Vec<usize> = ctx
                 .population
@@ -131,9 +131,18 @@ impl PollingProtocol for QueryTree {
                     stack.push(one);
                     stack.push(zero);
                 }
+                SlotOutcome::Corrupted(_) => {
+                    // The reply arrived but failed CRC: re-query the SAME
+                    // prefix (splitting would descend forever on a lone
+                    // tag whose replies keep getting mangled).
+                    ctx.wait(TimeCategory::WastedSlot, ctx.link.tag_tx(reply_bits));
+                    ctx.wait(TimeCategory::Turnaround, ctx.link.t2);
+                    ctx.counters.corrupted_replies += 1;
+                    stack.push(prefix);
+                }
             }
         }
-        Report::from_context(self.name(), ctx)
+        Ok(Report::from_context(self.name(), ctx))
     }
 }
 

@@ -22,6 +22,7 @@ use rfid_analysis::ehpp::optimal_subset_size_with_overhead;
 use rfid_hash::TagHash;
 use rfid_system::SimContext;
 
+use crate::error::{PollingError, Stall};
 use crate::hpp::{run_hpp_rounds, HppConfig};
 use crate::report::Report;
 use crate::PollingProtocol;
@@ -89,7 +90,7 @@ impl PollingProtocol for Ehpp {
         "EHPP"
     }
 
-    fn run(&self, ctx: &mut SimContext) -> Report {
+    fn try_run(&self, ctx: &mut SimContext) -> Result<Report, PollingError> {
         let n_star = self.cfg.effective_subset_size();
         let hpp_cfg = HppConfig {
             round_init_bits: self.cfg.round_init_bits,
@@ -99,16 +100,16 @@ impl PollingProtocol for Ehpp {
         let mut circles = 0u64;
         while ctx.population.active_count() > 0 {
             circles += 1;
-            assert!(
-                circles <= self.cfg.max_circles,
-                "EHPP did not converge within {} circles",
-                self.cfg.max_circles
-            );
+            if circles > self.cfg.max_circles {
+                return Err(PollingError::stalled(self.name(), ctx));
+            }
             let remaining = ctx.population.active_count() as u64;
             if remaining <= n_star {
                 // Final (or only) circle: run HPP over everyone, no circle
                 // command — EHPP degenerates to HPP on small populations.
-                run_hpp_rounds(ctx, &hpp_cfg);
+                if let Err(Stall) = run_hpp_rounds(ctx, &hpp_cfg) {
+                    return Err(PollingError::stalled(self.name(), ctx));
+                }
                 break;
             }
             // Probabilistic selection: tag joins iff H(r, id) mod F < n*.
@@ -133,10 +134,15 @@ impl PollingProtocol for Ehpp {
             for handle in deselected {
                 ctx.population.deselect(handle);
             }
-            run_hpp_rounds(ctx, &hpp_cfg);
+            let circle_result = run_hpp_rounds(ctx, &hpp_cfg);
             ctx.population.reselect_all();
+            if let Err(Stall) = circle_result {
+                // Reselect first so the partial report sees the true
+                // uncollected set, then surface the stall.
+                return Err(PollingError::stalled(self.name(), ctx));
+            }
         }
-        Report::from_context(self.name(), ctx)
+        Ok(Report::from_context(self.name(), ctx))
     }
 }
 

@@ -1,0 +1,161 @@
+//! Typed non-convergence errors.
+//!
+//! On a sufficiently hostile channel (downlink jammed forever, a tag killed
+//! mid-run) no polling protocol can finish. The old behaviour was an
+//! `assert!` deep inside the round loop; the typed [`PollingError::Stalled`]
+//! replaces it, carrying the partial [`Report`] and the IDs the run failed
+//! to collect so callers can degrade gracefully.
+
+use std::fmt;
+
+use rfid_system::{SimContext, TagId};
+
+use crate::report::Report;
+
+/// How many consecutive rounds (or frames/sweeps) with zero successful
+/// polls a protocol tolerates before declaring itself stalled. At a 50 %
+/// per-poll failure rate the odds of 256 straight failed rounds are below
+/// `0.5^256` — heavy-but-survivable loss never trips this, only genuinely
+/// dead configurations (permanent jam, killed tag) do.
+pub const DEFAULT_STALL_ROUNDS: u64 = 256;
+
+/// Why a protocol run did not complete.
+#[derive(Debug, Clone)]
+pub enum PollingError {
+    /// The protocol stopped making progress (or hit its round cap) with
+    /// tags still uncollected.
+    Stalled {
+        /// Everything collected (and spent) up to the stall.
+        partial_report: Report,
+        /// IDs of the tags never successfully read.
+        uncollected: Vec<TagId>,
+    },
+}
+
+impl PollingError {
+    /// Builds a `Stalled` error from the context at the moment of the stall.
+    pub fn stalled(protocol: &str, ctx: &SimContext) -> Self {
+        let uncollected = ctx
+            .uncollected_handles()
+            .into_iter()
+            .map(|h| ctx.population.get(h).id)
+            .collect();
+        PollingError::Stalled {
+            partial_report: Report::from_context(protocol, ctx),
+            uncollected,
+        }
+    }
+
+    /// The partial report, regardless of variant.
+    pub fn partial_report(&self) -> &Report {
+        match self {
+            PollingError::Stalled { partial_report, .. } => partial_report,
+        }
+    }
+}
+
+impl fmt::Display for PollingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PollingError::Stalled {
+                partial_report,
+                uncollected,
+            } => write!(
+                f,
+                "{} stalled: {} of {} tags uncollected after {} rounds ({} polls)",
+                partial_report.protocol,
+                uncollected.len(),
+                partial_report.tags,
+                partial_report.counters.rounds,
+                partial_report.counters.polls,
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PollingError {}
+
+/// Detects a stalled run by *lack of progress*: the guard trips after
+/// [`DEFAULT_STALL_ROUNDS`] (or a caller-chosen number of) consecutive
+/// rounds in which the poll counter did not advance. Progress of even one
+/// tag resets the streak, so slow-but-converging runs never stall.
+#[derive(Debug, Clone)]
+pub struct StallGuard {
+    cap: u64,
+    last_polls: u64,
+    streak: u64,
+}
+
+impl StallGuard {
+    /// A guard tripping after `cap` consecutive no-progress rounds.
+    pub fn new(cap: u64) -> Self {
+        StallGuard {
+            cap,
+            last_polls: 0,
+            streak: 0,
+        }
+    }
+
+    /// Checks progress at a round boundary; `true` means the run stalled.
+    pub fn no_progress(&mut self, ctx: &SimContext) -> bool {
+        if ctx.counters.polls > self.last_polls {
+            self.last_polls = ctx.counters.polls;
+            self.streak = 0;
+            return false;
+        }
+        self.streak += 1;
+        self.streak >= self.cap
+    }
+}
+
+impl Default for StallGuard {
+    fn default() -> Self {
+        StallGuard::new(DEFAULT_STALL_ROUNDS)
+    }
+}
+
+/// Internal marker for "this loop stalled"; the public error is built by the
+/// protocol entry point, which knows its display name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Stall;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfid_system::{BitVec, SimConfig, TagPopulation};
+
+    fn ctx(n: usize) -> SimContext {
+        let pop = TagPopulation::sequential(n, |_| BitVec::from_value(1, 1));
+        SimContext::new(pop, &SimConfig::paper(1))
+    }
+
+    #[test]
+    fn stall_guard_trips_only_without_progress() {
+        let mut c = ctx(3);
+        let mut guard = StallGuard::new(3);
+        assert!(!guard.no_progress(&c));
+        assert!(!guard.no_progress(&c));
+        c.poll_tag(1, true, 0);
+        // Progress resets the streak.
+        assert!(!guard.no_progress(&c));
+        assert!(!guard.no_progress(&c));
+        assert!(!guard.no_progress(&c));
+        assert!(guard.no_progress(&c), "third consecutive idle round trips");
+    }
+
+    #[test]
+    fn stalled_error_carries_partial_state() {
+        let mut c = ctx(3);
+        c.poll_tag(1, true, 1);
+        let err = PollingError::stalled("HPP", &c);
+        let PollingError::Stalled {
+            partial_report,
+            uncollected,
+        } = &err;
+        assert_eq!(partial_report.counters.polls, 1);
+        assert_eq!(uncollected.len(), 2);
+        assert_eq!(uncollected[0], c.population.get(0).id);
+        let msg = err.to_string();
+        assert!(msg.contains("HPP stalled: 2 of 3"), "{msg}");
+    }
+}

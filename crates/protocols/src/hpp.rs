@@ -17,6 +17,7 @@ use rfid_analysis::hpp::index_length;
 use rfid_hash::TagHash;
 use rfid_system::SimContext;
 
+use crate::error::{PollingError, Stall, StallGuard};
 use crate::report::Report;
 use crate::PollingProtocol;
 
@@ -69,9 +70,11 @@ impl PollingProtocol for Hpp {
         "HPP"
     }
 
-    fn run(&self, ctx: &mut SimContext) -> Report {
-        run_hpp_rounds(ctx, &self.cfg);
-        Report::from_context(self.name(), ctx)
+    fn try_run(&self, ctx: &mut SimContext) -> Result<Report, PollingError> {
+        match run_hpp_rounds(ctx, &self.cfg) {
+            Ok(()) => Ok(Report::from_context(self.name(), ctx)),
+            Err(Stall) => Err(PollingError::stalled(self.name(), ctx)),
+        }
     }
 }
 
@@ -129,18 +132,23 @@ pub(crate) fn hpp_round(ctx: &mut SimContext, cfg: &HppConfig) -> usize {
 }
 
 /// Runs HPP rounds until every active tag is read. Shared with EHPP, which
-/// invokes it once per circle.
-pub(crate) fn run_hpp_rounds(ctx: &mut SimContext, cfg: &HppConfig) {
+/// invokes it once per circle. Returns `Err(Stall)` — instead of panicking —
+/// when the round cap is hit or no tag has been read for
+/// [`crate::DEFAULT_STALL_ROUNDS`] consecutive rounds.
+pub(crate) fn run_hpp_rounds(ctx: &mut SimContext, cfg: &HppConfig) -> Result<(), Stall> {
     let mut rounds = 0u64;
+    let mut guard = StallGuard::default();
     while ctx.population.active_count() > 0 {
         rounds += 1;
-        assert!(
-            rounds <= cfg.max_rounds,
-            "HPP did not converge within {} rounds — channel too lossy?",
-            cfg.max_rounds
-        );
+        if rounds > cfg.max_rounds {
+            return Err(Stall);
+        }
         hpp_round(ctx, cfg);
+        if guard.no_progress(ctx) {
+            return Err(Stall);
+        }
     }
+    Ok(())
 }
 
 rfid_system::impl_json_struct!(HppConfig {
@@ -227,6 +235,37 @@ mod tests {
         ctx.assert_complete();
         assert_eq!(report.counters.polls, 200);
         assert!(report.counters.lost_replies > 0);
+    }
+
+    #[test]
+    fn permanently_jammed_downlink_stalls_gracefully() {
+        use rfid_system::fault::FaultModel;
+        let pop = TagPopulation::sequential(50, |_| BitVec::from_value(1, 1));
+        let cfg = SimConfig::paper(5).with_fault(FaultModel::perfect().with_downlink_loss(1.0));
+        let mut ctx = SimContext::new(pop, &cfg);
+        match Hpp::default().try_run(&mut ctx) {
+            Err(PollingError::Stalled {
+                partial_report,
+                uncollected,
+            }) => {
+                assert_eq!(partial_report.counters.polls, 0);
+                assert_eq!(uncollected.len(), 50);
+            }
+            Ok(_) => panic!("cannot converge when no tag hears any command"),
+        }
+    }
+
+    #[test]
+    fn recovers_under_moderate_downlink_loss() {
+        use rfid_system::fault::FaultModel;
+        let pop = TagPopulation::sequential(200, |_| BitVec::from_value(1, 1));
+        let cfg = SimConfig::paper(6).with_fault(FaultModel::perfect().with_downlink_loss(0.3));
+        let mut ctx = SimContext::new(pop, &cfg);
+        let report = Hpp::default().try_run(&mut ctx).expect("must converge");
+        ctx.assert_complete();
+        assert_eq!(report.counters.polls, 200);
+        assert!(report.counters.downlink_losses > 0);
+        assert!(report.counters.desync_recoveries > 0);
     }
 
     #[test]

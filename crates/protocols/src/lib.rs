@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod ehpp;
+pub mod error;
 pub mod hpp;
 pub mod report;
 pub mod tagside;
@@ -42,6 +43,7 @@ pub mod tpp;
 pub mod tree;
 
 pub use ehpp::{Ehpp, EhppConfig};
+pub use error::{PollingError, StallGuard, DEFAULT_STALL_ROUNDS};
 pub use hpp::{Hpp, HppConfig};
 pub use report::Report;
 pub use tagside::{Broadcast, TagMachine};
@@ -56,10 +58,22 @@ pub trait PollingProtocol {
     /// Short display name (used in tables and reports).
     fn name(&self) -> &'static str;
 
-    /// Runs the protocol to completion on `ctx`.
+    /// Runs the protocol on `ctx`, reporting non-convergence as a typed
+    /// error instead of panicking.
     ///
     /// Implementations must leave every tag asleep (verified by callers via
-    /// [`SimContext::assert_complete`]) on a lossless channel; on a lossy
-    /// channel they must retry lost tags until done.
-    fn run(&self, ctx: &mut SimContext) -> Report;
+    /// [`SimContext::assert_complete`]) on a lossless channel; on a lossy or
+    /// faulty channel they must retry lost tags until done, returning
+    /// [`PollingError::Stalled`] — with the partial report and the
+    /// uncollected IDs — once progress provably stops.
+    fn try_run(&self, ctx: &mut SimContext) -> Result<Report, PollingError>;
+
+    /// Runs the protocol to completion, panicking on non-convergence (the
+    /// pre-fault-injection contract; fine wherever the channel is benign).
+    fn run(&self, ctx: &mut SimContext) -> Report {
+        match self.try_run(ctx) {
+            Ok(report) => report,
+            Err(e) => panic!("{e}"),
+        }
+    }
 }

@@ -104,6 +104,24 @@ impl fmt::Display for Report {
             self.mean_vector_bits(),
             self.mean_vector_bits_with_overhead()
         )?;
+        let c = &self.counters;
+        if c.lost_replies
+            + c.downlink_losses
+            + c.corrupted_replies
+            + c.retransmissions
+            + c.desync_recoveries
+            > 0
+        {
+            writeln!(
+                f,
+                "  faults: {} lost replies  {} downlink losses  {} corrupted  {} retransmissions  {} desync recoveries",
+                c.lost_replies,
+                c.downlink_losses,
+                c.corrupted_replies,
+                c.retransmissions,
+                c.desync_recoveries
+            )?;
+        }
         write!(f, "{}", self.breakdown)
     }
 }

@@ -78,6 +78,30 @@ impl TagMachine {
         &self.my_index
     }
 
+    /// Whether the tag is synchronized to the current round (it heard and
+    /// processed the round initiation).
+    pub fn in_round(&self) -> bool {
+        self.in_round
+    }
+
+    /// The tag missed a downlink command (round initiation, circle command):
+    /// it drops out of the round and stays silent — its stale index must not
+    /// answer polls computed from a seed it never heard. It re-joins on the
+    /// next `RoundInit` it receives.
+    pub fn desync(&mut self) {
+        self.h = 0;
+        self.my_index = BitVec::new();
+        self.a = BitVec::new();
+        self.in_round = false;
+    }
+
+    /// The reader NAK'd this tag's (corrupted) reply: the tag stays unread
+    /// and keeps its round state so the retransmission can be addressed
+    /// again within the same exchange.
+    pub fn nak(&mut self) {
+        self.read = false;
+    }
+
     /// Processes one broadcast; returns `true` iff the tag backscatters its
     /// payload *now*. A replying tag marks itself read (the reader's
     /// acknowledgement is implicit in the paper's exchange).
@@ -97,7 +121,11 @@ impl TagMachine {
                 false
             }
             Broadcast::PollIndex(vector) => {
-                debug_assert!(self.in_round, "poll before round initiation");
+                if !self.in_round {
+                    // Desynchronized (or never initialized): fail-safe
+                    // silence, the reader will time out and retry later.
+                    return false;
+                }
                 if *vector == self.my_index {
                     self.read = true;
                     true
@@ -106,7 +134,9 @@ impl TagMachine {
                 }
             }
             Broadcast::TreeSegment(segment) => {
-                debug_assert!(self.in_round, "segment before round initiation");
+                if !self.in_round {
+                    return false;
+                }
                 if segment.len() > self.a.len() {
                     // Malformed broadcast for this round; a real tag would
                     // simply not match. Ignore defensively.
@@ -288,5 +318,44 @@ mod tests {
         let mut m = TagMachine::new(TagId::from_raw(0, 3));
         m.receive(&Broadcast::RoundInit { h: 2, seed: 1 });
         assert!(!m.receive(&Broadcast::TreeSegment(BitVec::from_str_bits("10101"))));
+    }
+
+    #[test]
+    fn desynced_tag_is_silent_until_it_hears_a_round_init() {
+        let mut m = TagMachine::new(TagId::from_raw(0, 7));
+        m.receive(&Broadcast::RoundInit { h: 2, seed: 5 });
+        let my = m.current_index().clone();
+        m.desync();
+        assert!(!m.in_round());
+        // Fail-safe: the stale index must not answer anything.
+        assert!(!m.receive(&Broadcast::PollIndex(my)));
+        assert!(!m.receive(&Broadcast::TreeSegment(BitVec::from_str_bits("1"))));
+        assert!(!m.is_read());
+        // Hearing the next round initiation re-joins.
+        m.receive(&Broadcast::RoundInit { h: 2, seed: 6 });
+        assert!(m.in_round());
+        let idx = m.current_index().clone();
+        assert!(m.receive(&Broadcast::PollIndex(idx)));
+    }
+
+    #[test]
+    fn nak_keeps_the_tag_pollable_in_place() {
+        let mut m = TagMachine::new(TagId::from_raw(0, 11));
+        m.receive(&Broadcast::RoundInit { h: 3, seed: 2 });
+        let my = m.current_index().clone();
+        assert!(m.receive(&Broadcast::PollIndex(my.clone())));
+        // The reply was corrupted; the reader NAKs and re-addresses.
+        m.nak();
+        assert!(!m.is_read());
+        assert!(m.in_round(), "NAK must not cost the round state");
+        assert!(m.receive(&Broadcast::PollIndex(my)));
+        assert!(m.is_read());
+    }
+
+    #[test]
+    fn poll_before_any_round_is_ignored() {
+        let mut m = TagMachine::new(TagId::from_raw(0, 2));
+        assert!(!m.receive(&Broadcast::PollIndex(BitVec::from_str_bits("00"))));
+        assert!(!m.is_read());
     }
 }

@@ -21,6 +21,7 @@
 use rfid_analysis::tpp::optimal_index_length;
 use rfid_system::{Event, SimContext};
 
+use crate::error::{PollingError, StallGuard};
 use crate::hpp::singleton_indices;
 use crate::report::Report;
 use crate::tree::PollingTree;
@@ -88,18 +89,20 @@ impl PollingProtocol for Tpp {
         "TPP"
     }
 
-    fn run(&self, ctx: &mut SimContext) -> Report {
+    fn try_run(&self, ctx: &mut SimContext) -> Result<Report, PollingError> {
         let mut rounds = 0u64;
+        let mut guard = StallGuard::default();
         while ctx.population.active_count() > 0 {
             rounds += 1;
-            assert!(
-                rounds <= self.cfg.max_rounds,
-                "TPP did not converge within {} rounds",
-                self.cfg.max_rounds
-            );
+            if rounds > self.cfg.max_rounds {
+                return Err(PollingError::stalled(self.name(), ctx));
+            }
             tpp_round(ctx, &self.cfg);
+            if guard.no_progress(ctx) {
+                return Err(PollingError::stalled(self.name(), ctx));
+            }
         }
-        Report::from_context(self.name(), ctx)
+        Ok(Report::from_context(self.name(), ctx))
     }
 }
 

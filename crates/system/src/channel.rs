@@ -19,6 +19,10 @@ pub enum SlotOutcome {
     Singleton(usize),
     /// Two or more tags replied concurrently (carries the count).
     Collision(usize),
+    /// Exactly one tag replied but the payload failed its CRC-16 check
+    /// (carries the tag handle). The reader knows *someone* answered, so it
+    /// can NAK-and-retry instead of treating the slot as empty.
+    Corrupted(usize),
 }
 
 impl SlotOutcome {
@@ -37,6 +41,12 @@ pub struct Channel {
     /// Capture effect: probability that a 2-tag collision is nevertheless
     /// decoded as the stronger tag (0.0 = classical collision model).
     pub capture_prob: f64,
+    /// When set, the capture effect also applies to collisions of *more*
+    /// than two tags (one random replier wins with `capture_prob`). Off by
+    /// default: classical capture models power differences between a pair,
+    /// and with many concurrent backscatters no single tag dominates — so
+    /// wider capture is opt-in and must be configured explicitly.
+    pub capture_any: bool,
 }
 
 impl Channel {
@@ -45,6 +55,7 @@ impl Channel {
         Channel {
             reply_loss_rate: 0.0,
             capture_prob: 0.0,
+            capture_any: false,
         }
     }
 
@@ -56,8 +67,43 @@ impl Channel {
         assert!((0.0..=1.0).contains(&loss), "loss rate {loss}");
         Channel {
             reply_loss_rate: loss,
-            capture_prob: 0.0,
+            ..Channel::perfect()
         }
+    }
+
+    /// A channel with the given two-tag capture probability.
+    ///
+    /// # Panics
+    /// Panics if `prob` is outside `[0, 1]` (NaN included).
+    pub fn with_capture(mut self, prob: f64) -> Self {
+        assert!((0.0..=1.0).contains(&prob), "capture prob {prob}");
+        self.capture_prob = prob;
+        self
+    }
+
+    /// Extends capture to >2-tag collisions (see [`Channel::capture_any`]).
+    pub fn with_capture_any(mut self) -> Self {
+        self.capture_any = true;
+        self
+    }
+
+    /// Re-checks both rates — [`Channel::lossy`] validates at construction,
+    /// but struct literals and JSON can smuggle in NaN or 2.0; the simulator
+    /// calls this before every run.
+    ///
+    /// # Panics
+    /// Panics if either rate is outside `[0, 1]` (NaN fails the check too).
+    pub fn validate(&self) {
+        assert!(
+            (0.0..=1.0).contains(&self.reply_loss_rate),
+            "loss rate {}",
+            self.reply_loss_rate
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.capture_prob),
+            "capture prob {}",
+            self.capture_prob
+        );
     }
 
     /// Resolves a slot given the handles of the tags that replied.
@@ -75,9 +121,12 @@ impl Channel {
         match survivors.len() {
             0 => SlotOutcome::Empty,
             1 => SlotOutcome::Singleton(survivors[0]),
-            2 if self.capture_prob > 0.0 && rng.chance(self.capture_prob) => {
-                // The reader locks onto one of the two at random.
-                SlotOutcome::Singleton(survivors[rng.below(2) as usize])
+            n if self.capture_prob > 0.0
+                && (n == 2 || self.capture_any)
+                && rng.chance(self.capture_prob) =>
+            {
+                // The reader locks onto one of the survivors at random.
+                SlotOutcome::Singleton(survivors[rng.below(n as u64) as usize])
             }
             n => SlotOutcome::Collision(n),
         }
@@ -92,7 +141,8 @@ impl Default for Channel {
 
 crate::impl_json_struct!(Channel {
     reply_loss_rate,
-    capture_prob
+    capture_prob,
+    capture_any
 });
 
 impl crate::json::ToJson for SlotOutcome {
@@ -105,6 +155,9 @@ impl crate::json::ToJson for SlotOutcome {
             }
             SlotOutcome::Collision(count) => {
                 Json::Obj(vec![("Collision".to_string(), count.to_json())])
+            }
+            SlotOutcome::Corrupted(tag) => {
+                Json::Obj(vec![("Corrupted".to_string(), tag.to_json())])
             }
         }
     }
@@ -120,6 +173,7 @@ impl crate::json::FromJson for SlotOutcome {
                 match tag.as_str() {
                     "Singleton" => Ok(SlotOutcome::Singleton(usize::from_json(body)?)),
                     "Collision" => Ok(SlotOutcome::Collision(usize::from_json(body)?)),
+                    "Corrupted" => Ok(SlotOutcome::Corrupted(usize::from_json(body)?)),
                     other => Err(JsonError(format!("unknown SlotOutcome variant '{other}'"))),
                 }
             }
@@ -178,10 +232,7 @@ mod tests {
 
     #[test]
     fn capture_effect_rescues_some_two_tag_collisions() {
-        let ch = Channel {
-            reply_loss_rate: 0.0,
-            capture_prob: 0.5,
-        };
+        let ch = Channel::perfect().with_capture(0.5);
         let mut r = rng();
         let captured = (0..10_000)
             .filter(|_| ch.resolve(&[1, 2], &mut r).is_singleton())
@@ -195,8 +246,37 @@ mod tests {
     }
 
     #[test]
+    fn capture_any_extends_to_wider_collisions() {
+        let ch = Channel::perfect().with_capture(1.0).with_capture_any();
+        let mut r = rng();
+        for _ in 0..100 {
+            match ch.resolve(&[1, 2, 3], &mut r) {
+                SlotOutcome::Singleton(t) => assert!([1, 2, 3].contains(&t)),
+                other => panic!("capture_any should rescue every collision, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "loss rate")]
     fn invalid_loss_rejected() {
         let _ = Channel::lossy(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "capture prob")]
+    fn invalid_capture_rejected() {
+        let _ = Channel::perfect().with_capture(2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capture prob")]
+    fn validate_catches_literal_nan() {
+        let ch = Channel {
+            reply_loss_rate: 0.0,
+            capture_prob: f64::NAN,
+            capture_any: false,
+        };
+        ch.validate();
     }
 }

@@ -22,7 +22,9 @@ use rfid_hash::Xoshiro256;
 
 use crate::channel::{Channel, SlotOutcome};
 use crate::event::{Event, EventLog};
+use crate::fault::FaultModel;
 use crate::population::TagPopulation;
+use crate::tag::TagState;
 
 /// Configuration for a simulation run.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,6 +33,8 @@ pub struct SimConfig {
     pub link: LinkParams,
     /// Channel model.
     pub channel: Channel,
+    /// Bidirectional fault model (downlink loss, corruption, bursts, plans).
+    pub fault: FaultModel,
     /// Master seed for all randomness in the run.
     pub seed: u64,
     /// Whether to record an event trace.
@@ -38,11 +42,12 @@ pub struct SimConfig {
 }
 
 impl SimConfig {
-    /// The paper's setting: C1G2 paper constants, perfect channel.
+    /// The paper's setting: C1G2 paper constants, perfect channel, no faults.
     pub fn paper(seed: u64) -> Self {
         SimConfig {
             link: LinkParams::paper(),
             channel: Channel::perfect(),
+            fault: FaultModel::perfect(),
             seed,
             trace: false,
         }
@@ -57,6 +62,12 @@ impl SimConfig {
     /// Replaces the channel model.
     pub fn with_channel(mut self, channel: Channel) -> Self {
         self.channel = channel;
+        self
+    }
+
+    /// Replaces the fault model.
+    pub fn with_fault(mut self, fault: FaultModel) -> Self {
+        self.fault = fault;
         self
     }
 }
@@ -86,6 +97,15 @@ pub struct Counters {
     pub collision_slots: u64,
     /// Replies lost to the channel (robustness runs).
     pub lost_replies: u64,
+    /// Downlink commands (round inits, circle commands, polling vectors)
+    /// that a tag failed to hear.
+    pub downlink_losses: u64,
+    /// Replies that arrived but failed their CRC-16 check.
+    pub corrupted_replies: u64,
+    /// Desynchronized tags that re-joined on a later broadcast they heard.
+    pub desync_recoveries: u64,
+    /// NAK-triggered retransmissions after corrupted replies.
+    pub retransmissions: u64,
     /// Tag·microseconds of listening: each elapsed interval weighted by the
     /// number of tags still active (awake, not yet read) during it. The
     /// basis of the per-tag energy model in `rfid_analysis::energy`.
@@ -95,6 +115,7 @@ pub struct Counters {
 crate::impl_json_struct!(SimConfig {
     link,
     channel,
+    fault,
     seed,
     trace
 });
@@ -109,6 +130,10 @@ crate::impl_json_struct!(Counters {
     empty_slots,
     collision_slots,
     lost_replies,
+    downlink_losses,
+    corrupted_replies,
+    desync_recoveries,
+    retransmissions,
     tag_listen_us,
 });
 
@@ -134,22 +159,48 @@ pub struct SimContext {
     pub population: TagPopulation,
     /// Channel model.
     pub channel: Channel,
+    /// Bidirectional fault model.
+    pub fault: FaultModel,
     /// Deterministic RNG (round seeds, channel losses, …).
     pub rng: Xoshiro256,
     /// Optional event trace.
     pub log: EventLog,
     /// Aggregate counters.
     pub counters: Counters,
+    /// Per-tag downlink synchronization: `false` means the tag missed a
+    /// round/circle command and stays silent until the next one it hears.
+    synced: Vec<bool>,
+    /// Number of `false` entries in `synced` (fast emptiness check).
+    desynced_count: usize,
+    /// Per-tag transmission count, maintained only when the fault plan has
+    /// kill rules.
+    replies_sent: Vec<u64>,
+    /// Whether the fault plan contains kill rules (cached).
+    has_kills: bool,
+    /// Whether any fault injection is configured at all (cached; keeps the
+    /// perfect path free of bookkeeping and RNG draws).
+    fault_active: bool,
+    /// Gilbert–Elliott channel state: `true` = bad (bursty) state.
+    ge_bad: bool,
 }
 
 impl SimContext {
     /// Creates a context over a population.
+    ///
+    /// # Panics
+    /// Panics if the channel or fault model carries an invalid rate (struct
+    /// literals and JSON bypass the constructors' checks).
     pub fn new(population: TagPopulation, config: &SimConfig) -> Self {
+        config.channel.validate();
+        config.fault.validate();
+        let n = population.len();
+        let has_kills = !config.fault.plan.kill_after_replies.is_empty();
         SimContext {
             link: config.link,
             clock: Clock::new(),
             population,
             channel: config.channel,
+            fault: config.fault.clone(),
             rng: Xoshiro256::seed_from_u64(config.seed),
             log: if config.trace {
                 EventLog::enabled()
@@ -157,6 +208,12 @@ impl SimContext {
                 EventLog::disabled()
             },
             counters: Counters::default(),
+            synced: vec![true; n],
+            desynced_count: 0,
+            replies_sent: if has_kills { vec![0; n] } else { Vec::new() },
+            has_kills,
+            fault_active: !config.fault.is_perfect(),
+            ge_bad: false,
         }
     }
 
@@ -189,6 +246,7 @@ impl SimContext {
         if round_init_bits > 0 {
             self.reader_tx(round_init_bits, TimeCategory::ReaderCommand);
         }
+        self.downlink_broadcast();
     }
 
     /// Records the start of an EHPP circle of `selected` tags, charging the
@@ -201,6 +259,118 @@ impl SimContext {
         if circle_cmd_bits > 0 {
             self.reader_tx(circle_cmd_bits, TimeCategory::ReaderCommand);
         }
+        self.downlink_broadcast();
+    }
+
+    /// Delivers (or loses) a round/circle broadcast per active tag. A tag
+    /// that misses it desynchronizes and stays silent; a desynchronized tag
+    /// that hears it re-joins. No-op — and RNG-free — without downlink
+    /// faults.
+    fn downlink_broadcast(&mut self) {
+        let forced = self.fault.plan.drops_downlink(self.counters.rounds);
+        let rate = self.fault.downlink_loss_rate;
+        if !forced && rate <= 0.0 {
+            if self.desynced_count > 0 {
+                // Every desynchronized tag still in the zone hears this
+                // broadcast and recovers.
+                for idx in 0..self.synced.len() {
+                    if !self.synced[idx] && self.population.get(idx).is_active() {
+                        self.synced[idx] = true;
+                        self.desynced_count -= 1;
+                        self.counters.desync_recoveries += 1;
+                    }
+                }
+            }
+            return;
+        }
+        for idx in self.population.active_handles() {
+            let missed = forced || (rate > 0.0 && self.rng.chance(rate));
+            if missed {
+                self.counters.downlink_losses += 1;
+                if self.synced[idx] {
+                    self.synced[idx] = false;
+                    self.desynced_count += 1;
+                    self.log.record(|| Event::DownlinkLost { tag: idx });
+                }
+            } else if !self.synced[idx] {
+                self.synced[idx] = true;
+                self.desynced_count -= 1;
+                self.counters.desync_recoveries += 1;
+            }
+        }
+    }
+
+    /// Whether tag `target` is currently synchronized (heard the latest
+    /// round/circle command). Always `true` without downlink faults.
+    pub fn is_synced(&self, target: usize) -> bool {
+        self.synced[target]
+    }
+
+    /// Kill-rule gate: returns `false` if `target` has left the zone, and
+    /// otherwise records one more transmission from it.
+    fn tag_transmits(&mut self, target: usize) -> bool {
+        if !self.has_kills {
+            return true;
+        }
+        if let Some(rule) = self.fault.plan.kill_rule_for(target) {
+            if self.replies_sent[target] >= rule.after_replies {
+                return false;
+            }
+        }
+        self.replies_sent[target] += 1;
+        true
+    }
+
+    /// One Gilbert–Elliott step: advance the two-state chain, then decide
+    /// whether the current reply is lost. `false` when bursts are off.
+    fn burst_attempt_lost(&mut self) -> bool {
+        let Some(ge) = self.fault.burst else {
+            return false;
+        };
+        let p_switch = if self.ge_bad {
+            ge.p_exit_bad
+        } else {
+            ge.p_enter_bad
+        };
+        if p_switch > 0.0 && self.rng.chance(p_switch) {
+            self.ge_bad = !self.ge_bad;
+        }
+        let p_loss = if self.ge_bad {
+            ge.loss_bad
+        } else {
+            ge.loss_good
+        };
+        p_loss > 0.0 && self.rng.chance(p_loss)
+    }
+
+    /// The reader's view of a silent polling slot: `T3` timeout, wasted.
+    fn poll_timeout(&mut self) -> bool {
+        self.advance(TimeCategory::WastedSlot, self.link.t3);
+        self.counters.empty_slots += 1;
+        self.log.record(|| Event::SlotEmpty);
+        false
+    }
+
+    /// Emulates the tag-hardware CRC check on a corrupted frame: payload
+    /// plus transmitted CRC-16 with one flipped bit must fail verification.
+    /// CRC-16 detects every single-bit error, so this always returns `true`;
+    /// it is computed (not assumed) so the robustness model stays grounded
+    /// in the actual C1G2 code.
+    fn crc_rejects_corruption(&mut self, target: usize) -> bool {
+        let info = &self.population.get(target).info;
+        let mut bits: Vec<bool> = info.iter().collect();
+        let crc = rfid_c1g2::crc::crc16_bits(&bits);
+        for i in (0..16).rev() {
+            bits.push((crc >> i) & 1 == 1);
+        }
+        let pos = self.counters.corrupted_replies as usize % bits.len();
+        bits[pos] = !bits[pos];
+        let payload = &bits[..bits.len() - 16];
+        let mut rx_crc: u16 = 0;
+        for &b in &bits[bits.len() - 16..] {
+            rx_crc = (rx_crc << 1) | b as u16;
+        }
+        rfid_c1g2::crc::crc16_bits(payload) != rx_crc
     }
 
     /// One polling exchange addressing tag `target` with a `vector_bits`-bit
@@ -226,27 +396,74 @@ impl SimContext {
         self.advance(TimeCategory::Turnaround, self.link.t1);
         self.counters.vector_bits += vector_bits;
 
-        match self.channel.resolve(&[target], &mut self.rng) {
-            SlotOutcome::Singleton(tag) => {
-                debug_assert_eq!(tag, target);
-                let info_bits = self.population.get(tag).info.len() as u64;
-                self.advance(TimeCategory::TagReply, self.link.tag_tx(info_bits));
-                self.counters.tag_bits += info_bits;
-                self.advance(TimeCategory::Turnaround, self.link.t2);
-                self.population.sleep(tag);
-                self.counters.polls += 1;
-                self.log.record(|| Event::TagPolled { tag, vector_bits });
-                true
+        if self.fault_active {
+            // A desynchronized tag never recognised this round's commands
+            // and stays silent; the reader times out and retries it in a
+            // later round (after the tag re-joins).
+            if !self.synced[target] {
+                return self.poll_timeout();
             }
-            SlotOutcome::Empty => {
-                // The reply was lost: the reader times out waiting.
-                self.advance(TimeCategory::WastedSlot, self.link.t3);
+            // The polling vector itself can be missed on the downlink.
+            let round = self.counters.rounds;
+            if self.fault.plan.drops_downlink(round)
+                || (self.fault.downlink_loss_rate > 0.0
+                    && self.rng.chance(self.fault.downlink_loss_rate))
+            {
+                self.counters.downlink_losses += 1;
+                self.log.record(|| Event::DownlinkLost { tag: target });
+                return self.poll_timeout();
+            }
+        }
+
+        let mut attempts: u32 = 0;
+        loop {
+            if self.fault_active && !self.tag_transmits(target) {
+                // The tag has left the zone (kill rule): silence forever.
+                return self.poll_timeout();
+            }
+            // Uplink: scripted jam, burst state, then the i.i.d. channel —
+            // the latter draw is identical to the legacy lossy path. A lost
+            // reply is indistinguishable from a silent tag, so the reader
+            // does not NAK; the protocol retries in a later round.
+            let lost = (self.fault_active
+                && (self.fault.plan.drops_uplink(self.counters.rounds)
+                    || self.burst_attempt_lost()))
+                || (self.channel.reply_loss_rate > 0.0
+                    && self.rng.chance(self.channel.reply_loss_rate));
+            if lost {
                 self.counters.lost_replies += 1;
-                self.counters.empty_slots += 1;
-                self.log.record(|| Event::SlotEmpty);
-                false
+                return self.poll_timeout();
             }
-            SlotOutcome::Collision(_) => unreachable!("single addressed tag cannot collide"),
+            // The reply arrives and occupies the air either way.
+            let info_bits = self.population.get(target).info.len() as u64;
+            self.advance(TimeCategory::TagReply, self.link.tag_tx(info_bits));
+            self.counters.tag_bits += info_bits;
+            self.advance(TimeCategory::Turnaround, self.link.t2);
+
+            let corrupted = self.fault_active
+                && self.fault.corruption_rate > 0.0
+                && self.rng.chance(self.fault.corruption_rate)
+                && self.crc_rejects_corruption(target);
+            if !corrupted {
+                self.population.sleep(target);
+                self.counters.polls += 1;
+                self.log.record(|| Event::TagPolled {
+                    tag: target,
+                    vector_bits,
+                });
+                return true;
+            }
+            self.counters.corrupted_replies += 1;
+            self.log.record(|| Event::ReplyCorrupted { tag: target });
+            if attempts >= self.fault.max_poll_retries {
+                // Retry budget exhausted: give up this exchange, leave the
+                // tag active for a later round.
+                return false;
+            }
+            attempts += 1;
+            self.counters.retransmissions += 1;
+            self.reader_tx(rfid_c1g2::NAK_BITS, TimeCategory::ReaderCommand);
+            self.advance(TimeCategory::Turnaround, self.link.t1);
         }
     }
 
@@ -262,7 +479,11 @@ impl SimContext {
             self.counters.query_rep_bits += prefix_bits;
         }
         self.advance(TimeCategory::Turnaround, self.link.t1);
-        let outcome = self.channel.resolve(repliers, &mut self.rng);
+        let outcome = if !self.fault_active {
+            self.channel.resolve(repliers, &mut self.rng)
+        } else {
+            self.faulty_slot_outcome(repliers)
+        };
         match outcome {
             SlotOutcome::Empty => {
                 self.advance(TimeCategory::WastedSlot, self.link.t3);
@@ -288,8 +509,46 @@ impl SimContext {
                 self.counters.collision_slots += 1;
                 self.log.record(|| Event::SlotCollision { count });
             }
+            SlotOutcome::Corrupted(tag) => {
+                // The reply filled its slot but failed the CRC; the caller
+                // sees the tag undecoded and retries it in a later frame
+                // (frame slots carry no NAK handshake).
+                let info_bits = self.population.get(tag).info.len() as u64;
+                self.advance(TimeCategory::WastedSlot, self.link.tag_tx(info_bits));
+                self.advance(TimeCategory::Turnaround, self.link.t2);
+                self.counters.corrupted_replies += 1;
+                self.log.record(|| Event::ReplyCorrupted { tag });
+            }
         }
         outcome
+    }
+
+    /// Slot resolution with fault injection: desynchronized and killed tags
+    /// stay silent, scripted jams and burst losses remove repliers, and a
+    /// surviving singleton can come through corrupted.
+    fn faulty_slot_outcome(&mut self, repliers: &[usize]) -> SlotOutcome {
+        let forced_up = self.fault.plan.drops_uplink(self.counters.rounds);
+        let mut survivors: Vec<usize> = Vec::with_capacity(repliers.len());
+        for &t in repliers {
+            if !self.synced[t] || !self.tag_transmits(t) {
+                continue;
+            }
+            if forced_up || self.burst_attempt_lost() {
+                self.counters.lost_replies += 1;
+                continue;
+            }
+            survivors.push(t);
+        }
+        match self.channel.resolve(&survivors, &mut self.rng) {
+            SlotOutcome::Singleton(tag)
+                if self.fault.corruption_rate > 0.0
+                    && self.rng.chance(self.fault.corruption_rate)
+                    && self.crc_rejects_corruption(tag) =>
+            {
+                SlotOutcome::Corrupted(tag)
+            }
+            outcome => outcome,
+        }
     }
 
     /// Marks `tag` successfully read after a singleton slot.
@@ -301,6 +560,21 @@ impl SimContext {
     /// Waits for `dt` attributed to `category` (protocol-specific gaps).
     pub fn wait(&mut self, category: TimeCategory, dt: Micros) {
         self.advance(category, dt);
+    }
+
+    /// `true` once every tag has been read exactly once.
+    pub fn is_complete(&self) -> bool {
+        self.population.all_asleep()
+    }
+
+    /// Handles of tags never successfully read (active or deselected) — the
+    /// `uncollected` list of a stalled run's partial report.
+    pub fn uncollected_handles(&self) -> Vec<usize> {
+        self.population
+            .iter()
+            .filter(|(_, t)| t.state != TagState::Asleep)
+            .map(|(i, _)| i)
+            .collect()
     }
 
     /// Asserts the run completed correctly: every tag read exactly once.
@@ -428,6 +702,136 @@ mod tests {
     fn assert_complete_catches_missed_tags() {
         let c = ctx(2, 1);
         c.assert_complete();
+    }
+
+    #[test]
+    fn scripted_downlink_drop_desyncs_then_recovers() {
+        use crate::fault::{FaultModel, FaultPlan, RoundRange};
+        let pop = TagPopulation::sequential(2, |_| BitVec::from_str_bits("1"));
+        let plan = FaultPlan {
+            drop_downlink_rounds: vec![RoundRange { from: 1, to: 1 }],
+            ..FaultPlan::none()
+        };
+        let cfg = SimConfig::paper(5).with_fault(FaultModel::perfect().with_plan(plan));
+        let mut c = SimContext::new(pop, &cfg);
+        c.begin_round(1, 8);
+        assert!(!c.is_synced(0) && !c.is_synced(1));
+        assert_eq!(c.counters.downlink_losses, 2);
+        // Desynchronized tags are silent; the poll times out without a
+        // lost-reply (nothing was transmitted).
+        assert!(!c.poll_tag(1, true, 0));
+        assert_eq!(c.counters.lost_replies, 0);
+        assert_eq!(c.counters.empty_slots, 1);
+        // The next (unjammed) round re-joins both tags.
+        c.begin_round(1, 8);
+        assert!(c.is_synced(0) && c.is_synced(1));
+        assert_eq!(c.counters.desync_recoveries, 2);
+        assert!(c.poll_tag(1, true, 0));
+    }
+
+    #[test]
+    fn corruption_naks_until_the_retry_budget_runs_out() {
+        use crate::fault::FaultModel;
+        let pop = TagPopulation::sequential(1, |_| BitVec::from_str_bits("1"));
+        let fault = FaultModel::perfect()
+            .with_corruption(1.0)
+            .with_max_poll_retries(2);
+        let cfg = SimConfig::paper(9).with_fault(fault);
+        let mut c = SimContext::new(pop, &cfg);
+        assert!(!c.poll_tag(3, true, 0));
+        assert!(c.population.get(0).is_active());
+        assert_eq!(c.counters.corrupted_replies, 3, "initial try + 2 retries");
+        assert_eq!(c.counters.retransmissions, 2);
+        assert_eq!(c.counters.polls, 0);
+        // Each retransmission costs a NAK on the reader side.
+        assert_eq!(
+            c.counters.reader_bits,
+            4 + 3 + 2 * rfid_c1g2::NAK_BITS,
+            "QueryRep + vector + two NAKs"
+        );
+    }
+
+    #[test]
+    fn moderate_corruption_recovers_within_budget() {
+        use crate::fault::FaultModel;
+        let pop = TagPopulation::sequential(50, |_| BitVec::from_str_bits("10"));
+        let cfg = SimConfig::paper(11).with_fault(FaultModel::perfect().with_corruption(0.4));
+        let mut c = SimContext::new(pop, &cfg);
+        let mut collected = 0;
+        for round in 0..20 {
+            let _ = round;
+            for t in c.population.active_handles() {
+                if c.poll_tag(6, true, t) {
+                    collected += 1;
+                }
+            }
+            if c.is_complete() {
+                break;
+            }
+        }
+        assert_eq!(collected, 50);
+        assert!(c.counters.corrupted_replies > 0);
+        assert!(c.counters.retransmissions > 0);
+        assert_eq!(c.counters.polls, 50);
+    }
+
+    #[test]
+    fn kill_rule_silences_a_tag_forever() {
+        use crate::fault::{FaultModel, FaultPlan, KillRule};
+        let pop = TagPopulation::sequential(2, |_| BitVec::from_str_bits("1"));
+        let plan = FaultPlan {
+            kill_after_replies: vec![KillRule {
+                tag: 1,
+                after_replies: 0,
+            }],
+            ..FaultPlan::none()
+        };
+        let cfg = SimConfig::paper(3).with_fault(FaultModel::perfect().with_plan(plan));
+        let mut c = SimContext::new(pop, &cfg);
+        assert!(c.poll_tag(1, true, 0));
+        for _ in 0..5 {
+            assert!(!c.poll_tag(1, true, 1));
+        }
+        assert!(!c.is_complete());
+        assert_eq!(c.uncollected_handles(), vec![1]);
+    }
+
+    #[test]
+    fn burst_channel_clusters_losses() {
+        use crate::fault::{FaultModel, GilbertElliott};
+        let pop = TagPopulation::sequential(1, |_| BitVec::from_str_bits("1"));
+        // Always-bad channel that never loses in good state: the chain
+        // starts good, flips to bad immediately, and then drops everything.
+        let ge = GilbertElliott::new(1.0, 0.0, 0.0, 1.0);
+        let cfg = SimConfig::paper(21).with_fault(FaultModel::perfect().with_burst(ge));
+        let mut c = SimContext::new(pop, &cfg);
+        for _ in 0..10 {
+            assert!(!c.poll_tag(1, true, 0));
+        }
+        assert_eq!(c.counters.lost_replies, 10);
+    }
+
+    #[test]
+    fn faulty_slot_reports_corruption() {
+        use crate::fault::FaultModel;
+        let pop = TagPopulation::sequential(1, |_| BitVec::from_str_bits("10101"));
+        let cfg = SimConfig::paper(13).with_fault(FaultModel::perfect().with_corruption(1.0));
+        let mut c = SimContext::new(pop, &cfg);
+        match c.slot(&[0], 4) {
+            SlotOutcome::Corrupted(0) => {}
+            other => panic!("expected corrupted slot, got {other:?}"),
+        }
+        assert_eq!(c.counters.corrupted_replies, 1);
+        assert!(c.population.get(0).is_active());
+    }
+
+    #[test]
+    #[should_panic(expected = "capture prob")]
+    fn context_rejects_invalid_channel_literal() {
+        let pop = TagPopulation::sequential(1, |_| BitVec::from_str_bits("1"));
+        let mut cfg = SimConfig::paper(1);
+        cfg.channel.capture_prob = f64::NAN;
+        let _ = SimContext::new(pop, &cfg);
     }
 
     #[test]

@@ -48,6 +48,16 @@ pub enum Event {
         /// Number of concurrent repliers.
         count: usize,
     },
+    /// A tag missed a downlink command and desynchronized.
+    DownlinkLost {
+        /// Tag handle.
+        tag: usize,
+    },
+    /// A tag's reply arrived but failed its CRC-16 check.
+    ReplyCorrupted {
+        /// Tag handle.
+        tag: usize,
+    },
 }
 
 impl fmt::Display for Event {
@@ -65,6 +75,8 @@ impl fmt::Display for Event {
             }
             Event::SlotEmpty => write!(f, "empty slot"),
             Event::SlotCollision { count } => write!(f, "collision ({count} tags)"),
+            Event::DownlinkLost { tag } => write!(f, "tag {tag} missed a downlink command"),
+            Event::ReplyCorrupted { tag } => write!(f, "tag {tag} reply failed CRC"),
         }
     }
 }
@@ -110,6 +122,12 @@ impl crate::json::ToJson for Event {
                 "SlotCollision",
                 vec![("count".to_string(), count.to_json())],
             ),
+            Event::DownlinkLost { tag } => {
+                tagged("DownlinkLost", vec![("tag".to_string(), tag.to_json())])
+            }
+            Event::ReplyCorrupted { tag } => {
+                tagged("ReplyCorrupted", vec![("tag".to_string(), tag.to_json())])
+            }
         }
     }
 }
@@ -148,6 +166,12 @@ impl crate::json::FromJson for Event {
             }),
             "SlotCollision" => Ok(Event::SlotCollision {
                 count: body.field("count")?,
+            }),
+            "DownlinkLost" => Ok(Event::DownlinkLost {
+                tag: body.field("tag")?,
+            }),
+            "ReplyCorrupted" => Ok(Event::ReplyCorrupted {
+                tag: body.field("tag")?,
             }),
             other => Err(JsonError(format!("unknown Event variant '{other}'"))),
         }

@@ -31,6 +31,7 @@ pub mod bitvec;
 pub mod channel;
 pub mod context;
 pub mod event;
+pub mod fault;
 pub mod id;
 pub mod json;
 pub mod population;
@@ -40,6 +41,7 @@ pub use bitvec::BitVec;
 pub use channel::{Channel, SlotOutcome};
 pub use context::{Counters, SimConfig, SimContext};
 pub use event::{Event, EventLog};
+pub use fault::{FaultModel, FaultPlan, GilbertElliott, KillRule, RoundRange};
 pub use id::TagId;
 pub use json::{from_json_str, to_json_string, FromJson, Json, JsonError, ToJson};
 pub use population::TagPopulation;

@@ -4,8 +4,8 @@
 
 use rfid_system::json::{from_json_str, to_json_string, FromJson, Json, ToJson};
 use rfid_system::{
-    BitVec, Channel, Counters, Event, EventLog, SimConfig, SlotOutcome, Tag, TagId, TagPopulation,
-    TagState,
+    BitVec, Channel, Counters, Event, EventLog, FaultModel, FaultPlan, GilbertElliott, KillRule,
+    RoundRange, SimConfig, SlotOutcome, Tag, TagId, TagPopulation, TagState,
 };
 
 fn round_trip<T>(value: &T)
@@ -82,11 +82,44 @@ fn channel_and_slot_outcome_round_trip() {
     round_trip(&Channel {
         reply_loss_rate: 0.1,
         capture_prob: 0.5,
+        capture_any: true,
     });
     round_trip(&SlotOutcome::Empty);
     round_trip(&SlotOutcome::Singleton(17));
     round_trip(&SlotOutcome::Collision(3));
+    round_trip(&SlotOutcome::Corrupted(9));
     assert!(from_json_str::<SlotOutcome>("\"Partial\"").is_err());
+}
+
+#[test]
+fn fault_model_round_trips() {
+    round_trip(&FaultModel::perfect());
+    round_trip(&GilbertElliott::new(0.05, 0.3, 0.01, 0.8));
+    round_trip(&RoundRange { from: 3, to: 5 });
+    round_trip(&KillRule {
+        tag: 17,
+        after_replies: 2,
+    });
+    let plan = FaultPlan {
+        drop_downlink_rounds: vec![RoundRange { from: 3, to: 5 }],
+        drop_uplink_rounds: vec![
+            RoundRange { from: 1, to: 1 },
+            RoundRange { from: 9, to: 12 },
+        ],
+        kill_after_replies: vec![KillRule {
+            tag: 17,
+            after_replies: 2,
+        }],
+    };
+    round_trip(&plan);
+    round_trip(
+        &FaultModel::perfect()
+            .with_downlink_loss(0.2)
+            .with_corruption(0.1)
+            .with_max_poll_retries(5)
+            .with_burst(GilbertElliott::new(0.05, 0.3, 0.01, 0.8))
+            .with_plan(plan),
+    );
 }
 
 #[test]
@@ -111,6 +144,8 @@ fn events_and_log_round_trip() {
         },
         Event::SlotEmpty,
         Event::SlotCollision { count: 4 },
+        Event::DownlinkLost { tag: 9 },
+        Event::ReplyCorrupted { tag: 12 },
     ];
     for e in &events {
         round_trip(e);
@@ -131,6 +166,13 @@ fn sim_config_round_trips() {
             .with_trace()
             .with_channel(Channel::lossy(0.05)),
     );
+    round_trip(
+        &SimConfig::paper(2).with_fault(
+            FaultModel::perfect()
+                .with_downlink_loss(0.3)
+                .with_corruption(0.2),
+        ),
+    );
 }
 
 #[test]
@@ -146,6 +188,10 @@ fn counters_round_trip() {
     c.empty_slots = 17;
     c.collision_slots = 3;
     c.lost_replies = 1;
+    c.downlink_losses = 11;
+    c.corrupted_replies = 6;
+    c.desync_recoveries = 9;
+    c.retransmissions = 4;
     c.tag_listen_us = 8.25e6;
     round_trip(&c);
 }

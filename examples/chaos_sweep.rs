@@ -1,0 +1,133 @@
+//! Chaos sweep: seeded fault-matrix stress over every polling protocol.
+//!
+//! ```text
+//! cargo run --release --example chaos_sweep -- --seeds 5
+//! ```
+//!
+//! For each seed, every protocol runs under each cell of a fault matrix
+//! (downlink loss × corruption × burst loss) plus one pathological cell
+//! (jammed downlink) that must stall. Invariants checked per run:
+//!
+//! * survivable cell → completes, every tag collected exactly once,
+//! * pathological cell → `PollingError::Stalled` with a coherent partial
+//!   report (polls + uncollected = n), never a panic,
+//! * fault counters are non-zero when the matching fault is injected.
+//!
+//! Exits non-zero on the first violated invariant, so `scripts/chaos.sh`
+//! can gate on it.
+
+use fast_rfid_polling::baselines::MicConfig;
+use fast_rfid_polling::prelude::*;
+use fast_rfid_polling::system::{SimConfig, SimContext};
+
+const N: usize = 150;
+
+fn protocols() -> Vec<Box<dyn PollingProtocol>> {
+    vec![
+        Box::new(HppConfig::default().into_protocol()),
+        Box::new(EhppConfig::default().into_protocol()),
+        Box::new(TppConfig::default().into_protocol()),
+        Box::new(MicConfig::default().into_protocol()),
+    ]
+}
+
+fn main() {
+    let seeds = parse_seeds();
+    let bursts = [None, Some(GilbertElliott::new(0.1, 0.5, 0.0, 0.8))];
+    let mut runs = 0u64;
+    let mut stalls = 0u64;
+    let (mut total_downlink, mut total_corrupted, mut total_retx, mut total_resync) =
+        (0u64, 0u64, 0u64, 0u64);
+
+    for seed in 0..seeds {
+        for protocol in &protocols() {
+            for downlink in [0.0f64, 0.15, 0.3] {
+                for corruption in [0.0f64, 0.3] {
+                    for burst in bursts {
+                        let mut fault = FaultModel::perfect()
+                            .with_downlink_loss(downlink)
+                            .with_corruption(corruption);
+                        if let Some(ge) = burst {
+                            fault = fault.with_burst(ge);
+                        }
+                        let label = format!(
+                            "seed {seed} {} dl={downlink} corr={corruption} burst={}",
+                            protocol.name(),
+                            burst.is_some()
+                        );
+                        let scenario = Scenario::uniform(N, 4).with_seed(seed + 1);
+                        let cfg = SimConfig::paper(scenario.protocol_seed()).with_fault(fault);
+                        let mut ctx = SimContext::new(scenario.build_population(), &cfg);
+                        runs += 1;
+                        match protocol.try_run(&mut ctx) {
+                            Ok(report) => {
+                                assert_eq!(
+                                    report.counters.polls as usize, N,
+                                    "{label}: wrong poll count"
+                                );
+                                let c = &report.counters;
+                                total_downlink += c.downlink_losses;
+                                total_corrupted += c.corrupted_replies;
+                                total_retx += c.retransmissions;
+                                total_resync += c.desync_recoveries;
+                            }
+                            Err(e) => panic!("{label}: {e}"),
+                        }
+                    }
+                }
+            }
+            // Pathological cell: jammed downlink must stall, not panic.
+            let scenario = Scenario::uniform(N, 4).with_seed(seed + 1);
+            let cfg = SimConfig::paper(scenario.protocol_seed())
+                .with_fault(FaultModel::perfect().with_downlink_loss(1.0));
+            let mut ctx = SimContext::new(scenario.build_population(), &cfg);
+            runs += 1;
+            match protocol.try_run(&mut ctx) {
+                Ok(_) => panic!(
+                    "seed {seed} {}: completed on a jammed downlink",
+                    protocol.name()
+                ),
+                Err(PollingError::Stalled {
+                    partial_report,
+                    uncollected,
+                }) => {
+                    assert_eq!(
+                        partial_report.counters.polls as usize + uncollected.len(),
+                        N,
+                        "seed {seed} {}: incoherent partial report",
+                        protocol.name()
+                    );
+                    stalls += 1;
+                }
+            }
+        }
+        println!("seed {seed}: ok");
+    }
+
+    // The sweep must actually have exercised every fault path.
+    assert!(total_downlink > 0, "no downlink losses injected");
+    assert!(total_corrupted > 0, "no corrupted replies injected");
+    assert!(total_retx > 0, "no NAK retransmissions happened");
+    assert!(total_resync > 0, "no desync recoveries happened");
+    assert_eq!(stalls, seeds * protocols().len() as u64);
+    println!(
+        "chaos: {runs} runs ok — {total_downlink} downlink losses, \
+         {total_corrupted} corrupted replies, {total_retx} retransmissions, \
+         {total_resync} desync recoveries, {stalls} clean stalls"
+    );
+}
+
+fn parse_seeds() -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    match args.iter().position(|a| a == "--seeds") {
+        Some(i) => args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                eprintln!("usage: chaos_sweep [--seeds N]");
+                std::process::exit(2);
+            }),
+        None => 3,
+    }
+}

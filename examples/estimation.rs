@@ -51,7 +51,9 @@ fn main() {
         est.estimate
     );
     let fsa = FsaConfig::default().into_protocol();
-    let report = fast_rfid_polling::apps::info_collect::run_polling_in(&fsa, &mut ctx).report;
+    let report = fast_rfid_polling::apps::info_collect::run_polling_in(&fsa, &mut ctx)
+        .expect("completes")
+        .report;
     println!(
         "  estimation {} + identification {} = {} total",
         est.time,

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Standalone chaos gate: a seeded multi-seed fault-matrix sweep over every
+# polling protocol (downlink loss × corruption × burst loss + a jammed-
+# downlink stall cell). Deterministic per seed; offline like verify.sh.
+#
+#   scripts/chaos.sh            # default 5 seeds
+#   scripts/chaos.sh 20         # more seeds, same invariants
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SEEDS="${1:-5}"
+
+cargo run --release --offline --example chaos_sweep -- --seeds "$SEEDS"
+
+echo "chaos: OK ($SEEDS seeds)"

@@ -8,5 +8,8 @@ cd "$(dirname "$0")/.."
 cargo build --release --offline
 cargo test -q --offline
 cargo fmt --check
+# Fast single-seed slice of the chaos fault-matrix gate (scripts/chaos.sh
+# runs the full multi-seed sweep).
+cargo run --release --offline --example chaos_sweep -- --seeds 1
 
 echo "verify: OK"

@@ -52,10 +52,14 @@ pub use rfid_workloads as workloads;
 
 /// One-stop imports for the common use cases.
 pub mod prelude {
-    pub use rfid_apps::info_collect::run_polling;
+    pub use rfid_apps::info_collect::{run_polling, try_run_polling};
     pub use rfid_baselines::{CodedPollingConfig, CppConfig, EcppConfig, MicConfig};
     pub use rfid_c1g2::{Clock, LinkParams, Micros, TimeCategory};
-    pub use rfid_protocols::{EhppConfig, HppConfig, PollingProtocol, Report, TppConfig};
-    pub use rfid_system::{BitVec, SlotOutcome, TagId, TagPopulation};
+    pub use rfid_protocols::{
+        EhppConfig, HppConfig, PollingError, PollingProtocol, Report, TppConfig,
+    };
+    pub use rfid_system::{
+        BitVec, FaultModel, FaultPlan, GilbertElliott, SlotOutcome, TagId, TagPopulation,
+    };
     pub use rfid_workloads::{IdDistribution, Scenario};
 }

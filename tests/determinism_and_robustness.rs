@@ -56,7 +56,8 @@ fn protocols_survive_heavy_loss() {
             let population = scenario.build_population();
             let cfg = SimConfig::paper(scenario.protocol_seed()).with_channel(Channel::lossy(loss));
             let mut ctx = SimContext::new(population, &cfg);
-            let outcome = run_polling_in(protocol.as_ref(), &mut ctx);
+            let outcome = run_polling_in(protocol.as_ref(), &mut ctx)
+                .unwrap_or_else(|e| panic!("{} at loss {loss}: {e}", protocol.name()));
             assert_eq!(
                 outcome.report.counters.polls,
                 200,
@@ -84,7 +85,8 @@ fn loss_increases_cost_monotonically_in_expectation() {
             let population = scenario.build_population();
             let cfg = SimConfig::paper(scenario.protocol_seed()).with_channel(Channel::lossy(loss));
             let mut ctx = SimContext::new(population, &cfg);
-            let outcome = run_polling_in(&TppConfig::default().into_protocol(), &mut ctx);
+            let outcome =
+                run_polling_in(&TppConfig::default().into_protocol(), &mut ctx).expect("completes");
             acc += outcome.report.total_time.as_secs();
         }
         let mean = acc / 5.0;
@@ -105,9 +107,11 @@ fn capture_effect_only_helps_aloha() {
         let cfg = SimConfig::paper(scenario.protocol_seed()).with_channel(Channel {
             reply_loss_rate: 0.0,
             capture_prob: capture,
+            capture_any: false,
         });
         let mut ctx = SimContext::new(population, &cfg);
         run_polling_in(&FsaConfig::default().into_protocol(), &mut ctx)
+            .expect("completes")
             .report
             .total_time
     };

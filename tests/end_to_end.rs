@@ -40,7 +40,7 @@ fn estimate_identify_poll_monitor_lifecycle() {
         scenario.build_population(),
         &SimConfig::paper(split_seed(555, 2)),
     );
-    let poll = run_polling_in(&TppConfig::default().into_protocol(), &mut ctx);
+    let poll = run_polling_in(&TppConfig::default().into_protocol(), &mut ctx).expect("completes");
     assert!(
         ident.total_time > poll.report.total_time * 5.0,
         "identification {} vs polling {}",
@@ -95,6 +95,7 @@ fn the_paper_workflow_pays_off_within_two_sweeps() {
             &SimConfig::paper(split_seed(777, 1)),
         );
         run_polling_in(&TppConfig::default().into_protocol(), &mut ctx)
+            .expect("completes")
             .report
             .total_time
     };

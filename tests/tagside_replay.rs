@@ -172,3 +172,82 @@ fn hpp_fast_path_equals_tag_machine_replay() {
     assert_eq!(rounds, report.counters.rounds);
     assert_eq!(vector_bits, report.counters.vector_bits);
 }
+
+#[test]
+fn hpp_replay_stays_identical_under_reply_loss() {
+    // Same replay idea on a lossy channel: the fast path consumes exactly
+    // one seed draw per round plus one loss draw per singleton poll (sorted
+    // index order), so a replay drawing in that pattern reproduces every
+    // counter — including which polls were lost.
+    let n = 400usize;
+    let loss = 0.3f64;
+    let scenario = Scenario::uniform(n, 1).with_seed(4242);
+
+    let population = scenario.build_population();
+    let ids: Vec<TagId> = population.iter().map(|(_, t)| t.id).collect();
+    let cfg = SimConfig::paper(scenario.protocol_seed())
+        .with_channel(fast_rfid_polling::system::Channel::lossy(loss));
+    let mut ctx = SimContext::new(population, &cfg);
+    let report = HppConfig::default().into_protocol().run(&mut ctx);
+    ctx.assert_complete();
+
+    let mut machines: Vec<TagMachine> = ids.into_iter().map(TagMachine::new).collect();
+    let mut rng = Xoshiro256::seed_from_u64(scenario.protocol_seed());
+    let (mut polls, mut lost, mut rounds, mut vector_bits) = (0u64, 0u64, 0u64, 0u64);
+    while machines.iter().any(|m| !m.is_read()) {
+        rounds += 1;
+        assert!(rounds < 100_000, "replay diverged");
+        let unread = machines.iter().filter(|m| !m.is_read()).count() as u64;
+        let h = analysis::hpp::index_length(unread);
+        let round_seed = rng.next_u64();
+        let init = Broadcast::RoundInit {
+            h,
+            seed: round_seed,
+        };
+        for m in &mut machines {
+            m.receive(&init);
+        }
+        let mut groups: std::collections::HashMap<u64, Vec<usize>> =
+            std::collections::HashMap::new();
+        for (i, m) in machines.iter().enumerate() {
+            if !m.is_read() {
+                groups
+                    .entry(m.current_index().to_value())
+                    .or_default()
+                    .push(i);
+            }
+        }
+        let mut singles: Vec<(u64, usize)> = groups
+            .into_iter()
+            .filter(|(_, v)| v.len() == 1)
+            .map(|(idx, v)| (idx, v[0]))
+            .collect();
+        singles.sort_unstable();
+        for (idx, owner) in singles {
+            vector_bits += h as u64;
+            let poll = Broadcast::PollIndex(BitVec::from_value(idx, h as usize));
+            let repliers: Vec<usize> = machines
+                .iter_mut()
+                .enumerate()
+                .filter_map(|(i, m)| m.receive(&poll).then_some(i))
+                .collect();
+            assert_eq!(repliers, vec![owner], "poll {idx} hit the wrong tag");
+            if rng.chance(loss) {
+                // Reply lost on the air: no ACK arrives, the tag reverts to
+                // pollable and retries in a later round.
+                machines[owner].nak();
+                lost += 1;
+            } else {
+                polls += 1;
+            }
+        }
+    }
+
+    assert_eq!(polls, report.counters.polls, "poll counts diverge");
+    assert_eq!(rounds, report.counters.rounds, "round counts diverge");
+    assert_eq!(lost, report.counters.lost_replies, "loss draws diverge");
+    assert_eq!(
+        vector_bits, report.counters.vector_bits,
+        "vector bits diverge"
+    );
+}
