@@ -17,7 +17,7 @@ use rfid_analysis::{hpp::index_length, tpp::optimal_index_length};
 use rfid_c1g2::TimeCategory;
 use rfid_hash::TagHash;
 use rfid_protocols::PollingTree;
-use rfid_system::{SimContext, TagId};
+use rfid_system::{BroadcastKind, Event, SimContext, TagId};
 
 /// Which broadcast scheme carries the singleton indices.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -199,7 +199,16 @@ impl MissingTagApp {
                 ctx.wait(TimeCategory::WastedSlot, ctx.link.t3);
                 ctx.counters.reader_bits += 4 + vector_bits;
                 ctx.counters.query_rep_bits += 4;
+                ctx.trace(|| Event::ReaderBroadcast {
+                    what: BroadcastKind::QueryRep,
+                    bits: 4,
+                });
+                ctx.trace(|| Event::ReaderBroadcast {
+                    what: BroadcastKind::Probe,
+                    bits: vector_bits,
+                });
                 ctx.counters.empty_slots += 1;
+                ctx.trace(|| Event::SlotEmpty);
                 missing.push(id);
             }
         }
@@ -312,18 +321,39 @@ impl MissingTagDetector {
                         ctx.wait(TimeCategory::ReaderCommand, ctx.link.reader_tx(4 + bits));
                         ctx.counters.reader_bits += 4 + bits;
                         ctx.counters.query_rep_bits += 4;
+                        ctx.trace(|| Event::ReaderBroadcast {
+                            what: BroadcastKind::QueryRep,
+                            bits: 4,
+                        });
+                        ctx.trace(|| Event::ReaderBroadcast {
+                            what: BroadcastKind::Probe,
+                            bits,
+                        });
                         ctx.wait(TimeCategory::Turnaround, ctx.link.t1);
                         ctx.wait(TimeCategory::TagReply, ctx.link.tag_tx(1));
                         ctx.counters.tag_bits += 1;
+                        ctx.trace(|| Event::TagReply {
+                            tag: handle,
+                            bits: 1,
+                        });
                         ctx.wait(TimeCategory::Turnaround, ctx.link.t2);
                     }
                     _ => {
                         ctx.wait(TimeCategory::ReaderCommand, ctx.link.reader_tx(4 + bits));
                         ctx.counters.reader_bits += 4 + bits;
                         ctx.counters.query_rep_bits += 4;
+                        ctx.trace(|| Event::ReaderBroadcast {
+                            what: BroadcastKind::QueryRep,
+                            bits: 4,
+                        });
+                        ctx.trace(|| Event::ReaderBroadcast {
+                            what: BroadcastKind::Probe,
+                            bits,
+                        });
                         ctx.wait(TimeCategory::Turnaround, ctx.link.t1);
                         ctx.wait(TimeCategory::WastedSlot, ctx.link.t3);
                         ctx.counters.empty_slots += 1;
+                        ctx.trace(|| Event::SlotEmpty);
                         return DetectionOutcome {
                             missing_witness: Some(id),
                             rounds: round,

@@ -98,6 +98,8 @@ pub fn run_hpp_with_aliens(
             match ctx.slot(&repliers, 4 + h as u64) {
                 SlotOutcome::Singleton(tag) if tag == target => {
                     ctx.counters.vector_bits += h as u64;
+                    let bits = h as u64;
+                    ctx.trace(|| rfid_system::Event::VectorCharged { bits });
                     ctx.mark_read(tag);
                     read_now.push(target);
                 }

@@ -88,7 +88,11 @@ impl PollingProtocol for Ecpp {
             for (_, members) in groups {
                 if members.len() >= self.cfg.min_group {
                     // Select masks the shared prefix once...
-                    ctx.reader_tx(SELECT_FIXED_BITS + p as u64, TimeCategory::ReaderCommand);
+                    ctx.reader_tx(
+                        rfid_system::BroadcastKind::Select,
+                        SELECT_FIXED_BITS + p as u64,
+                        TimeCategory::ReaderCommand,
+                    );
                     // ...then each member costs only the differential bits.
                     for handle in members {
                         ctx.poll_tag(diff_bits, false, handle);

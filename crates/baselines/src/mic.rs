@@ -185,7 +185,11 @@ impl PollingProtocol for Mic {
             let assignment = Mic::assign(&family, &candidates, frame);
 
             // Broadcast the indicator vector.
-            ctx.reader_tx(frame * bits_per_slot, TimeCategory::IndicatorVector);
+            ctx.reader_tx(
+                rfid_system::BroadcastKind::IndicatorVector,
+                frame * bits_per_slot,
+                TimeCategory::IndicatorVector,
+            );
 
             // Walk the frame: marked slots carry one reply, unmarked slots
             // are the (short) wasted slots MIC could not eliminate.

@@ -1,0 +1,51 @@
+//! Telemetry overhead guard: a full HPP run with tracing disabled must cost
+//! the same as before the observability layer existed — `SimContext::trace`
+//! is a branch on a cold flag, and the event constructors live behind a
+//! closure that never runs. The enabled and ring variants quantify what a
+//! consumer pays when they *do* ask for a trace, and the derive benchmarks
+//! price the trace→metrics and trace→counters replays.
+
+use std::hint::black_box;
+
+use rfid_bench::Bench;
+use rfid_protocols::{HppConfig, PollingProtocol};
+use rfid_system::{BitVec, SimConfig, SimContext, TagPopulation};
+
+const N: usize = 500;
+
+fn run_once(cfg: &SimConfig) -> SimContext {
+    let pop = TagPopulation::sequential(N, |i| BitVec::from_value((i % 2) as u64, 1));
+    let mut ctx = SimContext::new(pop, cfg);
+    HppConfig::default().into_protocol().run(&mut ctx);
+    ctx
+}
+
+fn main() {
+    let mut b = Bench::new("obs");
+    b.sample_size(20);
+
+    let disabled = SimConfig::paper(7);
+    b.bench(&format!("hpp_{N}/trace_disabled"), || {
+        black_box(run_once(&disabled).counters.polls)
+    });
+
+    let enabled = SimConfig::paper(7).with_trace();
+    b.bench(&format!("hpp_{N}/trace_enabled"), || {
+        black_box(run_once(&enabled).log.len())
+    });
+
+    let ring = SimConfig::paper(7).with_trace_ring(256);
+    b.bench(&format!("hpp_{N}/trace_ring_256"), || {
+        black_box(run_once(&ring).log.dropped())
+    });
+
+    let traced = run_once(&enabled);
+    b.bench(&format!("hpp_{N}/metrics_from_log"), || {
+        black_box(rfid_obs::metrics_from_log(&traced.log).counter("polls"))
+    });
+    b.bench(&format!("hpp_{N}/counters_from_events"), || {
+        black_box(rfid_obs::counters_from_events(traced.log.events()).polls)
+    });
+
+    b.finish();
+}

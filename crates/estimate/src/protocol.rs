@@ -77,7 +77,11 @@ impl EstimationProtocol {
         // in order and uses the first empty one.
         let seed = ctx.draw_round_seed();
         let hash = TagHash::new(seed);
-        ctx.reader_tx(self.cfg.frame_init_bits, TimeCategory::ReaderCommand);
+        ctx.reader_tx(
+            rfid_system::BroadcastKind::FrameInit,
+            self.cfg.frame_init_bits,
+            TimeCategory::ReaderCommand,
+        );
         let mut per_slot: Vec<Vec<usize>> = vec![Vec::new(); self.cfg.geometric_slots as usize];
         for (handle, tag) in ctx.population.iter() {
             if tag.is_active() {
@@ -112,7 +116,11 @@ impl EstimationProtocol {
             let seed = ctx.draw_round_seed();
             let join_hash = TagHash::new(mix_seed(seed, 1));
             let slot_hash = TagHash::new(mix_seed(seed, 2));
-            ctx.reader_tx(self.cfg.frame_init_bits, TimeCategory::ReaderCommand);
+            ctx.reader_tx(
+                rfid_system::BroadcastKind::FrameInit,
+                self.cfg.frame_init_bits,
+                TimeCategory::ReaderCommand,
+            );
             let join_threshold = (p * JOIN_RANGE as f64) as u64;
             let mut chosen: Vec<u64> = Vec::new();
             for (_, tag) in ctx.population.iter() {

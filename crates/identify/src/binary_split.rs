@@ -111,12 +111,10 @@ impl PollingProtocol for BinarySplit {
                     }
                 }
                 SlotOutcome::Singleton(tag) => {
-                    ctx.counters.tag_bits += reply_bits - ctx.population.get(tag).info.len() as u64;
-                    ctx.wait(
-                        TimeCategory::TagReply,
-                        ctx.link
-                            .tag_tx(reply_bits - ctx.population.get(tag).info.len() as u64),
-                    );
+                    let top_up = reply_bits - ctx.population.get(tag).info.len() as u64;
+                    ctx.counters.tag_bits += top_up;
+                    ctx.trace(|| rfid_system::Event::TagReply { tag, bits: top_up });
+                    ctx.wait(TimeCategory::TagReply, ctx.link.tag_tx(top_up));
                     ctx.mark_read(tag);
                     counter.remove(&tag);
                     for c in counter.values_mut() {

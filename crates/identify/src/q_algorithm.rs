@@ -17,7 +17,7 @@
 use rfid_c1g2::commands::{ACK_BITS, QUERY_BITS};
 use rfid_c1g2::TimeCategory;
 use rfid_protocols::{PollingError, PollingProtocol, Report};
-use rfid_system::{Event, SimContext, SlotOutcome};
+use rfid_system::{BroadcastKind, Event, SimContext, SlotOutcome};
 
 /// PC + EPC + CRC-16 backscatter length.
 const EPC_REPLY_BITS: u64 = 16 + 96 + 16;
@@ -82,8 +82,19 @@ impl PollingProtocol for QAlgorithm {
         while ctx.population.active_count() > 0 {
             // Open (or re-open) a frame at the current Q.
             let q = q_fp.round().clamp(0.0, 15.0) as u32;
-            ctx.reader_tx(QUERY_BITS, TimeCategory::ReaderCommand);
+            ctx.reader_tx(
+                BroadcastKind::Query,
+                QUERY_BITS,
+                TimeCategory::ReaderCommand,
+            );
             ctx.counters.rounds += 1;
+            let round = ctx.counters.rounds as usize;
+            let unread = ctx.population.active_count();
+            ctx.trace(|| Event::RoundStarted {
+                round,
+                h: q,
+                unread,
+            });
             let frame = 1u64 << q;
 
             // Every active tag draws its slot counter.
@@ -109,7 +120,11 @@ impl PollingProtocol for QAlgorithm {
                 // matter what payload the tag stores; a decodable RN16
                 // triggers the ACK → EPC handshake that completes
                 // identification.
-                ctx.reader_tx(rfid_c1g2::QUERY_REP_BITS, TimeCategory::ReaderCommand);
+                ctx.reader_tx(
+                    BroadcastKind::QueryRep,
+                    rfid_c1g2::QUERY_REP_BITS,
+                    TimeCategory::ReaderCommand,
+                );
                 ctx.counters.query_rep_bits += rfid_c1g2::QUERY_REP_BITS;
                 ctx.wait(TimeCategory::Turnaround, ctx.link.t1);
                 let outcome = ctx.channel.resolve(&repliers, &mut ctx.rng);
@@ -117,17 +132,25 @@ impl PollingProtocol for QAlgorithm {
                     SlotOutcome::Empty => {
                         ctx.wait(TimeCategory::WastedSlot, ctx.link.t3);
                         ctx.counters.empty_slots += 1;
-                        ctx.log.record(|| Event::SlotEmpty);
+                        ctx.trace(|| Event::SlotEmpty);
                         q_fp = (q_fp - self.cfg.c).max(0.0);
                     }
                     SlotOutcome::Singleton(tag) => {
                         ctx.wait(TimeCategory::TagReply, ctx.link.tag_tx(RN16_BITS));
                         ctx.counters.tag_bits += RN16_BITS;
+                        ctx.trace(|| Event::TagReply {
+                            tag,
+                            bits: RN16_BITS,
+                        });
                         ctx.wait(TimeCategory::Turnaround, ctx.link.t2);
-                        ctx.reader_tx(ACK_BITS, TimeCategory::ReaderCommand);
+                        ctx.reader_tx(BroadcastKind::Ack, ACK_BITS, TimeCategory::ReaderCommand);
                         ctx.wait(TimeCategory::Turnaround, ctx.link.t1);
                         ctx.wait(TimeCategory::TagReply, ctx.link.tag_tx(EPC_REPLY_BITS));
                         ctx.counters.tag_bits += EPC_REPLY_BITS;
+                        ctx.trace(|| Event::TagReply {
+                            tag,
+                            bits: EPC_REPLY_BITS,
+                        });
                         ctx.wait(TimeCategory::Turnaround, ctx.link.t2);
                         ctx.mark_read(tag);
                     }
@@ -135,16 +158,17 @@ impl PollingProtocol for QAlgorithm {
                         ctx.wait(TimeCategory::WastedSlot, ctx.link.tag_tx(RN16_BITS));
                         ctx.wait(TimeCategory::Turnaround, ctx.link.t2);
                         ctx.counters.collision_slots += 1;
-                        ctx.log.record(|| Event::SlotCollision { count });
+                        ctx.trace(|| Event::SlotCollision { count });
                         q_fp = (q_fp + self.cfg.c).min(15.0);
                     }
-                    SlotOutcome::Corrupted(_) => {
+                    SlotOutcome::Corrupted(tag) => {
                         // Garbled RN16: the reader cannot ACK it. The tag
                         // re-draws in the next frame; Q is left alone (the
                         // slot was neither empty nor a collision).
                         ctx.wait(TimeCategory::WastedSlot, ctx.link.tag_tx(RN16_BITS));
                         ctx.wait(TimeCategory::Turnaround, ctx.link.t2);
                         ctx.counters.corrupted_replies += 1;
+                        ctx.trace(|| Event::ReplyCorrupted { tag });
                     }
                 }
                 slot += 1;
@@ -153,7 +177,11 @@ impl PollingProtocol for QAlgorithm {
                     break;
                 }
                 if q_fp.round() as u32 != q {
-                    ctx.reader_tx(QUERY_ADJUST_BITS, TimeCategory::ReaderCommand);
+                    ctx.reader_tx(
+                        BroadcastKind::QueryAdjust,
+                        QUERY_ADJUST_BITS,
+                        TimeCategory::ReaderCommand,
+                    );
                     break;
                 }
             }

@@ -15,7 +15,7 @@
 use rfid_c1g2::TimeCategory;
 use rfid_protocols::{PollingError, PollingProtocol, Report};
 use rfid_system::id::EPC_BITS;
-use rfid_system::{BitVec, SimContext, SlotOutcome};
+use rfid_system::{BitVec, BroadcastKind, Event, SimContext, SlotOutcome};
 
 /// Query-Tree configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,9 +86,19 @@ impl PollingProtocol for QueryTree {
                 .collect();
 
             // The query costs the command overhead plus the prefix bits.
-            ctx.reader_tx(self.cfg.command_bits, TimeCategory::ReaderCommand);
+            // The prefix is a `Probe`: its bits are charged to the vector
+            // metric only when the slot decodes a singleton (below).
+            ctx.reader_tx(
+                BroadcastKind::SlotPrefix,
+                self.cfg.command_bits,
+                TimeCategory::ReaderCommand,
+            );
             ctx.counters.query_rep_bits += self.cfg.command_bits;
-            ctx.reader_tx(prefix.len() as u64, TimeCategory::PollingVector);
+            ctx.reader_tx(
+                BroadcastKind::Probe,
+                prefix.len() as u64,
+                TimeCategory::PollingVector,
+            );
             ctx.wait(TimeCategory::Turnaround, ctx.link.t1);
 
             let reply_bits = (EPC_BITS - prefix.len()) as u64 + self.cfg.reply_crc_bits;
@@ -97,29 +107,40 @@ impl PollingProtocol for QueryTree {
                     if repliers.is_empty() {
                         ctx.wait(TimeCategory::WastedSlot, ctx.link.t3);
                         ctx.counters.empty_slots += 1;
+                        ctx.trace(|| Event::SlotEmpty);
                     } else {
                         // A reply was lost; the subtree must be revisited.
                         ctx.wait(TimeCategory::WastedSlot, ctx.link.t3);
                         ctx.counters.lost_replies += 1;
+                        let lost = repliers[0];
+                        ctx.trace(|| Event::ReplyLost { tag: lost });
                         ctx.counters.empty_slots += 1;
+                        ctx.trace(|| Event::SlotEmpty);
                         stack.push(prefix);
                     }
                 }
                 SlotOutcome::Singleton(tag) => {
                     ctx.wait(TimeCategory::TagReply, ctx.link.tag_tx(reply_bits));
                     ctx.counters.tag_bits += reply_bits;
+                    ctx.trace(|| Event::TagReply {
+                        tag,
+                        bits: reply_bits,
+                    });
                     ctx.wait(TimeCategory::Turnaround, ctx.link.t2);
                     ctx.counters.vector_bits += prefix.len() as u64;
+                    let bits = prefix.len() as u64;
+                    ctx.trace(|| Event::VectorCharged { bits });
                     ctx.mark_read(tag);
                     if self.cfg.verify_singletons {
                         stack.push(prefix);
                     }
                 }
-                SlotOutcome::Collision(_) => {
+                SlotOutcome::Collision(count) => {
                     // Collided replies occupy the slot, then split.
                     ctx.wait(TimeCategory::WastedSlot, ctx.link.tag_tx(reply_bits));
                     ctx.wait(TimeCategory::Turnaround, ctx.link.t2);
                     ctx.counters.collision_slots += 1;
+                    ctx.trace(|| Event::SlotCollision { count });
                     debug_assert!(
                         prefix.len() < EPC_BITS,
                         "full-length prefix cannot collide among unique IDs"
@@ -131,13 +152,14 @@ impl PollingProtocol for QueryTree {
                     stack.push(one);
                     stack.push(zero);
                 }
-                SlotOutcome::Corrupted(_) => {
+                SlotOutcome::Corrupted(tag) => {
                     // The reply arrived but failed CRC: re-query the SAME
                     // prefix (splitting would descend forever on a lone
                     // tag whose replies keep getting mangled).
                     ctx.wait(TimeCategory::WastedSlot, ctx.link.tag_tx(reply_bits));
                     ctx.wait(TimeCategory::Turnaround, ctx.link.t2);
                     ctx.counters.corrupted_replies += 1;
+                    ctx.trace(|| Event::ReplyCorrupted { tag });
                     stack.push(prefix);
                 }
             }

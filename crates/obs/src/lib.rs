@@ -1,0 +1,27 @@
+//! Observability for protocol runs (the telemetry layer of DESIGN.md §9).
+//!
+//! The simulator's ground truth is twofold: end-of-run
+//! [`rfid_system::Counters`] (what every figure and table is built from)
+//! and the sim-time-stamped event trace ([`rfid_system::EventLog`]). This
+//! crate turns traces into *metrics* and *guarantees*:
+//!
+//! * [`histogram::Log2Histogram`] — allocation-light log-scaled histograms
+//!   for long-tailed quantities (vector lengths, latencies, slot times),
+//! * [`metrics::MetricsRegistry`] — a named registry of histograms,
+//!   counters and time series with a zero-cost disabled path,
+//! * [`trace::metrics_from_log`] — derives the paper-relevant metric set
+//!   (vector-length distribution, per-tag poll latency, slot durations,
+//!   unread-tags-vs-time, retransmission depth) from any trace,
+//! * [`reconcile::reconcile`] — replays a trace and recomputes the run's
+//!   `Counters` bit-for-bit; a mismatch means an instrumentation bug, and
+//!   the CI reconciliation slice runs it against every protocol.
+
+pub mod histogram;
+pub mod metrics;
+pub mod reconcile;
+pub mod trace;
+
+pub use histogram::Log2Histogram;
+pub use metrics::{MetricsRegistry, SeriesPoint, TimeSeries};
+pub use reconcile::{counters_from_events, reconcile, reconcile_counters, ReconcileError};
+pub use trace::{metrics_from_events, metrics_from_log};

@@ -1,0 +1,234 @@
+//! The metrics registry: named histograms, counters and time series.
+//!
+//! A [`MetricsRegistry`] is the in-memory snapshot format the `obs_report`
+//! binary renders and JSON consumers export. Like the event log it has a
+//! disabled mode whose record paths return before touching any storage —
+//! Monte-Carlo sweeps keep a registry around unconditionally and pay
+//! nothing (`benches/obs.rs` guards this).
+//!
+//! Metric names are interned per registry in insertion order, so snapshots
+//! are deterministic and diffs between runs stay line-stable. Lookup is a
+//! linear scan: a run registers on the order of ten metrics, where a scan
+//! beats hashing and keeps the crate dependency-free.
+
+use rfid_c1g2::Micros;
+use rfid_system::json::{Json, ToJson};
+
+use crate::histogram::Log2Histogram;
+
+/// One `(sim-time, value)` sample of a time series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesPoint {
+    /// Simulation time of the sample, in microseconds.
+    pub t_us: f64,
+    /// Sampled value.
+    pub value: f64,
+}
+
+rfid_system::impl_json_struct!(SeriesPoint { t_us, value });
+
+/// An append-only time series of [`SeriesPoint`]s.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TimeSeries {
+    /// The samples, in recording order (sim-time monotone for trace-derived
+    /// series).
+    pub points: Vec<SeriesPoint>,
+}
+
+rfid_system::impl_json_struct!(TimeSeries { points });
+
+impl TimeSeries {
+    /// Last recorded value, if any.
+    pub fn last(&self) -> Option<SeriesPoint> {
+        self.points.last().copied()
+    }
+}
+
+/// A named collection of histograms, monotone counters and time series.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    enabled: bool,
+    histograms: Vec<(String, Log2Histogram)>,
+    counters: Vec<(String, u64)>,
+    series: Vec<(String, TimeSeries)>,
+}
+
+impl MetricsRegistry {
+    /// A recording registry.
+    pub fn enabled() -> Self {
+        MetricsRegistry {
+            enabled: true,
+            ..MetricsRegistry::default()
+        }
+    }
+
+    /// A disabled registry: every record path is a no-op.
+    pub fn disabled() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Whether recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records one sample into the named histogram (created on first use).
+    #[inline]
+    pub fn observe(&mut self, name: &str, value: u64) {
+        if !self.enabled {
+            return;
+        }
+        if let Some((_, h)) = self.histograms.iter_mut().find(|(n, _)| n == name) {
+            h.record(value);
+            return;
+        }
+        let mut h = Log2Histogram::new();
+        h.record(value);
+        self.histograms.push((name.to_string(), h));
+    }
+
+    /// Adds `by` to the named counter (created on first use).
+    #[inline]
+    pub fn inc(&mut self, name: &str, by: u64) {
+        if !self.enabled {
+            return;
+        }
+        if let Some((_, c)) = self.counters.iter_mut().find(|(n, _)| n == name) {
+            *c += by;
+            return;
+        }
+        self.counters.push((name.to_string(), by));
+    }
+
+    /// Appends a `(t, value)` sample to the named series (created on first
+    /// use).
+    #[inline]
+    pub fn point(&mut self, name: &str, t: Micros, value: f64) {
+        if !self.enabled {
+            return;
+        }
+        let p = SeriesPoint {
+            t_us: t.as_f64(),
+            value,
+        };
+        if let Some((_, s)) = self.series.iter_mut().find(|(n, _)| n == name) {
+            s.points.push(p);
+            return;
+        }
+        self.series
+            .push((name.to_string(), TimeSeries { points: vec![p] }));
+    }
+
+    /// The named histogram, if recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Log2Histogram> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// The named counter's value (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, c)| *c)
+    }
+
+    /// The named time series, if recorded.
+    pub fn series(&self, name: &str) -> Option<&TimeSeries> {
+        self.series.iter().find(|(n, _)| n == name).map(|(_, s)| s)
+    }
+
+    /// Names of the recorded histograms, in insertion order.
+    pub fn histogram_names(&self) -> impl Iterator<Item = &str> {
+        self.histograms.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// A self-contained JSON snapshot: `{counters: {...}, histograms:
+    /// {...}, series: {...}}`.
+    pub fn snapshot(&self) -> Json {
+        let obj = |entries: Vec<(String, Json)>| Json::Obj(entries);
+        Json::Obj(vec![
+            (
+                "counters".to_string(),
+                obj(self
+                    .counters
+                    .iter()
+                    .map(|(n, c)| (n.clone(), c.to_json()))
+                    .collect()),
+            ),
+            (
+                "histograms".to_string(),
+                obj(self
+                    .histograms
+                    .iter()
+                    .map(|(n, h)| (n.clone(), h.to_json()))
+                    .collect()),
+            ),
+            (
+                "series".to_string(),
+                obj(self
+                    .series
+                    .iter()
+                    .map(|(n, s)| (n.clone(), s.to_json()))
+                    .collect()),
+            ),
+        ])
+    }
+}
+
+impl ToJson for MetricsRegistry {
+    fn to_json(&self) -> Json {
+        self.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let mut m = MetricsRegistry::disabled();
+        m.observe("w", 3);
+        m.inc("polls", 1);
+        m.point("unread", Micros::from_us(1.0), 10.0);
+        assert!(!m.is_enabled());
+        assert!(m.histogram("w").is_none());
+        assert_eq!(m.counter("polls"), 0);
+        assert!(m.series("unread").is_none());
+    }
+
+    #[test]
+    fn enabled_registry_accumulates_by_name() {
+        let mut m = MetricsRegistry::enabled();
+        m.observe("w", 3);
+        m.observe("w", 5);
+        m.observe("latency", 100);
+        m.inc("polls", 1);
+        m.inc("polls", 2);
+        m.point("unread", Micros::from_us(0.0), 10.0);
+        m.point("unread", Micros::from_us(5.0), 7.0);
+        assert_eq!(m.histogram("w").unwrap().count(), 2);
+        assert_eq!(m.histogram("w").unwrap().mean(), 4.0);
+        assert_eq!(m.counter("polls"), 3);
+        let s = m.series("unread").unwrap();
+        assert_eq!(s.points.len(), 2);
+        assert_eq!(s.last().unwrap().value, 7.0);
+        let names: Vec<&str> = m.histogram_names().collect();
+        assert_eq!(names, ["w", "latency"], "insertion order preserved");
+    }
+
+    #[test]
+    fn snapshot_is_valid_json() {
+        let mut m = MetricsRegistry::enabled();
+        m.observe("w", 3);
+        m.inc("polls", 1);
+        m.point("unread", Micros::from_us(2.5), 9.0);
+        let text = m.snapshot().to_string();
+        let parsed: Json = rfid_system::json::from_json_str(&text).unwrap();
+        let counters = parsed.field::<Json>("counters").unwrap();
+        assert_eq!(counters.field::<u64>("polls").unwrap(), 1);
+    }
+}

@@ -97,13 +97,17 @@ impl StallGuard {
     }
 
     /// Checks progress at a round boundary; `true` means the run stalled.
-    pub fn no_progress(&mut self, ctx: &SimContext) -> bool {
+    /// Each idle round leaves a [`rfid_system::Event::StallTick`] in the
+    /// trace so stalls are visible long before the guard trips.
+    pub fn no_progress(&mut self, ctx: &mut SimContext) -> bool {
         if ctx.counters.polls > self.last_polls {
             self.last_polls = ctx.counters.polls;
             self.streak = 0;
             return false;
         }
         self.streak += 1;
+        let streak = self.streak;
+        ctx.trace(|| rfid_system::Event::StallTick { streak });
         self.streak >= self.cap
     }
 }
@@ -133,14 +137,17 @@ mod tests {
     fn stall_guard_trips_only_without_progress() {
         let mut c = ctx(3);
         let mut guard = StallGuard::new(3);
-        assert!(!guard.no_progress(&c));
-        assert!(!guard.no_progress(&c));
+        assert!(!guard.no_progress(&mut c));
+        assert!(!guard.no_progress(&mut c));
         c.poll_tag(1, true, 0);
         // Progress resets the streak.
-        assert!(!guard.no_progress(&c));
-        assert!(!guard.no_progress(&c));
-        assert!(!guard.no_progress(&c));
-        assert!(guard.no_progress(&c), "third consecutive idle round trips");
+        assert!(!guard.no_progress(&mut c));
+        assert!(!guard.no_progress(&mut c));
+        assert!(!guard.no_progress(&mut c));
+        assert!(
+            guard.no_progress(&mut c),
+            "third consecutive idle round trips"
+        );
     }
 
     #[test]

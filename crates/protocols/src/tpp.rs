@@ -19,7 +19,7 @@
 //! simulation settles near 3.06 bits regardless of `n`.
 
 use rfid_analysis::tpp::optimal_index_length;
-use rfid_system::{Event, SimContext};
+use rfid_system::SimContext;
 
 use crate::error::{PollingError, StallGuard};
 use crate::hpp::singleton_indices;
@@ -143,10 +143,6 @@ pub(crate) fn tpp_round(ctx: &mut SimContext, cfg: &TppConfig) -> usize {
     debug_assert_eq!(segments.len(), singles.len());
     let mut polled = 0;
     for (segment, &(_, tag)) in segments.iter().zip(&singles) {
-        ctx.log.record(|| Event::ReaderBroadcast {
-            what: format!("tree segment {segment}"),
-            bits: segment.len() as u64,
-        });
         if ctx.poll_tag(segment.len() as u64, cfg.with_query_rep, tag) {
             polled += 1;
         }
@@ -290,12 +286,29 @@ mod tests {
         let pop = TagPopulation::sequential(64, |_| BitVec::from_value(1, 1));
         let mut ctx = SimContext::new(pop, &SimConfig::paper(13).with_trace());
         tpp_round(&mut ctx, &TppConfig::default());
-        let has_segment = ctx
-            .log
-            .events()
-            .iter()
-            .any(|e| matches!(e, Event::ReaderBroadcast { what, .. } if what.starts_with("tree segment")));
+        // Every tree segment goes on the air as a timestamped polling-vector
+        // broadcast, and polls land strictly after the round start.
+        use rfid_system::{BroadcastKind, Event};
+        let events = ctx.log.events();
+        let has_segment = events.iter().any(|e| {
+            matches!(
+                e.event,
+                Event::ReaderBroadcast {
+                    what: BroadcastKind::PollingVector,
+                    ..
+                }
+            )
+        });
         assert!(has_segment);
+        let t_round = events
+            .iter()
+            .find(|e| matches!(e.event, Event::RoundStarted { .. }))
+            .map(|e| e.at)
+            .expect("round start traced");
+        assert!(events
+            .iter()
+            .filter(|e| matches!(e.event, Event::TagPolled { .. }))
+            .all(|e| e.at > t_round));
     }
 
     #[test]

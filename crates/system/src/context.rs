@@ -21,7 +21,7 @@ use rfid_c1g2::{Clock, LinkParams, Micros, TimeCategory};
 use rfid_hash::Xoshiro256;
 
 use crate::channel::{Channel, SlotOutcome};
-use crate::event::{Event, EventLog};
+use crate::event::{BroadcastKind, Event, EventLog};
 use crate::fault::FaultModel;
 use crate::population::TagPopulation;
 use crate::tag::TagState;
@@ -39,6 +39,9 @@ pub struct SimConfig {
     pub seed: u64,
     /// Whether to record an event trace.
     pub trace: bool,
+    /// Trace ring-buffer capacity: `0` keeps the full trace, a positive
+    /// value keeps only the newest events (long runs, bounded memory).
+    pub trace_ring: usize,
 }
 
 impl SimConfig {
@@ -50,12 +53,21 @@ impl SimConfig {
             fault: FaultModel::perfect(),
             seed,
             trace: false,
+            trace_ring: 0,
         }
     }
 
     /// Enables event tracing.
     pub fn with_trace(mut self) -> Self {
         self.trace = true;
+        self
+    }
+
+    /// Enables event tracing into a bounded ring buffer keeping only the
+    /// newest `capacity` events.
+    pub fn with_trace_ring(mut self, capacity: usize) -> Self {
+        self.trace = true;
+        self.trace_ring = capacity;
         self
     }
 
@@ -117,7 +129,8 @@ crate::impl_json_struct!(SimConfig {
     channel,
     fault,
     seed,
-    trace
+    trace,
+    trace_ring
 });
 crate::impl_json_struct!(Counters {
     reader_bits,
@@ -202,10 +215,10 @@ impl SimContext {
             channel: config.channel,
             fault: config.fault.clone(),
             rng: Xoshiro256::seed_from_u64(config.seed),
-            log: if config.trace {
-                EventLog::enabled()
-            } else {
-                EventLog::disabled()
+            log: match (config.trace, config.trace_ring) {
+                (false, _) => EventLog::disabled(),
+                (true, 0) => EventLog::enabled(),
+                (true, cap) => EventLog::ring(cap),
             },
             counters: Counters::default(),
             synced: vec![true; n],
@@ -230,11 +243,24 @@ impl SimContext {
         self.counters.tag_listen_us += dt.as_f64() * self.population.listening_count() as f64;
     }
 
-    /// Charges a reader transmission of `bits` bits to `category`.
-    pub fn reader_tx(&mut self, bits: u64, category: TimeCategory) {
+    /// Records `make()` in the event trace, stamped with the current
+    /// simulation time. No-op (and closure never called) when tracing is
+    /// off — protocols can call this unconditionally.
+    #[inline]
+    pub fn trace(&mut self, make: impl FnOnce() -> Event) {
+        if self.log.is_enabled() {
+            let now = self.clock.total();
+            self.log.record(now, make);
+        }
+    }
+
+    /// Charges a reader transmission of `bits` bits to `category`, recording
+    /// a [`Event::ReaderBroadcast`] of the given kind.
+    pub fn reader_tx(&mut self, kind: BroadcastKind, bits: u64, category: TimeCategory) {
         let dt = self.link.reader_tx(bits);
         self.advance(category, dt);
         self.counters.reader_bits += bits;
+        self.trace(|| Event::ReaderBroadcast { what: kind, bits });
     }
 
     /// Records the start of an inventory round with index length `h`.
@@ -242,9 +268,13 @@ impl SimContext {
         self.counters.rounds += 1;
         let round = self.counters.rounds as usize;
         let unread = self.population.active_count();
-        self.log.record(|| Event::RoundStarted { round, h, unread });
+        self.trace(|| Event::RoundStarted { round, h, unread });
         if round_init_bits > 0 {
-            self.reader_tx(round_init_bits, TimeCategory::ReaderCommand);
+            self.reader_tx(
+                BroadcastKind::RoundInit,
+                round_init_bits,
+                TimeCategory::ReaderCommand,
+            );
         }
         self.downlink_broadcast();
     }
@@ -254,10 +284,13 @@ impl SimContext {
     pub fn begin_circle(&mut self, selected: usize, circle_cmd_bits: u64) {
         self.counters.circles += 1;
         let circle = self.counters.circles as usize;
-        self.log
-            .record(|| Event::CircleStarted { circle, selected });
+        self.trace(|| Event::CircleStarted { circle, selected });
         if circle_cmd_bits > 0 {
-            self.reader_tx(circle_cmd_bits, TimeCategory::ReaderCommand);
+            self.reader_tx(
+                BroadcastKind::CircleCommand,
+                circle_cmd_bits,
+                TimeCategory::ReaderCommand,
+            );
         }
         self.downlink_broadcast();
     }
@@ -278,6 +311,7 @@ impl SimContext {
                         self.synced[idx] = true;
                         self.desynced_count -= 1;
                         self.counters.desync_recoveries += 1;
+                        self.trace(|| Event::DesyncRecovered { tag: idx });
                     }
                 }
             }
@@ -287,15 +321,16 @@ impl SimContext {
             let missed = forced || (rate > 0.0 && self.rng.chance(rate));
             if missed {
                 self.counters.downlink_losses += 1;
+                self.trace(|| Event::DownlinkLost { tag: idx });
                 if self.synced[idx] {
                     self.synced[idx] = false;
                     self.desynced_count += 1;
-                    self.log.record(|| Event::DownlinkLost { tag: idx });
                 }
             } else if !self.synced[idx] {
                 self.synced[idx] = true;
                 self.desynced_count -= 1;
                 self.counters.desync_recoveries += 1;
+                self.trace(|| Event::DesyncRecovered { tag: idx });
             }
         }
     }
@@ -347,7 +382,7 @@ impl SimContext {
     fn poll_timeout(&mut self) -> bool {
         self.advance(TimeCategory::WastedSlot, self.link.t3);
         self.counters.empty_slots += 1;
-        self.log.record(|| Event::SlotEmpty);
+        self.trace(|| Event::SlotEmpty);
         false
     }
 
@@ -389,10 +424,18 @@ impl SimContext {
             "polling inactive tag {target}"
         );
         if with_query_rep {
-            self.reader_tx(rfid_c1g2::QUERY_REP_BITS, TimeCategory::ReaderCommand);
+            self.reader_tx(
+                BroadcastKind::QueryRep,
+                rfid_c1g2::QUERY_REP_BITS,
+                TimeCategory::ReaderCommand,
+            );
             self.counters.query_rep_bits += rfid_c1g2::QUERY_REP_BITS;
         }
-        self.reader_tx(vector_bits, TimeCategory::PollingVector);
+        self.reader_tx(
+            BroadcastKind::PollingVector,
+            vector_bits,
+            TimeCategory::PollingVector,
+        );
         self.advance(TimeCategory::Turnaround, self.link.t1);
         self.counters.vector_bits += vector_bits;
 
@@ -410,7 +453,7 @@ impl SimContext {
                     && self.rng.chance(self.fault.downlink_loss_rate))
             {
                 self.counters.downlink_losses += 1;
-                self.log.record(|| Event::DownlinkLost { tag: target });
+                self.trace(|| Event::DownlinkLost { tag: target });
                 return self.poll_timeout();
             }
         }
@@ -432,12 +475,17 @@ impl SimContext {
                     && self.rng.chance(self.channel.reply_loss_rate));
             if lost {
                 self.counters.lost_replies += 1;
+                self.trace(|| Event::ReplyLost { tag: target });
                 return self.poll_timeout();
             }
             // The reply arrives and occupies the air either way.
             let info_bits = self.population.get(target).info.len() as u64;
             self.advance(TimeCategory::TagReply, self.link.tag_tx(info_bits));
             self.counters.tag_bits += info_bits;
+            self.trace(|| Event::TagReply {
+                tag: target,
+                bits: info_bits,
+            });
             self.advance(TimeCategory::Turnaround, self.link.t2);
 
             let corrupted = self.fault_active
@@ -447,14 +495,14 @@ impl SimContext {
             if !corrupted {
                 self.population.sleep(target);
                 self.counters.polls += 1;
-                self.log.record(|| Event::TagPolled {
+                self.trace(|| Event::TagPolled {
                     tag: target,
                     vector_bits,
                 });
                 return true;
             }
             self.counters.corrupted_replies += 1;
-            self.log.record(|| Event::ReplyCorrupted { tag: target });
+            self.trace(|| Event::ReplyCorrupted { tag: target });
             if attempts >= self.fault.max_poll_retries {
                 // Retry budget exhausted: give up this exchange, leave the
                 // tag active for a later round.
@@ -462,7 +510,15 @@ impl SimContext {
             }
             attempts += 1;
             self.counters.retransmissions += 1;
-            self.reader_tx(rfid_c1g2::NAK_BITS, TimeCategory::ReaderCommand);
+            self.trace(|| Event::Retransmission {
+                tag: target,
+                attempt: attempts,
+            });
+            self.reader_tx(
+                BroadcastKind::Nak,
+                rfid_c1g2::NAK_BITS,
+                TimeCategory::ReaderCommand,
+            );
             self.advance(TimeCategory::Turnaround, self.link.t1);
         }
     }
@@ -475,7 +531,11 @@ impl SimContext {
     /// might need an ACK first) via [`SimContext::mark_read`].
     pub fn slot(&mut self, repliers: &[usize], prefix_bits: u64) -> SlotOutcome {
         if prefix_bits > 0 {
-            self.reader_tx(prefix_bits, TimeCategory::ReaderCommand);
+            self.reader_tx(
+                BroadcastKind::SlotPrefix,
+                prefix_bits,
+                TimeCategory::ReaderCommand,
+            );
             self.counters.query_rep_bits += prefix_bits;
         }
         self.advance(TimeCategory::Turnaround, self.link.t1);
@@ -488,12 +548,16 @@ impl SimContext {
             SlotOutcome::Empty => {
                 self.advance(TimeCategory::WastedSlot, self.link.t3);
                 self.counters.empty_slots += 1;
-                self.log.record(|| Event::SlotEmpty);
+                self.trace(|| Event::SlotEmpty);
             }
             SlotOutcome::Singleton(tag) => {
                 let info_bits = self.population.get(tag).info.len() as u64;
                 self.advance(TimeCategory::TagReply, self.link.tag_tx(info_bits));
                 self.counters.tag_bits += info_bits;
+                self.trace(|| Event::TagReply {
+                    tag,
+                    bits: info_bits,
+                });
                 self.advance(TimeCategory::Turnaround, self.link.t2);
             }
             SlotOutcome::Collision(count) => {
@@ -507,7 +571,7 @@ impl SimContext {
                 self.advance(TimeCategory::WastedSlot, self.link.tag_tx(max_bits));
                 self.advance(TimeCategory::Turnaround, self.link.t2);
                 self.counters.collision_slots += 1;
-                self.log.record(|| Event::SlotCollision { count });
+                self.trace(|| Event::SlotCollision { count });
             }
             SlotOutcome::Corrupted(tag) => {
                 // The reply filled its slot but failed the CRC; the caller
@@ -517,7 +581,7 @@ impl SimContext {
                 self.advance(TimeCategory::WastedSlot, self.link.tag_tx(info_bits));
                 self.advance(TimeCategory::Turnaround, self.link.t2);
                 self.counters.corrupted_replies += 1;
-                self.log.record(|| Event::ReplyCorrupted { tag });
+                self.trace(|| Event::ReplyCorrupted { tag });
             }
         }
         outcome
@@ -535,6 +599,7 @@ impl SimContext {
             }
             if forced_up || self.burst_attempt_lost() {
                 self.counters.lost_replies += 1;
+                self.trace(|| Event::ReplyLost { tag: t });
                 continue;
             }
             survivors.push(t);
@@ -555,6 +620,10 @@ impl SimContext {
     pub fn mark_read(&mut self, tag: usize) {
         self.population.sleep(tag);
         self.counters.polls += 1;
+        self.trace(|| Event::TagPolled {
+            tag,
+            vector_bits: 0,
+        });
     }
 
     /// Waits for `dt` attributed to `category` (protocol-specific gaps).

@@ -1,15 +1,107 @@
 //! Protocol-run event traces.
 //!
-//! When enabled, the simulator records a self-describing event per protocol
-//! action. Traces serve three purposes: debugging protocol implementations,
-//! asserting fine-grained behaviour in tests (e.g. "TPP never broadcast the
-//! same prefix twice in a round"), and producing the worked examples in the
-//! documentation (Figs. 2, 6 and 7 of the paper are reproduced from traces).
+//! When enabled, the simulator records a self-describing, sim-time-stamped
+//! event per protocol action. Traces serve four purposes: debugging protocol
+//! implementations, asserting fine-grained behaviour in tests (e.g. "TPP
+//! never broadcast the same prefix twice in a round"), producing the worked
+//! examples in the documentation (Figs. 2, 6 and 7 of the paper are
+//! reproduced from traces by the `obs_report` binary), and — via
+//! `rfid-obs` — recomputing the run's [`crate::Counters`] bit-for-bit so
+//! traces can never silently diverge from the metrics the figures are
+//! built on.
+//!
+//! Every recorded event carries the C1G2 clock's microsecond timestamp
+//! ([`TimedEvent`]). The log itself has three modes: disabled (the default —
+//! Monte-Carlo sweeps must not pay for tracing), unbounded, and a bounded
+//! ring buffer that keeps the newest events and counts what it dropped.
 
+use std::collections::VecDeque;
 use std::fmt;
 
+use rfid_c1g2::Micros;
+
+/// What a [`Event::ReaderBroadcast`] payload was — a closed enum instead of
+/// a `String` so an enabled trace never allocates on the broadcast path,
+/// and so trace replay can attribute the bits to the right counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BroadcastKind {
+    /// Round initiation `(h, r)` (HPP/TPP and frame announcements that
+    /// count as rounds).
+    RoundInit,
+    /// EHPP circle command.
+    CircleCommand,
+    /// A polling vector (full index or TPP tree segment) — the bits behind
+    /// the paper's `w` metric.
+    PollingVector,
+    /// A 4-bit QueryRep slot-advance prefix.
+    QueryRep,
+    /// A bulk slot prefix charged as QueryRep overhead (frame walks).
+    SlotPrefix,
+    /// MIC's per-frame indicator vector.
+    IndicatorVector,
+    /// An eCPP Select command masking a shared ID prefix.
+    Select,
+    /// A C1G2 Query opening an inventory frame.
+    Query,
+    /// A C1G2 QueryAdjust resizing the frame.
+    QueryAdjust,
+    /// An ACK in the RN16 → EPC handshake.
+    Ack,
+    /// A NAK triggering a retransmission.
+    Nak,
+    /// An estimation frame announcement (no inventory round starts).
+    FrameInit,
+    /// A presence probe addressed past the population (missing-tag scans) —
+    /// counted in neither the vector nor the QueryRep overhead.
+    Probe,
+}
+
+impl BroadcastKind {
+    /// Human-readable label used by [`Event`]'s `Display`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BroadcastKind::RoundInit => "round init",
+            BroadcastKind::CircleCommand => "circle command",
+            BroadcastKind::PollingVector => "polling vector",
+            BroadcastKind::QueryRep => "QueryRep",
+            BroadcastKind::SlotPrefix => "slot prefix",
+            BroadcastKind::IndicatorVector => "indicator vector",
+            BroadcastKind::Select => "Select",
+            BroadcastKind::Query => "Query",
+            BroadcastKind::QueryAdjust => "QueryAdjust",
+            BroadcastKind::Ack => "ACK",
+            BroadcastKind::Nak => "NAK",
+            BroadcastKind::FrameInit => "frame init",
+            BroadcastKind::Probe => "probe",
+        }
+    }
+
+    /// Whether this broadcast's bits are charged to
+    /// [`crate::Counters::query_rep_bits`].
+    pub fn counts_as_query_rep(&self) -> bool {
+        matches!(self, BroadcastKind::QueryRep | BroadcastKind::SlotPrefix)
+    }
+
+    /// Whether this broadcast's bits are charged to
+    /// [`crate::Counters::vector_bits`] at transmission time.
+    pub fn counts_as_vector(&self) -> bool {
+        matches!(self, BroadcastKind::PollingVector)
+    }
+}
+
+impl fmt::Display for BroadcastKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// One recorded protocol action.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// The variant set mirrors the counter set: every [`crate::Counters`] bump
+/// has a matching event, so `rfid-obs` can replay a trace into the exact
+/// end-of-run counters (the reconciliation invariant). The one exception is
+/// `tag_listen_us`, a continuous time integral documented in DESIGN.md §9.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Event {
     /// A new inventory round began (HPP/TPP round or ALOHA frame).
     RoundStarted {
@@ -27,10 +119,10 @@ pub enum Event {
         /// Number of tags selected into the circle.
         selected: usize,
     },
-    /// The reader broadcast `bits` payload bits (vector/segment/indicator).
+    /// The reader broadcast `bits` payload bits.
     ReaderBroadcast {
-        /// Payload description.
-        what: String,
+        /// Payload kind (no allocation — see [`BroadcastKind`]).
+        what: BroadcastKind,
         /// Number of bits.
         bits: u64,
     },
@@ -41,6 +133,19 @@ pub enum Event {
         /// Polling-vector bits charged for this tag.
         vector_bits: u64,
     },
+    /// A tag's reply occupied the air (decoded or later found corrupted).
+    TagReply {
+        /// Tag handle.
+        tag: usize,
+        /// Backscattered bits.
+        bits: u64,
+    },
+    /// Bits reclassified as polling-vector payload after the fact (Query
+    /// Tree and alien-interference polling charge `w` only on success).
+    VectorCharged {
+        /// Vector bits charged.
+        bits: u64,
+    },
     /// A slot passed with no decodable reply.
     SlotEmpty,
     /// A slot collided.
@@ -48,7 +153,12 @@ pub enum Event {
         /// Number of concurrent repliers.
         count: usize,
     },
-    /// A tag missed a downlink command and desynchronized.
+    /// A reply was transmitted but lost on the uplink.
+    ReplyLost {
+        /// Tag handle (for multi-replier slots: a representative replier).
+        tag: usize,
+    },
+    /// A tag missed a downlink command.
     DownlinkLost {
         /// Tag handle.
         tag: usize,
@@ -57,6 +167,23 @@ pub enum Event {
     ReplyCorrupted {
         /// Tag handle.
         tag: usize,
+    },
+    /// A NAK-triggered retransmission after a corrupted reply.
+    Retransmission {
+        /// Tag handle.
+        tag: usize,
+        /// 1-based retry attempt (the retransmission depth).
+        attempt: u32,
+    },
+    /// A desynchronized tag re-joined on a broadcast it heard.
+    DesyncRecovered {
+        /// Tag handle.
+        tag: usize,
+    },
+    /// A round boundary passed with zero successful polls (stall guard).
+    StallTick {
+        /// Consecutive no-progress rounds so far.
+        streak: u64,
     },
 }
 
@@ -73,13 +200,37 @@ impl fmt::Display for Event {
             Event::TagPolled { tag, vector_bits } => {
                 write!(f, "tag {tag} polled ({vector_bits}-bit vector)")
             }
+            Event::TagReply { tag, bits } => write!(f, "tag {tag} replied ({bits} bits)"),
+            Event::VectorCharged { bits } => write!(f, "{bits} vector bits charged"),
             Event::SlotEmpty => write!(f, "empty slot"),
             Event::SlotCollision { count } => write!(f, "collision ({count} tags)"),
+            Event::ReplyLost { tag } => write!(f, "tag {tag} reply lost"),
             Event::DownlinkLost { tag } => write!(f, "tag {tag} missed a downlink command"),
             Event::ReplyCorrupted { tag } => write!(f, "tag {tag} reply failed CRC"),
+            Event::Retransmission { tag, attempt } => {
+                write!(f, "tag {tag} retransmission #{attempt}")
+            }
+            Event::DesyncRecovered { tag } => write!(f, "tag {tag} re-joined after desync"),
+            Event::StallTick { streak } => write!(f, "no-progress round (streak {streak})"),
         }
     }
 }
+
+crate::impl_json_enum_units!(BroadcastKind {
+    RoundInit,
+    CircleCommand,
+    PollingVector,
+    QueryRep,
+    SlotPrefix,
+    IndicatorVector,
+    Select,
+    Query,
+    QueryAdjust,
+    Ack,
+    Nak,
+    FrameInit,
+    Probe,
+});
 
 impl crate::json::ToJson for Event {
     fn to_json(&self) -> crate::json::Json {
@@ -117,16 +268,42 @@ impl crate::json::ToJson for Event {
                     ("vector_bits".to_string(), vector_bits.to_json()),
                 ],
             ),
+            Event::TagReply { tag, bits } => tagged(
+                "TagReply",
+                vec![
+                    ("tag".to_string(), tag.to_json()),
+                    ("bits".to_string(), bits.to_json()),
+                ],
+            ),
+            Event::VectorCharged { bits } => {
+                tagged("VectorCharged", vec![("bits".to_string(), bits.to_json())])
+            }
             Event::SlotEmpty => Json::str("SlotEmpty"),
             Event::SlotCollision { count } => tagged(
                 "SlotCollision",
                 vec![("count".to_string(), count.to_json())],
             ),
+            Event::ReplyLost { tag } => {
+                tagged("ReplyLost", vec![("tag".to_string(), tag.to_json())])
+            }
             Event::DownlinkLost { tag } => {
                 tagged("DownlinkLost", vec![("tag".to_string(), tag.to_json())])
             }
             Event::ReplyCorrupted { tag } => {
                 tagged("ReplyCorrupted", vec![("tag".to_string(), tag.to_json())])
+            }
+            Event::Retransmission { tag, attempt } => tagged(
+                "Retransmission",
+                vec![
+                    ("tag".to_string(), tag.to_json()),
+                    ("attempt".to_string(), attempt.to_json()),
+                ],
+            ),
+            Event::DesyncRecovered { tag } => {
+                tagged("DesyncRecovered", vec![("tag".to_string(), tag.to_json())])
+            }
+            Event::StallTick { streak } => {
+                tagged("StallTick", vec![("streak".to_string(), streak.to_json())])
             }
         }
     }
@@ -164,8 +341,18 @@ impl crate::json::FromJson for Event {
                 tag: body.field("tag")?,
                 vector_bits: body.field("vector_bits")?,
             }),
+            "TagReply" => Ok(Event::TagReply {
+                tag: body.field("tag")?,
+                bits: body.field("bits")?,
+            }),
+            "VectorCharged" => Ok(Event::VectorCharged {
+                bits: body.field("bits")?,
+            }),
             "SlotCollision" => Ok(Event::SlotCollision {
                 count: body.field("count")?,
+            }),
+            "ReplyLost" => Ok(Event::ReplyLost {
+                tag: body.field("tag")?,
             }),
             "DownlinkLost" => Ok(Event::DownlinkLost {
                 tag: body.field("tag")?,
@@ -173,17 +360,49 @@ impl crate::json::FromJson for Event {
             "ReplyCorrupted" => Ok(Event::ReplyCorrupted {
                 tag: body.field("tag")?,
             }),
+            "Retransmission" => Ok(Event::Retransmission {
+                tag: body.field("tag")?,
+                attempt: body.field("attempt")?,
+            }),
+            "DesyncRecovered" => Ok(Event::DesyncRecovered {
+                tag: body.field("tag")?,
+            }),
+            "StallTick" => Ok(Event::StallTick {
+                streak: body.field("streak")?,
+            }),
             other => Err(JsonError(format!("unknown Event variant '{other}'"))),
         }
     }
 }
 
+/// An event plus the C1G2 clock's reading at the moment it was recorded.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimedEvent {
+    /// Simulation time (total elapsed microseconds) of the record.
+    pub at: Micros,
+    /// The recorded action.
+    pub event: Event,
+}
+
+impl fmt::Display for TimedEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>12}] {}", self.at.to_string(), self.event)
+    }
+}
+
+crate::impl_json_struct!(TimedEvent { at, event });
+
 /// An optional event log. Disabled by default: large Monte-Carlo sweeps must
-/// not pay for tracing.
+/// not pay for tracing. The bounded ring mode keeps the newest `capacity`
+/// events for long runs where only the tail matters (and remembers how many
+/// it dropped, so reconciliation can refuse a truncated trace).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct EventLog {
     enabled: bool,
-    events: Vec<Event>,
+    /// Ring capacity; `0` means unbounded.
+    capacity: usize,
+    events: VecDeque<TimedEvent>,
+    dropped: u64,
 }
 
 impl EventLog {
@@ -192,11 +411,25 @@ impl EventLog {
         EventLog::default()
     }
 
-    /// An enabled log.
+    /// An enabled, unbounded log.
     pub fn enabled() -> Self {
         EventLog {
             enabled: true,
-            events: Vec::new(),
+            ..EventLog::default()
+        }
+    }
+
+    /// An enabled bounded log keeping only the newest `capacity` events.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero (use [`EventLog::disabled`] instead).
+    pub fn ring(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        EventLog {
+            enabled: true,
+            capacity,
+            events: VecDeque::with_capacity(capacity),
+            dropped: 0,
         }
     }
 
@@ -205,31 +438,41 @@ impl EventLog {
         self.enabled
     }
 
-    /// Records an event (no-op when disabled). The closure form avoids
-    /// constructing event payloads on the hot path.
+    /// Records an event at sim-time `at` (no-op when disabled). The closure
+    /// form avoids constructing event payloads on the hot path.
     #[inline]
-    pub fn record(&mut self, make: impl FnOnce() -> Event) {
-        if self.enabled {
-            self.events.push(make());
+    pub fn record(&mut self, at: Micros, make: impl FnOnce() -> Event) {
+        if !self.enabled {
+            return;
         }
+        if self.capacity != 0 && self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(TimedEvent { at, event: make() });
     }
 
-    /// The recorded events.
-    pub fn events(&self) -> &[Event] {
+    /// The recorded events, oldest first.
+    pub fn events(&self) -> &VecDeque<TimedEvent> {
         &self.events
     }
 
-    /// Number of recorded events.
+    /// Number of events evicted by the ring buffer (0 when unbounded).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of retained events.
     pub fn len(&self) -> usize {
         self.events.len()
     }
 
-    /// `true` if nothing was recorded.
+    /// `true` if nothing is retained.
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
     }
 
-    /// Renders the trace one event per line.
+    /// Renders the trace one timestamped event per line.
     pub fn render(&self) -> String {
         let mut out = String::new();
         for e in &self.events {
@@ -238,23 +481,49 @@ impl EventLog {
         }
         out
     }
+
+    /// Serializes the trace as JSON Lines: one compact [`TimedEvent`]
+    /// object per line — streamable, greppable, `from_jsonl`-round-trippable.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&crate::json::to_json_string(e));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a JSON-Lines trace back into timed events (blank lines are
+    /// skipped).
+    pub fn from_jsonl(text: &str) -> Result<Vec<TimedEvent>, crate::json::JsonError> {
+        text.lines()
+            .filter(|line| !line.trim().is_empty())
+            .map(crate::json::from_json_str)
+            .collect()
+    }
 }
 
 impl crate::json::ToJson for EventLog {
     fn to_json(&self) -> crate::json::Json {
         use crate::json::Json;
+        let events: Vec<TimedEvent> = self.events.iter().copied().collect();
         Json::Obj(vec![
             ("enabled".to_string(), self.enabled.to_json()),
-            ("events".to_string(), self.events.to_json()),
+            ("capacity".to_string(), self.capacity.to_json()),
+            ("dropped".to_string(), self.dropped.to_json()),
+            ("events".to_string(), events.to_json()),
         ])
     }
 }
 
 impl crate::json::FromJson for EventLog {
     fn from_json(json: &crate::json::Json) -> Result<Self, crate::json::JsonError> {
+        let events: Vec<TimedEvent> = json.field("events")?;
         Ok(EventLog {
             enabled: json.field("enabled")?,
-            events: json.field("events")?,
+            capacity: json.field("capacity")?,
+            dropped: json.field("dropped")?,
+            events: events.into(),
         })
     }
 }
@@ -263,49 +532,111 @@ impl crate::json::FromJson for EventLog {
 mod tests {
     use super::*;
 
+    fn at(us: f64) -> Micros {
+        Micros::from_us(us)
+    }
+
     #[test]
     fn disabled_log_records_nothing() {
         let mut log = EventLog::disabled();
-        log.record(|| Event::SlotEmpty);
+        log.record(at(1.0), || Event::SlotEmpty);
         assert!(log.is_empty());
         assert!(!log.is_enabled());
     }
 
     #[test]
-    fn enabled_log_records_in_order() {
+    fn enabled_log_records_in_order_with_timestamps() {
         let mut log = EventLog::enabled();
-        log.record(|| Event::RoundStarted {
+        log.record(at(0.0), || Event::RoundStarted {
             round: 1,
             h: 2,
             unread: 4,
         });
-        log.record(|| Event::TagPolled {
+        log.record(at(37.45), || Event::TagPolled {
             tag: 2,
             vector_bits: 2,
         });
         assert_eq!(log.len(), 2);
         assert!(matches!(
-            log.events()[0],
+            log.events()[0].event,
             Event::RoundStarted { round: 1, .. }
         ));
+        assert!(log.events()[1].at > log.events()[0].at);
+    }
+
+    #[test]
+    fn ring_mode_keeps_the_newest_events() {
+        let mut log = EventLog::ring(3);
+        for i in 0..10usize {
+            log.record(at(i as f64), || Event::TagPolled {
+                tag: i,
+                vector_bits: 1,
+            });
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 7);
+        assert!(matches!(
+            log.events()[0].event,
+            Event::TagPolled { tag: 7, .. }
+        ));
+        assert!(matches!(
+            log.events()[2].event,
+            Event::TagPolled { tag: 9, .. }
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "ring capacity")]
+    fn zero_capacity_ring_is_rejected() {
+        let _ = EventLog::ring(0);
     }
 
     #[test]
     fn render_is_line_per_event() {
         let mut log = EventLog::enabled();
-        log.record(|| Event::SlotEmpty);
-        log.record(|| Event::SlotCollision { count: 3 });
+        log.record(at(1.5), || Event::SlotEmpty);
+        log.record(at(2.5), || Event::SlotCollision { count: 3 });
         let text = log.render();
         assert_eq!(text.lines().count(), 2);
         assert!(text.contains("collision (3 tags)"));
     }
 
     #[test]
+    fn jsonl_round_trips() {
+        let mut log = EventLog::enabled();
+        log.record(at(0.0), || Event::ReaderBroadcast {
+            what: BroadcastKind::PollingVector,
+            bits: 7,
+        });
+        log.record(at(262.15), || Event::TagReply { tag: 3, bits: 1 });
+        log.record(at(300.0), || Event::StallTick { streak: 2 });
+        let text = log.to_jsonl();
+        assert_eq!(text.lines().count(), 3);
+        let back = EventLog::from_jsonl(&text).expect("parses");
+        assert_eq!(back.len(), 3);
+        for (a, b) in back.iter().zip(log.events()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
     fn display_formats() {
         let e = Event::ReaderBroadcast {
-            what: "tree segment".into(),
+            what: BroadcastKind::PollingVector,
             bits: 2,
         };
-        assert_eq!(e.to_string(), "reader → tree segment (2 bits)");
+        assert_eq!(e.to_string(), "reader → polling vector (2 bits)");
+        let t = Event::Retransmission { tag: 4, attempt: 2 };
+        assert_eq!(t.to_string(), "tag 4 retransmission #2");
+    }
+
+    #[test]
+    fn broadcast_kind_counter_attribution() {
+        assert!(BroadcastKind::QueryRep.counts_as_query_rep());
+        assert!(BroadcastKind::SlotPrefix.counts_as_query_rep());
+        assert!(!BroadcastKind::PollingVector.counts_as_query_rep());
+        assert!(BroadcastKind::PollingVector.counts_as_vector());
+        assert!(!BroadcastKind::Probe.counts_as_vector());
+        assert!(!BroadcastKind::Probe.counts_as_query_rep());
     }
 }

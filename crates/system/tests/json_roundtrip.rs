@@ -2,10 +2,12 @@
 //! derive `Serialize`/`Deserialize` — the replacement must persist the
 //! same information the serde derives did.
 
+use rfid_c1g2::Micros;
 use rfid_system::json::{from_json_str, to_json_string, FromJson, Json, ToJson};
 use rfid_system::{
-    BitVec, Channel, Counters, Event, EventLog, FaultModel, FaultPlan, GilbertElliott, KillRule,
-    RoundRange, SimConfig, SlotOutcome, Tag, TagId, TagPopulation, TagState,
+    BitVec, BroadcastKind, Channel, Counters, Event, EventLog, FaultModel, FaultPlan,
+    GilbertElliott, KillRule, RoundRange, SimConfig, SlotOutcome, Tag, TagId, TagPopulation,
+    TagState, TimedEvent,
 };
 
 fn round_trip<T>(value: &T)
@@ -135,27 +137,83 @@ fn events_and_log_round_trip() {
             selected: 40,
         },
         Event::ReaderBroadcast {
-            what: "polling \"vector\"\n".into(),
+            what: BroadcastKind::PollingVector,
             bits: 96,
+        },
+        Event::ReaderBroadcast {
+            what: BroadcastKind::Nak,
+            bits: 8,
         },
         Event::TagPolled {
             tag: 5,
             vector_bits: 3,
         },
+        Event::TagReply { tag: 5, bits: 16 },
+        Event::VectorCharged { bits: 7 },
         Event::SlotEmpty,
         Event::SlotCollision { count: 4 },
+        Event::ReplyLost { tag: 3 },
         Event::DownlinkLost { tag: 9 },
         Event::ReplyCorrupted { tag: 12 },
+        Event::Retransmission {
+            tag: 12,
+            attempt: 2,
+        },
+        Event::DesyncRecovered { tag: 9 },
+        Event::StallTick { streak: 5 },
     ];
     for e in &events {
         round_trip(e);
     }
+    round_trip(&TimedEvent {
+        at: Micros::from_us(162.45),
+        event: Event::SlotEmpty,
+    });
     let mut log = EventLog::enabled();
-    for e in &events {
-        log.record(|| e.clone());
+    for (i, e) in events.iter().enumerate() {
+        log.record(Micros::from_us(i as f64 * 37.45), || *e);
     }
     round_trip(&log);
     round_trip(&EventLog::disabled());
+}
+
+#[test]
+fn broadcast_kinds_round_trip_as_strings() {
+    for kind in [
+        BroadcastKind::RoundInit,
+        BroadcastKind::CircleCommand,
+        BroadcastKind::PollingVector,
+        BroadcastKind::QueryRep,
+        BroadcastKind::SlotPrefix,
+        BroadcastKind::IndicatorVector,
+        BroadcastKind::Select,
+        BroadcastKind::Query,
+        BroadcastKind::QueryAdjust,
+        BroadcastKind::Ack,
+        BroadcastKind::Nak,
+        BroadcastKind::FrameInit,
+        BroadcastKind::Probe,
+    ] {
+        round_trip(&kind);
+    }
+    assert_eq!(
+        to_json_string(&BroadcastKind::PollingVector),
+        "\"PollingVector\""
+    );
+    assert!(from_json_str::<BroadcastKind>("\"Telegram\"").is_err());
+}
+
+#[test]
+fn ring_log_round_trips_with_drop_count() {
+    let mut log = EventLog::ring(2);
+    for i in 0..5usize {
+        log.record(Micros::from_us(i as f64), || Event::TagPolled {
+            tag: i,
+            vector_bits: 2,
+        });
+    }
+    assert_eq!(log.dropped(), 3);
+    round_trip(&log);
 }
 
 #[test]

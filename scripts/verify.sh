@@ -11,5 +11,10 @@ cargo fmt --check
 # Fast single-seed slice of the chaos fault-matrix gate (scripts/chaos.sh
 # runs the full multi-seed sweep).
 cargo run --release --offline --example chaos_sweep -- --seeds 1
+# Trace→counters reconciliation gate: one traced seed per protocol (clean
+# and impaired) must replay into its counters bit-for-bit (DESIGN.md §9).
+cargo run --release --offline -p rfid-bench --bin obs_report -- --reconcile
+# Disabled-path telemetry overhead guard; writes target/BENCH_obs.json.
+cargo bench --offline -p rfid-bench --bench obs
 
 echo "verify: OK"

@@ -25,6 +25,7 @@
 //! | [`protocols`] | `rfid-protocols` | **HPP / EHPP / TPP** (the contribution) |
 //! | [`baselines`] | `rfid-baselines` | CPP, enhanced CPP, CP, MIC, ALOHA |
 //! | [`apps`] | `rfid-apps` | info collection, missing tags, multi-reader |
+//! | [`obs`] | `rfid-obs` | sim-time traces, metrics, trace→counter reconciliation |
 //!
 //! ## Quickstart
 //!
@@ -46,6 +47,7 @@ pub use rfid_c1g2 as c1g2;
 pub use rfid_estimate as estimate;
 pub use rfid_hash as hash;
 pub use rfid_identify as identify;
+pub use rfid_obs as obs;
 pub use rfid_protocols as protocols;
 pub use rfid_system as system;
 pub use rfid_workloads as workloads;
@@ -55,6 +57,7 @@ pub mod prelude {
     pub use rfid_apps::info_collect::{run_polling, try_run_polling};
     pub use rfid_baselines::{CodedPollingConfig, CppConfig, EcppConfig, MicConfig};
     pub use rfid_c1g2::{Clock, LinkParams, Micros, TimeCategory};
+    pub use rfid_obs::{metrics_from_log, reconcile, MetricsRegistry};
     pub use rfid_protocols::{
         EhppConfig, HppConfig, PollingError, PollingProtocol, Report, TppConfig,
     };
