@@ -1,92 +1,83 @@
 //! `repro` — regenerates every table and figure of *Fast RFID Polling
-//! Protocols* (ICPP 2016).
+//! Protocols* (ICPP 2016). Run `repro --help` (or see [`rfid_bench::cli`])
+//! for the experiment list and flags.
 //!
-//! ```text
-//! repro <experiment> [--runs N] [--max-n N]
-//!
-//! experiments:
-//!   fig1    execution time vs polling-vector length (analytic)
-//!   fig3    HPP average vector length vs n            (Eq. 4)
-//!   fig4    optimal EHPP subset size vs l_c           (Theorem 1)
-//!   fig5    EHPP vector length vs n for l_c ∈ {100, 200, 400}
-//!   fig8    singleton probability μ(λ)                (Eq. 12/13)
-//!   fig9    TPP analytic vector length vs n           (Eqs. 6/8/11/15)
-//!   fig10   simulated vector lengths: HPP / EHPP / TPP
-//!   table1  execution time, l = 1  bit   (CPP/HPP/EHPP/MIC/TPP/LB)
-//!   table2  execution time, l = 16 bits
-//!   table3  execution time, l = 32 bits
-//!   ablations  design-choice ablations (TPP h-rule, EHPP subset, MIC k/α)
-//!   all     everything above
-//! ```
+//! Simulated experiments (Fig. 10, Tables I–III, ablations, energy) walk
+//! the evaluation grid through the deterministic parallel sweep engine
+//! ([`rfid_bench::sweep`]): every cell is scheduled across cores, results
+//! are bit-identical to the serial `--workers 1` path, and cell results
+//! persist under `target/sweep-cache/` so a re-run after an unrelated edit
+//! skips unchanged cells. Each invocation appends its throughput stats
+//! (cells/sec, cache hit rate, worker count) to `target/BENCH_sweep.json`.
 //!
 //! `--runs` (default 20) controls Monte-Carlo repetitions for the simulated
 //! experiments; `--max-n` (default 100000) caps the population sweep.
 //! Paper-reported values are printed beside measurements where the text
 //! quotes them.
 
+use std::path::PathBuf;
+
 use rfid_analysis as analysis;
 use rfid_baselines::{CppConfig, EcppConfig, LowerBound, MicConfig};
 use rfid_bench::anchors;
-use rfid_bench::{montecarlo, Summary};
+use rfid_bench::cli::{self, ReproOptions};
+use rfid_bench::{Cell, Summary, SweepEngine};
 use rfid_c1g2::LinkParams;
-use rfid_protocols::{EhppConfig, HppConfig, IndexRule, PollingProtocol, TppConfig};
+use rfid_protocols::{EhppConfig, HppConfig, IndexRule, PollingProtocol, Report, TppConfig};
+use rfid_system::to_json_string;
 use rfid_workloads::{IdDistribution, Scenario};
 
-struct Options {
-    runs: u64,
-    max_n: u64,
+/// A grid row: display label, serialized config (cache-key component) and a
+/// thread-safe factory of fresh protocol instances.
+struct Row {
+    label: &'static str,
+    config: String,
+    factory: Box<dyn Fn() -> Box<dyn PollingProtocol> + Sync>,
 }
 
-/// A table row: label plus a thread-safe factory of fresh protocol
-/// instances.
-type ProtocolRow = (
-    &'static str,
-    Box<dyn Fn() -> Box<dyn PollingProtocol> + Sync>,
-);
+impl Row {
+    fn new(
+        label: &'static str,
+        config: String,
+        factory: impl Fn() -> Box<dyn PollingProtocol> + Sync + 'static,
+    ) -> Row {
+        Row {
+            label,
+            config,
+            factory: Box::new(factory),
+        }
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut experiment = String::from("all");
-    let mut opts = Options {
-        runs: 20,
-        max_n: 100_000,
-    };
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--runs" => {
-                opts.runs = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--runs needs a number")
-            }
-            "--max-n" => {
-                opts.max_n = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--max-n needs a number")
-            }
-            other if !other.starts_with('-') => experiment = other.to_string(),
-            other => {
-                eprintln!("unknown option {other}");
-                std::process::exit(2);
-            }
-        }
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{}", cli::usage());
+        return;
     }
+    let opts = match cli::parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("error: {msg}\n");
+            eprint!("{}", cli::usage());
+            std::process::exit(2);
+        }
+    };
 
-    match experiment.as_str() {
+    let mut engine = build_engine(&opts);
+    match opts.experiment.as_str() {
         "fig1" => fig1(),
         "fig3" => fig3(&opts),
         "fig4" => fig4(),
         "fig5" => fig5(&opts),
         "fig8" => fig8(),
         "fig9" => fig9(&opts),
-        "fig10" => fig10(&opts),
-        "table1" => table(&opts, 1),
-        "table2" => table(&opts, 16),
-        "table3" => table(&opts, 32),
-        "ablations" => ablations(&opts),
-        "energy" => energy(&opts),
+        "fig10" => fig10(&mut engine, &opts),
+        "table1" => table(&mut engine, &opts, 1),
+        "table2" => table(&mut engine, &opts, 16),
+        "table3" => table(&mut engine, &opts, 32),
+        "ablations" => ablations(&mut engine, &opts),
+        "energy" => energy(&mut engine, &opts),
         "all" => {
             fig1();
             fig3(&opts);
@@ -94,16 +85,60 @@ fn main() {
             fig5(&opts);
             fig8();
             fig9(&opts);
-            fig10(&opts);
-            table(&opts, 1);
-            table(&opts, 16);
-            table(&opts, 32);
-            ablations(&opts);
-            energy(&opts);
+            fig10(&mut engine, &opts);
+            table(&mut engine, &opts, 1);
+            table(&mut engine, &opts, 16);
+            table(&mut engine, &opts, 32);
+            ablations(&mut engine, &opts);
+            energy(&mut engine, &opts);
         }
-        other => {
-            eprintln!("unknown experiment {other}; see the module docs");
-            std::process::exit(2);
+        other => unreachable!("cli::parse_args validated `{other}`"),
+    }
+    report_sweep_stats(&engine);
+}
+
+/// Builds the sweep engine from the CLI flags: worker width, run-block
+/// size, and the persistent cell cache (default `target/sweep-cache/`).
+fn build_engine(opts: &ReproOptions) -> SweepEngine {
+    let mut engine = SweepEngine::new().with_progress(true);
+    if let Some(workers) = opts.workers {
+        engine = engine.with_workers(workers);
+    }
+    if let Some(block) = opts.run_block {
+        engine = engine.with_run_block(block);
+    }
+    if opts.cache {
+        let dir = opts.cache_dir.clone().unwrap_or_else(|| {
+            rfid_bench::find_target_dir()
+                .unwrap_or_else(|| PathBuf::from("target"))
+                .join("sweep-cache")
+        });
+        engine = engine.with_cache_dir(dir);
+    }
+    engine
+}
+
+/// Prints the sweep throughput line and appends the `BENCH_sweep.json`
+/// entry (the sweep bench trajectory) when any cell actually ran.
+fn report_sweep_stats(engine: &SweepEngine) {
+    let stats = engine.stats();
+    if stats.jobs == 0 {
+        return;
+    }
+    eprintln!(
+        "sweep: {} cells / {} jobs ({} cached, {:.0} % hit rate) on {} workers in {:.2} s ({:.1} cells/s)",
+        stats.cells,
+        stats.jobs,
+        stats.cache_hits,
+        stats.cache_hit_rate() * 100.0,
+        engine.workers(),
+        stats.elapsed_s,
+        stats.cells_per_sec(),
+    );
+    if let Some(dir) = rfid_bench::find_target_dir() {
+        match engine.write_bench_entry(&dir) {
+            Ok(path) => eprintln!("sweep report: {}", path.display()),
+            Err(e) => eprintln!("could not write BENCH_sweep.json: {e}"),
         }
     }
 }
@@ -113,6 +148,11 @@ fn sweep_ns(max_n: u64) -> Vec<u64> {
         .into_iter()
         .filter(|&n| n <= max_n)
         .collect()
+}
+
+fn summary_of(reports: &[Report], metric: impl Fn(&Report) -> f64) -> Summary {
+    let samples: Vec<f64> = reports.iter().map(metric).collect();
+    Summary::of(&samples)
 }
 
 // ---------------------------------------------------------------- figures
@@ -128,7 +168,7 @@ fn fig1() {
     println!("(linear, slope 0.03745 ms/bit — matches the paper's Fig. 1)");
 }
 
-fn fig3(opts: &Options) {
+fn fig3(opts: &ReproOptions) {
     println!("\n== Fig. 3 — HPP average polling-vector length w(n), Eq. (4) ==");
     println!("{:>8} {:>10} {:>10}", "n", "w (bits)", "ceil log2");
     for (n, w) in analysis::hpp::fig3_series(&sweep_ns(opts.max_n)) {
@@ -150,7 +190,7 @@ fn fig4() {
     println!("(optimal n* sandwiched in [l_c·ln2, e·l_c·ln2], growing with l_c)");
 }
 
-fn fig5(opts: &Options) {
+fn fig5(opts: &ReproOptions) {
     println!("\n== Fig. 5 — EHPP average vector length vs n (Sec. III-D) ==");
     let ns = sweep_ns(opts.max_n);
     print!("{:>8}", "n");
@@ -182,7 +222,7 @@ fn fig8() {
     );
 }
 
-fn fig9(opts: &Options) {
+fn fig9(opts: &ReproOptions) {
     println!("\n== Fig. 9 — TPP analytic average vector length, Eqs. (6)(8)(11)(15) ==");
     println!("{:>8} {:>10}", "n", "w (bits)");
     for (n, w) in analysis::tpp::fig9_series(&sweep_ns(opts.max_n)) {
@@ -195,7 +235,7 @@ fn fig9(opts: &Options) {
     );
 }
 
-fn fig10(opts: &Options) {
+fn fig10(engine: &mut SweepEngine, opts: &ReproOptions) {
     println!(
         "\n== Fig. 10 — simulated average polling-vector length ({} runs) ==",
         opts.runs
@@ -205,17 +245,37 @@ fn fig10(opts: &Options) {
         .into_iter()
         .filter(|&n| n <= opts.max_n)
         .collect();
+    let rows: Vec<Row> = vec![
+        Row::new("HPP", to_json_string(&HppConfig::default()), || {
+            Box::new(HppConfig::default().into_protocol())
+        }),
+        Row::new("EHPP", to_json_string(&EhppConfig::default()), || {
+            Box::new(EhppConfig::default().into_protocol())
+        }),
+        Row::new("TPP", to_json_string(&TppConfig::default()), || {
+            Box::new(TppConfig::default().into_protocol())
+        }),
+    ];
+    // Cells in (n, protocol) row-major order; the whole figure runs as one
+    // parallel batch.
+    let mut cells = Vec::new();
     for &n in &ns {
         let scenario = Scenario::uniform(n as usize, 1).with_seed(n);
-        let hpp = vector_summary(&scenario, opts.runs, false, &|| {
-            Box::new(HppConfig::default().into_protocol())
-        });
-        let ehpp = vector_summary(&scenario, opts.runs, true, &|| {
-            Box::new(EhppConfig::default().into_protocol())
-        });
-        let tpp = vector_summary(&scenario, opts.runs, false, &|| {
-            Box::new(TppConfig::default().into_protocol())
-        });
+        for row in &rows {
+            cells.push(Cell::new(
+                row.label,
+                row.config.clone(),
+                scenario.clone(),
+                opts.runs,
+                row.factory.as_ref(),
+            ));
+        }
+    }
+    let results = engine.run_cells(&cells);
+    for (i, &n) in ns.iter().enumerate() {
+        let hpp = summary_of(&results[i * 3], Report::mean_vector_bits);
+        let ehpp = summary_of(&results[i * 3 + 1], Report::mean_vector_bits_with_overhead);
+        let tpp = summary_of(&results[i * 3 + 2], Report::mean_vector_bits);
         println!(
             "{n:>8} {:>9.2}±{:<4.2} {:>9.2}±{:<4.2} {:>9.2}±{:<4.2}",
             hpp.mean, hpp.std, ehpp.mean, ehpp.std, tpp.mean, tpp.std
@@ -230,29 +290,32 @@ fn fig10(opts: &Options) {
     );
 }
 
-fn vector_summary(
-    scenario: &Scenario,
-    runs: u64,
-    with_overhead: bool,
-    factory: &rfid_bench::ProtocolFactory<'_>,
-) -> Summary {
-    let reports = montecarlo(scenario, runs, factory);
-    let ws: Vec<f64> = reports
-        .iter()
-        .map(|r| {
-            if with_overhead {
-                r.mean_vector_bits_with_overhead()
-            } else {
-                r.mean_vector_bits()
-            }
-        })
-        .collect();
-    Summary::of(&ws)
-}
-
 // ----------------------------------------------------------------- tables
 
-fn table(opts: &Options, l: usize) {
+/// The six table rows (CPP/HPP/EHPP/MIC/TPP/LowerBound) at their default
+/// configurations.
+fn table_rows() -> Vec<Row> {
+    vec![
+        Row::new("CPP", to_json_string(&CppConfig::default()), || {
+            Box::new(CppConfig::default().into_protocol())
+        }),
+        Row::new("HPP", to_json_string(&HppConfig::default()), || {
+            Box::new(HppConfig::default().into_protocol())
+        }),
+        Row::new("EHPP", to_json_string(&EhppConfig::default()), || {
+            Box::new(EhppConfig::default().into_protocol())
+        }),
+        Row::new("MIC", to_json_string(&MicConfig::default()), || {
+            Box::new(MicConfig::default().into_protocol())
+        }),
+        Row::new("TPP", to_json_string(&TppConfig::default()), || {
+            Box::new(TppConfig::default().into_protocol())
+        }),
+        Row::new("LowerBound", String::new(), || Box::new(LowerBound)),
+    ]
+}
+
+fn table(engine: &mut SweepEngine, opts: &ReproOptions, l: usize) {
     let which = match l {
         1 => "I",
         16 => "II",
@@ -266,55 +329,48 @@ fn table(opts: &Options, l: usize) {
         .into_iter()
         .filter(|&n| n <= opts.max_n)
         .collect();
+    if ns.is_empty() {
+        println!("(no populations ≤ --max-n {})", opts.max_n);
+        return;
+    }
     print!("{:<12}", "protocol");
     for n in &ns {
         print!(" {:>16}", format!("n={n}"));
     }
     println!();
 
-    let rows: Vec<ProtocolRow> = vec![
-        (
-            "CPP",
-            Box::new(|| Box::new(CppConfig::default().into_protocol())),
-        ),
-        (
-            "HPP",
-            Box::new(|| Box::new(HppConfig::default().into_protocol())),
-        ),
-        (
-            "EHPP",
-            Box::new(|| Box::new(EhppConfig::default().into_protocol())),
-        ),
-        (
-            "MIC",
-            Box::new(|| Box::new(MicConfig::default().into_protocol())),
-        ),
-        (
-            "TPP",
-            Box::new(|| Box::new(TppConfig::default().into_protocol())),
-        ),
-        ("LowerBound", Box::new(|| Box::new(LowerBound))),
-    ];
-
-    let mut measured: Vec<Vec<f64>> = Vec::new();
-    for (label, factory) in &rows {
-        print!("{label:<12}");
-        let mut row = Vec::new();
+    let rows = table_rows();
+    let mut cells = Vec::new();
+    for row in &rows {
         for &n in &ns {
             let scenario = Scenario::uniform(n as usize, l).with_seed(n + l as u64);
             // CPP and LowerBound are deterministic in time; one run suffices.
-            let runs = if *label == "CPP" || *label == "LowerBound" {
+            let runs = if row.label == "CPP" || row.label == "LowerBound" {
                 1
             } else {
                 opts.runs
             };
-            let reports = montecarlo(&scenario, runs, factory.as_ref());
-            let secs: Vec<f64> = reports.iter().map(|r| r.total_time.as_secs()).collect();
-            let s = Summary::of(&secs);
-            row.push(s.mean);
+            cells.push(Cell::new(
+                row.label,
+                row.config.clone(),
+                scenario,
+                runs,
+                row.factory.as_ref(),
+            ));
+        }
+    }
+    let results = engine.run_cells(&cells);
+
+    let mut measured: Vec<Vec<f64>> = Vec::new();
+    for (ri, row) in rows.iter().enumerate() {
+        print!("{:<12}", row.label);
+        let mut secs = Vec::new();
+        for ci in 0..ns.len() {
+            let s = summary_of(&results[ri * ns.len() + ci], |r| r.total_time.as_secs());
+            secs.push(s.mean);
             print!(" {:>16.3}", s.mean);
         }
-        measured.push(row);
+        measured.push(secs);
         println!();
     }
 
@@ -341,7 +397,7 @@ fn table(opts: &Options, l: usize) {
             if let Some(col) = ns.iter().position(|&n| n == 10_000) {
                 let tpp = measured[4][col];
                 for (name, ratio) in anchors::TABLE2_TPP_RATIOS {
-                    let idx = rows.iter().position(|(lbl, _)| *lbl == name).expect("row");
+                    let idx = rows.iter().position(|r| r.label == name).expect("row");
                     println!(
                         "  TPP/{name:<5} measured {:>6.3} vs paper {ratio:.3}",
                         tpp / measured[idx][col]
@@ -354,7 +410,7 @@ fn table(opts: &Options, l: usize) {
             if let Some(col) = ns.iter().position(|&n| n == 10_000) {
                 let lb = measured[5][col];
                 for (name, ratio) in anchors::TABLE3_LB_RATIOS {
-                    let idx = rows.iter().position(|(lbl, _)| *lbl == name).expect("row");
+                    let idx = rows.iter().position(|r| r.label == name).expect("row");
                     println!(
                         "  {name:<5}/LB measured {:>6.3} vs paper {ratio:.2}",
                         measured[idx][col] / lb
@@ -370,7 +426,7 @@ fn table(opts: &Options, l: usize) {
 /// Extension experiment (after Qiao et al., MobiHoc'11): tag-side energy
 /// per protocol — tags listen until read, so shorter polling vectors save
 /// energy twice.
-fn energy(opts: &Options) {
+fn energy(engine: &mut SweepEngine, opts: &ReproOptions) {
     use rfid_analysis::energy::EnergyParams;
     let n = 10_000.min(opts.max_n) as usize;
     let runs = opts.runs.max(5);
@@ -382,47 +438,30 @@ fn energy(opts: &Options) {
         "{:<12} {:>14} {:>12} {:>12}",
         "protocol", "per tag (µJ)", "rx (mJ)", "tx (mJ)"
     );
-    let rows: Vec<ProtocolRow> = vec![
-        (
-            "CPP",
-            Box::new(|| Box::new(CppConfig::default().into_protocol())),
-        ),
-        (
-            "HPP",
-            Box::new(|| Box::new(HppConfig::default().into_protocol())),
-        ),
-        (
-            "EHPP",
-            Box::new(|| Box::new(EhppConfig::default().into_protocol())),
-        ),
-        (
-            "MIC",
-            Box::new(|| Box::new(MicConfig::default().into_protocol())),
-        ),
-        (
-            "TPP",
-            Box::new(|| Box::new(TppConfig::default().into_protocol())),
-        ),
-    ];
-    for (label, factory) in &rows {
-        let reports = montecarlo(&scenario, runs, factory.as_ref());
-        let per_tag: Vec<f64> = reports
-            .iter()
-            .map(|r| r.tag_energy(&params, &link).per_tag_uj())
-            .collect();
-        let rx: Vec<f64> = reports
-            .iter()
-            .map(|r| r.tag_energy(&params, &link).rx_mj)
-            .collect();
-        let tx: Vec<f64> = reports
-            .iter()
-            .map(|r| r.tag_energy(&params, &link).tx_mj)
-            .collect();
+    let rows: Vec<Row> = table_rows()
+        .into_iter()
+        .filter(|r| r.label != "LowerBound")
+        .collect();
+    let cells: Vec<Cell<'_>> = rows
+        .iter()
+        .map(|row| {
+            Cell::new(
+                row.label,
+                row.config.clone(),
+                scenario.clone(),
+                runs,
+                row.factory.as_ref(),
+            )
+        })
+        .collect();
+    let results = engine.run_cells(&cells);
+    for (row, reports) in rows.iter().zip(&results) {
+        let per_tag = summary_of(reports, |r| r.tag_energy(&params, &link).per_tag_uj());
+        let rx = summary_of(reports, |r| r.tag_energy(&params, &link).rx_mj);
+        let tx = summary_of(reports, |r| r.tag_energy(&params, &link).tx_mj);
         println!(
-            "{label:<12} {:>14.2} {:>12.2} {:>12.3}",
-            Summary::of(&per_tag).mean,
-            Summary::of(&rx).mean,
-            Summary::of(&tx).mean
+            "{:<12} {:>14.2} {:>12.2} {:>12.3}",
+            row.label, per_tag.mean, rx.mean, tx.mean
         );
     }
     println!("(listen energy dominates; TPP's short vectors and early sleeps win)");
@@ -430,46 +469,86 @@ fn energy(opts: &Options) {
 
 // -------------------------------------------------------------- ablations
 
-fn ablations(opts: &Options) {
+fn ablations(engine: &mut SweepEngine, opts: &ReproOptions) {
     let n = 10_000.min(opts.max_n) as usize;
     let runs = opts.runs.max(5);
     let scenario = Scenario::uniform(n, 1).with_seed(99);
     println!("\n== Ablations (n = {n}, l = 1, {runs} runs) ==");
 
+    // One batch for the whole section: rows 0..N in a fixed order, metrics
+    // picked per row below.
+    let hpp_rule_cfg = TppConfig {
+        index_rule: IndexRule::HppRule,
+        ..TppConfig::default()
+    };
+    let n_star = EhppConfig::default().effective_subset_size();
+    let mut rows: Vec<Row> = vec![
+        Row::new("TPP", to_json_string(&TppConfig::default()), || {
+            Box::new(TppConfig::default().into_protocol())
+        }),
+        Row::new("TPP-hpp-rule", to_json_string(&hpp_rule_cfg), move || {
+            Box::new(hpp_rule_cfg.into_protocol())
+        }),
+    ];
+    let subset_sizes = [n_star / 2, n_star, n_star * 2];
+    for size in subset_sizes {
+        let cfg = EhppConfig {
+            subset_size: Some(size),
+            ..EhppConfig::default()
+        };
+        let json = to_json_string(&cfg);
+        rows.push(Row::new("EHPP-subset", json, move || {
+            Box::new(cfg.clone().into_protocol())
+        }));
+    }
+    let mic_ks = [1usize, 2, 4, 7];
+    for k in mic_ks {
+        let cfg = MicConfig {
+            k,
+            ..MicConfig::default()
+        };
+        let json = to_json_string(&cfg);
+        rows.push(Row::new("MIC-k", json, move || {
+            Box::new(cfg.clone().into_protocol())
+        }));
+    }
+    rows.push(Row::new(
+        "HPP",
+        to_json_string(&HppConfig::default()),
+        || Box::new(HppConfig::default().into_protocol()),
+    ));
+    let cells: Vec<Cell<'_>> = rows
+        .iter()
+        .map(|row| {
+            Cell::new(
+                row.label,
+                row.config.clone(),
+                scenario.clone(),
+                runs,
+                row.factory.as_ref(),
+            )
+        })
+        .collect();
+    let results = engine.run_cells(&cells);
+
     // 1. TPP index-length rule: Eq. (15) vs HPP's rule.
-    let opt = vector_summary(&scenario, runs, false, &|| {
-        Box::new(TppConfig::default().into_protocol())
-    });
-    let hpp_rule = vector_summary(&scenario, runs, false, &|| {
-        Box::new(
-            TppConfig {
-                index_rule: IndexRule::HppRule,
-                ..TppConfig::default()
-            }
-            .into_protocol(),
-        )
-    });
+    let opt = summary_of(&results[0], Report::mean_vector_bits);
+    let hpp_rule = summary_of(&results[1], Report::mean_vector_bits);
     println!(
         "TPP h-rule:      Eq.(15) {:.3} bits  vs  HPP-rule {:.3} bits",
         opt.mean, hpp_rule.mean
     );
 
     // 2. EHPP subset size: Theorem-1 optimum vs halved/doubled.
-    let n_star = EhppConfig::default().effective_subset_size();
-    for (label, size) in [
-        ("n*/2", n_star / 2),
-        ("n* (Thm 1)", n_star),
-        ("2n*", n_star * 2),
-    ] {
-        let s = vector_summary(&scenario, runs, true, &|| {
-            Box::new(
-                EhppConfig {
-                    subset_size: Some(size),
-                    ..EhppConfig::default()
-                }
-                .into_protocol(),
-            )
-        });
+    for (i, (label, size)) in [
+        ("n*/2", subset_sizes[0]),
+        ("n* (Thm 1)", subset_sizes[1]),
+        ("2n*", subset_sizes[2]),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let s = summary_of(&results[2 + i], Report::mean_vector_bits_with_overhead);
         println!(
             "EHPP subset {label:<11} ({size:>4} tags): {:.3} bits incl. overhead",
             s.mean
@@ -477,58 +556,62 @@ fn ablations(opts: &Options) {
     }
 
     // 3. MIC hash count.
-    for k in [1usize, 2, 4, 7] {
-        let reports = montecarlo(&scenario, runs, &|| {
-            Box::new(
-                MicConfig {
-                    k,
-                    ..MicConfig::default()
-                }
-                .into_protocol(),
-            )
+    for (i, k) in mic_ks.into_iter().enumerate() {
+        let reports = &results[5 + i];
+        let secs = summary_of(reports, |r| r.total_time.as_secs());
+        let waste = summary_of(reports, |r| {
+            r.counters.empty_slots as f64 / (r.counters.empty_slots + r.counters.polls) as f64
         });
-        let secs: Vec<f64> = reports.iter().map(|r| r.total_time.as_secs()).collect();
-        let waste: Vec<f64> = reports
-            .iter()
-            .map(|r| {
-                r.counters.empty_slots as f64 / (r.counters.empty_slots + r.counters.polls) as f64
-            })
-            .collect();
         println!(
             "MIC k={k}:  {:.3} s, wasted slots {:.1} %",
-            Summary::of(&secs).mean,
-            Summary::of(&waste).mean * 100.0
+            secs.mean,
+            waste.mean * 100.0
         );
     }
 
     // 4. Tree encoding vs flat singleton broadcast at the same h (isolates
     //    the polling tree itself): TPP with HPP's h vs HPP.
-    let flat = vector_summary(&scenario, runs, false, &|| {
-        Box::new(HppConfig::default().into_protocol())
-    });
+    let flat = summary_of(&results[9], Report::mean_vector_bits);
     println!(
         "tree encoding:   flat HPP {:.3} bits  vs  tree @ same h {:.3} bits",
         flat.mean, hpp_rule.mean
     );
 
     // 5. ID-distribution sensitivity: the hashed protocols are
-    //    distribution-free; eCPP is not.
-    for (label, dist) in [
+    //    distribution-free; eCPP is not. A second small batch (the rows
+    //    above all share the uniform scenario).
+    let dist_rows: Vec<Row> = vec![
+        Row::new("TPP", to_json_string(&TppConfig::default()), || {
+            Box::new(TppConfig::default().into_protocol())
+        }),
+        Row::new("eCPP", to_json_string(&EcppConfig::default()), || {
+            Box::new(EcppConfig::default().into_protocol())
+        }),
+    ];
+    let dists = [
         ("uniform", IdDistribution::UniformRandom),
         ("clustered", IdDistribution::Clustered { categories: 10 }),
-    ] {
-        let sc = scenario.clone().with_ids(dist);
-        let tpp = vector_summary(&sc, runs, false, &|| {
-            Box::new(TppConfig::default().into_protocol())
-        });
-        let reports = montecarlo(&sc, runs, &|| {
-            Box::new(EcppConfig::default().into_protocol())
-        });
-        let ecpp: Vec<f64> = reports.iter().map(|r| r.mean_vector_bits()).collect();
+    ];
+    let mut dist_cells = Vec::new();
+    for (_, dist) in &dists {
+        let sc = scenario.clone().with_ids(dist.clone());
+        for row in &dist_rows {
+            dist_cells.push(Cell::new(
+                row.label,
+                row.config.clone(),
+                sc.clone(),
+                runs,
+                row.factory.as_ref(),
+            ));
+        }
+    }
+    let dist_results = engine.run_cells(&dist_cells);
+    for (i, (label, _)) in dists.iter().enumerate() {
+        let tpp = summary_of(&dist_results[i * 2], Report::mean_vector_bits);
+        let ecpp = summary_of(&dist_results[i * 2 + 1], Report::mean_vector_bits);
         println!(
             "IDs {label:<10} TPP {:.3} bits, eCPP {:.1} bits",
-            tpp.mean,
-            Summary::of(&ecpp).mean
+            tpp.mean, ecpp.mean
         );
     }
 }

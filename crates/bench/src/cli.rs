@@ -1,0 +1,236 @@
+//! Argument parsing for the `repro` binary.
+//!
+//! Parsing is a pure function from the argument list to either a validated
+//! [`ReproOptions`] or an error message, so both the usage-message paths
+//! and the experiment-name validation are unit-testable without spawning
+//! the binary.
+
+use std::path::PathBuf;
+
+/// Every experiment `repro` knows, with its one-line description. The
+/// order matches the paper's presentation and the usage message.
+pub const EXPERIMENTS: &[(&str, &str)] = &[
+    ("fig1", "execution time vs polling-vector length (analytic)"),
+    ("fig3", "HPP average vector length vs n            (Eq. 4)"),
+    (
+        "fig4",
+        "optimal EHPP subset size vs l_c           (Theorem 1)",
+    ),
+    ("fig5", "EHPP vector length vs n for l_c in {100, 200, 400}"),
+    (
+        "fig8",
+        "singleton probability mu(lambda)          (Eq. 12/13)",
+    ),
+    (
+        "fig9",
+        "TPP analytic vector length vs n           (Eqs. 6/8/11/15)",
+    ),
+    ("fig10", "simulated vector lengths: HPP / EHPP / TPP"),
+    (
+        "table1",
+        "execution time, l = 1  bit   (CPP/HPP/EHPP/MIC/TPP/LB)",
+    ),
+    ("table2", "execution time, l = 16 bits"),
+    ("table3", "execution time, l = 32 bits"),
+    (
+        "ablations",
+        "design-choice ablations (TPP h-rule, EHPP subset, MIC k)",
+    ),
+    (
+        "energy",
+        "tag-side energy extension (semi-passive power model)",
+    ),
+    ("all", "everything above"),
+];
+
+/// Validated `repro` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReproOptions {
+    /// Which experiment to regenerate.
+    pub experiment: String,
+    /// Monte-Carlo repetitions for the simulated experiments.
+    pub runs: u64,
+    /// Population-sweep cap.
+    pub max_n: u64,
+    /// Sweep worker threads (`None` = one per core).
+    pub workers: Option<usize>,
+    /// Runs per sweep job (`None` = engine default).
+    pub run_block: Option<u64>,
+    /// Whether the persistent cell cache is enabled.
+    pub cache: bool,
+    /// Cache root override (`None` = `target/sweep-cache`).
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl Default for ReproOptions {
+    fn default() -> Self {
+        ReproOptions {
+            experiment: "all".to_string(),
+            runs: 20,
+            max_n: 100_000,
+            workers: None,
+            run_block: None,
+            cache: true,
+            cache_dir: None,
+        }
+    }
+}
+
+/// The full usage message, experiment list included.
+pub fn usage() -> String {
+    let mut out = String::from(
+        "usage: repro [experiment] [--runs N] [--max-n N] [--workers N]\n\
+         \x20            [--run-block N] [--no-cache] [--cache-dir PATH]\n\n\
+         experiments:\n",
+    );
+    for (name, desc) in EXPERIMENTS {
+        out.push_str(&format!("  {name:<10} {desc}\n"));
+    }
+    out.push_str(
+        "\n--runs (default 20) controls Monte-Carlo repetitions; --max-n\n\
+         (default 100000) caps the population sweep. --workers 1 is the\n\
+         serial reference path (output is bit-identical to any width).\n\
+         Cell results persist under target/sweep-cache/ unless --no-cache.\n",
+    );
+    out
+}
+
+/// Parses `repro`'s arguments (without the program name). `Err` carries a
+/// one-line message; callers print it with [`usage`] and exit nonzero.
+pub fn parse_args(args: &[String]) -> Result<ReproOptions, String> {
+    let mut opts = ReproOptions::default();
+    let mut experiment: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--runs" => opts.runs = parse_value(it.next(), "--runs", |v| v >= 1)?,
+            "--max-n" => opts.max_n = parse_value(it.next(), "--max-n", |v| v >= 1)?,
+            "--workers" => {
+                opts.workers = Some(parse_value(it.next(), "--workers", |v: usize| v >= 1)?)
+            }
+            "--run-block" => {
+                opts.run_block = Some(parse_value(it.next(), "--run-block", |v| v >= 1)?)
+            }
+            "--no-cache" => opts.cache = false,
+            "--cache-dir" => {
+                opts.cache_dir = Some(PathBuf::from(it.next().ok_or("--cache-dir needs a path")?))
+            }
+            other if !other.starts_with('-') => {
+                if let Some(first) = &experiment {
+                    return Err(format!(
+                        "two experiments given ({first} and {other}); pick one"
+                    ));
+                }
+                experiment = Some(other.to_string());
+            }
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    if let Some(exp) = experiment {
+        if !EXPERIMENTS.iter().any(|(name, _)| *name == exp) {
+            let names: Vec<&str> = EXPERIMENTS.iter().map(|(n, _)| *n).collect();
+            return Err(format!(
+                "unknown experiment `{exp}`; expected one of: {}",
+                names.join(", ")
+            ));
+        }
+        opts.experiment = exp;
+    }
+    Ok(opts)
+}
+
+fn parse_value<T: std::str::FromStr + Copy>(
+    value: Option<&String>,
+    flag: &str,
+    valid: impl Fn(T) -> bool,
+) -> Result<T, String> {
+    value
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| valid(v))
+        .ok_or_else(|| format!("{flag} needs a positive integer"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<ReproOptions, String> {
+        parse_args(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn defaults_run_everything() {
+        let opts = parse(&[]).unwrap();
+        assert_eq!(opts, ReproOptions::default());
+        assert_eq!(opts.experiment, "all");
+    }
+
+    #[test]
+    fn flags_parse_in_any_order() {
+        let opts = parse(&[
+            "--workers",
+            "3",
+            "table2",
+            "--runs",
+            "5",
+            "--max-n",
+            "2000",
+            "--run-block",
+            "4",
+        ])
+        .unwrap();
+        assert_eq!(opts.experiment, "table2");
+        assert_eq!(opts.runs, 5);
+        assert_eq!(opts.max_n, 2_000);
+        assert_eq!(opts.workers, Some(3));
+        assert_eq!(opts.run_block, Some(4));
+        assert!(opts.cache);
+    }
+
+    #[test]
+    fn cache_flags_parse() {
+        let opts = parse(&["--no-cache"]).unwrap();
+        assert!(!opts.cache);
+        let opts = parse(&["--cache-dir", "/tmp/x"]).unwrap();
+        assert_eq!(opts.cache_dir, Some(PathBuf::from("/tmp/x")));
+    }
+
+    #[test]
+    fn missing_or_bad_numbers_are_errors_not_panics() {
+        for args in [
+            &["--runs"][..],
+            &["--runs", "zero"],
+            &["--runs", "0"],
+            &["--max-n", "-3"],
+            &["--workers", "0"],
+            &["--run-block", "x"],
+            &["--cache-dir"],
+        ] {
+            assert!(parse(args).is_err(), "{args:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn unknown_experiment_lists_the_valid_ones() {
+        let err = parse(&["fig99"]).unwrap_err();
+        assert!(err.contains("unknown experiment `fig99`"));
+        assert!(err.contains("fig10"), "error names the experiments: {err}");
+        assert!(err.contains("table3"));
+    }
+
+    #[test]
+    fn unknown_option_and_double_experiment_are_errors() {
+        assert!(parse(&["--frobnicate"])
+            .unwrap_err()
+            .contains("--frobnicate"));
+        assert!(parse(&["fig1", "fig3"]).unwrap_err().contains("pick one"));
+    }
+
+    #[test]
+    fn usage_names_every_experiment() {
+        let text = usage();
+        for (name, _) in EXPERIMENTS {
+            assert!(text.contains(name), "usage missing {name}");
+        }
+    }
+}

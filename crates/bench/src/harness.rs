@@ -165,8 +165,9 @@ impl Bench {
 }
 
 /// The nearest `target/` directory at or above the current directory —
-/// honours `CARGO_TARGET_DIR` when set.
-fn find_target_dir() -> Option<std::path::PathBuf> {
+/// honours `CARGO_TARGET_DIR` when set. Shared by the bench reports
+/// (`BENCH_*.json`) and the sweep engine's default cache root.
+pub fn find_target_dir() -> Option<std::path::PathBuf> {
     if let Some(dir) = std::env::var_os("CARGO_TARGET_DIR") {
         let dir = std::path::PathBuf::from(dir);
         if dir.is_dir() {

@@ -1,44 +1,27 @@
 //! Parallel Monte-Carlo execution of protocol runs.
 
-use rfid_apps::info_collect::run_polling;
 use rfid_protocols::{PollingProtocol, Report};
 use rfid_workloads::Scenario;
+
+use crate::sweep::{Cell, SweepEngine};
 
 /// A thread-safe factory producing fresh protocol instances — each worker
 /// thread builds its own to keep the runs independent.
 pub type ProtocolFactory<'a> = dyn Fn() -> Box<dyn PollingProtocol> + Sync + 'a;
 
 /// Runs `runs` independent simulations of `factory()` over `scenario`
-/// (reseeded per run from the scenario's master seed) and returns all
-/// reports. Workers spread across available cores.
+/// (run `r` reseeded via [`Scenario::for_run`], exactly as the sweep engine
+/// seeds its grid cells) and returns all reports in run order. Workers
+/// spread across available cores; a one-run block keeps every run its own
+/// job, matching the old chunked scheduler's parallel width.
 pub fn montecarlo(scenario: &Scenario, runs: u64, factory: &ProtocolFactory<'_>) -> Vec<Report> {
     assert!(runs >= 1);
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(runs as usize);
-    let chunk = runs.div_ceil(workers as u64);
-    let mut out: Vec<Option<Report>> = vec![None; runs as usize];
-
-    // std scoped threads (stable since 1.63): a panic in any worker
-    // propagates when the scope joins, like crossbeam's `.expect` did.
-    std::thread::scope(|scope| {
-        for (w, slice) in out.chunks_mut(chunk as usize).enumerate() {
-            let base = w as u64 * chunk;
-            scope.spawn(move || {
-                for (i, slot) in slice.iter_mut().enumerate() {
-                    let run_seed = rfid_hash::split_seed(scenario.seed, base + i as u64);
-                    let sc = scenario.clone().with_seed(run_seed);
-                    let protocol = factory();
-                    *slot = Some(run_polling(protocol.as_ref(), &sc).report);
-                }
-            });
-        }
-    });
-
-    out.into_iter()
-        .map(|r| r.expect("all runs filled"))
-        .collect()
+    let cell = Cell::new("montecarlo", "", scenario.clone(), runs, factory);
+    SweepEngine::new()
+        .with_run_block(1)
+        .run_cells(std::slice::from_ref(&cell))
+        .pop()
+        .expect("one cell in, one cell out")
 }
 
 #[cfg(test)]

@@ -1,0 +1,69 @@
+//! End-to-end checks of the `repro` binary's argument handling: bad input
+//! must produce a usage message and a nonzero exit instead of a panic, and
+//! a valid analytic experiment must run clean.
+
+use std::process::Command;
+
+fn repro(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("failed to launch repro binary")
+}
+
+#[test]
+fn help_prints_usage_and_exits_zero() {
+    let out = repro(&["--help"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("usage:"), "missing usage header: {stdout}");
+    assert!(
+        stdout.contains("table1"),
+        "usage must list experiments: {stdout}"
+    );
+}
+
+#[test]
+fn unknown_experiment_exits_nonzero_and_lists_the_valid_ones() {
+    let out = repro(&["tabel1"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown experiment"), "stderr: {stderr}");
+    assert!(
+        stderr.contains("table1") && stderr.contains("fig10") && stderr.contains("all"),
+        "error must list the valid experiments: {stderr}"
+    );
+}
+
+#[test]
+fn bad_flag_value_is_an_error_not_a_panic() {
+    for args in [
+        &["table1", "--runs"][..],
+        &["table1", "--runs", "zero"][..],
+        &["table1", "--runs", "0"][..],
+        &["table1", "--max-n", "-5"][..],
+        &["table1", "--frobnicate"][..],
+        &["table1", "fig10"][..],
+    ] {
+        let out = repro(args);
+        assert_eq!(out.status.code(), Some(2), "args {args:?} must exit 2");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("error:"), "args {args:?} stderr: {stderr}");
+        assert!(
+            stderr.contains("usage:"),
+            "args {args:?} must print usage: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn analytic_experiment_runs_clean() {
+    let out = repro(&["fig4"]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!stdout.is_empty());
+}

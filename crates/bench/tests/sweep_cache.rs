@@ -1,0 +1,137 @@
+//! The content-addressed cell cache: a warm `sweep-cache` directory must
+//! serve every job without touching the simulator, serve bit-identical
+//! reports, and a changed code-version salt must invalidate every entry.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use rfid_bench::{Cell, SweepEngine};
+use rfid_protocols::{PollingProtocol, TppConfig};
+use rfid_system::to_json_string;
+use rfid_workloads::Scenario;
+
+/// A unique throwaway cache directory under the target dir. Uses the test
+/// process id plus a per-process counter so concurrent test binaries and
+/// repeated `#[test]` fns never collide; removed on drop.
+struct TempCacheDir(PathBuf);
+
+impl TempCacheDir {
+    fn new(tag: &str) -> Self {
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        let unique = format!(
+            "sweep-cache-test-{}-{}-{}",
+            tag,
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        );
+        let dir = std::env::temp_dir().join(unique);
+        TempCacheDir(dir)
+    }
+}
+
+impl Drop for TempCacheDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn cells(factory: &'_ (dyn Fn() -> Box<dyn PollingProtocol> + Sync)) -> Vec<Cell<'_>> {
+    [(50usize, 3u64), (70, 5)]
+        .into_iter()
+        .map(|(n, seed)| {
+            Cell::new(
+                "TPP",
+                "",
+                Scenario::uniform(n, 1).with_seed(seed),
+                4,
+                factory,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn warm_cache_skips_recompute_and_serves_identical_reports() {
+    let dir = TempCacheDir::new("warm");
+    let built = AtomicUsize::new(0);
+    let counting = || -> Box<dyn PollingProtocol> {
+        built.fetch_add(1, Ordering::Relaxed);
+        Box::new(TppConfig::default().into_protocol())
+    };
+
+    // Cold run: every run constructs a protocol, nothing is served.
+    let mut cold = SweepEngine::new().with_workers(2).with_cache_dir(&dir.0);
+    let cold_reports = cold.run_cells(&cells(&counting));
+    assert_eq!(cold.stats().cache_hits, 0);
+    assert_eq!(
+        built.load(Ordering::Relaxed),
+        8,
+        "2 cells x 4 runs construct 8 protocols"
+    );
+
+    // Warm run in a fresh engine over the same directory: every job is a
+    // hit, the simulator is never touched, and the reports are bit-equal.
+    built.store(0, Ordering::Relaxed);
+    let mut warm = SweepEngine::new().with_workers(2).with_cache_dir(&dir.0);
+    let warm_reports = warm.run_cells(&cells(&counting));
+    assert_eq!(warm.stats().cache_hits, warm.stats().jobs);
+    assert!(warm.stats().jobs > 0);
+    assert_eq!(warm.stats().cache_hit_rate(), 1.0);
+    assert_eq!(
+        built.load(Ordering::Relaxed),
+        0,
+        "warm cache must not construct protocols"
+    );
+
+    let render = |r: &Vec<Vec<rfid_protocols::Report>>| {
+        r.iter().flatten().map(to_json_string).collect::<Vec<_>>()
+    };
+    assert_eq!(render(&warm_reports), render(&cold_reports));
+}
+
+#[test]
+fn changed_salt_invalidates_the_cache() {
+    let dir = TempCacheDir::new("salt");
+    let built = AtomicUsize::new(0);
+    let counting = || -> Box<dyn PollingProtocol> {
+        built.fetch_add(1, Ordering::Relaxed);
+        Box::new(TppConfig::default().into_protocol())
+    };
+
+    let mut first = SweepEngine::new().with_cache_dir(&dir.0);
+    first.run_cells(&cells(&counting));
+    let cold_builds = built.load(Ordering::Relaxed);
+    assert!(cold_builds > 0);
+
+    // Same directory, different code-version salt: every entry misses.
+    built.store(0, Ordering::Relaxed);
+    let mut salted = SweepEngine::new()
+        .with_cache_dir(&dir.0)
+        .with_salt("sweep-v2-test");
+    salted.run_cells(&cells(&counting));
+    assert_eq!(salted.stats().cache_hits, 0);
+    assert_eq!(built.load(Ordering::Relaxed), cold_builds);
+
+    // And the salted results are themselves cached under the new key.
+    built.store(0, Ordering::Relaxed);
+    let mut resalted = SweepEngine::new()
+        .with_cache_dir(&dir.0)
+        .with_salt("sweep-v2-test");
+    resalted.run_cells(&cells(&counting));
+    assert_eq!(resalted.stats().cache_hits, resalted.stats().jobs);
+    assert_eq!(built.load(Ordering::Relaxed), 0);
+}
+
+#[test]
+fn disabled_cache_never_writes_the_directory() {
+    let dir = TempCacheDir::new("off");
+    let plain = || -> Box<dyn PollingProtocol> { Box::new(TppConfig::default().into_protocol()) };
+    let mut engine = SweepEngine::new();
+    engine.run_cells(&cells(&plain));
+    assert_eq!(engine.stats().cache_hits, 0);
+    assert!(
+        !dir.0.exists(),
+        "engine without with_cache_dir must not create {:?}",
+        dir.0
+    );
+}

@@ -16,5 +16,11 @@ cargo run --release --offline --example chaos_sweep -- --seeds 1
 cargo run --release --offline -p rfid-bench --bin obs_report -- --reconcile
 # Disabled-path telemetry overhead guard; writes target/BENCH_obs.json.
 cargo bench --offline -p rfid-bench --bench obs
+# Sweep-engine smoke slice (DESIGN.md §10): a small Table I grid, once
+# cold on one worker and once cache-warm at the default width. Writes the
+# cells/sec + cache-hit-rate entries to target/BENCH_sweep.json.
+rm -rf target/sweep-cache target/BENCH_sweep.json
+cargo run --release --offline -p rfid-bench --bin repro -- table1 --runs 2 --max-n 1000 --workers 1
+cargo run --release --offline -p rfid-bench --bin repro -- table1 --runs 2 --max-n 1000
 
 echo "verify: OK"

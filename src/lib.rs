@@ -26,6 +26,7 @@
 //! | [`baselines`] | `rfid-baselines` | CPP, enhanced CPP, CP, MIC, ALOHA |
 //! | [`apps`] | `rfid-apps` | info collection, missing tags, multi-reader |
 //! | [`obs`] | `rfid-obs` | sim-time traces, metrics, trace→counter reconciliation |
+//! | [`bench`] | `rfid-bench` | parallel sweep engine, Monte-Carlo runner, micro-bench harness |
 //!
 //! ## Quickstart
 //!
@@ -43,6 +44,7 @@
 pub use rfid_analysis as analysis;
 pub use rfid_apps as apps;
 pub use rfid_baselines as baselines;
+pub use rfid_bench as bench;
 pub use rfid_c1g2 as c1g2;
 pub use rfid_estimate as estimate;
 pub use rfid_hash as hash;
