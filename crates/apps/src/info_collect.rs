@@ -6,7 +6,9 @@
 //! polling invariant (every tag interrogated exactly once, nothing missed),
 //! and returns the collected `(id, payload)` pairs with the cost report.
 
-use rfid_protocols::{PollingError, PollingProtocol, Report};
+use rfid_protocols::{
+    run_recovered, PollingError, PollingProtocol, RecoveryOutcome, RecoveryPolicy, Report,
+};
 use rfid_system::{BitVec, SimConfig, SimContext, TagId};
 use rfid_workloads::Scenario;
 
@@ -73,6 +75,64 @@ pub fn run_polling_in(
     Ok(CollectionOutcome { report, collected })
 }
 
+/// The result of a recovery-wrapped collection run: never an error — a run
+/// the recovery layer could not complete degrades to the collected subset.
+#[derive(Debug, Clone)]
+pub struct RecoveredCollection {
+    /// How the recovered run ended (complete or degraded, with pass count
+    /// and coverage).
+    pub outcome: RecoveryOutcome,
+    /// Payloads of the tags actually read, in tag order. Complete runs
+    /// collect the whole population; degraded runs the covered subset.
+    pub collected: Vec<(TagId, BitVec)>,
+}
+
+impl RecoveredCollection {
+    /// Looks up the collected payload of one tag.
+    pub fn payload_of(&self, id: TagId) -> Option<&BitVec> {
+        self.collected
+            .iter()
+            .find(|(tid, _)| *tid == id)
+            .map(|(_, p)| p)
+    }
+}
+
+/// Runs `protocol` under `policy` on the scenario's population over a
+/// perfect channel. For faulted channels build the context yourself and use
+/// [`run_polling_recovered_in`].
+pub fn run_polling_recovered(
+    protocol: &dyn PollingProtocol,
+    policy: &RecoveryPolicy,
+    scenario: &Scenario,
+) -> RecoveredCollection {
+    let population = scenario.build_population();
+    let mut ctx = SimContext::new(population, &SimConfig::paper(scenario.protocol_seed()));
+    run_polling_recovered_in(protocol, policy, &mut ctx)
+}
+
+/// Recovery-wrapped variant of [`run_polling_in`]: instead of surfacing
+/// [`PollingError::Stalled`], re-polls the uncollected remainder (with
+/// backoff) until complete or the circuit breaker opens, then returns
+/// whatever was collected. A lossy run therefore yields a complete
+/// inventory; only a dead configuration yields a partial one.
+pub fn run_polling_recovered_in(
+    protocol: &dyn PollingProtocol,
+    policy: &RecoveryPolicy,
+    ctx: &mut SimContext,
+) -> RecoveredCollection {
+    let outcome = run_recovered(protocol, policy, ctx);
+    if outcome.is_complete() {
+        ctx.assert_complete();
+    }
+    let collected = ctx
+        .population
+        .iter()
+        .filter(|(_, tag)| !tag.is_active())
+        .map(|(_, tag)| (tag.id, tag.info.clone()))
+        .collect();
+    RecoveredCollection { outcome, collected }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,5 +187,52 @@ mod tests {
         assert!(outcome
             .payload_of(TagId::from_raw(u32::MAX, u64::MAX))
             .is_none());
+    }
+
+    #[test]
+    fn recovered_collection_completes_on_a_lossy_channel() {
+        use rfid_system::{FaultModel, SimConfig, SimContext};
+        let scenario = Scenario::uniform(300, 8)
+            .with_seed(21)
+            .with_payload(PayloadKind::Random);
+        let protocol = HppConfig {
+            max_rounds: 8,
+            ..HppConfig::default()
+        }
+        .into_protocol();
+        let cfg = SimConfig::paper(scenario.protocol_seed())
+            .with_fault(FaultModel::perfect().with_downlink_loss(0.3));
+        let mut ctx = SimContext::new(scenario.build_population(), &cfg);
+        let r = run_polling_recovered_in(&protocol, &RecoveryPolicy::unbounded(), &mut ctx);
+        assert!(r.outcome.is_complete(), "loss 0.3 must recover fully");
+        assert_eq!(r.collected.len(), 300);
+        let reference = scenario.build_population();
+        for (_, tag) in reference.iter() {
+            assert_eq!(r.payload_of(tag.id), Some(&tag.info));
+        }
+    }
+
+    #[test]
+    fn recovered_collection_degrades_to_the_covered_subset() {
+        use rfid_system::fault::{FaultPlan, KillRule};
+        use rfid_system::{FaultModel, SimConfig, SimContext};
+        let scenario = Scenario::uniform(60, 4).with_seed(5);
+        let plan = FaultPlan {
+            kill_after_replies: vec![KillRule {
+                tag: 3,
+                after_replies: 0,
+            }],
+            ..FaultPlan::none()
+        };
+        let cfg = SimConfig::paper(scenario.protocol_seed())
+            .with_fault(FaultModel::perfect().with_plan(plan));
+        let mut ctx = SimContext::new(scenario.build_population(), &cfg);
+        let protocol = HppConfig::default().into_protocol();
+        let r = run_polling_recovered_in(&protocol, &RecoveryPolicy::unbounded(), &mut ctx);
+        assert!(!r.outcome.is_complete());
+        assert_eq!(r.collected.len(), 59, "everything but the dead tag");
+        let dead_id = ctx.population.get(3).id;
+        assert!(r.payload_of(dead_id).is_none());
+        assert!((r.outcome.coverage() - 59.0 / 60.0).abs() < 1e-12);
     }
 }

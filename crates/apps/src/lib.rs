@@ -28,8 +28,13 @@ pub mod monitor;
 pub mod multi_reader;
 pub mod unknown;
 
-pub use info_collect::{run_polling, CollectionOutcome};
-pub use missing::{DetectionOutcome, MissingTagApp, MissingTagDetector, MissingTagReport};
+pub use info_collect::{
+    run_polling, run_polling_recovered, run_polling_recovered_in, try_run_polling,
+    CollectionOutcome, RecoveredCollection,
+};
+pub use missing::{
+    DetectionOutcome, MissingTagApp, MissingTagDetector, MissingTagReport, RecoveredMissing,
+};
 pub use monitor::{EpochReport, InventoryMonitor, MonitorConfig};
 pub use multi_reader::{DeploymentPlan, MultiReaderOutcome, ReaderZone};
 pub use unknown::{run_hpp_with_aliens, InterferenceReport};

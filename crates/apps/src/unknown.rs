@@ -18,7 +18,7 @@ use std::collections::HashMap;
 
 use rfid_analysis::hpp::index_length;
 use rfid_hash::TagHash;
-use rfid_protocols::{PollingError, Report, StallGuard};
+use rfid_protocols::{PollingError, Report, StallCause, StallGuard};
 use rfid_system::{SimContext, SlotOutcome};
 
 /// Result of an interference run.
@@ -54,7 +54,14 @@ pub fn run_hpp_with_aliens(
 
     while !unread.is_empty() {
         rounds += 1;
-        if rounds > max_rounds || guard.no_progress(ctx) {
+        if rounds > max_rounds {
+            return Err(PollingError::stalled_with(
+                "HPP+aliens",
+                ctx,
+                StallCause::RoundCap,
+            ));
+        }
+        if guard.no_progress(ctx) {
             return Err(PollingError::stalled("HPP+aliens", ctx));
         }
         let h = (index_length(unread.len() as u64) + h_extra).min(30);

@@ -9,7 +9,7 @@
 //! count.
 
 use rfid_hash::TagHash;
-use rfid_protocols::{PollingError, PollingProtocol, Report, StallGuard};
+use rfid_protocols::{PollingError, PollingProtocol, Report, StallCause, StallGuard};
 use rfid_system::{SimContext, SlotOutcome};
 
 /// FSA configuration.
@@ -73,7 +73,11 @@ impl PollingProtocol for Fsa {
         while ctx.population.active_count() > 0 {
             rounds += 1;
             if rounds > self.cfg.max_rounds {
-                return Err(PollingError::stalled(self.name(), ctx));
+                return Err(PollingError::stalled_with(
+                    self.name(),
+                    ctx,
+                    StallCause::RoundCap,
+                ));
             }
             let unread = ctx.population.active_count() as u64;
             let frame = ((unread as f64 * self.cfg.frame_factor).ceil() as u64).max(1);

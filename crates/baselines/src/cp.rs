@@ -13,7 +13,7 @@
 use std::collections::HashMap;
 
 use rfid_c1g2::crc::crc48_code;
-use rfid_protocols::{PollingError, PollingProtocol, Report, StallGuard};
+use rfid_protocols::{PollingError, PollingProtocol, Report, StallCause, StallGuard};
 use rfid_system::{id::EPC_BITS, SimContext};
 
 /// Coded-Polling configuration.
@@ -81,7 +81,11 @@ impl PollingProtocol for CodedPolling {
         while ctx.population.active_count() > 0 {
             sweeps += 1;
             if sweeps > self.cfg.max_sweeps {
-                return Err(PollingError::stalled(self.name(), ctx));
+                return Err(PollingError::stalled_with(
+                    self.name(),
+                    ctx,
+                    StallCause::RoundCap,
+                ));
             }
             for handle in ctx.population.active_handles() {
                 let bits = if ambiguous.contains(&handle) {

@@ -5,7 +5,7 @@
 //! the 96-bit polling vector makes every poll expensive. CPP is the paper's
 //! baseline: 37.70 s to collect one bit from 10⁴ tags.
 
-use rfid_protocols::{PollingError, PollingProtocol, Report, StallGuard};
+use rfid_protocols::{PollingError, PollingProtocol, Report, StallCause, StallGuard};
 use rfid_system::{id::EPC_BITS, SimContext};
 
 /// CPP configuration.
@@ -59,7 +59,11 @@ impl PollingProtocol for Cpp {
         while ctx.population.active_count() > 0 {
             sweeps += 1;
             if sweeps > self.cfg.max_sweeps {
-                return Err(PollingError::stalled(self.name(), ctx));
+                return Err(PollingError::stalled_with(
+                    self.name(),
+                    ctx,
+                    StallCause::RoundCap,
+                ));
             }
             // The reader walks its known ID list; active tags are the ones
             // not yet read (or whose reply was lost last sweep).

@@ -12,7 +12,7 @@ use std::collections::BTreeMap;
 
 use rfid_c1g2::commands::SELECT_FIXED_BITS;
 use rfid_c1g2::TimeCategory;
-use rfid_protocols::{PollingError, PollingProtocol, Report, StallGuard};
+use rfid_protocols::{PollingError, PollingProtocol, Report, StallCause, StallGuard};
 use rfid_system::{id::EPC_BITS, SimContext};
 
 /// Enhanced-CPP configuration.
@@ -72,7 +72,11 @@ impl PollingProtocol for Ecpp {
         while ctx.population.active_count() > 0 {
             sweeps += 1;
             if sweeps > self.cfg.max_sweeps {
-                return Err(PollingError::stalled(self.name(), ctx));
+                return Err(PollingError::stalled_with(
+                    self.name(),
+                    ctx,
+                    StallCause::RoundCap,
+                ));
             }
             // Group active tags by their p-bit prefix. BTreeMap gives a
             // deterministic polling order.

@@ -22,7 +22,7 @@
 
 use rfid_c1g2::TimeCategory;
 use rfid_hash::HashFamily;
-use rfid_protocols::{PollingError, PollingProtocol, Report, StallGuard};
+use rfid_protocols::{PollingError, PollingProtocol, Report, StallCause, StallGuard};
 use rfid_system::{SimContext, SlotOutcome};
 
 /// MIC configuration.
@@ -167,7 +167,11 @@ impl PollingProtocol for Mic {
         while ctx.population.active_count() > 0 {
             rounds += 1;
             if rounds > self.cfg.max_rounds {
-                return Err(PollingError::stalled(self.name(), ctx));
+                return Err(PollingError::stalled_with(
+                    self.name(),
+                    ctx,
+                    StallCause::RoundCap,
+                ));
             }
             let unresolved = ctx.population.active_count() as u64;
             let frame = ((unresolved as f64 * self.cfg.frame_factor).ceil() as u64).max(1);

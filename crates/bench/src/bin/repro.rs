@@ -78,6 +78,7 @@ fn main() {
         "table3" => table(&mut engine, &opts, 32),
         "ablations" => ablations(&mut engine, &opts),
         "energy" => energy(&mut engine, &opts),
+        "recovery" => recovery(&mut engine, &opts),
         "all" => {
             fig1();
             fig3(&opts);
@@ -91,6 +92,7 @@ fn main() {
             table(&mut engine, &opts, 32);
             ablations(&mut engine, &opts);
             energy(&mut engine, &opts);
+            recovery(&mut engine, &opts);
         }
         other => unreachable!("cli::parse_args validated `{other}`"),
     }
@@ -465,6 +467,221 @@ fn energy(engine: &mut SweepEngine, opts: &ReproOptions) {
         );
     }
     println!("(listen energy dominates; TPP's short vectors and early sleeps win)");
+}
+
+// --------------------------------------------------------------- recovery
+
+/// The chaos-soak recovery grid (ISSUE 5's convergence gate): HPP/EHPP/TPP
+/// with deliberately small per-pass budgets, swept over a fault-space grid
+/// (i.i.d. loss × Gilbert–Elliott burst × corruption), every run wrapped in
+/// a recovery session through the sweep engine. Asserts the convergence
+/// invariant — coverage 1.0 on every survivable cell when passes are
+/// unbounded — plus the degraded-cell contract (a jammed downlink opens the
+/// circuit at `max_passes` with coverage 0), cross-checks a traced degraded
+/// run against the event log, and writes `target/BENCH_recovery.json` with
+/// passes-to-completion and time overhead vs the fault-free baseline.
+fn recovery(engine: &mut SweepEngine, opts: &ReproOptions) {
+    use rfid_obs::{metrics_from_log, reconcile};
+    use rfid_protocols::{run_recovered, RecoveryOutcome, RecoveryPolicy};
+    use rfid_system::fault::{FaultPlan, KillRule};
+    use rfid_system::{FaultModel, GilbertElliott, Json, SimConfig, SimContext, ToJson};
+
+    let n = 1_000.min(opts.max_n) as usize;
+    let runs = opts.runs;
+    println!("\n== Recovery — chaos-soak convergence grid (n = {n}, {runs} runs) ==");
+
+    // Small per-pass round budgets so survivable faults genuinely exercise
+    // multi-pass recovery instead of converging inside pass 1's (huge)
+    // default budget.
+    let hpp_cfg = HppConfig {
+        max_rounds: 24,
+        ..HppConfig::default()
+    };
+    let ehpp_cfg = EhppConfig {
+        max_circles: 12,
+        ..EhppConfig::default()
+    };
+    let tpp_cfg = TppConfig {
+        max_rounds: 24,
+        ..TppConfig::default()
+    };
+    let rows: Vec<Row> = vec![
+        Row::new("HPP", to_json_string(&hpp_cfg), move || {
+            Box::new(hpp_cfg.into_protocol())
+        }),
+        Row::new("EHPP", to_json_string(&ehpp_cfg), move || {
+            Box::new(ehpp_cfg.clone().into_protocol())
+        }),
+        Row::new("TPP", to_json_string(&tpp_cfg), move || {
+            Box::new(tpp_cfg.into_protocol())
+        }),
+    ];
+    let faults: Vec<(&str, Option<FaultModel>)> = vec![
+        ("fault-free", None),
+        (
+            "loss 0.1",
+            Some(FaultModel::perfect().with_downlink_loss(0.1)),
+        ),
+        (
+            "loss 0.3",
+            Some(FaultModel::perfect().with_downlink_loss(0.3)),
+        ),
+        (
+            "loss 0.5",
+            Some(FaultModel::perfect().with_downlink_loss(0.5)),
+        ),
+        (
+            "burst",
+            Some(FaultModel::perfect().with_burst(GilbertElliott::new(0.05, 0.25, 0.0, 0.95))),
+        ),
+        (
+            "corrupt 0.3",
+            Some(FaultModel::perfect().with_corruption(0.3)),
+        ),
+    ];
+
+    // Grid in (fault, protocol) row-major order, one parallel batch.
+    let mut cells = Vec::new();
+    for (fi, (_, fault)) in faults.iter().enumerate() {
+        let scenario = Scenario::uniform(n, 1).with_seed(5_000 + fi as u64);
+        for row in &rows {
+            let mut cell = Cell::new(
+                row.label,
+                row.config.clone(),
+                scenario.clone(),
+                runs,
+                row.factory.as_ref(),
+            )
+            .with_recovery(RecoveryPolicy::unbounded());
+            if let Some(f) = fault {
+                cell = cell.with_fault(f.clone());
+            }
+            cells.push(cell);
+        }
+    }
+    let results = engine.run_cells(&cells);
+
+    println!(
+        "{:<12} {:<12} {:>10} {:>10} {:>12} {:>10}",
+        "fault", "protocol", "coverage", "passes", "time (s)", "overhead"
+    );
+    let mut entries: Vec<Json> = Vec::new();
+    let mut baseline: Vec<f64> = vec![0.0; rows.len()];
+    for (fi, (flabel, _)) in faults.iter().enumerate() {
+        for (ri, row) in rows.iter().enumerate() {
+            let reports = &results[fi * rows.len() + ri];
+            // The convergence gate: every survivable cell (loss < 1.0)
+            // under an unbounded policy reaches coverage 1.0, every run.
+            for (r, report) in reports.iter().enumerate() {
+                assert_eq!(
+                    report.counters.polls as usize, report.tags,
+                    "convergence violated: {} under `{flabel}` run {r} collected \
+                     {} of {} tags",
+                    row.label, report.counters.polls, report.tags
+                );
+            }
+            let passes = summary_of(reports, |r| (r.counters.recovery_passes + 1) as f64);
+            let secs = summary_of(reports, |r| r.total_time.as_secs());
+            if fi == 0 {
+                baseline[ri] = secs.mean;
+            }
+            let overhead = secs.mean / baseline[ri];
+            println!(
+                "{flabel:<12} {:<12} {:>10.3} {:>10.2} {:>12.3} {:>9.2}x",
+                row.label, 1.0, passes.mean, secs.mean, overhead
+            );
+            entries.push(Json::Obj(vec![
+                ("fault".to_string(), Json::str(*flabel)),
+                ("protocol".to_string(), Json::str(row.label)),
+                ("n".to_string(), (n as u64).to_json()),
+                ("runs".to_string(), runs.to_json()),
+                ("coverage".to_string(), 1.0f64.to_json()),
+                ("mean_passes".to_string(), passes.mean.to_json()),
+                ("max_passes".to_string(), passes.max.to_json()),
+                ("mean_time_s".to_string(), secs.mean.to_json()),
+                ("overhead_vs_fault_free".to_string(), overhead.to_json()),
+            ]));
+        }
+    }
+
+    // Degraded contract: a jammed downlink cannot complete; a bounded
+    // policy opens the circuit at exactly `max_passes` with coverage 0.
+    let dead_policy = RecoveryPolicy::unbounded().with_max_passes(4);
+    let dead_cell = Cell::new(
+        "HPP",
+        to_json_string(&hpp_cfg),
+        Scenario::uniform(n, 1).with_seed(6_000),
+        runs.min(4),
+        rows[0].factory.as_ref(),
+    )
+    .with_fault(FaultModel::perfect().with_downlink_loss(1.0))
+    .with_recovery(dead_policy);
+    let dead = &engine.run_cells(std::slice::from_ref(&dead_cell))[0];
+    for report in dead {
+        assert_eq!(report.counters.polls, 0, "a jammed downlink polled a tag");
+        assert_eq!(
+            report.counters.recovery_passes, 3,
+            "circuit must open at max_passes = 4"
+        );
+    }
+    println!(
+        "{:<12} {:<12} {:>10.3} {:>10.2} (degraded by design: circuit at {} passes)",
+        "loss 1.0", "HPP", 0.0, 4.0, 4
+    );
+    entries.push(Json::Obj(vec![
+        ("fault".to_string(), Json::str("loss 1.0")),
+        ("protocol".to_string(), Json::str("HPP")),
+        ("n".to_string(), (n as u64).to_json()),
+        ("runs".to_string(), runs.min(4).to_json()),
+        ("coverage".to_string(), 0.0f64.to_json()),
+        ("mean_passes".to_string(), 4.0f64.to_json()),
+        ("max_passes".to_string(), 4.0f64.to_json()),
+    ]));
+
+    // Trace cross-check (one traced degraded run, outside the engine): the
+    // recovery events must reconcile bit-for-bit with the counters, and the
+    // Degraded coverage must equal the trace-derived coverage series.
+    let sc = Scenario::uniform(200.min(n), 1).with_seed(6_001);
+    let plan = FaultPlan {
+        kill_after_replies: vec![KillRule {
+            tag: 7,
+            after_replies: 0,
+        }],
+        ..FaultPlan::none()
+    };
+    let cfg = SimConfig::paper(sc.protocol_seed())
+        .with_fault(FaultModel::perfect().with_plan(plan))
+        .with_trace();
+    let mut ctx = SimContext::new(sc.build_population(), &cfg);
+    let protocol = HppConfig::default().into_protocol();
+    let out = run_recovered(&protocol, &RecoveryPolicy::unbounded(), &mut ctx);
+    let RecoveryOutcome::Degraded { coverage, .. } = out else {
+        panic!("a killed tag must degrade the run");
+    };
+    reconcile(&ctx.log, &ctx.counters).expect("recovery trace reconciles against counters");
+    let m = metrics_from_log(&ctx.log);
+    let traced = m
+        .series("coverage_pct")
+        .and_then(|s| s.last())
+        .expect("degraded run leaves a coverage series")
+        .value;
+    assert!(
+        (traced - coverage * 100.0).abs() < 1e-9,
+        "trace-derived coverage {traced} disagrees with Degraded coverage {coverage}"
+    );
+    println!("trace cross-check: degraded coverage {coverage:.4} == trace series, reconciled OK");
+
+    if let Some(dir) = rfid_bench::find_target_dir() {
+        let doc = Json::Obj(vec![
+            ("group".to_string(), Json::str("recovery")),
+            ("entries".to_string(), Json::Arr(entries)),
+        ]);
+        let path = dir.join("BENCH_recovery.json");
+        match std::fs::write(&path, doc.to_pretty_string() + "\n") {
+            Ok(()) => println!("recovery report: {}", path.display()),
+            Err(e) => eprintln!("could not write BENCH_recovery.json: {e}"),
+        }
+    }
 }
 
 // -------------------------------------------------------------- ablations

@@ -40,6 +40,10 @@ pub const EXPERIMENTS: &[(&str, &str)] = &[
         "energy",
         "tag-side energy extension (semi-passive power model)",
     ),
+    (
+        "recovery",
+        "chaos-soak recovery grid: convergence gate + overhead",
+    ),
     ("all", "everything above"),
 ];
 

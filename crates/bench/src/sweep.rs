@@ -34,18 +34,18 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
-use rfid_apps::info_collect::run_polling;
+use rfid_apps::info_collect::{run_polling, run_polling_in};
 use rfid_obs::MetricsRegistry;
-use rfid_protocols::Report;
-use rfid_system::{to_json_string, FromJson, Json, ToJson};
+use rfid_protocols::{run_recovered, RecoveryPolicy, Report};
+use rfid_system::{to_json_string, FaultModel, FromJson, Json, SimConfig, SimContext, ToJson};
 use rfid_workloads::Scenario;
 
 use crate::runner::ProtocolFactory;
 
 /// Code-version salt folded into every cache key. Bump whenever simulator
 /// semantics change in a way that alters reports, so stale sweep caches
-/// invalidate themselves.
-pub const CACHE_SALT: &str = "sweep-v1";
+/// invalidate themselves. (v2: `Counters` gained the recovery fields.)
+pub const CACHE_SALT: &str = "sweep-v2";
 
 /// Default runs per job (run-block size): fine-grained enough that a single
 /// cell still fans out across cores.
@@ -66,6 +66,12 @@ pub struct Cell<'a> {
     pub runs: u64,
     /// Thread-safe factory of fresh protocol instances.
     pub factory: &'a ProtocolFactory<'a>,
+    /// Channel fault model injected into every run (cache-key component);
+    /// `None` runs the paper's perfect channel.
+    pub fault: Option<FaultModel>,
+    /// Recovery policy wrapping every run (cache-key component); `None`
+    /// runs the bare protocol, which panics on a stall.
+    pub recovery: Option<RecoveryPolicy>,
 }
 
 impl<'a> Cell<'a> {
@@ -83,7 +89,23 @@ impl<'a> Cell<'a> {
             scenario,
             runs,
             factory,
+            fault: None,
+            recovery: None,
         }
+    }
+
+    /// Injects a fault model into every run of this cell.
+    pub fn with_fault(mut self, fault: FaultModel) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+
+    /// Wraps every run of this cell in a recovery session. Degraded runs
+    /// still yield their partial report (coverage is `counters.polls /
+    /// tags`, passes `counters.recovery_passes + 1`).
+    pub fn with_recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = Some(policy);
+        self
     }
 }
 
@@ -323,12 +345,24 @@ impl SweepEngine {
         for (ci, cell) in cells.iter().enumerate() {
             assert!(cell.runs >= 1, "cell {ci} has zero runs");
             let scenario_json = to_json_string(&cell.scenario);
+            let fault_json = cell.fault.as_ref().map_or_else(String::new, to_json_string);
+            let recovery_json = cell
+                .recovery
+                .as_ref()
+                .map_or_else(String::new, to_json_string);
             let mut start = 0;
             while start < cell.runs {
                 let len = self.run_block.min(cell.runs - start);
                 let id = format!(
-                    "{}|{}|{}|{}|{}+{}",
-                    self.salt, cell.protocol, cell.config, scenario_json, start, len
+                    "{}|{}|{}|{}|{}|{}|{}+{}",
+                    self.salt,
+                    cell.protocol,
+                    cell.config,
+                    scenario_json,
+                    fault_json,
+                    recovery_json,
+                    start,
+                    len
                 );
                 let key = format!("{:016x}", fnv64(&id));
                 jobs.push(Job {
@@ -342,6 +376,32 @@ impl SweepEngine {
             }
         }
         jobs
+    }
+}
+
+/// Executes one Monte-Carlo run of a cell. Plain cells keep the validated
+/// [`run_polling`] path bit-for-bit; faulted or recovered cells build the
+/// context explicitly. A recovered run that degrades still returns its
+/// partial report (the recovery counters inside carry passes and backoff).
+fn execute_run(
+    cell: &Cell<'_>,
+    protocol: &dyn rfid_protocols::PollingProtocol,
+    sc: &Scenario,
+) -> Report {
+    if cell.fault.is_none() && cell.recovery.is_none() {
+        return run_polling(protocol, sc).report;
+    }
+    let mut cfg = SimConfig::paper(sc.protocol_seed());
+    if let Some(fault) = &cell.fault {
+        cfg = cfg.with_fault(fault.clone());
+    }
+    let mut ctx = SimContext::new(sc.build_population(), &cfg);
+    match &cell.recovery {
+        Some(policy) => run_recovered(protocol, policy, &mut ctx).report().clone(),
+        None => match run_polling_in(protocol, &mut ctx) {
+            Ok(outcome) => outcome.report,
+            Err(e) => panic!("{e}"),
+        },
     }
 }
 
@@ -388,7 +448,7 @@ fn run_jobs(
                             for r in job.start..job.start + job.len {
                                 let sc = cell.scenario.for_run(r);
                                 let protocol = (cell.factory)();
-                                reports.push(run_polling(protocol.as_ref(), &sc).report);
+                                reports.push(execute_run(cell, protocol.as_ref(), &sc));
                             }
                             metrics.observe("sweep_job_us", jt.elapsed().as_micros() as u64);
                             metrics.inc("sweep_runs", job.len);
@@ -564,6 +624,64 @@ mod tests {
         assert_ne!(reference, base("v2", "cfg", 1), "salt invalidates");
         assert_ne!(reference, base("v1", "cfg2", 1), "config invalidates");
         assert_ne!(reference, base("v1", "cfg", 2), "seed invalidates");
+    }
+
+    #[test]
+    fn fault_and_recovery_key_the_cache_and_stay_deterministic() {
+        use rfid_system::FaultModel;
+        let factory = tpp_factory();
+        let id_of = |cell: &Cell<'_>| {
+            SweepEngine::new().expand_jobs(std::slice::from_ref(cell))[0]
+                .id
+                .clone()
+        };
+        let plain = Cell::new(
+            "TPP",
+            "",
+            Scenario::uniform(10, 1).with_seed(1),
+            2,
+            &*factory,
+        );
+        let faulted = Cell::new(
+            "TPP",
+            "",
+            Scenario::uniform(10, 1).with_seed(1),
+            2,
+            &*factory,
+        )
+        .with_fault(FaultModel::perfect().with_downlink_loss(0.2));
+        let recovered = Cell::new(
+            "TPP",
+            "",
+            Scenario::uniform(10, 1).with_seed(1),
+            2,
+            &*factory,
+        )
+        .with_fault(FaultModel::perfect().with_downlink_loss(0.2))
+        .with_recovery(RecoveryPolicy::unbounded());
+        assert_ne!(id_of(&plain), id_of(&faulted), "fault keys the cache");
+        assert_ne!(id_of(&faulted), id_of(&recovered), "recovery keys it too");
+
+        // A recovered lossy cell completes and is schedule-independent.
+        let run = |workers: usize| {
+            let cell = Cell::new(
+                "TPP",
+                "",
+                Scenario::uniform(120, 1).with_seed(5),
+                4,
+                &*factory,
+            )
+            .with_fault(FaultModel::perfect().with_downlink_loss(0.3))
+            .with_recovery(RecoveryPolicy::unbounded());
+            let mut engine = SweepEngine::new().with_workers(workers).with_run_block(1);
+            engine.run_cells(std::slice::from_ref(&cell))
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        for (a, b) in serial[0].iter().zip(&parallel[0]) {
+            assert_eq!(a.counters, b.counters, "parallel == serial bit-for-bit");
+            assert_eq!(a.counters.polls as usize, a.tags, "loss 0.3 completes");
+        }
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! count is ≈ 2.89 per tag, like QT, but the slot layout differs.
 
 use rfid_c1g2::TimeCategory;
-use rfid_protocols::{PollingError, PollingProtocol, Report};
+use rfid_protocols::{PollingError, PollingProtocol, Report, StallCause};
 use rfid_system::id::EPC_BITS;
 use rfid_system::{SimContext, SlotOutcome};
 
@@ -66,7 +66,10 @@ impl PollingProtocol for BinarySplit {
     fn try_run(&self, ctx: &mut SimContext) -> Result<Report, PollingError> {
         let reply_bits = EPC_BITS as u64 + self.cfg.reply_crc_bits;
         // Tag-side counters, indexed by handle; identified tags drop out.
-        let mut counter: std::collections::HashMap<usize, u64> = ctx
+        // BTreeMap so the coin-flip draws visit tags in handle order — a
+        // HashMap would randomize the rng-to-tag assignment per instance
+        // and break run-to-run determinism.
+        let mut counter: std::collections::BTreeMap<usize, u64> = ctx
             .population
             .active_handles()
             .into_iter()
@@ -76,7 +79,11 @@ impl PollingProtocol for BinarySplit {
         while !counter.is_empty() {
             slots += 1;
             if slots >= self.cfg.max_slots {
-                return Err(PollingError::stalled(self.name(), ctx));
+                return Err(PollingError::stalled_with(
+                    self.name(),
+                    ctx,
+                    StallCause::RoundCap,
+                ));
             }
             let repliers: Vec<usize> = counter
                 .iter()

@@ -16,7 +16,7 @@
 
 use rfid_c1g2::commands::{ACK_BITS, QUERY_BITS};
 use rfid_c1g2::TimeCategory;
-use rfid_protocols::{PollingError, PollingProtocol, Report};
+use rfid_protocols::{PollingError, PollingProtocol, Report, StallCause};
 use rfid_system::{BroadcastKind, Event, SimContext, SlotOutcome};
 
 /// PC + EPC + CRC-16 backscatter length.
@@ -108,7 +108,11 @@ impl PollingProtocol for QAlgorithm {
             loop {
                 slots_total += 1;
                 if slots_total >= self.cfg.max_slots {
-                    return Err(PollingError::stalled(self.name(), ctx));
+                    return Err(PollingError::stalled_with(
+                        self.name(),
+                        ctx,
+                        StallCause::RoundCap,
+                    ));
                 }
                 // Tags whose counter equals the current slot reply.
                 let mut repliers = Vec::new();

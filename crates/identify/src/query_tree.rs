@@ -13,7 +13,7 @@
 //! count on uniform IDs is ≈ 2.89 per tag.
 
 use rfid_c1g2::TimeCategory;
-use rfid_protocols::{PollingError, PollingProtocol, Report};
+use rfid_protocols::{PollingError, PollingProtocol, Report, StallCause};
 use rfid_system::id::EPC_BITS;
 use rfid_system::{BitVec, BroadcastKind, Event, SimContext, SlotOutcome};
 
@@ -75,7 +75,11 @@ impl PollingProtocol for QueryTree {
             queries += 1;
             if queries >= 100_000_000 {
                 // Channel too lossy to ever drain the stack.
-                return Err(PollingError::stalled(self.name(), ctx));
+                return Err(PollingError::stalled_with(
+                    self.name(),
+                    ctx,
+                    StallCause::RoundCap,
+                ));
             }
             // Matching tags: active tags whose ID begins with the prefix.
             let repliers: Vec<usize> = ctx

@@ -53,6 +53,9 @@ where
             Event::Retransmission { .. } => c.retransmissions += 1,
             Event::DesyncRecovered { .. } => c.desync_recoveries += 1,
             Event::StallTick { .. } => {}
+            Event::RecoveryPassStarted { .. } => c.recovery_passes += 1,
+            Event::BackoffWaited { us, .. } => c.recovery_backoff_us += us,
+            Event::CircuitOpened { .. } => {}
         }
     }
     c
@@ -105,7 +108,7 @@ impl fmt::Display for ReconcileError {
 impl std::error::Error for ReconcileError {}
 
 /// The discrete (event-countable) counter fields, with accessors.
-const FIELDS: [(&str, fn(&Counters) -> u64); 14] = [
+const FIELDS: [(&str, fn(&Counters) -> u64); 16] = [
     ("reader_bits", |c| c.reader_bits),
     ("tag_bits", |c| c.tag_bits),
     ("vector_bits", |c| c.vector_bits),
@@ -120,6 +123,8 @@ const FIELDS: [(&str, fn(&Counters) -> u64); 14] = [
     ("corrupted_replies", |c| c.corrupted_replies),
     ("desync_recoveries", |c| c.desync_recoveries),
     ("retransmissions", |c| c.retransmissions),
+    ("recovery_passes", |c| c.recovery_passes),
+    ("recovery_backoff_us", |c| c.recovery_backoff_us),
 ];
 
 /// Compares a replayed counter set against a run's, field by field (all
@@ -219,6 +224,23 @@ mod tests {
             }
         );
         assert!(err.to_string().contains("empty_slots"));
+    }
+
+    #[test]
+    fn recovery_events_replay_into_recovery_counters() {
+        let mut log = EventLog::enabled();
+        log.record(at(0.0), || Event::BackoffWaited { pass: 1, us: 1_500 });
+        log.record(at(1.0), || Event::RecoveryPassStarted {
+            pass: 2,
+            uncollected: 7,
+        });
+        log.record(at(2.0), || Event::CircuitOpened {
+            passes: 2,
+            uncollected: 7,
+        });
+        let c = counters_from_events(log.events());
+        assert_eq!(c.recovery_passes, 1);
+        assert_eq!(c.recovery_backoff_us, 1_500);
     }
 
     #[test]

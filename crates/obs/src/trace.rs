@@ -17,7 +17,8 @@
 //! | `unread_tags`            | series    | `RoundStarted.unread` at each round start      |
 //! | `retransmission_depth`   | series    | `Retransmission.attempt` at each retry         |
 //! | `reader_bits`/`tag_bits` | counter   | broadcast / reply payload bits                 |
-//! | per-event counts         | counter   | `polls`, `rounds`, `empty_slots`, …            |
+//! | `coverage_pct`           | series    | collected % at recovery-pass / circuit events  |
+//! | per-event counts         | counter   | `polls`, `rounds`, `recovery_passes`, …        |
 
 use rfid_system::{Event, EventLog, TimedEvent};
 
@@ -44,12 +45,16 @@ where
     // Sim-time of the previous slot boundary (terminal event or
     // round/circle start): the origin of the next slot-duration sample.
     let mut slot_origin: Option<f64> = None;
+    // Largest unread count ever announced — the population size, used as
+    // the denominator of the `coverage_pct` series at recovery boundaries.
+    let mut population: Option<usize> = None;
     for te in events {
         let now = te.at.as_f64();
         match te.event {
             Event::RoundStarted { unread, .. } => {
                 m.inc("rounds", 1);
                 m.point("unread_tags", te.at, unread as f64);
+                population = Some(population.unwrap_or(0).max(unread));
                 epoch = Some(now);
                 slot_origin = Some(now);
             }
@@ -97,9 +102,31 @@ where
             }
             Event::DesyncRecovered { .. } => m.inc("desync_recoveries", 1),
             Event::StallTick { .. } => m.inc("stall_ticks", 1),
+            Event::RecoveryPassStarted { uncollected, .. } => {
+                m.inc("recovery_passes", 1);
+                if let Some(pop) = population {
+                    m.point("coverage_pct", te.at, coverage_pct(pop, uncollected));
+                }
+            }
+            Event::BackoffWaited { us, .. } => m.inc("recovery_backoff_us", us),
+            Event::CircuitOpened { uncollected, .. } => {
+                m.inc("circuit_opened", 1);
+                if let Some(pop) = population {
+                    m.point("coverage_pct", te.at, coverage_pct(pop, uncollected));
+                }
+            }
         }
     }
     m
+}
+
+/// Collected percentage of a `pop`-tag inventory with `uncollected` left.
+fn coverage_pct(pop: usize, uncollected: usize) -> f64 {
+    if pop == 0 {
+        100.0
+    } else {
+        (pop.saturating_sub(uncollected)) as f64 / pop as f64 * 100.0
+    }
 }
 
 /// [`metrics_from_events`] over a whole event log.
@@ -256,5 +283,42 @@ mod tests {
         assert_eq!(depth.last().unwrap().value, 2.0);
         assert_eq!(m.counter("retransmissions"), 2);
         assert_eq!(m.counter("reader_bits"), 4);
+    }
+
+    #[test]
+    fn recovery_events_derive_a_coverage_series() {
+        let log = log_with(&[
+            (
+                0.0,
+                Event::RoundStarted {
+                    round: 1,
+                    h: 3,
+                    unread: 10,
+                },
+            ),
+            (100.0, Event::BackoffWaited { pass: 1, us: 1_000 }),
+            (
+                1_100.0,
+                Event::RecoveryPassStarted {
+                    pass: 2,
+                    uncollected: 4,
+                },
+            ),
+            (
+                2_000.0,
+                Event::CircuitOpened {
+                    passes: 2,
+                    uncollected: 2,
+                },
+            ),
+        ]);
+        let m = metrics_from_log(&log);
+        assert_eq!(m.counter("recovery_passes"), 1);
+        assert_eq!(m.counter("recovery_backoff_us"), 1_000);
+        assert_eq!(m.counter("circuit_opened"), 1);
+        let cov = m.series("coverage_pct").unwrap();
+        assert_eq!(cov.points.len(), 2);
+        assert_eq!(cov.points[0].value, 60.0, "6 of 10 at the pass start");
+        assert_eq!(cov.last().unwrap().value, 80.0, "8 of 10 at the circuit");
     }
 }

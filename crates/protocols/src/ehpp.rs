@@ -22,7 +22,7 @@ use rfid_analysis::ehpp::optimal_subset_size_with_overhead;
 use rfid_hash::TagHash;
 use rfid_system::SimContext;
 
-use crate::error::{PollingError, Stall};
+use crate::error::{PollingError, StallCause};
 use crate::hpp::{run_hpp_rounds, HppConfig};
 use crate::report::Report;
 use crate::PollingProtocol;
@@ -101,14 +101,18 @@ impl PollingProtocol for Ehpp {
         while ctx.population.active_count() > 0 {
             circles += 1;
             if circles > self.cfg.max_circles {
-                return Err(PollingError::stalled(self.name(), ctx));
+                return Err(PollingError::stalled_with(
+                    self.name(),
+                    ctx,
+                    StallCause::RoundCap,
+                ));
             }
             let remaining = ctx.population.active_count() as u64;
             if remaining <= n_star {
                 // Final (or only) circle: run HPP over everyone, no circle
                 // command — EHPP degenerates to HPP on small populations.
-                if let Err(Stall) = run_hpp_rounds(ctx, &hpp_cfg) {
-                    return Err(PollingError::stalled(self.name(), ctx));
+                if let Err(cause) = run_hpp_rounds(ctx, &hpp_cfg) {
+                    return Err(PollingError::stalled_with(self.name(), ctx, cause));
                 }
                 break;
             }
@@ -136,10 +140,10 @@ impl PollingProtocol for Ehpp {
             }
             let circle_result = run_hpp_rounds(ctx, &hpp_cfg);
             ctx.population.reselect_all();
-            if let Err(Stall) = circle_result {
+            if let Err(cause) = circle_result {
                 // Reselect first so the partial report sees the true
                 // uncollected set, then surface the stall.
-                return Err(PollingError::stalled(self.name(), ctx));
+                return Err(PollingError::stalled_with(self.name(), ctx, cause));
             }
         }
         Ok(Report::from_context(self.name(), ctx))

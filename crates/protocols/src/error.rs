@@ -3,8 +3,9 @@
 //! On a sufficiently hostile channel (downlink jammed forever, a tag killed
 //! mid-run) no polling protocol can finish. The old behaviour was an
 //! `assert!` deep inside the round loop; the typed [`PollingError::Stalled`]
-//! replaces it, carrying the partial [`Report`] and the IDs the run failed
-//! to collect so callers can degrade gracefully.
+//! replaces it, carrying the partial [`Report`], the IDs the run failed to
+//! collect, and *why* the loop stopped ([`StallCause`]) so the recovery
+//! layer can tell a spent round budget from a genuinely dead channel.
 
 use std::fmt;
 
@@ -19,6 +20,37 @@ use crate::report::Report;
 /// dead configurations (permanent jam, killed tag) do.
 pub const DEFAULT_STALL_ROUNDS: u64 = 256;
 
+/// Why a protocol loop stopped short of completion.
+///
+/// The distinction matters to the recovery layer: a [`StallCause::RoundCap`]
+/// stall just means the per-pass budget ran out — another pass with a fresh
+/// budget can still converge — while a [`StallCause::NoProgress`] stall
+/// means hundreds of consecutive rounds polled nothing, which at any
+/// survivable loss rate only happens on a dead channel or a killed tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallCause {
+    /// The stall guard tripped: consecutive no-progress rounds.
+    NoProgress,
+    /// The protocol's own round/sweep/slot cap was exceeded.
+    RoundCap,
+}
+
+impl StallCause {
+    /// Short human-readable label used in the `Stalled` message.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StallCause::NoProgress => "no progress",
+            StallCause::RoundCap => "round cap",
+        }
+    }
+}
+
+impl fmt::Display for StallCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// Why a protocol run did not complete.
 #[derive(Debug, Clone)]
 pub enum PollingError {
@@ -29,12 +61,20 @@ pub enum PollingError {
         partial_report: Report,
         /// IDs of the tags never successfully read.
         uncollected: Vec<TagId>,
+        /// What stopped the loop.
+        cause: StallCause,
     },
 }
 
 impl PollingError {
-    /// Builds a `Stalled` error from the context at the moment of the stall.
+    /// Builds a `Stalled` error from the context at the moment of the stall,
+    /// attributed to the stall guard ([`StallCause::NoProgress`]).
     pub fn stalled(protocol: &str, ctx: &SimContext) -> Self {
+        PollingError::stalled_with(protocol, ctx, StallCause::NoProgress)
+    }
+
+    /// Builds a `Stalled` error with an explicit cause.
+    pub fn stalled_with(protocol: &str, ctx: &SimContext, cause: StallCause) -> Self {
         let uncollected = ctx
             .uncollected_handles()
             .into_iter()
@@ -43,6 +83,7 @@ impl PollingError {
         PollingError::Stalled {
             partial_report: Report::from_context(protocol, ctx),
             uncollected,
+            cause,
         }
     }
 
@@ -50,6 +91,13 @@ impl PollingError {
     pub fn partial_report(&self) -> &Report {
         match self {
             PollingError::Stalled { partial_report, .. } => partial_report,
+        }
+    }
+
+    /// The stall cause, regardless of variant.
+    pub fn cause(&self) -> StallCause {
+        match self {
+            PollingError::Stalled { cause, .. } => *cause,
         }
     }
 }
@@ -60,14 +108,17 @@ impl fmt::Display for PollingError {
             PollingError::Stalled {
                 partial_report,
                 uncollected,
+                cause,
             } => write!(
                 f,
-                "{} stalled: {} of {} tags uncollected after {} rounds ({} polls)",
+                "{} stalled: {} of {} tags uncollected after {} rounds \
+                 ({} polls, {} collected, cause: {cause})",
                 partial_report.protocol,
                 uncollected.len(),
                 partial_report.tags,
                 partial_report.counters.rounds,
                 partial_report.counters.polls,
+                partial_report.tags - uncollected.len(),
             ),
         }
     }
@@ -118,11 +169,6 @@ impl Default for StallGuard {
     }
 }
 
-/// Internal marker for "this loop stalled"; the public error is built by the
-/// protocol entry point, which knows its display name.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) struct Stall;
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -158,11 +204,26 @@ mod tests {
         let PollingError::Stalled {
             partial_report,
             uncollected,
+            cause,
         } = &err;
         assert_eq!(partial_report.counters.polls, 1);
         assert_eq!(uncollected.len(), 2);
         assert_eq!(uncollected[0], c.population.get(0).id);
+        assert_eq!(*cause, StallCause::NoProgress);
         let msg = err.to_string();
         assert!(msg.contains("HPP stalled: 2 of 3"), "{msg}");
+        // Satellite fix: the panic path (run() formats this Display) now
+        // names the collected count, stall round and cause too.
+        assert!(msg.contains("1 collected"), "{msg}");
+        assert!(msg.contains("0 rounds"), "{msg}");
+        assert!(msg.contains("cause: no progress"), "{msg}");
+    }
+
+    #[test]
+    fn stalled_with_records_the_round_cap_cause() {
+        let c = ctx(2);
+        let err = PollingError::stalled_with("TPP", &c, StallCause::RoundCap);
+        assert_eq!(err.cause(), StallCause::RoundCap);
+        assert!(err.to_string().contains("cause: round cap"));
     }
 }

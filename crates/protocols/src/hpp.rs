@@ -17,7 +17,7 @@ use rfid_analysis::hpp::index_length;
 use rfid_hash::TagHash;
 use rfid_system::SimContext;
 
-use crate::error::{PollingError, Stall, StallGuard};
+use crate::error::{PollingError, StallCause, StallGuard};
 use crate::report::Report;
 use crate::PollingProtocol;
 
@@ -73,7 +73,7 @@ impl PollingProtocol for Hpp {
     fn try_run(&self, ctx: &mut SimContext) -> Result<Report, PollingError> {
         match run_hpp_rounds(ctx, &self.cfg) {
             Ok(()) => Ok(Report::from_context(self.name(), ctx)),
-            Err(Stall) => Err(PollingError::stalled(self.name(), ctx)),
+            Err(cause) => Err(PollingError::stalled_with(self.name(), ctx, cause)),
         }
     }
 }
@@ -132,20 +132,21 @@ pub(crate) fn hpp_round(ctx: &mut SimContext, cfg: &HppConfig) -> usize {
 }
 
 /// Runs HPP rounds until every active tag is read. Shared with EHPP, which
-/// invokes it once per circle. Returns `Err(Stall)` — instead of panicking —
-/// when the round cap is hit or no tag has been read for
-/// [`crate::DEFAULT_STALL_ROUNDS`] consecutive rounds.
-pub(crate) fn run_hpp_rounds(ctx: &mut SimContext, cfg: &HppConfig) -> Result<(), Stall> {
+/// invokes it once per circle. Returns the [`StallCause`] — instead of
+/// panicking — when the round cap is hit or no tag has been read for
+/// [`crate::DEFAULT_STALL_ROUNDS`] consecutive rounds. The round counter is
+/// local, so each recovery pass gets a fresh `max_rounds` budget.
+pub(crate) fn run_hpp_rounds(ctx: &mut SimContext, cfg: &HppConfig) -> Result<(), StallCause> {
     let mut rounds = 0u64;
     let mut guard = StallGuard::default();
     while ctx.population.active_count() > 0 {
         rounds += 1;
         if rounds > cfg.max_rounds {
-            return Err(Stall);
+            return Err(StallCause::RoundCap);
         }
         hpp_round(ctx, cfg);
         if guard.no_progress(ctx) {
-            return Err(Stall);
+            return Err(StallCause::NoProgress);
         }
     }
     Ok(())
@@ -247,9 +248,11 @@ mod tests {
             Err(PollingError::Stalled {
                 partial_report,
                 uncollected,
+                cause,
             }) => {
                 assert_eq!(partial_report.counters.polls, 0);
                 assert_eq!(uncollected.len(), 50);
+                assert_eq!(cause, StallCause::NoProgress);
             }
             Ok(_) => panic!("cannot converge when no tag hears any command"),
         }

@@ -37,14 +37,16 @@
 pub mod ehpp;
 pub mod error;
 pub mod hpp;
+pub mod recovery;
 pub mod report;
 pub mod tagside;
 pub mod tpp;
 pub mod tree;
 
 pub use ehpp::{Ehpp, EhppConfig};
-pub use error::{PollingError, StallGuard, DEFAULT_STALL_ROUNDS};
+pub use error::{PollingError, StallCause, StallGuard, DEFAULT_STALL_ROUNDS};
 pub use hpp::{Hpp, HppConfig};
+pub use recovery::{run_recovered, RecoveryOutcome, RecoveryPolicy, RecoverySession};
 pub use report::Report;
 pub use tagside::{Broadcast, TagMachine};
 pub use tpp::{IndexRule, Tpp, TppConfig};

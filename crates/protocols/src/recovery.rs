@@ -1,0 +1,457 @@
+//! The recovery layer: turn faulted polling runs into completed inventories.
+//!
+//! PR 2 made non-convergence *typed* ([`PollingError::Stalled`]) but left it
+//! terminal: the caller got a partial report and nobody re-polled the
+//! `uncollected` tags. The hash-round structure of HPP/EHPP (and TPP's tree
+//! descent) makes re-polling passes natural and cheap — polled tags are
+//! asleep, so rerunning `try_run` on the same [`SimContext`] automatically
+//! re-seeds the hash rounds (or re-descends the tree) over *only* the
+//! uncollected remainder, and counters/clock accumulate in place so partial
+//! reports merge by construction. [`RecoverySession`] wraps any
+//! [`PollingProtocol`] with that loop, adding:
+//!
+//! * **bounded re-polling passes** — each pass is a full `try_run` with a
+//!   fresh per-pass round budget,
+//! * **sim-time exponential backoff with jitter** — drawn from the context's
+//!   deterministic RNG and charged on the C1G2 clock (never the wall
+//!   clock), so recovery overhead shows up in execution-time results,
+//! * **a circuit breaker** — after [`RecoveryPolicy::max_passes`] passes, or
+//!   when [`RecoveryPolicy::zero_progress_limit`] consecutive passes poll
+//!   nothing, the session stops and returns a typed
+//!   [`RecoveryOutcome::Degraded`] with an explicit coverage fraction
+//!   instead of an error,
+//! * **full observability** — `RecoveryPassStarted` / `BackoffWaited` /
+//!   `CircuitOpened` trace events plus the `recovery_passes` and
+//!   `recovery_backoff_us` counters, reconciled bit-for-bit by `rfid-obs`.
+//!
+//! Pass 1 is a bare `try_run`: no extra RNG draws, no events, no time — so
+//! under [`rfid_system::FaultModel::perfect`] a recovered run is
+//! bit-identical to an unwrapped one (the zero-cost property, enforced by a
+//! workspace property test over all protocols).
+//!
+//! The convergence invariant the chaos-soak gate asserts: with unbounded
+//! passes, coverage reaches 1.0 whenever loss < 1.0 — only a genuinely dead
+//! configuration (permanent jam, killed tag) opens the circuit. The breaker
+//! weighs evidence in *idle rounds*, not passes: a zero-progress
+//! [`StallCause::RoundCap`] pass contributes only its small round budget
+//! (the budget ran out; a fresh pass can still converge) while a
+//! [`StallCause::NoProgress`] stall contributes a full
+//! [`DEFAULT_STALL_ROUNDS`](crate::DEFAULT_STALL_ROUNDS) guard window, and
+//! any progress resets the count — so at any survivable loss rate the odds
+//! of accumulating the `zero_progress_limit × 256`-round threshold are
+//! below `0.5^512`.
+
+use rfid_system::SimContext;
+
+use crate::error::{PollingError, StallCause};
+use crate::report::Report;
+use crate::PollingProtocol;
+
+/// How a [`RecoverySession`] re-polls, backs off, and gives up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Maximum polling passes (including the initial attempt); `0` means
+    /// unbounded — the session runs until complete or until the
+    /// zero-progress breaker opens.
+    pub max_passes: u64,
+    /// Backoff after the first stalled pass, in C1G2 microseconds. Doubles
+    /// each further pass (exponential), capped by `max_backoff_us`.
+    pub base_backoff_us: u64,
+    /// Ceiling on one backoff interval, in microseconds.
+    pub max_backoff_us: u64,
+    /// Circuit breaker threshold, in units of stall-guard windows: the
+    /// session gives up once `zero_progress_limit ·`
+    /// [`DEFAULT_STALL_ROUNDS`](crate::DEFAULT_STALL_ROUNDS) consecutive
+    /// *idle rounds* (rounds that polled nothing) accumulate across passes.
+    /// A [`StallCause::NoProgress`] stall contributes a full guard window,
+    /// so the default of `2` opens the circuit after two such passes; a
+    /// zero-progress [`StallCause::RoundCap`] pass contributes only its
+    /// (small) round budget — weak evidence, many passes needed — and any
+    /// progress resets the count.
+    pub zero_progress_limit: u64,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_passes: 0,
+            base_backoff_us: 1_000,
+            max_backoff_us: 64_000,
+            zero_progress_limit: 2,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// Unbounded passes with the default backoff — drives any survivable
+    /// fault configuration to completion.
+    pub fn unbounded() -> Self {
+        RecoveryPolicy::default()
+    }
+
+    /// Caps the number of passes (`0` = unbounded).
+    pub fn with_max_passes(mut self, max_passes: u64) -> Self {
+        self.max_passes = max_passes;
+        self
+    }
+
+    /// Sets the backoff ladder: first interval and its ceiling.
+    pub fn with_backoff(mut self, base_us: u64, max_us: u64) -> Self {
+        self.base_backoff_us = base_us;
+        self.max_backoff_us = max_us;
+        self
+    }
+
+    /// Sets the circuit-breaker threshold, in stall-guard windows of
+    /// consecutive idle rounds (see [`RecoveryPolicy::zero_progress_limit`]).
+    ///
+    /// # Panics
+    /// Panics if `limit` is zero (the breaker would open before pass 1).
+    pub fn with_zero_progress_limit(mut self, limit: u64) -> Self {
+        assert!(limit > 0, "zero-progress limit must be positive");
+        self.zero_progress_limit = limit;
+        self
+    }
+
+    /// The backoff charged after stalled pass `pass` (1-based), before
+    /// jitter: `base · 2^(pass-1)`, saturating, capped at `max_backoff_us`.
+    pub fn backoff_us(&self, pass: u64) -> u64 {
+        let shift = (pass - 1).min(32) as u32;
+        self.base_backoff_us
+            .saturating_mul(1u64 << shift)
+            .min(self.max_backoff_us)
+    }
+}
+
+rfid_system::impl_json_struct!(RecoveryPolicy {
+    max_passes,
+    base_backoff_us,
+    max_backoff_us,
+    zero_progress_limit,
+});
+
+/// How a recovered run ended.
+#[derive(Debug, Clone)]
+pub enum RecoveryOutcome {
+    /// Every tag was collected.
+    Complete {
+        /// The cumulative report (all passes, backoff time included).
+        report: Report,
+        /// Passes used (1 = no recovery was needed).
+        passes: u64,
+    },
+    /// The circuit breaker opened with tags still uncollected.
+    Degraded {
+        /// The cumulative partial report.
+        report: Report,
+        /// Fraction of the population collected, in `[0, 1]`.
+        coverage: f64,
+        /// Passes attempted before giving up.
+        passes: u64,
+    },
+}
+
+impl RecoveryOutcome {
+    /// The (possibly partial) report, regardless of variant.
+    pub fn report(&self) -> &Report {
+        match self {
+            RecoveryOutcome::Complete { report, .. } => report,
+            RecoveryOutcome::Degraded { report, .. } => report,
+        }
+    }
+
+    /// Collected fraction: `1.0` for a complete run.
+    pub fn coverage(&self) -> f64 {
+        match self {
+            RecoveryOutcome::Complete { .. } => 1.0,
+            RecoveryOutcome::Degraded { coverage, .. } => *coverage,
+        }
+    }
+
+    /// Passes used.
+    pub fn passes(&self) -> u64 {
+        match self {
+            RecoveryOutcome::Complete { passes, .. } => *passes,
+            RecoveryOutcome::Degraded { passes, .. } => *passes,
+        }
+    }
+
+    /// Whether every tag was collected.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, RecoveryOutcome::Complete { .. })
+    }
+}
+
+/// A recovery-wrapped protocol run: re-polls the uncollected remainder after
+/// every stall, with backoff, until complete or the circuit breaker opens.
+#[derive(Debug, Clone)]
+pub struct RecoverySession<P> {
+    protocol: P,
+    policy: RecoveryPolicy,
+}
+
+impl<P: PollingProtocol> RecoverySession<P> {
+    /// Wraps `protocol` under `policy`.
+    pub fn new(protocol: P, policy: RecoveryPolicy) -> Self {
+        RecoverySession { protocol, policy }
+    }
+
+    /// The wrapped protocol.
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> &RecoveryPolicy {
+        &self.policy
+    }
+
+    /// Drives the wrapped protocol to completion (or degradation) on `ctx`.
+    ///
+    /// Pass 1 is a bare [`PollingProtocol::try_run`] — zero recovery
+    /// bookkeeping, so a run that never stalls is bit-identical to an
+    /// unwrapped one. Every further pass re-polls only the tags still
+    /// active (polled tags are asleep), merging counters, clock and trace
+    /// in the shared context.
+    pub fn run(&self, ctx: &mut SimContext) -> RecoveryOutcome {
+        run_recovered(&self.protocol, &self.policy, ctx)
+    }
+}
+
+/// Free-function form of [`RecoverySession::run`] for unsized protocols
+/// (e.g. `&dyn PollingProtocol` out of a factory).
+pub fn run_recovered<P: PollingProtocol + ?Sized>(
+    protocol: &P,
+    policy: &RecoveryPolicy,
+    ctx: &mut SimContext,
+) -> RecoveryOutcome {
+    let mut passes = 1u64;
+    // Consecutive rounds (across passes) that polled nothing. A NoProgress
+    // stall is worth a full guard window of idle rounds; a zero-progress
+    // RoundCap pass only its (small) budget — so dead channels terminate
+    // under any budget while survivable loss would need
+    // `limit × DEFAULT_STALL_ROUNDS` straight failures to false-trip.
+    let mut idle_rounds = 0u64;
+    let idle_cap = policy
+        .zero_progress_limit
+        .saturating_mul(crate::DEFAULT_STALL_ROUNDS);
+    loop {
+        let polls_before = ctx.counters.polls;
+        let rounds_before = ctx.counters.rounds;
+        match protocol.try_run(ctx) {
+            Ok(report) => return RecoveryOutcome::Complete { report, passes },
+            Err(PollingError::Stalled {
+                partial_report,
+                uncollected,
+                cause,
+            }) => {
+                let progressed = ctx.counters.polls > polls_before;
+                if progressed {
+                    idle_rounds = 0;
+                } else {
+                    let pass_rounds = (ctx.counters.rounds - rounds_before).max(1);
+                    idle_rounds += match cause {
+                        StallCause::NoProgress => pass_rounds.max(crate::DEFAULT_STALL_ROUNDS),
+                        StallCause::RoundCap => pass_rounds,
+                    };
+                }
+                let out_of_passes = policy.max_passes != 0 && passes >= policy.max_passes;
+                if out_of_passes || idle_rounds >= idle_cap {
+                    ctx.note_circuit_opened(passes, uncollected.len());
+                    let tags = partial_report.tags;
+                    let coverage = if tags == 0 {
+                        1.0
+                    } else {
+                        (tags - uncollected.len()) as f64 / tags as f64
+                    };
+                    return RecoveryOutcome::Degraded {
+                        report: partial_report,
+                        coverage,
+                        passes,
+                    };
+                }
+                // Exponential backoff with deterministic jitter, charged on
+                // the C1G2 clock so recovery shows up in execution time.
+                let base = policy.backoff_us(passes);
+                let jitter = if base > 1 {
+                    ctx.rng.below(base / 2 + 1)
+                } else {
+                    0
+                };
+                ctx.charge_recovery_backoff(passes, base + jitter);
+                // Defensive: a protocol that stalls mid-circle may leave
+                // tags deselected; reselection is idempotent and RNG-free.
+                ctx.population.reselect_all();
+                passes += 1;
+                ctx.note_recovery_pass(passes, uncollected.len());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hpp::HppConfig;
+    use crate::tpp::TppConfig;
+    use rfid_system::fault::{FaultModel, FaultPlan, KillRule};
+    use rfid_system::{BitVec, SimConfig, SimContext, TagPopulation};
+
+    fn ctx_with(n: usize, seed: u64, fault: FaultModel) -> SimContext {
+        let pop = TagPopulation::sequential(n, |_| BitVec::from_value(1, 1));
+        SimContext::new(pop, &SimConfig::paper(seed).with_fault(fault))
+    }
+
+    fn small_budget_hpp() -> crate::hpp::Hpp {
+        // A tiny per-pass round budget forces multi-pass recovery even at
+        // moderate loss, exercising the backoff and merge paths.
+        HppConfig {
+            max_rounds: 4,
+            ..HppConfig::default()
+        }
+        .into_protocol()
+    }
+
+    #[test]
+    fn perfect_channel_completes_in_one_pass() {
+        let mut ctx = ctx_with(100, 1, FaultModel::perfect());
+        let session = RecoverySession::new(
+            HppConfig::default().into_protocol(),
+            RecoveryPolicy::unbounded(),
+        );
+        let out = session.run(&mut ctx);
+        assert!(out.is_complete());
+        assert_eq!(out.passes(), 1);
+        assert_eq!(out.coverage(), 1.0);
+        assert_eq!(ctx.counters.recovery_passes, 0);
+        assert_eq!(ctx.counters.recovery_backoff_us, 0);
+    }
+
+    #[test]
+    fn lossy_channel_converges_over_multiple_passes() {
+        let fault = FaultModel::perfect().with_downlink_loss(0.4);
+        let mut ctx = ctx_with(200, 7, fault);
+        let out = run_recovered(&small_budget_hpp(), &RecoveryPolicy::unbounded(), &mut ctx);
+        assert!(out.is_complete(), "survivable loss must converge");
+        assert!(out.passes() > 1, "a 4-round budget cannot finish pass 1");
+        ctx.assert_complete();
+        assert_eq!(ctx.counters.recovery_passes, out.passes() - 1);
+        assert!(ctx.counters.recovery_backoff_us > 0);
+        let report = out.report();
+        assert_eq!(report.counters.polls, 200, "partial reports merged");
+    }
+
+    #[test]
+    fn dead_channel_degrades_with_consistent_coverage() {
+        let fault = FaultModel::perfect().with_downlink_loss(1.0);
+        let mut ctx = ctx_with(50, 3, fault);
+        let out = run_recovered(&small_budget_hpp(), &RecoveryPolicy::unbounded(), &mut ctx);
+        let RecoveryOutcome::Degraded {
+            report,
+            coverage,
+            passes,
+        } = out
+        else {
+            panic!("a jammed downlink cannot complete");
+        };
+        assert_eq!(coverage, 0.0);
+        assert_eq!(report.counters.polls, 0);
+        // With a 4-round budget every pass is a zero-progress RoundCap
+        // stall worth 4 idle rounds, so the breaker needs 512 / 4 = 128
+        // passes — bounded, unlike a streak counter that ignores RoundCap.
+        assert_eq!(passes, 128);
+        assert_eq!(ctx.counters.recovery_passes, 127);
+    }
+
+    #[test]
+    fn killed_tag_degrades_with_partial_coverage() {
+        let plan = FaultPlan {
+            kill_after_replies: vec![KillRule {
+                tag: 5,
+                after_replies: 0,
+            }],
+            ..FaultPlan::none()
+        };
+        let fault = FaultModel::perfect().with_plan(plan);
+        let mut ctx = ctx_with(40, 11, fault);
+        // Default (large) round budget: each pass ends in a NoProgress
+        // stall, so the breaker opens after `zero_progress_limit` passes
+        // beyond the last progress.
+        let protocol = HppConfig::default().into_protocol();
+        let out = run_recovered(&protocol, &RecoveryPolicy::unbounded(), &mut ctx);
+        let RecoveryOutcome::Degraded {
+            report, coverage, ..
+        } = out
+        else {
+            panic!("a dead tag can never be collected");
+        };
+        assert_eq!(report.counters.polls, 39);
+        assert!((coverage - 39.0 / 40.0).abs() < 1e-12);
+        assert_eq!(ctx.uncollected_handles(), vec![5]);
+    }
+
+    #[test]
+    fn max_passes_caps_the_session() {
+        let fault = FaultModel::perfect().with_downlink_loss(1.0);
+        let mut ctx = ctx_with(30, 5, fault);
+        let policy = RecoveryPolicy::unbounded().with_max_passes(3);
+        let out = run_recovered(&small_budget_hpp(), &policy, &mut ctx);
+        assert!(!out.is_complete());
+        assert_eq!(out.passes(), 3);
+        assert_eq!(ctx.counters.recovery_passes, 2);
+    }
+
+    #[test]
+    fn backoff_ladder_is_exponential_and_capped() {
+        let p = RecoveryPolicy::default().with_backoff(1_000, 16_000);
+        assert_eq!(p.backoff_us(1), 1_000);
+        assert_eq!(p.backoff_us(2), 2_000);
+        assert_eq!(p.backoff_us(3), 4_000);
+        assert_eq!(p.backoff_us(5), 16_000);
+        assert_eq!(p.backoff_us(60), 16_000, "shift saturates, cap holds");
+    }
+
+    #[test]
+    fn recovery_is_deterministic_per_seed() {
+        let run_once = |seed: u64| {
+            let fault = FaultModel::perfect().with_downlink_loss(0.5);
+            let mut ctx = ctx_with(120, seed, fault);
+            let out = run_recovered(&small_budget_hpp(), &RecoveryPolicy::unbounded(), &mut ctx);
+            (out.passes(), ctx.counters, ctx.clock.total())
+        };
+        assert_eq!(run_once(9), run_once(9));
+        assert_ne!(run_once(9).2, run_once(10).2);
+    }
+
+    #[test]
+    fn tpp_recovers_by_re_descending_the_tree() {
+        let fault = FaultModel::perfect().with_downlink_loss(0.4);
+        let protocol = TppConfig {
+            max_rounds: 4,
+            ..TppConfig::default()
+        }
+        .into_protocol();
+        let mut ctx = ctx_with(150, 13, fault);
+        let out = run_recovered(&protocol, &RecoveryPolicy::unbounded(), &mut ctx);
+        assert!(out.is_complete());
+        assert!(out.passes() > 1);
+        ctx.assert_complete();
+    }
+
+    #[test]
+    fn policy_round_trips_through_json() {
+        let p = RecoveryPolicy::unbounded()
+            .with_max_passes(9)
+            .with_backoff(500, 8_000)
+            .with_zero_progress_limit(3);
+        let json = rfid_system::to_json_string(&p);
+        let back: RecoveryPolicy = rfid_system::from_json_str(&json).expect("parses");
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-progress limit")]
+    fn zero_progress_limit_zero_is_rejected() {
+        let _ = RecoveryPolicy::default().with_zero_progress_limit(0);
+    }
+}

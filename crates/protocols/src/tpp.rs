@@ -21,7 +21,7 @@
 use rfid_analysis::tpp::optimal_index_length;
 use rfid_system::SimContext;
 
-use crate::error::{PollingError, StallGuard};
+use crate::error::{PollingError, StallCause, StallGuard};
 use crate::hpp::singleton_indices;
 use crate::report::Report;
 use crate::tree::PollingTree;
@@ -95,7 +95,11 @@ impl PollingProtocol for Tpp {
         while ctx.population.active_count() > 0 {
             rounds += 1;
             if rounds > self.cfg.max_rounds {
-                return Err(PollingError::stalled(self.name(), ctx));
+                return Err(PollingError::stalled_with(
+                    self.name(),
+                    ctx,
+                    StallCause::RoundCap,
+                ));
             }
             tpp_round(ctx, &self.cfg);
             if guard.no_progress(ctx) {

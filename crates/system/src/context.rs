@@ -118,6 +118,10 @@ pub struct Counters {
     pub desync_recoveries: u64,
     /// NAK-triggered retransmissions after corrupted replies.
     pub retransmissions: u64,
+    /// Recovery re-polling passes beyond the initial attempt.
+    pub recovery_passes: u64,
+    /// Microseconds of recovery backoff idled on the C1G2 clock.
+    pub recovery_backoff_us: u64,
     /// Tag·microseconds of listening: each elapsed interval weighted by the
     /// number of tags still active (awake, not yet read) during it. The
     /// basis of the per-tag energy model in `rfid_analysis::energy`.
@@ -147,6 +151,8 @@ crate::impl_json_struct!(Counters {
     corrupted_replies,
     desync_recoveries,
     retransmissions,
+    recovery_passes,
+    recovery_backoff_us,
     tag_listen_us,
 });
 
@@ -184,6 +190,8 @@ impl Counters {
         self.corrupted_replies += other.corrupted_replies;
         self.desync_recoveries += other.desync_recoveries;
         self.retransmissions += other.retransmissions;
+        self.recovery_passes += other.recovery_passes;
+        self.recovery_backoff_us += other.recovery_backoff_us;
         self.tag_listen_us += other.tag_listen_us;
     }
 
@@ -665,6 +673,32 @@ impl SimContext {
         self.advance(category, dt);
     }
 
+    /// Records the start of recovery re-polling pass `pass` (1-based; pass 1
+    /// is the initial attempt and is *not* recorded — recovery is zero-cost
+    /// when nothing fails) over `uncollected` remaining tags.
+    pub fn note_recovery_pass(&mut self, pass: u64, uncollected: usize) {
+        self.counters.recovery_passes += 1;
+        self.trace(|| Event::RecoveryPassStarted { pass, uncollected });
+    }
+
+    /// Idles `us` microseconds of recovery backoff on the C1G2 clock after
+    /// stalled pass `pass`, charging it as wasted slot time so it shows up
+    /// in execution-time results.
+    pub fn charge_recovery_backoff(&mut self, pass: u64, us: u64) {
+        self.advance(TimeCategory::WastedSlot, Micros::from_us(us as f64));
+        self.counters.recovery_backoff_us += us;
+        self.trace(|| Event::BackoffWaited { pass, us });
+    }
+
+    /// Records the recovery circuit breaker opening after `passes` passes
+    /// with `uncollected` tags still unread.
+    pub fn note_circuit_opened(&mut self, passes: u64, uncollected: usize) {
+        self.trace(|| Event::CircuitOpened {
+            passes,
+            uncollected,
+        });
+    }
+
     /// `true` once every tag has been read exactly once.
     pub fn is_complete(&self) -> bool {
         self.population.all_asleep()
@@ -973,6 +1007,26 @@ mod tests {
             (merged.tag_listen_us - (a.counters.tag_listen_us + b.counters.tag_listen_us)).abs()
                 < 1e-12
         );
+    }
+
+    #[test]
+    fn recovery_helpers_charge_time_and_counters() {
+        let pop = TagPopulation::sequential(2, |_| BitVec::from_str_bits("1"));
+        let cfg = SimConfig::paper(1).with_trace();
+        let mut c = SimContext::new(pop, &cfg);
+        let before = c.clock.total();
+        c.charge_recovery_backoff(1, 1500);
+        assert_eq!(c.counters.recovery_backoff_us, 1500);
+        assert!((c.clock.total() - before).as_f64() - 1500.0 < 1e-9);
+        // Both still-active tags listened through the backoff.
+        assert!((c.counters.tag_listen_us - 3000.0).abs() < 1e-9);
+        c.note_recovery_pass(2, 2);
+        assert_eq!(c.counters.recovery_passes, 1);
+        c.note_circuit_opened(2, 2);
+        let kinds: Vec<String> = c.log.events().iter().map(|e| e.event.to_string()).collect();
+        assert!(kinds.iter().any(|s| s.contains("backoff after pass 1")));
+        assert!(kinds.iter().any(|s| s.contains("recovery pass 2")));
+        assert!(kinds.iter().any(|s| s.contains("circuit opened")));
     }
 
     #[test]

@@ -185,6 +185,27 @@ pub enum Event {
         /// Consecutive no-progress rounds so far.
         streak: u64,
     },
+    /// A recovery re-polling pass began over the uncollected remainder.
+    RecoveryPassStarted {
+        /// 1-based pass number (pass 1 is the initial attempt).
+        pass: u64,
+        /// Tags still uncollected when the pass started.
+        uncollected: usize,
+    },
+    /// The recovery layer idled on the C1G2 clock between passes.
+    BackoffWaited {
+        /// The pass that just stalled.
+        pass: u64,
+        /// Microseconds of backoff charged to the sim clock.
+        us: u64,
+    },
+    /// The recovery circuit breaker opened: the run ends degraded.
+    CircuitOpened {
+        /// Passes attempted before giving up.
+        passes: u64,
+        /// Tags left uncollected.
+        uncollected: usize,
+    },
 }
 
 impl fmt::Display for Event {
@@ -212,6 +233,21 @@ impl fmt::Display for Event {
             }
             Event::DesyncRecovered { tag } => write!(f, "tag {tag} re-joined after desync"),
             Event::StallTick { streak } => write!(f, "no-progress round (streak {streak})"),
+            Event::RecoveryPassStarted { pass, uncollected } => {
+                write!(f, "recovery pass {pass}: {uncollected} uncollected")
+            }
+            Event::BackoffWaited { pass, us } => {
+                write!(f, "backoff after pass {pass} ({us} µs)")
+            }
+            Event::CircuitOpened {
+                passes,
+                uncollected,
+            } => {
+                write!(
+                    f,
+                    "circuit opened after {passes} passes ({uncollected} uncollected)"
+                )
+            }
         }
     }
 }
@@ -305,6 +341,30 @@ impl crate::json::ToJson for Event {
             Event::StallTick { streak } => {
                 tagged("StallTick", vec![("streak".to_string(), streak.to_json())])
             }
+            Event::RecoveryPassStarted { pass, uncollected } => tagged(
+                "RecoveryPassStarted",
+                vec![
+                    ("pass".to_string(), pass.to_json()),
+                    ("uncollected".to_string(), uncollected.to_json()),
+                ],
+            ),
+            Event::BackoffWaited { pass, us } => tagged(
+                "BackoffWaited",
+                vec![
+                    ("pass".to_string(), pass.to_json()),
+                    ("us".to_string(), us.to_json()),
+                ],
+            ),
+            Event::CircuitOpened {
+                passes,
+                uncollected,
+            } => tagged(
+                "CircuitOpened",
+                vec![
+                    ("passes".to_string(), passes.to_json()),
+                    ("uncollected".to_string(), uncollected.to_json()),
+                ],
+            ),
         }
     }
 }
@@ -369,6 +429,18 @@ impl crate::json::FromJson for Event {
             }),
             "StallTick" => Ok(Event::StallTick {
                 streak: body.field("streak")?,
+            }),
+            "RecoveryPassStarted" => Ok(Event::RecoveryPassStarted {
+                pass: body.field("pass")?,
+                uncollected: body.field("uncollected")?,
+            }),
+            "BackoffWaited" => Ok(Event::BackoffWaited {
+                pass: body.field("pass")?,
+                us: body.field("us")?,
+            }),
+            "CircuitOpened" => Ok(Event::CircuitOpened {
+                passes: body.field("passes")?,
+                uncollected: body.field("uncollected")?,
             }),
             other => Err(JsonError(format!("unknown Event variant '{other}'"))),
         }
@@ -610,10 +682,19 @@ mod tests {
         });
         log.record(at(262.15), || Event::TagReply { tag: 3, bits: 1 });
         log.record(at(300.0), || Event::StallTick { streak: 2 });
+        log.record(at(301.0), || Event::RecoveryPassStarted {
+            pass: 2,
+            uncollected: 5,
+        });
+        log.record(at(302.0), || Event::BackoffWaited { pass: 1, us: 1500 });
+        log.record(at(303.0), || Event::CircuitOpened {
+            passes: 3,
+            uncollected: 4,
+        });
         let text = log.to_jsonl();
-        assert_eq!(text.lines().count(), 3);
+        assert_eq!(text.lines().count(), 6);
         let back = EventLog::from_jsonl(&text).expect("parses");
-        assert_eq!(back.len(), 3);
+        assert_eq!(back.len(), 6);
         for (a, b) in back.iter().zip(log.events()) {
             assert_eq!(a, b);
         }

@@ -101,6 +101,60 @@ pub struct KillRule {
     pub after_replies: u64,
 }
 
+/// Why a [`FaultPlan`] failed validation. Rounds are 1-based — a range
+/// starting at 0 would silently never fire in round 0 — and duplicate
+/// entries (overlapping round ranges, two kill rules for one tag) would
+/// otherwise misbehave quietly: the first kill rule wins and the second is
+/// dead script.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultPlanError {
+    /// A round range starts at round 0 (rounds are 1-based) or is inverted.
+    BadRoundRange {
+        /// Which list the range came from.
+        direction: &'static str,
+        /// The offending range.
+        from: u64,
+        /// The offending range's end.
+        to: u64,
+    },
+    /// Two round ranges in one direction overlap (duplicate scripting).
+    OverlappingRounds {
+        /// Which list the ranges came from.
+        direction: &'static str,
+        /// A round covered by both ranges.
+        round: u64,
+    },
+    /// Two kill rules name the same tag (only the first would ever apply).
+    DuplicateKillRule {
+        /// The tag handle named twice.
+        tag: usize,
+    },
+}
+
+impl std::fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultPlanError::BadRoundRange {
+                direction,
+                from,
+                to,
+            } => write!(
+                f,
+                "{direction} round range {from}..={to} invalid: rounds are 1-based and from <= to"
+            ),
+            FaultPlanError::OverlappingRounds { direction, round } => write!(
+                f,
+                "{direction} round ranges overlap (round {round} scripted twice)"
+            ),
+            FaultPlanError::DuplicateKillRule { tag } => {
+                write!(f, "duplicate kill rule for tag {tag}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
 /// A deterministic fault script: exact rounds in which to jam a direction,
 /// and tags to remove mid-run. Plans compose with the probabilistic rates —
 /// a scripted drop happens regardless of the dice (and consumes no draw).
@@ -142,6 +196,43 @@ impl FaultPlan {
     /// The kill rule for `tag`, if any (first match wins).
     pub fn kill_rule_for(&self, tag: usize) -> Option<&KillRule> {
         self.kill_after_replies.iter().find(|k| k.tag == tag)
+    }
+
+    /// Validates the script: round ranges must be 1-based and ordered
+    /// (`1 <= from <= to`), ranges within one direction must not overlap,
+    /// and no tag may carry two kill rules. `after_replies = 0` stays valid —
+    /// it means the tag is dead from the start.
+    pub fn validate(&self) -> Result<(), FaultPlanError> {
+        for (direction, ranges) in [
+            ("downlink", &self.drop_downlink_rounds),
+            ("uplink", &self.drop_uplink_rounds),
+        ] {
+            for r in ranges {
+                if r.from == 0 || r.from > r.to {
+                    return Err(FaultPlanError::BadRoundRange {
+                        direction,
+                        from: r.from,
+                        to: r.to,
+                    });
+                }
+            }
+            for (i, a) in ranges.iter().enumerate() {
+                for b in &ranges[i + 1..] {
+                    if a.from <= b.to && b.from <= a.to {
+                        return Err(FaultPlanError::OverlappingRounds {
+                            direction,
+                            round: a.from.max(b.from),
+                        });
+                    }
+                }
+            }
+        }
+        let mut tags: Vec<usize> = self.kill_after_replies.iter().map(|k| k.tag).collect();
+        tags.sort_unstable();
+        if let Some(dup) = tags.windows(2).find(|w| w[0] == w[1]) {
+            return Err(FaultPlanError::DuplicateKillRule { tag: dup[0] });
+        }
+        Ok(())
     }
 }
 
@@ -212,17 +303,28 @@ impl FaultModel {
     }
 
     /// Installs a scripted fault plan.
+    ///
+    /// # Panics
+    /// Panics if the plan fails [`FaultPlan::validate`] (0-based rounds,
+    /// overlapping ranges, duplicate kill rules).
     pub fn with_plan(mut self, plan: FaultPlan) -> Self {
+        if let Err(e) = plan.validate() {
+            panic!("invalid fault plan: {e}");
+        }
         self.plan = plan;
         self
     }
 
-    /// Re-checks every rate (for models built via struct literals or JSON).
+    /// Re-checks every rate and the scripted plan (for models built via
+    /// struct literals or JSON).
     pub fn validate(&self) {
         assert_rate(self.downlink_loss_rate, "downlink loss");
         assert_rate(self.corruption_rate, "corruption");
         if let Some(burst) = &self.burst {
             burst.validate();
+        }
+        if let Err(e) = self.plan.validate() {
+            panic!("invalid fault plan: {e}");
         }
     }
 
@@ -325,6 +427,94 @@ mod tests {
         };
         assert_eq!(plan.kill_rule_for(17).unwrap().after_replies, 2);
         assert!(plan.kill_rule_for(16).is_none());
+    }
+
+    #[test]
+    fn plan_validation_rejects_zero_based_and_inverted_ranges() {
+        for bad in [RoundRange { from: 0, to: 3 }, RoundRange { from: 5, to: 2 }] {
+            let plan = FaultPlan {
+                drop_downlink_rounds: vec![bad],
+                ..FaultPlan::none()
+            };
+            assert!(matches!(
+                plan.validate(),
+                Err(FaultPlanError::BadRoundRange { .. })
+            ));
+        }
+        // The same rules apply to the uplink list.
+        let plan = FaultPlan {
+            drop_uplink_rounds: vec![RoundRange { from: 0, to: 0 }],
+            ..FaultPlan::none()
+        };
+        let err = plan.validate().unwrap_err();
+        assert!(err.to_string().contains("uplink"));
+    }
+
+    #[test]
+    fn plan_validation_rejects_overlapping_ranges() {
+        let plan = FaultPlan {
+            drop_downlink_rounds: vec![
+                RoundRange { from: 1, to: 4 },
+                RoundRange { from: 4, to: 6 },
+            ],
+            ..FaultPlan::none()
+        };
+        assert_eq!(
+            plan.validate(),
+            Err(FaultPlanError::OverlappingRounds {
+                direction: "downlink",
+                round: 4,
+            })
+        );
+        // Adjacent but disjoint ranges are fine.
+        let plan = FaultPlan {
+            drop_downlink_rounds: vec![
+                RoundRange { from: 1, to: 3 },
+                RoundRange { from: 4, to: 6 },
+            ],
+            ..FaultPlan::none()
+        };
+        assert_eq!(plan.validate(), Ok(()));
+    }
+
+    #[test]
+    fn plan_validation_rejects_duplicate_kill_rules_but_keeps_zero_replies() {
+        let dup = FaultPlan {
+            kill_after_replies: vec![
+                KillRule {
+                    tag: 7,
+                    after_replies: 1,
+                },
+                KillRule {
+                    tag: 7,
+                    after_replies: 2,
+                },
+            ],
+            ..FaultPlan::none()
+        };
+        assert_eq!(
+            dup.validate(),
+            Err(FaultPlanError::DuplicateKillRule { tag: 7 })
+        );
+        // `after_replies = 0` (dead from the start) remains a valid script.
+        let dead = FaultPlan {
+            kill_after_replies: vec![KillRule {
+                tag: 3,
+                after_replies: 0,
+            }],
+            ..FaultPlan::none()
+        };
+        assert_eq!(dead.validate(), Ok(()));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault plan")]
+    fn with_plan_panics_on_invalid_script() {
+        let plan = FaultPlan {
+            drop_downlink_rounds: vec![RoundRange { from: 0, to: 1 }],
+            ..FaultPlan::none()
+        };
+        let _ = FaultModel::perfect().with_plan(plan);
     }
 
     #[test]

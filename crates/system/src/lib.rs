@@ -41,7 +41,7 @@ pub use bitvec::BitVec;
 pub use channel::{Channel, SlotOutcome};
 pub use context::{Counters, SimConfig, SimContext};
 pub use event::{BroadcastKind, Event, EventLog, TimedEvent};
-pub use fault::{FaultModel, FaultPlan, GilbertElliott, KillRule, RoundRange};
+pub use fault::{FaultModel, FaultPlan, FaultPlanError, GilbertElliott, KillRule, RoundRange};
 pub use id::TagId;
 pub use json::{from_json_str, to_json_string, FromJson, Json, JsonError, ToJson};
 pub use population::TagPopulation;

@@ -90,6 +90,7 @@ fn main() {
                 Err(PollingError::Stalled {
                     partial_report,
                     uncollected,
+                    ..
                 }) => {
                     assert_eq!(
                         partial_report.counters.polls as usize + uncollected.len(),

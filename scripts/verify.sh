@@ -22,5 +22,10 @@ cargo bench --offline -p rfid-bench --bench obs
 rm -rf target/sweep-cache target/BENCH_sweep.json
 cargo run --release --offline -p rfid-bench --bin repro -- table1 --runs 2 --max-n 1000 --workers 1
 cargo run --release --offline -p rfid-bench --bin repro -- table1 --runs 2 --max-n 1000
+# Chaos-soak recovery slice (DESIGN.md §11): small recovery grid asserting
+# the convergence invariant (coverage 1.0 wherever loss < 1.0), the
+# dead-channel breaker contract and the trace/counter coverage cross-check.
+# Writes target/BENCH_recovery.json.
+cargo run --release --offline -p rfid-bench --bin repro -- recovery --runs 2 --max-n 500 --workers 1
 
 echo "verify: OK"

@@ -56,15 +56,19 @@ pub use rfid_workloads as workloads;
 
 /// One-stop imports for the common use cases.
 pub mod prelude {
-    pub use rfid_apps::info_collect::{run_polling, try_run_polling};
+    pub use rfid_apps::info_collect::{
+        run_polling, run_polling_recovered, run_polling_recovered_in, try_run_polling,
+    };
     pub use rfid_baselines::{CodedPollingConfig, CppConfig, EcppConfig, MicConfig};
     pub use rfid_c1g2::{Clock, LinkParams, Micros, TimeCategory};
     pub use rfid_obs::{metrics_from_log, reconcile, MetricsRegistry};
     pub use rfid_protocols::{
-        EhppConfig, HppConfig, PollingError, PollingProtocol, Report, TppConfig,
+        run_recovered, EhppConfig, HppConfig, PollingError, PollingProtocol, RecoveryOutcome,
+        RecoveryPolicy, RecoverySession, Report, StallCause, TppConfig,
     };
     pub use rfid_system::{
-        BitVec, FaultModel, FaultPlan, GilbertElliott, SlotOutcome, TagId, TagPopulation,
+        BitVec, FaultModel, FaultPlan, FaultPlanError, GilbertElliott, SlotOutcome, TagId,
+        TagPopulation,
     };
     pub use rfid_workloads::{IdDistribution, Scenario};
 }

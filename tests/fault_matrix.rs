@@ -63,6 +63,7 @@ fn every_protocol_completes_or_stalls_cleanly_across_the_matrix() {
                         Err(PollingError::Stalled {
                             partial_report,
                             uncollected,
+                            ..
                         }) => {
                             // A stall at these survivable rates would be a
                             // bug for the polling family, but whatever the
@@ -117,6 +118,7 @@ fn jammed_downlink_stalls_every_protocol_without_panicking() {
                 let PollingError::Stalled {
                     partial_report,
                     uncollected,
+                    ..
                 } = &err;
                 assert_eq!(partial_report.counters.polls, 0, "{}", protocol.name());
                 assert_eq!(uncollected.len(), N, "{}", protocol.name());
@@ -145,6 +147,7 @@ fn a_killed_tag_stalls_the_run_with_exactly_one_uncollected() {
             Err(PollingError::Stalled {
                 partial_report,
                 uncollected,
+                ..
             }) => {
                 assert_eq!(uncollected, vec![killed_id], "{}", protocol.name());
                 assert_eq!(
