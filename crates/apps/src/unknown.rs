@@ -83,13 +83,15 @@ pub fn run_hpp_with_aliens(
         }
         // Tag side: every *active* tag — alien or not — picks an index too.
         let mut repliers_of: HashMap<u64, Vec<usize>> = HashMap::new();
-        for (handle, tag) in ctx.population.iter() {
-            if tag.is_active() {
+        {
+            let pop = &ctx.population;
+            let (ids_hi, ids_lo) = pop.id_words();
+            pop.for_each_active(|handle| {
                 repliers_of
-                    .entry(hash.index(tag.id.hi(), tag.id.lo(), h))
+                    .entry(hash.index(ids_hi[handle], ids_lo[handle], h))
                     .or_default()
                     .push(handle);
-            }
+            });
         }
 
         let mut singles: Vec<(u64, usize)> = by_index

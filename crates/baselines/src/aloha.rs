@@ -85,14 +85,40 @@ impl PollingProtocol for Fsa {
             let hash = TagHash::new(seed);
             ctx.begin_round(0, self.cfg.round_init_bits);
 
-            // Each tag picks its slot; the reader walks every slot.
-            let mut slots: Vec<Vec<usize>> = vec![Vec::new(); frame as usize];
-            for (handle, tag) in ctx.population.iter() {
-                if tag.is_active() {
-                    slots[hash.modulo(tag.id.hi(), tag.id.lo(), frame) as usize].push(handle);
-                }
+            // Each tag picks its slot; the reader walks every slot. The
+            // frame is laid out as a flat counting sort over recycled
+            // buffers (handle/slot pairs, per-slot ends, slot-ordered
+            // handles) instead of one Vec per slot.
+            let mut pairs = ctx.take_scratch();
+            let mut ends = ctx.take_scratch();
+            let mut ordered = ctx.take_scratch();
+            ends.resize(frame as usize, 0);
+            {
+                let pop = &ctx.population;
+                let (ids_hi, ids_lo) = pop.id_words();
+                pop.for_each_active(|handle| {
+                    let s = hash.modulo(ids_hi[handle], ids_lo[handle], frame) as usize;
+                    pairs.push(handle);
+                    pairs.push(s);
+                    ends[s] += 1;
+                });
             }
-            for repliers in &slots {
+            let mut acc = 0usize;
+            for c in ends.iter_mut() {
+                let n = *c;
+                *c = acc;
+                acc += n;
+            }
+            ordered.resize(acc, 0);
+            for pair in pairs.chunks_exact(2) {
+                ordered[ends[pair[1]]] = pair[0];
+                ends[pair[1]] += 1;
+            }
+            let mut start = 0usize;
+            for s in 0..frame as usize {
+                let end = ends[s];
+                let repliers = &ordered[start..end];
+                start = end;
                 match ctx.slot(repliers, rfid_c1g2::QUERY_REP_BITS) {
                     SlotOutcome::Singleton(tag) => ctx.mark_read(tag),
                     SlotOutcome::Empty => {
@@ -105,6 +131,9 @@ impl PollingProtocol for Fsa {
                     SlotOutcome::Collision(_) | SlotOutcome::Corrupted(_) => {}
                 }
             }
+            ctx.recycle_scratch(pairs);
+            ctx.recycle_scratch(ends);
+            ctx.recycle_scratch(ordered);
             if guard.no_progress(ctx) {
                 return Err(PollingError::stalled(self.name(), ctx));
             }

@@ -87,7 +87,9 @@ impl PollingProtocol for CodedPolling {
                     StallCause::RoundCap,
                 ));
             }
-            for handle in ctx.population.active_handles() {
+            let mut handles = ctx.take_scratch();
+            ctx.population.collect_active_into(&mut handles);
+            for &handle in &handles {
                 let bits = if ambiguous.contains(&handle) {
                     EPC_BITS as u64
                 } else {
@@ -95,6 +97,7 @@ impl PollingProtocol for CodedPolling {
                 };
                 ctx.poll_tag(bits, false, handle);
             }
+            ctx.recycle_scratch(handles);
             if guard.no_progress(ctx) {
                 return Err(PollingError::stalled(self.name(), ctx));
             }

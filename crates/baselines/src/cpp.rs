@@ -67,9 +67,12 @@ impl PollingProtocol for Cpp {
             }
             // The reader walks its known ID list; active tags are the ones
             // not yet read (or whose reply was lost last sweep).
-            for handle in ctx.population.active_handles() {
+            let mut handles = ctx.take_scratch();
+            ctx.population.collect_active_into(&mut handles);
+            for &handle in &handles {
                 ctx.poll_tag(EPC_BITS as u64, self.cfg.with_query_rep, handle);
             }
+            ctx.recycle_scratch(handles);
             if guard.no_progress(ctx) {
                 return Err(PollingError::stalled(self.name(), ctx));
             }

@@ -81,14 +81,13 @@ impl PollingProtocol for Ecpp {
             // Group active tags by their p-bit prefix. BTreeMap gives a
             // deterministic polling order.
             let mut groups: BTreeMap<u128, Vec<usize>> = BTreeMap::new();
-            for (handle, tag) in ctx.population.iter() {
-                if tag.is_active() {
-                    groups
-                        .entry(tag.id.as_u128() >> (EPC_BITS - p))
-                        .or_default()
-                        .push(handle);
-                }
-            }
+            let pop = &ctx.population;
+            pop.for_each_active(|handle| {
+                groups
+                    .entry(pop.get(handle).id.as_u128() >> (EPC_BITS - p))
+                    .or_default()
+                    .push(handle);
+            });
             for (_, members) in groups {
                 if members.len() >= self.cfg.min_group {
                     // Select masks the shared prefix once...

@@ -22,9 +22,12 @@ impl PollingProtocol for LowerBound {
     fn try_run(&self, ctx: &mut SimContext) -> Result<Report, PollingError> {
         let mut guard = StallGuard::default();
         while ctx.population.active_count() > 0 {
-            for handle in ctx.population.active_handles() {
+            let mut handles = ctx.take_scratch();
+            ctx.population.collect_active_into(&mut handles);
+            for &handle in &handles {
                 ctx.poll_tag(0, true, handle);
             }
+            ctx.recycle_scratch(handles);
             if guard.no_progress(ctx) {
                 return Err(PollingError::stalled(self.name(), ctx));
             }

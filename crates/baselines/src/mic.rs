@@ -80,6 +80,17 @@ pub struct Mic {
     cfg: MicConfig,
 }
 
+/// Reusable cascade state: epoch-stamped per-slot counters plus the
+/// unresolved worklist, carried across rounds so the cascade allocates
+/// nothing once warm.
+#[derive(Debug, Clone, Default)]
+struct CascadeScratch {
+    unresolved: Vec<usize>,
+    stamp: Vec<u32>,
+    count: Vec<u32>,
+    epoch: u32,
+}
+
 impl Mic {
     /// Creates MIC with the given configuration.
     pub fn new(cfg: MicConfig) -> Self {
@@ -130,6 +141,73 @@ impl Mic {
         slots
     }
 
+    /// Flat-buffer cascade used by the run loop: `cand_flat` holds `k`
+    /// candidate slots per entry of `handles`, and the per-slot assignment
+    /// is written into `slots` (resized to `frame`). Pass counting uses the
+    /// epoch-stamped arrays in `scratch`, so steady-state rounds perform no
+    /// heap allocation. Produces exactly the [`Mic::assign`] result.
+    fn assign_flat(
+        scratch: &mut CascadeScratch,
+        handles: &[usize],
+        cand_flat: &[u64],
+        k: usize,
+        frame: u64,
+        slots: &mut Vec<Option<SlotAssignment>>,
+    ) {
+        slots.clear();
+        slots.resize(frame as usize, None);
+        let CascadeScratch {
+            unresolved,
+            stamp,
+            count,
+            epoch,
+        } = scratch;
+        if stamp.len() < frame as usize {
+            stamp.resize(frame as usize, 0);
+            count.resize(frame as usize, 0);
+        }
+        unresolved.clear();
+        unresolved.extend(0..handles.len());
+        for j in 0..k {
+            if unresolved.is_empty() {
+                break;
+            }
+            *epoch = match epoch.checked_add(1) {
+                Some(e) => e,
+                None => {
+                    stamp.fill(0);
+                    1
+                }
+            };
+            let pass = *epoch;
+            // Count pass-j candidates per *unmarked* slot.
+            for &ci in unresolved.iter() {
+                let s = cand_flat[ci * k + j] as usize;
+                if slots[s].is_none() {
+                    if stamp[s] != pass {
+                        stamp[s] = pass;
+                        count[s] = 1;
+                    } else {
+                        count[s] += 1;
+                    }
+                }
+            }
+            // A tag contributes one candidate per pass, so count-1 slots
+            // each belong to a distinct unresolved tag: mark and resolve.
+            unresolved.retain(|&ci| {
+                let s = cand_flat[ci * k + j] as usize;
+                let resolved = stamp[s] == pass && count[s] == 1;
+                if resolved {
+                    slots[s] = Some(SlotAssignment {
+                        tag: handles[ci],
+                        hash_index: j + 1,
+                    });
+                }
+                !resolved
+            });
+        }
+    }
+
     /// Tag-side rule: the slot a tag replies in given the indicator vector,
     /// or `None` if it stays silent this frame. Used by tests to prove the
     /// cascade and the tag rule agree.
@@ -164,6 +242,12 @@ impl PollingProtocol for Mic {
             .unwrap_or(0) as u64;
         let mut rounds = 0u64;
         let mut guard = StallGuard::default();
+        // Frame buffers reused across rounds: active handles, their flat
+        // k-candidate lists, the per-slot assignment, and cascade scratch.
+        let mut handles: Vec<usize> = Vec::new();
+        let mut cand_flat: Vec<u64> = Vec::new();
+        let mut assignment: Vec<Option<SlotAssignment>> = Vec::new();
+        let mut scratch = CascadeScratch::default();
         while ctx.population.active_count() > 0 {
             rounds += 1;
             if rounds > self.cfg.max_rounds {
@@ -180,13 +264,24 @@ impl PollingProtocol for Mic {
             ctx.begin_round(0, self.cfg.round_init_bits);
 
             // Both sides compute candidate slots from the same hashes.
-            let candidates: Vec<(usize, Vec<u64>)> = ctx
-                .population
-                .iter()
-                .filter(|(_, t)| t.is_active())
-                .map(|(handle, t)| (handle, family.slots(t.id.hi(), t.id.lo(), frame)))
-                .collect();
-            let assignment = Mic::assign(&family, &candidates, frame);
+            handles.clear();
+            cand_flat.clear();
+            {
+                let pop = &ctx.population;
+                let (ids_hi, ids_lo) = pop.id_words();
+                pop.for_each_active(|handle| {
+                    handles.push(handle);
+                    family.slots_into(ids_hi[handle], ids_lo[handle], frame, &mut cand_flat);
+                });
+            }
+            Mic::assign_flat(
+                &mut scratch,
+                &handles,
+                &cand_flat,
+                self.cfg.k,
+                frame,
+                &mut assignment,
+            );
 
             // Broadcast the indicator vector.
             ctx.reader_tx(
@@ -290,6 +385,34 @@ mod tests {
         );
         // The paper quotes ~13.9 % wasted slots for k = 7 at load ~1.
         assert!(waste7 < 0.25, "waste {waste7}");
+    }
+
+    #[test]
+    fn flat_cascade_matches_reference_assign() {
+        // The run loop's flat-buffer cascade must resolve exactly the same
+        // slots as the reference `assign`, including on partially-read
+        // populations and across reused scratch.
+        let mut pop = TagPopulation::sequential(400, |_| BitVec::from_value(1, 1));
+        for i in (0..400).step_by(5) {
+            pop.sleep(i);
+        }
+        let mut scratch = CascadeScratch::default();
+        let mut flat_out = Vec::new();
+        for seed in 0..6u64 {
+            let frame = 450u64;
+            let k = 7;
+            let family = HashFamily::new(seed, k);
+            let candidates: Vec<(usize, Vec<u64>)> = pop
+                .iter()
+                .filter(|(_, t)| t.is_active())
+                .map(|(h, t)| (h, family.slots(t.id.hi(), t.id.lo(), frame)))
+                .collect();
+            let want = Mic::assign(&family, &candidates, frame);
+            let handles: Vec<usize> = candidates.iter().map(|&(h, _)| h).collect();
+            let cand_flat: Vec<u64> = candidates.iter().flat_map(|(_, s)| s.clone()).collect();
+            Mic::assign_flat(&mut scratch, &handles, &cand_flat, k, frame, &mut flat_out);
+            assert_eq!(flat_out, want, "seed {seed}");
+        }
     }
 
     #[test]

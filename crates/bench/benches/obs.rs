@@ -25,6 +25,18 @@ fn main() {
     b.sample_size(20);
 
     let disabled = SimConfig::paper(7);
+    // Functional zero-cost proof: the disabled path must leave the log
+    // untouched — no events, no timestamps, nothing to serialize.
+    let quiet = run_once(&disabled);
+    assert!(
+        !quiet.log.is_enabled(),
+        "disabled run must keep the log off"
+    );
+    assert_eq!(quiet.log.len(), 0, "disabled run recorded events");
+    assert!(
+        quiet.log.to_jsonl().is_empty(),
+        "disabled run serialized a trace"
+    );
     b.bench(&format!("hpp_{N}/trace_disabled"), || {
         black_box(run_once(&disabled).counters.polls)
     });
@@ -46,6 +58,27 @@ fn main() {
     b.bench(&format!("hpp_{N}/counters_from_events"), || {
         black_box(rfid_obs::counters_from_events(traced.log.events()).polls)
     });
+
+    // Overhead bound: with telemetry off the run must never cost more than
+    // the traced run — the disabled path is a cold branch, not a cheaper
+    // serializer. Compare best-of-sample times (the mean is at the mercy of
+    // scheduler noise on sub-100 µs runs); 5 % headroom absorbs the timer.
+    let min_of = |name: &str| {
+        b.results()
+            .iter()
+            .find(|m| m.name.contains(name))
+            .map(|m| m.nanos.min)
+    };
+    if let (Some(off), Some(on)) = (min_of("trace_disabled"), min_of("trace_enabled")) {
+        assert!(
+            off <= on * 1.05,
+            "disabled telemetry ({off:.0} ns) costs more than enabled ({on:.0} ns)"
+        );
+        println!(
+            "obs/overhead_bound: disabled/enabled = {:.2} (must be ≤ 1.05)",
+            off / on
+        );
+    }
 
     b.finish();
 }

@@ -16,6 +16,11 @@
 //! an impaired run of each fault-tolerant one) is replayed through
 //! `rfid_obs::reconcile`; any counter that disagrees with its trace fails
 //! the process with a nonzero exit.
+//!
+//! `--check-hotpath <path>` validates the `BENCH_hotpath.json` report the
+//! hot-path bench writes: well-formed JSON of the expected shape, a
+//! completed 1M-tag run, and at least one gated n = 100k case at ≥ 10×
+//! the pre-change throughput (DESIGN.md §12).
 
 use rfid_baselines::{CodedPollingConfig, CppConfig, EcppConfig, FsaConfig, LowerBound, MicConfig};
 use rfid_identify::{BinarySplitConfig, QAlgorithmConfig, QueryTreeConfig};
@@ -30,18 +35,26 @@ fn main() {
     let mut n = 200usize;
     let mut seed = 1u64;
     let mut reconcile_mode = false;
+    let mut hotpath_report: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--reconcile" => reconcile_mode = true,
+            "--check-hotpath" => hotpath_report = Some(parse_next(&mut it, "--check-hotpath")),
             "--n" => n = parse_next(&mut it, "--n"),
             "--seed" => seed = parse_next(&mut it, "--seed"),
             other => {
                 eprintln!("unknown argument `{other}`");
-                eprintln!("usage: obs_report [--n N] [--seed S] [--reconcile]");
+                eprintln!(
+                    "usage: obs_report [--n N] [--seed S] [--reconcile] \
+                     [--check-hotpath FILE]"
+                );
                 std::process::exit(2);
             }
         }
+    }
+    if let Some(path) = hotpath_report {
+        std::process::exit(check_hotpath_report(&path));
     }
     if reconcile_mode {
         std::process::exit(run_reconcile_gate(n.min(120), seed));
@@ -248,6 +261,103 @@ fn render_worked_examples(n: usize, seed: u64) {
         ctx.counters.rounds,
     );
     print_metric_summary(&metrics_from_log(&ctx.log));
+}
+
+// ---------------------------------------------------------------------------
+// --check-hotpath: BENCH_hotpath.json shape + gate validation
+// ---------------------------------------------------------------------------
+
+/// Validates the hot-path bench report: parseable, expected schema, a
+/// completed 1M-tag case, and ≥ 10× pre-change throughput on at least one
+/// gated case at n = 100 000. Returns the process exit code.
+fn check_hotpath_report(path: &str) -> i32 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("check-hotpath: cannot read {path}: {e}");
+            return 1;
+        }
+    };
+    let parsed = match rfid_system::Json::parse(&text) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("check-hotpath: {path} is not well-formed JSON: {e}");
+            return 1;
+        }
+    };
+    let validate = || -> Result<(), String> {
+        let group = parsed
+            .get("group")
+            .ok_or("missing `group`")?
+            .as_str()
+            .map_err(|e| e.to_string())?;
+        if group != "hotpath" {
+            return Err(format!("group is `{group}`, expected `hotpath`"));
+        }
+        let results = parsed
+            .get("results")
+            .ok_or("missing `results`")?
+            .as_arr()
+            .map_err(|e| e.to_string())?;
+        if results.is_empty() {
+            return Err("empty `results`".to_string());
+        }
+        let mut million_tag_run = false;
+        let mut gated_100k_at_10x = false;
+        for r in results {
+            let name = r
+                .get("name")
+                .ok_or("result missing `name`")?
+                .as_str()
+                .map_err(|e| e.to_string())?;
+            let n = r
+                .get("n")
+                .ok_or("result missing `n`")?
+                .as_u64()
+                .map_err(|e| e.to_string())?;
+            for field in ["seconds", "tags_per_sec", "slots_per_sec", "speedup"] {
+                let v = r
+                    .get(field)
+                    .ok_or_else(|| format!("{name}/{n} missing `{field}`"))?
+                    .as_f64()
+                    .map_err(|e| e.to_string())?;
+                if !v.is_finite() || v <= 0.0 {
+                    return Err(format!("{name}/{n}: `{field}` = {v} is not positive"));
+                }
+            }
+            let gated = r
+                .get("gated")
+                .ok_or("result missing `gated`")?
+                .as_bool()
+                .map_err(|e| e.to_string())?;
+            if n >= 1_000_000 {
+                million_tag_run = true;
+            }
+            if gated && n == 100_000 {
+                let speedup = r.get("speedup").unwrap().as_f64().unwrap();
+                if speedup >= 10.0 {
+                    gated_100k_at_10x = true;
+                }
+            }
+        }
+        if !million_tag_run {
+            return Err("no completed 1M-tag case in the report".to_string());
+        }
+        if !gated_100k_at_10x {
+            return Err("no gated n=100k case at ≥10× the pre-change baseline".to_string());
+        }
+        Ok(())
+    };
+    match validate() {
+        Ok(()) => {
+            println!("check-hotpath: {path} ok");
+            0
+        }
+        Err(e) => {
+            eprintln!("check-hotpath: {path} invalid: {e}");
+            1
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------

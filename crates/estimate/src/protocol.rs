@@ -83,12 +83,14 @@ impl EstimationProtocol {
             TimeCategory::ReaderCommand,
         );
         let mut per_slot: Vec<Vec<usize>> = vec![Vec::new(); self.cfg.geometric_slots as usize];
-        for (handle, tag) in ctx.population.iter() {
-            if tag.is_active() {
-                let j = geometric_slot(hash.hash(tag.id.hi(), tag.id.lo()))
+        {
+            let pop = &ctx.population;
+            let (ids_hi, ids_lo) = pop.id_words();
+            pop.for_each_active(|handle| {
+                let j = geometric_slot(hash.hash(ids_hi[handle], ids_lo[handle]))
                     .min(self.cfg.geometric_slots - 1);
                 per_slot[j as usize].push(handle);
-            }
+            });
         }
         let mut first_empty = self.cfg.geometric_slots - 1;
         for (j, repliers) in per_slot.iter().enumerate() {
@@ -123,12 +125,15 @@ impl EstimationProtocol {
             );
             let join_threshold = (p * JOIN_RANGE as f64) as u64;
             let mut chosen: Vec<u64> = Vec::new();
-            for (_, tag) in ctx.population.iter() {
-                if tag.is_active()
-                    && join_hash.modulo(tag.id.hi(), tag.id.lo(), JOIN_RANGE) < join_threshold
-                {
-                    chosen.push(slot_hash.modulo(tag.id.hi(), tag.id.lo(), frame));
-                }
+            {
+                let pop = &ctx.population;
+                let (ids_hi, ids_lo) = pop.id_words();
+                pop.for_each_active(|handle| {
+                    let (hi, lo) = (ids_hi[handle], ids_lo[handle]);
+                    if join_hash.modulo(hi, lo, JOIN_RANGE) < join_threshold {
+                        chosen.push(slot_hash.modulo(hi, lo, frame));
+                    }
+                });
             }
             let obs = FrameObservation::observe(frame, &chosen);
             // Charge the frame walk in aggregate (identical total to a

@@ -54,6 +54,12 @@ impl HashFamily {
             .map(|h| h.modulo(id_hi, id_lo, frame))
             .collect()
     }
+
+    /// Appends all `k` candidate slots for a tag to `out` — the allocation-
+    /// free form of [`HashFamily::slots`] for flat per-frame buffers.
+    pub fn slots_into(&self, id_hi: u32, id_lo: u64, frame: u64, out: &mut Vec<u64>) {
+        out.extend(self.members.iter().map(|h| h.modulo(id_hi, id_lo, frame)));
+    }
 }
 
 #[cfg(test)]
@@ -90,6 +96,18 @@ mod tests {
             for s in fam.slots(0, id, 37) {
                 assert!(s < 37);
             }
+        }
+    }
+
+    #[test]
+    fn slots_into_matches_slots() {
+        let fam = HashFamily::new(9, 7);
+        let mut flat = Vec::new();
+        for id in 0..20u64 {
+            fam.slots_into(1, id, 53, &mut flat);
+        }
+        for (i, chunk) in flat.chunks_exact(7).enumerate() {
+            assert_eq!(chunk, fam.slots(1, i as u64, 53));
         }
     }
 

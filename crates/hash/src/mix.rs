@@ -82,6 +82,23 @@ impl TagHash {
         assert!(m > 0, "zero modulus");
         self.hash(id_hi, id_lo) % m
     }
+
+    /// Batch [`TagHash::index`] over structure-of-arrays ID blocks: appends
+    /// `index(hi[i], lo[i], h)` to `out` for every `i`. The tight loop over
+    /// plain word slices is what the reader's per-round precomputation
+    /// compiles down to, without per-tag call or bounds-check overhead.
+    ///
+    /// # Panics
+    /// Panics if the slices differ in length or `h > 64`.
+    pub fn index_batch(&self, ids_hi: &[u32], ids_lo: &[u64], h: u32, out: &mut Vec<u64>) {
+        assert_eq!(ids_hi.len(), ids_lo.len(), "SoA ID slices differ in length");
+        assert!(h <= 64, "index length {h} exceeds 64 bits");
+        let mask = if h == 64 { u64::MAX } else { (1u64 << h) - 1 };
+        out.reserve(ids_hi.len());
+        for (&hi, &lo) in ids_hi.iter().zip(ids_lo) {
+            out.push(self.hash(hi, lo) & mask);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -143,6 +160,23 @@ mod tests {
     #[should_panic(expected = "zero modulus")]
     fn zero_modulus_rejected() {
         TagHash::new(0).modulo(0, 0, 0);
+    }
+
+    #[test]
+    fn index_batch_matches_scalar_index() {
+        let h = TagHash::new(0xABCDEF);
+        let ids_hi: Vec<u32> = (0..500).map(|i| i % 13).collect();
+        let ids_lo: Vec<u64> = (0..500u64).map(|i| i.wrapping_mul(0x9E37)).collect();
+        for bits in [1u32, 7, 21, 64] {
+            let mut batch = Vec::new();
+            h.index_batch(&ids_hi, &ids_lo, bits, &mut batch);
+            let scalar: Vec<u64> = ids_hi
+                .iter()
+                .zip(&ids_lo)
+                .map(|(&hi, &lo)| h.index(hi, lo, bits))
+                .collect();
+            assert_eq!(batch, scalar);
+        }
     }
 
     #[test]

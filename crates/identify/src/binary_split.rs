@@ -65,18 +65,63 @@ impl PollingProtocol for BinarySplit {
 
     fn try_run(&self, ctx: &mut SimContext) -> Result<Report, PollingError> {
         let reply_bits = EPC_BITS as u64 + self.cfg.reply_crc_bits;
-        // Tag-side counters, indexed by handle; identified tags drop out.
-        // BTreeMap so the coin-flip draws visit tags in handle order — a
-        // HashMap would randomize the rng-to-tag assignment per instance
-        // and break run-to-run determinism.
-        let mut counter: std::collections::BTreeMap<usize, u64> = ctx
-            .population
-            .active_handles()
-            .into_iter()
-            .map(|h| (h, 0u64))
-            .collect();
+        // The per-tag counters obey a stack discipline: the counter-zero
+        // tags are the top group, a collision splits the top in two, and a
+        // success/empty slot pops one level (zero-counter stragglers — the
+        // saturating decrement — merge into the level below). Simulating
+        // the stack directly makes a slot cost O(|top group|) instead of
+        // O(remaining tags). Every group stays in ascending handle order so
+        // the tag-side coin flips consume the rng in exactly the per-handle
+        // order the dense counter map used to — run-for-run identical.
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        let mut pool: Vec<Vec<usize>> = Vec::new();
+        let mut first: Vec<usize> = Vec::new();
+        ctx.population.collect_active_into(&mut first);
+        let mut remaining = first.len();
+        groups.push(first);
+
+        /// Pops the next level to counter zero and folds the zero-counter
+        /// remnant into it, keeping ascending handle order.
+        fn merge_down(
+            groups: &mut Vec<Vec<usize>>,
+            remnant: Vec<usize>,
+            pool: &mut Vec<Vec<usize>>,
+        ) {
+            if remnant.is_empty() {
+                pool.push(remnant);
+                return;
+            }
+            match groups.pop() {
+                None => groups.push(remnant),
+                Some(next) if next.is_empty() => {
+                    pool.push(next);
+                    groups.push(remnant);
+                }
+                Some(next) => {
+                    let mut merged = pool.pop().unwrap_or_default();
+                    let (mut i, mut j) = (0, 0);
+                    while i < remnant.len() && j < next.len() {
+                        if remnant[i] < next[j] {
+                            merged.push(remnant[i]);
+                            i += 1;
+                        } else {
+                            merged.push(next[j]);
+                            j += 1;
+                        }
+                    }
+                    merged.extend_from_slice(&remnant[i..]);
+                    merged.extend_from_slice(&next[j..]);
+                    for mut used in [remnant, next] {
+                        used.clear();
+                        pool.push(used);
+                    }
+                    groups.push(merged);
+                }
+            }
+        }
+
         let mut slots = 0u64;
-        while !counter.is_empty() {
+        while remaining > 0 {
             slots += 1;
             if slots >= self.cfg.max_slots {
                 return Err(PollingError::stalled_with(
@@ -85,20 +130,19 @@ impl PollingProtocol for BinarySplit {
                     StallCause::RoundCap,
                 ));
             }
-            let repliers: Vec<usize> = counter
-                .iter()
-                .filter(|(_, &c)| c == 0)
-                .map(|(&h, _)| h)
-                .collect();
-            // Everyone at counter > 0 sits the slot out. If nobody is at
-            // zero (can only happen transiently after losses), everyone
-            // decrements via the empty-slot rule below.
-            let outcome = ctx.slot(&repliers, self.cfg.command_bits);
+            // Everyone below the top sits the slot out. An empty top (every
+            // zero tag flipped away, or losses) still burns a slot via the
+            // empty-slot rule below — same as the dense-counter version.
+            let outcome = ctx.slot(
+                groups.last().expect("unidentified tags live in some group"),
+                self.cfg.command_bits,
+            );
             match outcome {
                 SlotOutcome::Collision(_) => {
                     // `slot` charged the payload-length occupancy; top it up
                     // to the full ID+CRC burst the colliding tags sent.
-                    let charged = repliers
+                    let top = groups.last().expect("collision from the top group");
+                    let charged = top
                         .iter()
                         .map(|&t| ctx.population.get(t).info.len() as u64)
                         .max()
@@ -107,15 +151,20 @@ impl PollingProtocol for BinarySplit {
                         TimeCategory::WastedSlot,
                         ctx.link.tag_tx(reply_bits.saturating_sub(charged)),
                     );
-                    for c in counter.values_mut() {
-                        if *c == 0 {
-                            if ctx.rng.chance(0.5) {
-                                *c = 1;
-                            }
+                    let mut old = groups.pop().expect("collision from the top group");
+                    let mut stay = pool.pop().unwrap_or_default();
+                    let mut moved = pool.pop().unwrap_or_default();
+                    for &h in &old {
+                        if ctx.rng.chance(0.5) {
+                            moved.push(h);
                         } else {
-                            *c += 1;
+                            stay.push(h);
                         }
                     }
+                    old.clear();
+                    pool.push(old);
+                    groups.push(moved);
+                    groups.push(stay);
                 }
                 SlotOutcome::Singleton(tag) => {
                     let top_up = reply_bits - ctx.population.get(tag).info.len() as u64;
@@ -123,15 +172,14 @@ impl PollingProtocol for BinarySplit {
                     ctx.trace(|| rfid_system::Event::TagReply { tag, bits: top_up });
                     ctx.wait(TimeCategory::TagReply, ctx.link.tag_tx(top_up));
                     ctx.mark_read(tag);
-                    counter.remove(&tag);
-                    for c in counter.values_mut() {
-                        *c = c.saturating_sub(1);
-                    }
+                    remaining -= 1;
+                    let mut old = groups.pop().expect("singleton from the top group");
+                    old.retain(|&h| h != tag);
+                    merge_down(&mut groups, old, &mut pool);
                 }
                 SlotOutcome::Empty => {
-                    for c in counter.values_mut() {
-                        *c = c.saturating_sub(1);
-                    }
+                    let old = groups.pop().expect("unidentified tags live in some group");
+                    merge_down(&mut groups, old, &mut pool);
                 }
                 SlotOutcome::Corrupted(_) => {
                     // CRC failure on a lone reply: leave every counter in

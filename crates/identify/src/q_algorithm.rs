@@ -78,6 +78,13 @@ impl PollingProtocol for QAlgorithm {
         assert!(self.cfg.c > 0.0, "adaptation constant must be positive");
         let mut q_fp = self.cfg.initial_q as f64;
         let mut slots_total = 0u64;
+        // Frame buffers reused across (re)starts: active handles, their
+        // slot draws, per-slot end offsets, and the slot-ordered handles —
+        // a counting sort replacing the old per-frame comparison sort.
+        let mut handles: Vec<usize> = Vec::new();
+        let mut slot_of: Vec<u64> = Vec::new();
+        let mut ends: Vec<usize> = Vec::new();
+        let mut ordered: Vec<usize> = Vec::new();
 
         while ctx.population.active_count() > 0 {
             // Open (or re-open) a frame at the current Q.
@@ -97,14 +104,34 @@ impl PollingProtocol for QAlgorithm {
             });
             let frame = 1u64 << q;
 
-            // Every active tag draws its slot counter.
-            let handles = ctx.population.active_handles();
-            let mut counters: Vec<(u64, usize)> =
-                handles.iter().map(|&h| (ctx.rng.below(frame), h)).collect();
-            counters.sort_unstable();
+            // Every active tag draws its slot counter (ascending handle
+            // order — the rng-to-tag assignment the protocol has always
+            // used). Group by slot with a counting sort: stable fill keeps
+            // handles ascending within a slot, matching the old
+            // sort-by-(slot, handle) output exactly.
+            handles.clear();
+            ctx.population.collect_active_into(&mut handles);
+            slot_of.clear();
+            slot_of.extend(handles.iter().map(|_| ctx.rng.below(frame)));
+            ends.clear();
+            ends.resize(frame as usize, 0);
+            for &s in &slot_of {
+                ends[s as usize] += 1;
+            }
+            let mut acc = 0usize;
+            for e in ends.iter_mut() {
+                let c = *e;
+                *e = acc;
+                acc += c;
+            }
+            ordered.clear();
+            ordered.resize(handles.len(), 0);
+            for (k, &s) in slot_of.iter().enumerate() {
+                ordered[ends[s as usize]] = handles[k];
+                ends[s as usize] += 1;
+            }
 
             let mut slot = 0u64;
-            let mut i = 0usize;
             loop {
                 slots_total += 1;
                 if slots_total >= self.cfg.max_slots {
@@ -115,11 +142,12 @@ impl PollingProtocol for QAlgorithm {
                     ));
                 }
                 // Tags whose counter equals the current slot reply.
-                let mut repliers = Vec::new();
-                while i < counters.len() && counters[i].0 == slot {
-                    repliers.push(counters[i].1);
-                    i += 1;
-                }
+                let begin = if slot == 0 {
+                    0
+                } else {
+                    ends[slot as usize - 1]
+                };
+                let repliers = &ordered[begin..ends[slot as usize]];
                 // The slot carries an RN16 burst — 16 bits on the air no
                 // matter what payload the tag stores; a decodable RN16
                 // triggers the ACK → EPC handshake that completes
@@ -131,7 +159,7 @@ impl PollingProtocol for QAlgorithm {
                 );
                 ctx.counters.query_rep_bits += rfid_c1g2::QUERY_REP_BITS;
                 ctx.wait(TimeCategory::Turnaround, ctx.link.t1);
-                let outcome = ctx.channel.resolve(&repliers, &mut ctx.rng);
+                let outcome = ctx.channel.resolve(repliers, &mut ctx.rng);
                 match outcome {
                     SlotOutcome::Empty => {
                         ctx.wait(TimeCategory::WastedSlot, ctx.link.t3);

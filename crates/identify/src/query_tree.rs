@@ -15,7 +15,7 @@
 use rfid_c1g2::TimeCategory;
 use rfid_protocols::{PollingError, PollingProtocol, Report, StallCause};
 use rfid_system::id::EPC_BITS;
-use rfid_system::{BitVec, BroadcastKind, Event, SimContext, SlotOutcome};
+use rfid_system::{BroadcastKind, Event, SimContext, SlotOutcome};
 
 /// Query-Tree configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,10 +68,24 @@ impl PollingProtocol for QueryTree {
     }
 
     fn try_run(&self, ctx: &mut SimContext) -> Result<Report, PollingError> {
-        // LIFO keeps memory logarithmic on random IDs (depth-first).
-        let mut stack: Vec<BitVec> = vec![BitVec::from_str_bits("1"), BitVec::from_str_bits("0")];
+        // One-time reader-side index: IDs sorted as 96-bit values. A prefix
+        // `p` of length `L` matches exactly the sorted range
+        // `[p·2^(96-L), (p+1)·2^(96-L))`, so each query resolves its
+        // repliers by binary search instead of re-scanning (and re-building
+        // the bit image of) the whole population.
+        let mut sorted: Vec<(u128, usize)> = ctx
+            .population
+            .iter()
+            .map(|(h, t)| (t.id.as_u128(), h))
+            .collect();
+        sorted.sort_unstable();
+        let mut repliers: Vec<usize> = Vec::new();
+        // LIFO keeps memory logarithmic on random IDs (depth-first). Each
+        // entry is a right-aligned prefix value plus its bit length.
+        let mut stack: Vec<(u128, u32)> = vec![(1, 1), (0, 1)];
         let mut queries = 0u64;
         while let Some(prefix) = stack.pop() {
+            let (value, len) = prefix;
             queries += 1;
             if queries >= 100_000_000 {
                 // Channel too lossy to ever drain the stack.
@@ -81,13 +95,22 @@ impl PollingProtocol for QueryTree {
                     StallCause::RoundCap,
                 ));
             }
-            // Matching tags: active tags whose ID begins with the prefix.
-            let repliers: Vec<usize> = ctx
-                .population
-                .iter()
-                .filter(|(_, t)| t.is_active() && prefix.is_prefix_of(&t.id.to_bits()))
-                .map(|(h, _)| h)
-                .collect();
+            // Matching tags: active tags whose ID begins with the prefix,
+            // in ascending handle order (the population scan order the
+            // channel model has always seen).
+            let lo = value << (EPC_BITS as u32 - len);
+            let hi = lo + (1u128 << (EPC_BITS as u32 - len));
+            let start = sorted.partition_point(|&(id, _)| id < lo);
+            let end = sorted.partition_point(|&(id, _)| id < hi);
+            let active_words = ctx.population.active_words();
+            repliers.clear();
+            repliers.extend(
+                sorted[start..end]
+                    .iter()
+                    .map(|&(_, h)| h)
+                    .filter(|&h| (active_words[h >> 6] >> (h & 63)) & 1 == 1),
+            );
+            repliers.sort_unstable();
 
             // The query costs the command overhead plus the prefix bits.
             // The prefix is a `Probe`: its bits are charged to the vector
@@ -100,12 +123,12 @@ impl PollingProtocol for QueryTree {
             ctx.counters.query_rep_bits += self.cfg.command_bits;
             ctx.reader_tx(
                 BroadcastKind::Probe,
-                prefix.len() as u64,
+                len as u64,
                 TimeCategory::PollingVector,
             );
             ctx.wait(TimeCategory::Turnaround, ctx.link.t1);
 
-            let reply_bits = (EPC_BITS - prefix.len()) as u64 + self.cfg.reply_crc_bits;
+            let reply_bits = (EPC_BITS as u32 - len) as u64 + self.cfg.reply_crc_bits;
             match ctx.channel.resolve(&repliers, &mut ctx.rng) {
                 SlotOutcome::Empty => {
                     if repliers.is_empty() {
@@ -131,8 +154,8 @@ impl PollingProtocol for QueryTree {
                         bits: reply_bits,
                     });
                     ctx.wait(TimeCategory::Turnaround, ctx.link.t2);
-                    ctx.counters.vector_bits += prefix.len() as u64;
-                    let bits = prefix.len() as u64;
+                    ctx.counters.vector_bits += len as u64;
+                    let bits = len as u64;
                     ctx.trace(|| Event::VectorCharged { bits });
                     ctx.mark_read(tag);
                     if self.cfg.verify_singletons {
@@ -146,15 +169,11 @@ impl PollingProtocol for QueryTree {
                     ctx.counters.collision_slots += 1;
                     ctx.trace(|| Event::SlotCollision { count });
                     debug_assert!(
-                        prefix.len() < EPC_BITS,
+                        (len as usize) < EPC_BITS,
                         "full-length prefix cannot collide among unique IDs"
                     );
-                    let mut zero = prefix.clone();
-                    zero.push(false);
-                    let mut one = prefix;
-                    one.push(true);
-                    stack.push(one);
-                    stack.push(zero);
+                    stack.push((value << 1 | 1, len + 1));
+                    stack.push((value << 1, len + 1));
                 }
                 SlotOutcome::Corrupted(tag) => {
                     // The reply arrived but failed CRC: re-query the SAME
@@ -181,7 +200,7 @@ rfid_system::impl_json_struct!(QueryTreeConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rfid_system::{Channel, SimConfig, TagId, TagPopulation};
+    use rfid_system::{BitVec, Channel, SimConfig, TagId, TagPopulation};
 
     fn random_population(n: usize, seed: u64) -> TagPopulation {
         let mut rng = rfid_hash::Xoshiro256::seed_from_u64(seed);

@@ -117,27 +117,31 @@ impl PollingProtocol for Ehpp {
                 break;
             }
             // Probabilistic selection: tag joins iff H(r, id) mod F < n*.
+            // Walk only the active bitset (O(remaining), not O(n)) into a
+            // recycled scratch buffer — the selection sweep used to rescan
+            // the full population every circle.
             let seed = ctx.draw_round_seed();
             let selector = TagHash::new(seed);
             let f_range = remaining;
-            let deselected: Vec<usize> = ctx
-                .population
-                .iter()
-                .filter(|(_, t)| {
-                    t.is_active() && selector.modulo(t.id.hi(), t.id.lo(), f_range) >= n_star
-                })
-                .map(|(handle, _)| handle)
-                .collect();
+            let mut deselected = ctx.take_scratch();
+            let (ids_hi, ids_lo) = ctx.population.id_words();
+            ctx.population.for_each_active(|handle| {
+                if selector.modulo(ids_hi[handle], ids_lo[handle], f_range) >= n_star {
+                    deselected.push(handle);
+                }
+            });
             let selected = remaining as usize - deselected.len();
             ctx.begin_circle(selected, self.cfg.circle_cmd_bits);
             if selected == 0 {
                 // Nobody joined (rare); re-draw a selection seed. The circle
                 // command was still spent on the air.
+                ctx.recycle_scratch(deselected);
                 continue;
             }
-            for handle in deselected {
+            for &handle in &deselected {
                 ctx.population.deselect(handle);
             }
+            ctx.recycle_scratch(deselected);
             let circle_result = run_hpp_rounds(ctx, &hpp_cfg);
             ctx.population.reselect_all();
             if let Err(cause) = circle_result {

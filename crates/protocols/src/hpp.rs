@@ -89,28 +89,12 @@ pub fn tag_index(seed: u64, id: rfid_system::TagId, h: u32) -> u64 {
 /// Reader-side sift: the singleton indices of the current round, as sorted
 /// `(index, tag handle)` pairs. Indices picked by two or more tags
 /// (collision indices) and by none (empty indices) are skipped entirely —
-/// this is where HPP's zero slot waste comes from.
-pub(crate) fn singleton_indices(ctx: &SimContext, seed: u64, h: u32) -> Vec<(u64, usize)> {
-    let mut pairs: Vec<(u64, usize)> = ctx
-        .population
-        .iter()
-        .filter(|(_, t)| t.is_active())
-        .map(|(handle, t)| (tag_index(seed, t.id, h), handle))
-        .collect();
-    pairs.sort_unstable();
-    let mut singles = Vec::with_capacity(pairs.len());
-    let mut i = 0;
-    while i < pairs.len() {
-        let mut j = i + 1;
-        while j < pairs.len() && pairs[j].0 == pairs[i].0 {
-            j += 1;
-        }
-        if j - i == 1 {
-            singles.push(pairs[i]);
-        }
-        i = j;
-    }
-    singles
+/// this is where HPP's zero slot waste comes from. Delegates to the
+/// context's reusable [`rfid_system::RoundIndex`], which bucket-sorts the
+/// hashed indices in one O(active) pass; recycle the returned buffer with
+/// [`SimContext::recycle_singletons`] to keep rounds allocation-free.
+pub(crate) fn singleton_indices(ctx: &mut SimContext, seed: u64, h: u32) -> Vec<(u64, usize)> {
+    ctx.sift_singletons(seed, h)
 }
 
 /// Runs one HPP round over the currently active tags; returns the number of
@@ -123,11 +107,12 @@ pub(crate) fn hpp_round(ctx: &mut SimContext, cfg: &HppConfig) -> usize {
     ctx.begin_round(h, cfg.round_init_bits);
     let singles = singleton_indices(ctx, seed, h);
     let mut polled = 0;
-    for (_, tag) in singles {
+    for &(_, tag) in &singles {
         if ctx.poll_tag(h as u64, cfg.with_query_rep, tag) {
             polled += 1;
         }
     }
+    ctx.recycle_singletons(singles);
     polled
 }
 
@@ -284,10 +269,10 @@ mod tests {
         // Fidelity check: replay every tag's own index computation and
         // confirm the reader's sift picked exactly the indices chosen once.
         let pop = TagPopulation::sequential(64, |_| BitVec::from_value(1, 1));
-        let ctx = SimContext::new(pop, &SimConfig::paper(11));
+        let mut ctx = SimContext::new(pop, &SimConfig::paper(11));
         let seed = 0xFEED;
         let h = 6;
-        let singles = singleton_indices(&ctx, seed, h);
+        let singles = singleton_indices(&mut ctx, seed, h);
         let mut counts = std::collections::HashMap::new();
         for (_, t) in ctx.population.iter() {
             *counts.entry(tag_index(seed, t.id, h)).or_insert(0u32) += 1;

@@ -123,7 +123,10 @@ pub(crate) fn tpp_round(ctx: &mut SimContext, cfg: &TppConfig) -> usize {
 
     if h == 0 {
         // One tag left: the bare QueryRep addresses it (0-bit vector).
-        let handle = ctx.population.active_handles()[0];
+        let handle = ctx
+            .population
+            .first_active()
+            .expect("a nonempty round has an active tag");
         return ctx.poll_tag(0, cfg.with_query_rep, handle) as usize;
     }
 
@@ -132,25 +135,34 @@ pub(crate) fn tpp_round(ctx: &mut SimContext, cfg: &TppConfig) -> usize {
     if singles.is_empty() {
         // No singleton this round (possible at tiny n'); retry with a new
         // seed next round — only the round initiation was spent.
+        ctx.recycle_singletons(singles);
         return 0;
     }
 
     // Phase 2: building the polling tree over singleton indices.
-    let tree = PollingTree::from_indices(h, &singles.iter().map(|&(i, _)| i).collect::<Vec<_>>());
+    let mut tree = PollingTree::new(h);
+    for &(index, _) in &singles {
+        tree.insert_value(index);
+    }
     debug_assert_eq!(tree.leaf_count(), singles.len());
 
     // Phase 3: tree-based polling. Segments arrive in ascending-index order,
     // matching `singles` (already sorted by index). Every listening tag
     // overlays the segment on its array A; the tag whose index equals A
-    // replies — the simulator addresses exactly that tag.
-    let segments = tree.preorder_segments();
-    debug_assert_eq!(segments.len(), singles.len());
+    // replies — the simulator addresses exactly that tag. The timing model
+    // charges each segment by bit count alone, so only the lengths are
+    // computed — into a recycled buffer, not one `BitVec` per poll.
+    let mut seg_lens = ctx.take_scratch();
+    tree.preorder_segment_lengths_into(&mut seg_lens);
+    debug_assert_eq!(seg_lens.len(), singles.len());
     let mut polled = 0;
-    for (segment, &(_, tag)) in segments.iter().zip(&singles) {
-        if ctx.poll_tag(segment.len() as u64, cfg.with_query_rep, tag) {
+    for (&bits, &(_, tag)) in seg_lens.iter().zip(&singles) {
+        if ctx.poll_tag(bits as u64, cfg.with_query_rep, tag) {
             polled += 1;
         }
     }
+    ctx.recycle_scratch(seg_lens);
+    ctx.recycle_singletons(singles);
     polled
 }
 
@@ -244,10 +256,10 @@ mod tests {
         // The tree broadcast must address exactly the tags HPP's sift would,
         // in ascending index order — replayed tag-side via decode_segments.
         let pop = TagPopulation::sequential(256, |_| BitVec::from_value(1, 1));
-        let ctx = SimContext::new(pop, &SimConfig::paper(9));
+        let mut ctx = SimContext::new(pop, &SimConfig::paper(9));
         let seed = 0xABCD;
         let h = 9;
-        let singles = singleton_indices(&ctx, seed, h);
+        let singles = singleton_indices(&mut ctx, seed, h);
         let tree =
             PollingTree::from_indices(h, &singles.iter().map(|&(i, _)| i).collect::<Vec<_>>());
         let decoded = PollingTree::decode_segments(h, &tree.preorder_segments());

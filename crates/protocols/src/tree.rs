@@ -73,11 +73,7 @@ impl PollingTree {
             "index {value} does not fit {} bits",
             self.height
         );
-        let bits: Vec<bool> = (0..self.height)
-            .rev()
-            .map(|i| (value >> i) & 1 == 1)
-            .collect();
-        self.insert_bits(&bits);
+        self.descend((0..self.height).rev().map(|i| (value >> i) & 1 == 1));
     }
 
     /// Inserts an index given as bits (must have exactly `height` bits).
@@ -89,9 +85,15 @@ impl PollingTree {
             bits.len(),
             self.height
         );
+        self.descend(bits.iter().copied());
+    }
+
+    /// Walks `height` bits from the root, creating nodes along the way.
+    fn descend(&mut self, bits: impl Iterator<Item = bool>) {
         let mut at = 0u32;
         let mut created_leaf = false;
-        for (depth, &bit) in bits.iter().enumerate() {
+        let len = self.height as usize;
+        for (depth, bit) in bits.enumerate() {
             let slot = bit as usize;
             at = match self.nodes[at as usize].children[slot] {
                 Some(child) => child,
@@ -99,7 +101,7 @@ impl PollingTree {
                     let child = self.nodes.len() as u32;
                     self.nodes.push(Node::default());
                     self.nodes[at as usize].children[slot] = Some(child);
-                    if depth + 1 == bits.len() {
+                    if depth + 1 == len {
                         created_leaf = true;
                     }
                     child
@@ -159,6 +161,34 @@ impl PollingTree {
             }
         }
         segments
+    }
+
+    /// The bit length of each pre-order segment, written into `out`
+    /// (cleared first) — the reader's timing model charges segments by
+    /// length alone, so the hot path never materializes the `BitVec`s that
+    /// [`PollingTree::preorder_segments`] returns. Recursion depth is
+    /// bounded by the tree height (≤ 64).
+    pub fn preorder_segment_lengths_into(&self, out: &mut Vec<usize>) {
+        out.clear();
+        let mut current = 0usize;
+        self.walk_lengths(0, false, &mut current, out);
+    }
+
+    fn walk_lengths(&self, at: u32, via_edge: bool, current: &mut usize, out: &mut Vec<usize>) {
+        if via_edge {
+            *current += 1;
+        }
+        let node = self.nodes[at as usize];
+        if via_edge && node.children[0].is_none() && node.children[1].is_none() {
+            out.push(*current);
+            *current = 0;
+        }
+        if let Some(left) = node.children[0] {
+            self.walk_lengths(left, true, current, out);
+        }
+        if let Some(right) = node.children[1] {
+            self.walk_lengths(right, true, current, out);
+        }
     }
 
     /// Tag-side decode: replays the broadcast segments against an `h`-bit
@@ -316,6 +346,12 @@ mod tests {
             prop_assert_eq!(total, t.node_count());
             // The first segment is always a full h-bit index.
             prop_assert_eq!(segs[0].len(), h as usize);
+            // The alloc-free length walk agrees with the materialized
+            // segments bit for bit.
+            let mut lens = Vec::new();
+            t.preorder_segment_lengths_into(&mut lens);
+            let want: Vec<usize> = segs.iter().map(|s| s.len()).collect();
+            prop_assert_eq!(lens, want);
             Ok(())
         });
     }

@@ -24,6 +24,7 @@ use crate::channel::{Channel, SlotOutcome};
 use crate::event::{BroadcastKind, Event, EventLog};
 use crate::fault::FaultModel;
 use crate::population::TagPopulation;
+use crate::round_index::RoundIndex;
 use crate::tag::TagState;
 
 /// Configuration for a simulation run.
@@ -225,8 +226,18 @@ pub struct SimContext {
     /// Per-tag downlink synchronization: `false` means the tag missed a
     /// round/circle command and stays silent until the next one it hears.
     synced: Vec<bool>,
+    /// Bitset mirror of `!synced` so broadcast recovery walks only the
+    /// desynchronized tags instead of the whole population.
+    desynced_words: Vec<u64>,
     /// Number of `false` entries in `synced` (fast emptiness check).
     desynced_count: usize,
+    /// Reusable per-round singleton index (see [`RoundIndex`]).
+    round_index: RoundIndex,
+    /// Arena behind [`SimContext::sift_singletons`], recycled across rounds.
+    singles_arena: Vec<(u64, usize)>,
+    /// Pool of reusable handle buffers for protocol sweeps and the faulty
+    /// slot path — keeps inner loops allocation-free after warmup.
+    scratch_pool: Vec<Vec<usize>>,
     /// Per-tag transmission count, maintained only when the fault plan has
     /// kill rules.
     replies_sent: Vec<u64>,
@@ -264,7 +275,11 @@ impl SimContext {
             },
             counters: Counters::default(),
             synced: vec![true; n],
+            desynced_words: vec![0; n.div_ceil(64)],
             desynced_count: 0,
+            round_index: RoundIndex::new(),
+            singles_arena: Vec::new(),
+            scratch_pool: Vec::new(),
             replies_sent: if has_kills { vec![0; n] } else { Vec::new() },
             has_kills,
             fault_active: !config.fault.is_perfect(),
@@ -275,6 +290,39 @@ impl SimContext {
     /// Draws a fresh 64-bit round seed `r` (what the reader broadcasts).
     pub fn draw_round_seed(&mut self) -> u64 {
         self.rng.next_u64()
+    }
+
+    /// The round's singleton sift: `(H(seed, id) mod 2^h, handle)` for every
+    /// index picked by exactly one active tag, ascending by index — built by
+    /// the reusable [`RoundIndex`] in O(active).
+    ///
+    /// Returns the arena buffer; pass it back through
+    /// [`SimContext::recycle_singletons`] when the round is done so the next
+    /// round reuses its capacity instead of allocating.
+    pub fn sift_singletons(&mut self, seed: u64, h: u32) -> Vec<(u64, usize)> {
+        let mut singles = std::mem::take(&mut self.singles_arena);
+        self.round_index
+            .build_into(&self.population, seed, h, &mut singles);
+        singles
+    }
+
+    /// Returns a buffer taken from [`SimContext::sift_singletons`] to the
+    /// arena for reuse by the next round.
+    pub fn recycle_singletons(&mut self, singles: Vec<(u64, usize)>) {
+        self.singles_arena = singles;
+    }
+
+    /// Takes a reusable handle buffer from the context's scratch pool
+    /// (empty, capacity retained from earlier use). Pair with
+    /// [`SimContext::recycle_scratch`].
+    pub fn take_scratch(&mut self) -> Vec<usize> {
+        self.scratch_pool.pop().unwrap_or_default()
+    }
+
+    /// Returns a scratch buffer to the pool, keeping its capacity.
+    pub fn recycle_scratch(&mut self, mut buf: Vec<usize>) {
+        buf.clear();
+        self.scratch_pool.push(buf);
     }
 
     /// Advances time by `dt` under `category`, accruing listen time for
@@ -347,10 +395,15 @@ impl SimContext {
         if !forced && rate <= 0.0 {
             if self.desynced_count > 0 {
                 // Every desynchronized tag still in the zone hears this
-                // broadcast and recovers.
-                for idx in 0..self.synced.len() {
-                    if !self.synced[idx] && self.population.get(idx).is_active() {
+                // broadcast and recovers: walk only the desynced ∩ active
+                // bits instead of the whole population.
+                for w in 0..self.desynced_words.len() {
+                    let mut bits = self.desynced_words[w] & self.population.active_words()[w];
+                    while bits != 0 {
+                        let idx = w * 64 + bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
                         self.synced[idx] = true;
+                        self.desynced_words[w] &= !(1u64 << (idx % 64));
                         self.desynced_count -= 1;
                         self.counters.desync_recoveries += 1;
                         self.trace(|| Event::DesyncRecovered { tag: idx });
@@ -359,20 +412,30 @@ impl SimContext {
             }
             return;
         }
-        for idx in self.population.active_handles() {
-            let missed = forced || (rate > 0.0 && self.rng.chance(rate));
-            if missed {
-                self.counters.downlink_losses += 1;
-                self.trace(|| Event::DownlinkLost { tag: idx });
-                if self.synced[idx] {
-                    self.synced[idx] = false;
-                    self.desynced_count += 1;
+        // Faulty downlink: per-tag delivery draws, in ascending handle order
+        // (the draw order is part of the determinism contract). One active
+        // word is copied out at a time so no handle buffer is allocated.
+        for w in 0..self.population.active_words().len() {
+            let mut bits = self.population.active_words()[w];
+            while bits != 0 {
+                let idx = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let missed = forced || (rate > 0.0 && self.rng.chance(rate));
+                if missed {
+                    self.counters.downlink_losses += 1;
+                    self.trace(|| Event::DownlinkLost { tag: idx });
+                    if self.synced[idx] {
+                        self.synced[idx] = false;
+                        self.desynced_words[w] |= 1u64 << (idx % 64);
+                        self.desynced_count += 1;
+                    }
+                } else if !self.synced[idx] {
+                    self.synced[idx] = true;
+                    self.desynced_words[w] &= !(1u64 << (idx % 64));
+                    self.desynced_count -= 1;
+                    self.counters.desync_recoveries += 1;
+                    self.trace(|| Event::DesyncRecovered { tag: idx });
                 }
-            } else if !self.synced[idx] {
-                self.synced[idx] = true;
-                self.desynced_count -= 1;
-                self.counters.desync_recoveries += 1;
-                self.trace(|| Event::DesyncRecovered { tag: idx });
             }
         }
     }
@@ -461,6 +524,19 @@ impl SimContext {
     /// Panics if `target` is not active — addressing a slept tag is a
     /// protocol bug the simulator refuses to mask.
     pub fn poll_tag(&mut self, vector_bits: u64, with_query_rep: bool, target: usize) -> bool {
+        #[cfg(debug_assertions)]
+        let scans_at_entry = self.population.scan_epoch();
+        let delivered = self.poll_tag_inner(vector_bits, with_query_rep, target);
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(
+            scans_at_entry,
+            self.population.scan_epoch(),
+            "slot handler iterated the full population"
+        );
+        delivered
+    }
+
+    fn poll_tag_inner(&mut self, vector_bits: u64, with_query_rep: bool, target: usize) -> bool {
         assert!(
             self.population.get(target).is_active(),
             "polling inactive tag {target}"
@@ -572,6 +648,19 @@ impl SimContext {
     /// is *not* marked read — the caller decides (MIC reads it; plain ALOHA
     /// might need an ACK first) via [`SimContext::mark_read`].
     pub fn slot(&mut self, repliers: &[usize], prefix_bits: u64) -> SlotOutcome {
+        #[cfg(debug_assertions)]
+        let scans_at_entry = self.population.scan_epoch();
+        let outcome = self.slot_inner(repliers, prefix_bits);
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(
+            scans_at_entry,
+            self.population.scan_epoch(),
+            "slot handler iterated the full population"
+        );
+        outcome
+    }
+
+    fn slot_inner(&mut self, repliers: &[usize], prefix_bits: u64) -> SlotOutcome {
         if prefix_bits > 0 {
             self.reader_tx(
                 BroadcastKind::SlotPrefix,
@@ -634,7 +723,7 @@ impl SimContext {
     /// surviving singleton can come through corrupted.
     fn faulty_slot_outcome(&mut self, repliers: &[usize]) -> SlotOutcome {
         let forced_up = self.fault.plan.drops_uplink(self.counters.rounds);
-        let mut survivors: Vec<usize> = Vec::with_capacity(repliers.len());
+        let mut survivors = self.take_scratch();
         for &t in repliers {
             if !self.synced[t] || !self.tag_transmits(t) {
                 continue;
@@ -646,7 +735,7 @@ impl SimContext {
             }
             survivors.push(t);
         }
-        match self.channel.resolve(&survivors, &mut self.rng) {
+        let outcome = match self.channel.resolve(&survivors, &mut self.rng) {
             SlotOutcome::Singleton(tag)
                 if self.fault.corruption_rate > 0.0
                     && self.rng.chance(self.fault.corruption_rate)
@@ -655,7 +744,9 @@ impl SimContext {
                 SlotOutcome::Corrupted(tag)
             }
             outcome => outcome,
-        }
+        };
+        self.recycle_scratch(survivors);
+        outcome
     }
 
     /// Marks `tag` successfully read after a singleton slot.

@@ -12,6 +12,8 @@
 //!   population bookkeeping,
 //! * [`Channel`] / [`SlotOutcome`] — slot resolution (empty / singleton /
 //!   collision) with optional reply-loss injection for robustness studies,
+//! * [`RoundIndex`] — the reusable per-round bucket sort of hashed tag
+//!   indices that makes the singleton sift O(active) and allocation-free,
 //! * [`EventLog`] — an optional, self-describing trace of a protocol run,
 //! * [`json`] — the zero-dependency JSON writer/parser (with the
 //!   [`impl_json_struct!`] / [`impl_json_enum_units!`] macros) that persists
@@ -35,6 +37,7 @@ pub mod fault;
 pub mod id;
 pub mod json;
 pub mod population;
+pub mod round_index;
 pub mod tag;
 
 pub use bitvec::BitVec;
@@ -45,4 +48,5 @@ pub use fault::{FaultModel, FaultPlan, FaultPlanError, GilbertElliott, KillRule,
 pub use id::TagId;
 pub use json::{from_json_str, to_json_string, FromJson, Json, JsonError, ToJson};
 pub use population::TagPopulation;
+pub use round_index::RoundIndex;
 pub use tag::{Tag, TagState};

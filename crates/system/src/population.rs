@@ -3,17 +3,49 @@
 //! The reader-side protocols iterate over "unread tags" constantly; the
 //! population keeps tags in a dense `Vec` (index = stable handle) and tracks
 //! how many are still active so protocols can terminate without scanning.
+//!
+//! Since the hot-path rework the population also maintains an *active-set
+//! bitset* (one bit per handle, kept in sync by [`TagPopulation::sleep`],
+//! [`TagPopulation::deselect`] and [`TagPopulation::reselect_all`]) plus a
+//! structure-of-arrays cache of the raw ID words, so per-round work such as
+//! the singleton sift costs O(active) instead of O(population) and batch
+//! hashing can stream the ID blocks without touching the `Tag` structs.
+
+#[cfg(debug_assertions)]
+use std::cell::Cell;
 
 use crate::bitvec::BitVec;
 use crate::id::TagId;
 use crate::tag::{Tag, TagState};
 
 /// The set of tags in the interrogation zone.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct TagPopulation {
     tags: Vec<Tag>,
     active: usize,
     asleep: usize,
+    /// Bit `i` of `active_words[i / 64]` (LSB-first) is set iff
+    /// `tags[i].is_active()` — the O(active/64) iteration substrate.
+    active_words: Vec<u64>,
+    /// SoA cache of the raw EPC words, aligned with `tags` — lets the
+    /// round index batch-hash ID blocks without chasing `Tag` structs.
+    ids_hi: Vec<u32>,
+    ids_lo: Vec<u64>,
+    /// Handles currently deselected, so `reselect_all` is O(deselected)
+    /// instead of a full-population sweep per circle.
+    deselected: Vec<usize>,
+    /// Debug-only full-population scan counter; slot handlers assert it
+    /// stays unchanged across a slot (no handler may rescan the population).
+    #[cfg(debug_assertions)]
+    scans: Cell<u64>,
+}
+
+impl PartialEq for TagPopulation {
+    /// Populations compare by tag state alone; the bitset, SoA cache and
+    /// deselection stack are derived views kept consistent by construction.
+    fn eq(&self, other: &Self) -> bool {
+        self.tags == other.tags
+    }
 }
 
 impl TagPopulation {
@@ -32,10 +64,25 @@ impl TagPopulation {
             assert!(seen.insert(t.id), "duplicate tag ID {}", t.id);
         }
         let active = tags.len();
+        let mut active_words = vec![u64::MAX; tags.len().div_ceil(64)];
+        if let Some(last) = active_words.last_mut() {
+            let tail = tags.len() % 64;
+            if tail != 0 {
+                *last = (1u64 << tail) - 1;
+            }
+        }
+        let ids_hi: Vec<u32> = tags.iter().map(|t| t.id.hi()).collect();
+        let ids_lo: Vec<u64> = tags.iter().map(|t| t.id.lo()).collect();
         TagPopulation {
             tags,
             active,
             asleep: 0,
+            active_words,
+            ids_hi,
+            ids_lo,
+            deselected: Vec::new(),
+            #[cfg(debug_assertions)]
+            scans: Cell::new(0),
         }
     }
 
@@ -65,19 +112,72 @@ impl TagPopulation {
         &self.tags[idx]
     }
 
-    /// All tags (any state), with handles.
+    /// All tags (any state), with handles. Counts as a full-population scan
+    /// for the debug slot-handler assertion.
     pub fn iter(&self) -> impl Iterator<Item = (usize, &Tag)> {
+        self.note_scan();
         self.tags.iter().enumerate()
     }
 
     /// Handles of currently active tags.
+    ///
+    /// Allocates; hot paths should prefer [`TagPopulation::for_each_active`]
+    /// or [`TagPopulation::collect_active_into`] with a reused buffer.
     pub fn active_handles(&self) -> Vec<usize> {
-        self.tags
+        let mut out = Vec::with_capacity(self.active);
+        self.collect_active_into(&mut out);
+        out
+    }
+
+    /// Calls `f` for every active handle in ascending order, by iterating
+    /// the active-set bitset (O(len/64 + active), no allocation).
+    #[inline]
+    pub fn for_each_active(&self, mut f: impl FnMut(usize)) {
+        self.note_scan();
+        for (w, &word) in self.active_words.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let idx = w * 64 + bits.trailing_zeros() as usize;
+                f(idx);
+                bits &= bits - 1;
+            }
+        }
+    }
+
+    /// Clears `out` and fills it with the active handles in ascending order.
+    pub fn collect_active_into(&self, out: &mut Vec<usize>) {
+        out.clear();
+        out.reserve(self.active);
+        self.for_each_active(|idx| out.push(idx));
+    }
+
+    /// The lowest active handle, if any (O(len/64), no allocation).
+    pub fn first_active(&self) -> Option<usize> {
+        self.active_words
             .iter()
             .enumerate()
-            .filter(|(_, t)| t.is_active())
-            .map(|(i, _)| i)
-            .collect()
+            .find(|(_, &w)| w != 0)
+            .map(|(i, &w)| i * 64 + w.trailing_zeros() as usize)
+    }
+
+    /// The active-set bitset words (bit `i%64` of word `i/64` = handle `i`).
+    pub fn active_words(&self) -> &[u64] {
+        &self.active_words
+    }
+
+    /// The SoA cache of raw EPC words, aligned with handles: `(hi, lo)`.
+    pub fn id_words(&self) -> (&[u32], &[u64]) {
+        (&self.ids_hi, &self.ids_lo)
+    }
+
+    #[inline]
+    fn clear_active_bit(&mut self, idx: usize) {
+        self.active_words[idx / 64] &= !(1u64 << (idx % 64));
+    }
+
+    #[inline]
+    fn set_active_bit(&mut self, idx: usize) {
+        self.active_words[idx / 64] |= 1u64 << (idx % 64);
     }
 
     /// Puts tag `idx` to sleep (after a successful interrogation).
@@ -86,6 +186,7 @@ impl TagPopulation {
             self.tags[idx].sleep();
             self.active -= 1;
             self.asleep += 1;
+            self.clear_active_bit(idx);
         } else {
             panic!("tag {idx} slept twice");
         }
@@ -96,16 +197,19 @@ impl TagPopulation {
         if self.tags[idx].is_active() {
             self.tags[idx].deselect();
             self.active -= 1;
+            self.clear_active_bit(idx);
+            self.deselected.push(idx);
         }
     }
 
     /// Re-activates every deselected tag (start of the next circle).
+    /// O(deselected), not a population sweep.
     pub fn reselect_all(&mut self) {
-        for t in &mut self.tags {
-            if t.state == TagState::Deselected {
-                t.reselect();
-                self.active += 1;
-            }
+        while let Some(idx) = self.deselected.pop() {
+            debug_assert_eq!(self.tags[idx].state, TagState::Deselected);
+            self.tags[idx].reselect();
+            self.active += 1;
+            self.set_active_bit(idx);
         }
     }
 
@@ -132,11 +236,28 @@ impl TagPopulation {
     pub fn all_asleep(&self) -> bool {
         self.asleep_count() == self.tags.len()
     }
+
+    #[cfg(debug_assertions)]
+    #[inline]
+    fn note_scan(&self) {
+        self.scans.set(self.scans.get() + 1);
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[inline]
+    fn note_scan(&self) {}
+
+    /// Debug builds only: how many full-population scans have been taken.
+    /// Slot handlers assert this is unchanged across a slot.
+    #[cfg(debug_assertions)]
+    pub fn scan_epoch(&self) -> u64 {
+        self.scans.get()
+    }
 }
 
 impl crate::json::ToJson for TagPopulation {
-    /// A population serializes as its tag list; the active/asleep counts
-    /// are derived state and are rebuilt on load.
+    /// A population serializes as its tag list; the active/asleep counts,
+    /// bitset and ID cache are derived state and are rebuilt on load.
     fn to_json(&self) -> crate::json::Json {
         crate::json::ToJson::to_json(&self.tags)
     }
@@ -196,6 +317,48 @@ mod tests {
         p.sleep(1);
         p.deselect(3);
         assert_eq!(p.active_handles(), vec![0, 2]);
+    }
+
+    #[test]
+    fn bitset_mirrors_state_across_transitions() {
+        let mut p = pop(130);
+        p.sleep(0);
+        p.sleep(64);
+        p.deselect(65);
+        p.deselect(129);
+        let naive: Vec<usize> = p
+            .iter()
+            .filter(|(_, t)| t.is_active())
+            .map(|(i, _)| i)
+            .collect();
+        let mut via_bits = Vec::new();
+        p.collect_active_into(&mut via_bits);
+        assert_eq!(via_bits, naive);
+        assert_eq!(p.first_active(), Some(1));
+        p.reselect_all();
+        let mut after = Vec::new();
+        p.collect_active_into(&mut after);
+        assert_eq!(after.len(), 128);
+        assert!(after.contains(&65) && after.contains(&129));
+    }
+
+    #[test]
+    fn first_active_none_when_everyone_slept() {
+        let mut p = pop(3);
+        for i in 0..3 {
+            p.sleep(i);
+        }
+        assert_eq!(p.first_active(), None);
+    }
+
+    #[test]
+    fn id_words_align_with_handles() {
+        let p = pop(70);
+        let (hi, lo) = p.id_words();
+        for (i, t) in p.iter() {
+            assert_eq!(hi[i], t.id.hi());
+            assert_eq!(lo[i], t.id.lo());
+        }
     }
 
     #[test]

@@ -27,5 +27,15 @@ cargo run --release --offline -p rfid-bench --bin repro -- table1 --runs 2 --max
 # dead-channel breaker contract and the trace/counter coverage cross-check.
 # Writes target/BENCH_recovery.json.
 cargo run --release --offline -p rfid-bench --bin repro -- recovery --runs 2 --max-n 500 --workers 1
+# Hot-path smoke slice (DESIGN.md §12): end-to-end throughput including a
+# 100k-tag run with a tags/sec floor and a 1M-tag HPP run to completion;
+# the bench itself enforces the ≥10× speedup gates against the pre-change
+# baselines and exits nonzero on a miss. Writes target/BENCH_hotpath.json.
+rm -f target/BENCH_hotpath.json
+cargo bench --offline -p rfid-bench --bench hotpath
+# Regression check: the hot-path report must exist and be well-formed JSON
+# with the expected shape (obs_report doubles as the workspace's offline
+# JSON validator).
+cargo run --release --offline -p rfid-bench --bin obs_report -- --check-hotpath target/BENCH_hotpath.json
 
 echo "verify: OK"
