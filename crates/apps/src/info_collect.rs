@@ -7,7 +7,8 @@
 //! and returns the collected `(id, payload)` pairs with the cost report.
 
 use rfid_protocols::{
-    run_recovered, PollingError, PollingProtocol, RecoveryOutcome, RecoveryPolicy, Report,
+    run_recovered, PollingError, PollingProtocol, RecoveryOutcome, RecoveryPolicy, Report, Session,
+    SessionEnd,
 };
 use rfid_system::{BitVec, SimConfig, SimContext, TagId};
 use rfid_workloads::Scenario;
@@ -133,6 +134,57 @@ pub fn run_polling_recovered_in(
     RecoveredCollection { outcome, collected }
 }
 
+/// The result of a deadline-budgeted collection run: the session engine's
+/// typed ending, plus whatever payloads were read before it ended.
+#[derive(Debug, Clone)]
+pub struct DeadlineCollection {
+    /// How the session ended — `Complete`, or `Degraded` with
+    /// [`rfid_protocols::DegradeCause::Deadline`] and the partial coverage
+    /// when the sim-time budget ran out first.
+    pub end: SessionEnd,
+    /// Payloads of the tags actually read, in tag order.
+    pub collected: Vec<(TagId, BitVec)>,
+}
+
+impl DeadlineCollection {
+    /// Looks up the collected payload of one tag.
+    pub fn payload_of(&self, id: TagId) -> Option<&BitVec> {
+        self.collected
+            .iter()
+            .find(|(tid, _)| *tid == id)
+            .map(|(_, p)| p)
+    }
+}
+
+/// Runs `protocol` with a sim-time budget: the collection stops — with a
+/// typed `Degraded` ending and the partial inventory, never a panic or a
+/// hang — once the air-interface clock passes `deadline_us`. An optional
+/// recovery `policy` lets lossy runs re-poll within the budget. The
+/// real-world shape: "collect what you can in the 2 s the conveyor gives
+/// you".
+pub fn run_polling_with_deadline(
+    protocol: &dyn PollingProtocol,
+    policy: Option<&RecoveryPolicy>,
+    deadline_us: f64,
+    ctx: &mut SimContext,
+) -> DeadlineCollection {
+    let mut session = Session::open(protocol, ctx).with_deadline_us(deadline_us);
+    if let Some(policy) = policy {
+        session = session.with_policy(policy.clone());
+    }
+    let end = session.run(ctx);
+    if end.is_complete() {
+        ctx.assert_complete();
+    }
+    let collected = ctx
+        .population
+        .iter()
+        .filter(|(_, tag)| !tag.is_active())
+        .map(|(_, tag)| (tag.id, tag.info.clone()))
+        .collect();
+    DeadlineCollection { end, collected }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -210,6 +262,42 @@ mod tests {
         for (_, tag) in reference.iter() {
             assert_eq!(r.payload_of(tag.id), Some(&tag.info));
         }
+    }
+
+    #[test]
+    fn deadline_collection_degrades_with_the_partial_inventory() {
+        use rfid_protocols::DegradeCause;
+        use rfid_system::{SimConfig, SimContext};
+        let scenario = Scenario::uniform(150, 4)
+            .with_seed(31)
+            .with_payload(PayloadKind::Random);
+        let protocol = TppConfig::default().into_protocol();
+        let cfg = SimConfig::paper(scenario.protocol_seed());
+
+        // TPP needs ~87 ms of air time here; a 20 ms budget must stop early.
+        let mut ctx = SimContext::new(scenario.build_population(), &cfg);
+        let r = run_polling_with_deadline(&protocol, None, 20_000.0, &mut ctx);
+        let SessionEnd::Degraded {
+            coverage, cause, ..
+        } = r.end
+        else {
+            panic!("expected Degraded, got {:?}", r.end);
+        };
+        assert_eq!(cause, DegradeCause::Deadline);
+        assert!(!r.collected.is_empty() && r.collected.len() < 150);
+        assert!((coverage - r.collected.len() as f64 / 150.0).abs() < 1e-12);
+        // The partial inventory still carries the right payloads.
+        let reference = scenario.build_population();
+        for (id, payload) in &r.collected {
+            let expected = reference.iter().find(|(_, t)| t.id == *id).unwrap().1;
+            assert_eq!(payload, &expected.info);
+        }
+
+        // A generous budget collects everything.
+        let mut ctx = SimContext::new(scenario.build_population(), &cfg);
+        let r = run_polling_with_deadline(&protocol, None, 10_000_000.0, &mut ctx);
+        assert!(r.end.is_complete());
+        assert_eq!(r.collected.len(), 150);
     }
 
     #[test]

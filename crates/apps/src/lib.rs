@@ -29,8 +29,8 @@ pub mod multi_reader;
 pub mod unknown;
 
 pub use info_collect::{
-    run_polling, run_polling_recovered, run_polling_recovered_in, try_run_polling,
-    CollectionOutcome, RecoveredCollection,
+    run_polling, run_polling_recovered, run_polling_recovered_in, run_polling_with_deadline,
+    try_run_polling, CollectionOutcome, DeadlineCollection, RecoveredCollection,
 };
 pub use missing::{
     DetectionOutcome, MissingTagApp, MissingTagDetector, MissingTagReport, RecoveredMissing,

@@ -9,8 +9,8 @@
 //! count.
 
 use rfid_hash::TagHash;
-use rfid_protocols::{PollingError, PollingProtocol, Report, StallCause, StallGuard};
-use rfid_system::{SimContext, SlotOutcome};
+use rfid_protocols::{PollingProtocol, ProtocolStepper, StepDiscipline, StepOutcome};
+use rfid_system::{Json, JsonError, SimContext, SlotOutcome};
 
 /// FSA configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -59,7 +59,29 @@ impl PollingProtocol for Fsa {
         "FSA"
     }
 
-    fn try_run(&self, ctx: &mut SimContext) -> Result<Report, PollingError> {
+    fn open_stepper(&self, ctx: &SimContext) -> Box<dyn ProtocolStepper> {
+        Box::new(FsaStepper::open(self.cfg, ctx))
+    }
+
+    fn resume_stepper(
+        &self,
+        ctx: &SimContext,
+        _state: &Json,
+    ) -> Result<Box<dyn ProtocolStepper>, JsonError> {
+        // The slot padding width is a pure function of the (immutable)
+        // payload lengths, recomputed rather than serialized.
+        Ok(Box::new(FsaStepper::open(self.cfg, ctx)))
+    }
+}
+
+/// One step = one DFSA frame.
+struct FsaStepper {
+    cfg: FsaConfig,
+    payload_bits: u64,
+}
+
+impl FsaStepper {
+    fn open(cfg: FsaConfig, ctx: &SimContext) -> Self {
         // Framed slots are fixed-duration: an empty slot still occupies the
         // full reply window (same convention as MIC's timing model).
         let payload_bits = ctx
@@ -68,17 +90,22 @@ impl PollingProtocol for Fsa {
             .map(|(_, t)| t.info.len())
             .max()
             .unwrap_or(0) as u64;
-        let mut rounds = 0u64;
-        let mut guard = StallGuard::default();
-        while ctx.population.active_count() > 0 {
-            rounds += 1;
-            if rounds > self.cfg.max_rounds {
-                return Err(PollingError::stalled_with(
-                    self.name(),
-                    ctx,
-                    StallCause::RoundCap,
-                ));
-            }
+        FsaStepper { cfg, payload_bits }
+    }
+}
+
+impl ProtocolStepper for FsaStepper {
+    fn discipline(&self) -> StepDiscipline {
+        StepDiscipline::budgeted(self.cfg.max_rounds)
+    }
+
+    fn done(&self, ctx: &SimContext) -> bool {
+        ctx.population.active_count() == 0
+    }
+
+    fn step(&mut self, ctx: &mut SimContext) -> StepOutcome {
+        let payload_bits = self.payload_bits;
+        {
             let unread = ctx.population.active_count() as u64;
             let frame = ((unread as f64 * self.cfg.frame_factor).ceil() as u64).max(1);
             let seed = ctx.draw_round_seed();
@@ -134,12 +161,15 @@ impl PollingProtocol for Fsa {
             ctx.recycle_scratch(pairs);
             ctx.recycle_scratch(ends);
             ctx.recycle_scratch(ordered);
-            if guard.no_progress(ctx) {
-                return Err(PollingError::stalled(self.name(), ctx));
-            }
         }
-        Ok(Report::from_context(self.name(), ctx))
+        StepOutcome::Progressed
     }
+
+    fn state(&self) -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    fn reset(&mut self, _ctx: &SimContext) {}
 }
 
 rfid_system::impl_json_struct!(FsaConfig {
@@ -152,6 +182,7 @@ rfid_system::impl_json_struct!(FsaConfig {
 mod tests {
     use super::*;
     use crate::mic::{Mic, MicConfig};
+    use rfid_protocols::Report;
     use rfid_system::{BitVec, SimConfig, TagPopulation};
 
     fn run(n: usize, seed: u64, cfg: FsaConfig) -> (Report, SimContext) {

@@ -10,11 +10,11 @@
 //! pair) are polled with their full ID instead. Only the 48-bit vector
 //! length matters for the paper's comparisons (DESIGN.md §5.3).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use rfid_c1g2::crc::crc48_code;
-use rfid_protocols::{PollingError, PollingProtocol, Report, StallCause, StallGuard};
-use rfid_system::{id::EPC_BITS, SimContext};
+use rfid_protocols::{PollingProtocol, ProtocolStepper, StepDiscipline, StepOutcome};
+use rfid_system::{id::EPC_BITS, Json, JsonError, SimContext};
 
 /// Coded-Polling configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,7 +59,30 @@ impl PollingProtocol for CodedPolling {
         "CP"
     }
 
-    fn try_run(&self, ctx: &mut SimContext) -> Result<Report, PollingError> {
+    fn open_stepper(&self, ctx: &SimContext) -> Box<dyn ProtocolStepper> {
+        Box::new(CpStepper::open(self.cfg, ctx))
+    }
+
+    fn resume_stepper(
+        &self,
+        ctx: &SimContext,
+        _state: &Json,
+    ) -> Result<Box<dyn ProtocolStepper>, JsonError> {
+        // The ambiguity set is a pure function of the (immutable) tag IDs,
+        // so a resumed stepper recomputes it instead of serializing it.
+        Ok(Box::new(CpStepper::open(self.cfg, ctx)))
+    }
+}
+
+/// One step = one sweep over the still-active tags; ambiguous codes fall
+/// back to full-ID polls.
+struct CpStepper {
+    cfg: CodedPollingConfig,
+    ambiguous: HashSet<usize>,
+}
+
+impl CpStepper {
+    fn open(cfg: CodedPollingConfig, ctx: &SimContext) -> Self {
         // Reader-side validation pass: compute every tag's code and find
         // collisions (those tags must be addressed by full ID).
         let mut by_code: HashMap<u64, Vec<usize>> = HashMap::new();
@@ -69,41 +92,45 @@ impl PollingProtocol for CodedPolling {
                 .or_default()
                 .push(handle);
         }
-        let ambiguous: std::collections::HashSet<usize> = by_code
+        let ambiguous = by_code
             .values()
             .filter(|v| v.len() > 1)
             .flatten()
             .copied()
             .collect();
-
-        let mut sweeps = 0u64;
-        let mut guard = StallGuard::default();
-        while ctx.population.active_count() > 0 {
-            sweeps += 1;
-            if sweeps > self.cfg.max_sweeps {
-                return Err(PollingError::stalled_with(
-                    self.name(),
-                    ctx,
-                    StallCause::RoundCap,
-                ));
-            }
-            let mut handles = ctx.take_scratch();
-            ctx.population.collect_active_into(&mut handles);
-            for &handle in &handles {
-                let bits = if ambiguous.contains(&handle) {
-                    EPC_BITS as u64
-                } else {
-                    CODE_BITS
-                };
-                ctx.poll_tag(bits, false, handle);
-            }
-            ctx.recycle_scratch(handles);
-            if guard.no_progress(ctx) {
-                return Err(PollingError::stalled(self.name(), ctx));
-            }
-        }
-        Ok(Report::from_context(self.name(), ctx))
+        CpStepper { cfg, ambiguous }
     }
+}
+
+impl ProtocolStepper for CpStepper {
+    fn discipline(&self) -> StepDiscipline {
+        StepDiscipline::budgeted(self.cfg.max_sweeps)
+    }
+
+    fn done(&self, ctx: &SimContext) -> bool {
+        ctx.population.active_count() == 0
+    }
+
+    fn step(&mut self, ctx: &mut SimContext) -> StepOutcome {
+        let mut handles = ctx.take_scratch();
+        ctx.population.collect_active_into(&mut handles);
+        for &handle in &handles {
+            let bits = if self.ambiguous.contains(&handle) {
+                EPC_BITS as u64
+            } else {
+                CODE_BITS
+            };
+            ctx.poll_tag(bits, false, handle);
+        }
+        ctx.recycle_scratch(handles);
+        StepOutcome::Progressed
+    }
+
+    fn state(&self) -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    fn reset(&mut self, _ctx: &SimContext) {}
 }
 
 rfid_system::impl_json_struct!(CodedPollingConfig { max_sweeps });
@@ -112,6 +139,7 @@ rfid_system::impl_json_struct!(CodedPollingConfig { max_sweeps });
 mod tests {
     use super::*;
     use crate::cpp::Cpp;
+    use rfid_protocols::Report;
     use rfid_system::{BitVec, SimConfig, TagPopulation};
 
     fn run(n: usize, seed: u64) -> (Report, SimContext) {

@@ -5,8 +5,8 @@
 //! the 96-bit polling vector makes every poll expensive. CPP is the paper's
 //! baseline: 37.70 s to collect one bit from 10⁴ tags.
 
-use rfid_protocols::{PollingError, PollingProtocol, Report, StallCause, StallGuard};
-use rfid_system::{id::EPC_BITS, SimContext};
+use rfid_protocols::{PollingProtocol, ProtocolStepper, StepDiscipline, StepOutcome};
+use rfid_system::{id::EPC_BITS, Json, JsonError, SimContext};
 
 /// CPP configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,32 +53,50 @@ impl PollingProtocol for Cpp {
         "CPP"
     }
 
-    fn try_run(&self, ctx: &mut SimContext) -> Result<Report, PollingError> {
-        let mut sweeps = 0u64;
-        let mut guard = StallGuard::default();
-        while ctx.population.active_count() > 0 {
-            sweeps += 1;
-            if sweeps > self.cfg.max_sweeps {
-                return Err(PollingError::stalled_with(
-                    self.name(),
-                    ctx,
-                    StallCause::RoundCap,
-                ));
-            }
-            // The reader walks its known ID list; active tags are the ones
-            // not yet read (or whose reply was lost last sweep).
-            let mut handles = ctx.take_scratch();
-            ctx.population.collect_active_into(&mut handles);
-            for &handle in &handles {
-                ctx.poll_tag(EPC_BITS as u64, self.cfg.with_query_rep, handle);
-            }
-            ctx.recycle_scratch(handles);
-            if guard.no_progress(ctx) {
-                return Err(PollingError::stalled(self.name(), ctx));
-            }
-        }
-        Ok(Report::from_context(self.name(), ctx))
+    fn open_stepper(&self, _ctx: &SimContext) -> Box<dyn ProtocolStepper> {
+        Box::new(CppStepper { cfg: self.cfg })
     }
+
+    fn resume_stepper(
+        &self,
+        _ctx: &SimContext,
+        _state: &Json,
+    ) -> Result<Box<dyn ProtocolStepper>, JsonError> {
+        Ok(Box::new(CppStepper { cfg: self.cfg }))
+    }
+}
+
+/// One step = one full sweep over the still-active ID list.
+struct CppStepper {
+    cfg: CppConfig,
+}
+
+impl ProtocolStepper for CppStepper {
+    fn discipline(&self) -> StepDiscipline {
+        StepDiscipline::budgeted(self.cfg.max_sweeps)
+    }
+
+    fn done(&self, ctx: &SimContext) -> bool {
+        ctx.population.active_count() == 0
+    }
+
+    fn step(&mut self, ctx: &mut SimContext) -> StepOutcome {
+        // The reader walks its known ID list; active tags are the ones
+        // not yet read (or whose reply was lost last sweep).
+        let mut handles = ctx.take_scratch();
+        ctx.population.collect_active_into(&mut handles);
+        for &handle in &handles {
+            ctx.poll_tag(EPC_BITS as u64, self.cfg.with_query_rep, handle);
+        }
+        ctx.recycle_scratch(handles);
+        StepOutcome::Progressed
+    }
+
+    fn state(&self) -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    fn reset(&mut self, _ctx: &SimContext) {}
 }
 
 rfid_system::impl_json_struct!(CppConfig {
@@ -89,6 +107,7 @@ rfid_system::impl_json_struct!(CppConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rfid_protocols::Report;
     use rfid_system::{BitVec, Channel, SimConfig, TagPopulation};
 
     fn run(n: usize, info_bits: usize, seed: u64) -> (Report, SimContext) {

@@ -12,8 +12,8 @@ use std::collections::BTreeMap;
 
 use rfid_c1g2::commands::SELECT_FIXED_BITS;
 use rfid_c1g2::TimeCategory;
-use rfid_protocols::{PollingError, PollingProtocol, Report, StallCause, StallGuard};
-use rfid_system::{id::EPC_BITS, SimContext};
+use rfid_protocols::{PollingProtocol, ProtocolStepper, StepDiscipline, StepOutcome};
+use rfid_system::{id::EPC_BITS, Json, JsonError, SimContext};
 
 /// Enhanced-CPP configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,55 +63,84 @@ impl PollingProtocol for Ecpp {
         "eCPP"
     }
 
-    fn try_run(&self, ctx: &mut SimContext) -> Result<Report, PollingError> {
-        let p = self.cfg.prefix_bits as usize;
+    fn open_stepper(&self, _ctx: &SimContext) -> Box<dyn ProtocolStepper> {
+        Box::new(EcppStepper::open(self.cfg))
+    }
+
+    fn resume_stepper(
+        &self,
+        _ctx: &SimContext,
+        _state: &Json,
+    ) -> Result<Box<dyn ProtocolStepper>, JsonError> {
+        Ok(Box::new(EcppStepper::open(self.cfg)))
+    }
+}
+
+/// One step = one sweep: group the still-active tags by prefix, Select the
+/// big groups, poll everyone.
+struct EcppStepper {
+    cfg: EcppConfig,
+    diff_bits: u64,
+}
+
+impl EcppStepper {
+    fn open(cfg: EcppConfig) -> Self {
+        let p = cfg.prefix_bits as usize;
         assert!(p < EPC_BITS, "prefix must leave differential bits");
-        let diff_bits = (EPC_BITS - p) as u64;
-        let mut sweeps = 0u64;
-        let mut guard = StallGuard::default();
-        while ctx.population.active_count() > 0 {
-            sweeps += 1;
-            if sweeps > self.cfg.max_sweeps {
-                return Err(PollingError::stalled_with(
-                    self.name(),
-                    ctx,
-                    StallCause::RoundCap,
-                ));
-            }
-            // Group active tags by their p-bit prefix. BTreeMap gives a
-            // deterministic polling order.
-            let mut groups: BTreeMap<u128, Vec<usize>> = BTreeMap::new();
-            let pop = &ctx.population;
-            pop.for_each_active(|handle| {
-                groups
-                    .entry(pop.get(handle).id.as_u128() >> (EPC_BITS - p))
-                    .or_default()
-                    .push(handle);
-            });
-            for (_, members) in groups {
-                if members.len() >= self.cfg.min_group {
-                    // Select masks the shared prefix once...
-                    ctx.reader_tx(
-                        rfid_system::BroadcastKind::Select,
-                        SELECT_FIXED_BITS + p as u64,
-                        TimeCategory::ReaderCommand,
-                    );
-                    // ...then each member costs only the differential bits.
-                    for handle in members {
-                        ctx.poll_tag(diff_bits, false, handle);
-                    }
-                } else {
-                    for handle in members {
-                        ctx.poll_tag(EPC_BITS as u64, false, handle);
-                    }
+        EcppStepper {
+            cfg,
+            diff_bits: (EPC_BITS - p) as u64,
+        }
+    }
+}
+
+impl ProtocolStepper for EcppStepper {
+    fn discipline(&self) -> StepDiscipline {
+        StepDiscipline::budgeted(self.cfg.max_sweeps)
+    }
+
+    fn done(&self, ctx: &SimContext) -> bool {
+        ctx.population.active_count() == 0
+    }
+
+    fn step(&mut self, ctx: &mut SimContext) -> StepOutcome {
+        let p = self.cfg.prefix_bits as usize;
+        // Group active tags by their p-bit prefix. BTreeMap gives a
+        // deterministic polling order.
+        let mut groups: BTreeMap<u128, Vec<usize>> = BTreeMap::new();
+        let pop = &ctx.population;
+        pop.for_each_active(|handle| {
+            groups
+                .entry(pop.get(handle).id.as_u128() >> (EPC_BITS - p))
+                .or_default()
+                .push(handle);
+        });
+        for (_, members) in groups {
+            if members.len() >= self.cfg.min_group {
+                // Select masks the shared prefix once...
+                ctx.reader_tx(
+                    rfid_system::BroadcastKind::Select,
+                    SELECT_FIXED_BITS + p as u64,
+                    TimeCategory::ReaderCommand,
+                );
+                // ...then each member costs only the differential bits.
+                for handle in members {
+                    ctx.poll_tag(self.diff_bits, false, handle);
+                }
+            } else {
+                for handle in members {
+                    ctx.poll_tag(EPC_BITS as u64, false, handle);
                 }
             }
-            if guard.no_progress(ctx) {
-                return Err(PollingError::stalled(self.name(), ctx));
-            }
         }
-        Ok(Report::from_context(self.name(), ctx))
+        StepOutcome::Progressed
     }
+
+    fn state(&self) -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    fn reset(&mut self, _ctx: &SimContext) {}
 }
 
 rfid_system::impl_json_struct!(EcppConfig {

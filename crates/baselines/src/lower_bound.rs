@@ -6,8 +6,8 @@
 //! `(37.45·4 + T1 + 25·l + T2)·n` µs. Implemented as a pseudo-protocol so
 //! table generation treats it uniformly.
 
-use rfid_protocols::{PollingError, PollingProtocol, Report, StallGuard};
-use rfid_system::SimContext;
+use rfid_protocols::{PollingProtocol, ProtocolStepper, StepDiscipline, StepOutcome};
+use rfid_system::{Json, JsonError, SimContext};
 
 /// The lower-bound pseudo-protocol: polls each tag with an empty (0-bit)
 /// polling vector behind the minimal 4-bit command.
@@ -19,21 +19,47 @@ impl PollingProtocol for LowerBound {
         "LowerBound"
     }
 
-    fn try_run(&self, ctx: &mut SimContext) -> Result<Report, PollingError> {
-        let mut guard = StallGuard::default();
-        while ctx.population.active_count() > 0 {
-            let mut handles = ctx.take_scratch();
-            ctx.population.collect_active_into(&mut handles);
-            for &handle in &handles {
-                ctx.poll_tag(0, true, handle);
-            }
-            ctx.recycle_scratch(handles);
-            if guard.no_progress(ctx) {
-                return Err(PollingError::stalled(self.name(), ctx));
-            }
-        }
-        Ok(Report::from_context(self.name(), ctx))
+    fn open_stepper(&self, _ctx: &SimContext) -> Box<dyn ProtocolStepper> {
+        Box::new(LowerBoundStepper)
     }
+
+    fn resume_stepper(
+        &self,
+        _ctx: &SimContext,
+        _state: &Json,
+    ) -> Result<Box<dyn ProtocolStepper>, JsonError> {
+        Ok(Box::new(LowerBoundStepper))
+    }
+}
+
+/// One step = one zero-vector sweep. No sweep cap (the bound is a closed
+/// form, not a real protocol); the driver's stall guard still applies.
+struct LowerBoundStepper;
+
+impl ProtocolStepper for LowerBoundStepper {
+    fn discipline(&self) -> StepDiscipline {
+        StepDiscipline::guarded_unbounded()
+    }
+
+    fn done(&self, ctx: &SimContext) -> bool {
+        ctx.population.active_count() == 0
+    }
+
+    fn step(&mut self, ctx: &mut SimContext) -> StepOutcome {
+        let mut handles = ctx.take_scratch();
+        ctx.population.collect_active_into(&mut handles);
+        for &handle in &handles {
+            ctx.poll_tag(0, true, handle);
+        }
+        ctx.recycle_scratch(handles);
+        StepOutcome::Progressed
+    }
+
+    fn state(&self) -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    fn reset(&mut self, _ctx: &SimContext) {}
 }
 
 #[cfg(test)]

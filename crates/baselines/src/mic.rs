@@ -22,8 +22,8 @@
 
 use rfid_c1g2::TimeCategory;
 use rfid_hash::HashFamily;
-use rfid_protocols::{PollingError, PollingProtocol, Report, StallCause, StallGuard};
-use rfid_system::{SimContext, SlotOutcome};
+use rfid_protocols::{PollingProtocol, ProtocolStepper, StepDiscipline, StepOutcome};
+use rfid_system::{Json, JsonError, SimContext, SlotOutcome};
 
 /// MIC configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -226,9 +226,38 @@ impl PollingProtocol for Mic {
         "MIC"
     }
 
-    fn try_run(&self, ctx: &mut SimContext) -> Result<Report, PollingError> {
-        assert!(self.cfg.k >= 1, "MIC needs at least one hash function");
-        let bits_per_slot = self.cfg.indicator_bits_per_slot();
+    fn open_stepper(&self, ctx: &SimContext) -> Box<dyn ProtocolStepper> {
+        Box::new(MicStepper::open(self.cfg, ctx))
+    }
+
+    fn resume_stepper(
+        &self,
+        ctx: &SimContext,
+        _state: &Json,
+    ) -> Result<Box<dyn ProtocolStepper>, JsonError> {
+        // All serialized state is the context's; the frame buffers are
+        // per-step transients and the padding width recomputes from the
+        // (immutable) payload lengths.
+        Ok(Box::new(MicStepper::open(self.cfg, ctx)))
+    }
+}
+
+/// One step = one MIC frame (cascade + indicator broadcast + slot walk).
+struct MicStepper {
+    cfg: MicConfig,
+    bits_per_slot: u64,
+    payload_bits: u64,
+    // Frame buffers reused across rounds: active handles, their flat
+    // k-candidate lists, the per-slot assignment, and cascade scratch.
+    handles: Vec<usize>,
+    cand_flat: Vec<u64>,
+    assignment: Vec<Option<SlotAssignment>>,
+    scratch: CascadeScratch,
+}
+
+impl MicStepper {
+    fn open(cfg: MicConfig, ctx: &SimContext) -> Self {
+        assert!(cfg.k >= 1, "MIC needs at least one hash function");
         // In a frame, the reader must wait out the full reply window before
         // declaring a slot dead — a wasted slot costs as much air time as a
         // reply slot (slots are fixed-duration in framed ALOHA). This is
@@ -240,81 +269,90 @@ impl PollingProtocol for Mic {
             .map(|(_, t)| t.info.len())
             .max()
             .unwrap_or(0) as u64;
-        let mut rounds = 0u64;
-        let mut guard = StallGuard::default();
-        // Frame buffers reused across rounds: active handles, their flat
-        // k-candidate lists, the per-slot assignment, and cascade scratch.
-        let mut handles: Vec<usize> = Vec::new();
-        let mut cand_flat: Vec<u64> = Vec::new();
-        let mut assignment: Vec<Option<SlotAssignment>> = Vec::new();
-        let mut scratch = CascadeScratch::default();
-        while ctx.population.active_count() > 0 {
-            rounds += 1;
-            if rounds > self.cfg.max_rounds {
-                return Err(PollingError::stalled_with(
-                    self.name(),
-                    ctx,
-                    StallCause::RoundCap,
-                ));
-            }
-            let unresolved = ctx.population.active_count() as u64;
-            let frame = ((unresolved as f64 * self.cfg.frame_factor).ceil() as u64).max(1);
-            let seed = ctx.draw_round_seed();
-            let family = HashFamily::new(seed, self.cfg.k);
-            ctx.begin_round(0, self.cfg.round_init_bits);
+        MicStepper {
+            cfg,
+            bits_per_slot: cfg.indicator_bits_per_slot(),
+            payload_bits,
+            handles: Vec::new(),
+            cand_flat: Vec::new(),
+            assignment: Vec::new(),
+            scratch: CascadeScratch::default(),
+        }
+    }
+}
 
-            // Both sides compute candidate slots from the same hashes.
-            handles.clear();
-            cand_flat.clear();
-            {
-                let pop = &ctx.population;
-                let (ids_hi, ids_lo) = pop.id_words();
-                pop.for_each_active(|handle| {
-                    handles.push(handle);
-                    family.slots_into(ids_hi[handle], ids_lo[handle], frame, &mut cand_flat);
-                });
-            }
-            Mic::assign_flat(
-                &mut scratch,
-                &handles,
-                &cand_flat,
-                self.cfg.k,
-                frame,
-                &mut assignment,
-            );
+impl ProtocolStepper for MicStepper {
+    fn discipline(&self) -> StepDiscipline {
+        StepDiscipline::budgeted(self.cfg.max_rounds)
+    }
 
-            // Broadcast the indicator vector.
-            ctx.reader_tx(
-                rfid_system::BroadcastKind::IndicatorVector,
-                frame * bits_per_slot,
-                TimeCategory::IndicatorVector,
-            );
+    fn done(&self, ctx: &SimContext) -> bool {
+        ctx.population.active_count() == 0
+    }
 
-            // Walk the frame: marked slots carry one reply, unmarked slots
-            // are the (short) wasted slots MIC could not eliminate.
-            for slot in &assignment {
-                match slot {
-                    Some(a) => {
-                        if let SlotOutcome::Singleton(tag) =
-                            ctx.slot(&[a.tag], rfid_c1g2::QUERY_REP_BITS)
-                        {
-                            ctx.mark_read(tag);
-                        }
-                    }
-                    None => {
-                        ctx.slot(&[], rfid_c1g2::QUERY_REP_BITS);
-                        // Pad the empty slot to the full reply window.
-                        let pad = ctx.link.tag_tx(payload_bits);
-                        ctx.wait(TimeCategory::WastedSlot, pad);
+    fn step(&mut self, ctx: &mut SimContext) -> StepOutcome {
+        let unresolved = ctx.population.active_count() as u64;
+        let frame = ((unresolved as f64 * self.cfg.frame_factor).ceil() as u64).max(1);
+        let seed = ctx.draw_round_seed();
+        let family = HashFamily::new(seed, self.cfg.k);
+        ctx.begin_round(0, self.cfg.round_init_bits);
+
+        // Both sides compute candidate slots from the same hashes.
+        self.handles.clear();
+        self.cand_flat.clear();
+        {
+            let pop = &ctx.population;
+            let (ids_hi, ids_lo) = pop.id_words();
+            let handles = &mut self.handles;
+            let cand_flat = &mut self.cand_flat;
+            pop.for_each_active(|handle| {
+                handles.push(handle);
+                family.slots_into(ids_hi[handle], ids_lo[handle], frame, cand_flat);
+            });
+        }
+        Mic::assign_flat(
+            &mut self.scratch,
+            &self.handles,
+            &self.cand_flat,
+            self.cfg.k,
+            frame,
+            &mut self.assignment,
+        );
+
+        // Broadcast the indicator vector.
+        ctx.reader_tx(
+            rfid_system::BroadcastKind::IndicatorVector,
+            frame * self.bits_per_slot,
+            TimeCategory::IndicatorVector,
+        );
+
+        // Walk the frame: marked slots carry one reply, unmarked slots
+        // are the (short) wasted slots MIC could not eliminate.
+        for slot in &self.assignment {
+            match slot {
+                Some(a) => {
+                    if let SlotOutcome::Singleton(tag) =
+                        ctx.slot(&[a.tag], rfid_c1g2::QUERY_REP_BITS)
+                    {
+                        ctx.mark_read(tag);
                     }
                 }
-            }
-            if guard.no_progress(ctx) {
-                return Err(PollingError::stalled(self.name(), ctx));
+                None => {
+                    ctx.slot(&[], rfid_c1g2::QUERY_REP_BITS);
+                    // Pad the empty slot to the full reply window.
+                    let pad = ctx.link.tag_tx(self.payload_bits);
+                    ctx.wait(TimeCategory::WastedSlot, pad);
+                }
             }
         }
-        Ok(Report::from_context(self.name(), ctx))
+        StepOutcome::Progressed
     }
+
+    fn state(&self) -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    fn reset(&mut self, _ctx: &SimContext) {}
 }
 
 rfid_system::impl_json_struct!(MicConfig {
@@ -327,6 +365,7 @@ rfid_system::impl_json_struct!(MicConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rfid_protocols::Report;
     use rfid_system::{BitVec, Channel, SimConfig, TagPopulation};
 
     fn run(n: usize, seed: u64, cfg: MicConfig) -> (Report, SimContext) {

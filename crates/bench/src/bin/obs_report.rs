@@ -21,6 +21,11 @@
 //! hot-path bench writes: well-formed JSON of the expected shape, a
 //! completed 1M-tag run, and at least one gated n = 100k case at ≥ 10×
 //! the pre-change throughput (DESIGN.md §12).
+//!
+//! `--check-session <path>` validates the `BENCH_session.json` report the
+//! crash-chaos session bench writes: every kill/snapshot/restore case must
+//! be bit-identical, with full clean coverage (all 12 protocols), the four
+//! impaired paper protocols, and a multi-pass recovery case (DESIGN.md §13).
 
 use rfid_baselines::{CodedPollingConfig, CppConfig, EcppConfig, FsaConfig, LowerBound, MicConfig};
 use rfid_identify::{BinarySplitConfig, QAlgorithmConfig, QueryTreeConfig};
@@ -36,18 +41,20 @@ fn main() {
     let mut seed = 1u64;
     let mut reconcile_mode = false;
     let mut hotpath_report: Option<String> = None;
+    let mut session_report: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--reconcile" => reconcile_mode = true,
             "--check-hotpath" => hotpath_report = Some(parse_next(&mut it, "--check-hotpath")),
+            "--check-session" => session_report = Some(parse_next(&mut it, "--check-session")),
             "--n" => n = parse_next(&mut it, "--n"),
             "--seed" => seed = parse_next(&mut it, "--seed"),
             other => {
                 eprintln!("unknown argument `{other}`");
                 eprintln!(
                     "usage: obs_report [--n N] [--seed S] [--reconcile] \
-                     [--check-hotpath FILE]"
+                     [--check-hotpath FILE] [--check-session FILE]"
                 );
                 std::process::exit(2);
             }
@@ -55,6 +62,9 @@ fn main() {
     }
     if let Some(path) = hotpath_report {
         std::process::exit(check_hotpath_report(&path));
+    }
+    if let Some(path) = session_report {
+        std::process::exit(check_session_report(&path));
     }
     if reconcile_mode {
         std::process::exit(run_reconcile_gate(n.min(120), seed));
@@ -355,6 +365,132 @@ fn check_hotpath_report(path: &str) -> i32 {
         }
         Err(e) => {
             eprintln!("check-hotpath: {path} invalid: {e}");
+            1
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// --check-session: BENCH_session.json shape + crash-chaos gate validation
+// ---------------------------------------------------------------------------
+
+/// Validates the crash-chaos session report: parseable, expected schema,
+/// every kill/snapshot/restore case bit-identical, all 12 protocols covered
+/// on the clean channel, the four paper protocols impaired, and a
+/// multi-pass recovery case. Returns the process exit code.
+fn check_session_report(path: &str) -> i32 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("check-session: cannot read {path}: {e}");
+            return 1;
+        }
+    };
+    let parsed = match rfid_system::Json::parse(&text) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("check-session: {path} is not well-formed JSON: {e}");
+            return 1;
+        }
+    };
+    let validate = || -> Result<(), String> {
+        let group = parsed
+            .get("group")
+            .ok_or("missing `group`")?
+            .as_str()
+            .map_err(|e| e.to_string())?;
+        if group != "session" {
+            return Err(format!("group is `{group}`, expected `session`"));
+        }
+        let results = parsed
+            .get("results")
+            .ok_or("missing `results`")?
+            .as_arr()
+            .map_err(|e| e.to_string())?;
+        if results.is_empty() {
+            return Err("empty `results`".to_string());
+        }
+        let mut clean = std::collections::BTreeSet::new();
+        let mut impaired = std::collections::BTreeSet::new();
+        let mut multi_pass_recovery = false;
+        for r in results {
+            let name = r
+                .get("name")
+                .ok_or("result missing `name`")?
+                .as_str()
+                .map_err(|e| e.to_string())?;
+            let channel = r
+                .get("channel")
+                .ok_or("result missing `channel`")?
+                .as_str()
+                .map_err(|e| e.to_string())?;
+            let kill = r
+                .get("kill_step")
+                .ok_or("result missing `kill_step`")?
+                .as_u64()
+                .map_err(|e| e.to_string())?;
+            let bytes = r
+                .get("snapshot_bytes")
+                .ok_or("result missing `snapshot_bytes`")?
+                .as_u64()
+                .map_err(|e| e.to_string())?;
+            let passes = r
+                .get("passes")
+                .ok_or("result missing `passes`")?
+                .as_u64()
+                .map_err(|e| e.to_string())?;
+            let identical = r
+                .get("identical")
+                .ok_or("result missing `identical`")?
+                .as_bool()
+                .map_err(|e| e.to_string())?;
+            if !identical {
+                return Err(format!(
+                    "{name}/{channel}: restored run was NOT bit-identical"
+                ));
+            }
+            if kill == 0 {
+                return Err(format!("{name}/{channel}: kill_step 0 (never killed)"));
+            }
+            if bytes == 0 {
+                return Err(format!(
+                    "{name}/{channel}: snapshot_bytes 0 (snapshot path not exercised)"
+                ));
+            }
+            match channel {
+                "clean" => {
+                    clean.insert(name.to_string());
+                }
+                "impaired" => {
+                    impaired.insert(name.to_string());
+                }
+                "recovery" => multi_pass_recovery |= passes > 1,
+                other => return Err(format!("{name}: unknown channel `{other}`")),
+            }
+        }
+        if clean.len() < 12 {
+            return Err(format!(
+                "only {} clean protocols covered, expected all 12",
+                clean.len()
+            ));
+        }
+        for required in ["HPP", "EHPP", "TPP", "MIC"] {
+            if !impaired.contains(required) {
+                return Err(format!("no impaired case for {required}"));
+            }
+        }
+        if !multi_pass_recovery {
+            return Err("no multi-pass recovery case (passes > 1)".to_string());
+        }
+        Ok(())
+    };
+    match validate() {
+        Ok(()) => {
+            println!("check-session: {path} ok");
+            0
+        }
+        Err(e) => {
+            eprintln!("check-session: {path} invalid: {e}");
             1
         }
     }

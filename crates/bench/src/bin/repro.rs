@@ -79,6 +79,7 @@ fn main() {
         "ablations" => ablations(&mut engine, &opts),
         "energy" => energy(&mut engine, &opts),
         "recovery" => recovery(&mut engine, &opts),
+        "session" => session(&opts),
         "all" => {
             fig1();
             fig3(&opts);
@@ -93,6 +94,7 @@ fn main() {
             ablations(&mut engine, &opts);
             energy(&mut engine, &opts);
             recovery(&mut engine, &opts);
+            session(&opts);
         }
         other => unreachable!("cli::parse_args validated `{other}`"),
     }
@@ -682,6 +684,150 @@ fn recovery(engine: &mut SweepEngine, opts: &ReproOptions) {
             Err(e) => eprintln!("could not write BENCH_recovery.json: {e}"),
         }
     }
+}
+
+// ---------------------------------------------------------------- session
+
+/// The resumable-session experiment: for each protocol, run the golden
+/// scenario once uninterrupted, then again with a seeded mid-run kill —
+/// snapshot, drop the process image, restore from the JSON, finish — and
+/// prove the final report and event trace bit-identical.
+///
+/// `--checkpoint PATH` additionally writes the first killed run's snapshot
+/// to disk; `--resume PATH` skips the gate entirely and instead restores
+/// the given snapshot and runs it to completion (the two flags together
+/// demonstrate a cross-process crash/restore cycle).
+fn session(opts: &ReproOptions) {
+    use rfid_baselines::{CodedPollingConfig, FsaConfig};
+    use rfid_bench::fnv64;
+    use rfid_hash::Xoshiro256;
+    use rfid_identify::{BinarySplitConfig, QAlgorithmConfig, QueryTreeConfig};
+    use rfid_protocols::{Session, SessionEnd};
+    use rfid_system::{Json, SimConfig, SimContext, ToJson};
+
+    let protocols: Vec<Box<dyn PollingProtocol>> = vec![
+        Box::new(CppConfig::default().into_protocol()),
+        Box::new(EcppConfig::default().into_protocol()),
+        Box::new(CodedPollingConfig::default().into_protocol()),
+        Box::new(HppConfig::default().into_protocol()),
+        Box::new(EhppConfig::default().into_protocol()),
+        Box::new(TppConfig::default().into_protocol()),
+        Box::new(MicConfig::default().into_protocol()),
+        Box::new(FsaConfig::default().into_protocol()),
+        Box::new(LowerBound),
+        Box::new(QueryTreeConfig::default().into_protocol()),
+        Box::new(BinarySplitConfig::default().into_protocol()),
+        Box::new(QAlgorithmConfig::default().into_protocol()),
+    ];
+
+    // --resume: restore a snapshot written by a previous (crashed or
+    // checkpointed) invocation and finish the inventory.
+    if let Some(path) = &opts.resume {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("could not read {}: {e}", path.display());
+            std::process::exit(2);
+        });
+        let doc = Json::parse(&text).unwrap_or_else(|e| {
+            eprintln!("{} is not valid JSON: {e}", path.display());
+            std::process::exit(2);
+        });
+        let name: String = doc.field("protocol").unwrap_or_else(|e| {
+            eprintln!("{} is not a session snapshot: {e}", path.display());
+            std::process::exit(2);
+        });
+        let Some(protocol) = protocols.iter().find(|p| p.name() == name) else {
+            eprintln!("snapshot is for unknown protocol `{name}`");
+            std::process::exit(2);
+        };
+        let (mut ctx, mut session) =
+            Session::restore(protocol.as_ref(), &doc).unwrap_or_else(|e| {
+                eprintln!("could not restore {}: {e}", path.display());
+                std::process::exit(2);
+            });
+        println!(
+            "resuming {name} from {} (pass {}, {} step(s) into the pass)",
+            path.display(),
+            session.passes(),
+            session.steps_taken()
+        );
+        match session.run(&mut ctx) {
+            SessionEnd::Complete { report, passes } => println!(
+                "complete: {} tags polled in {:.3} s over {passes} pass(es)",
+                report.counters.polls,
+                report.total_time.as_secs()
+            ),
+            other => println!("session ended without completing: {other:?}"),
+        }
+        return;
+    }
+
+    println!("\n== Session — crash-chaos checkpoint/restore gate (n = 150, seed 31) ==");
+    println!(
+        "{:<12} {:>6} {:>10} {:>10}  {}",
+        "protocol", "kill@", "snapshot", "restored", "bit-identical"
+    );
+    let scenario = Scenario::uniform(150, 4).with_seed(31);
+    let cfg = SimConfig::paper(scenario.protocol_seed()).with_trace();
+    let mut rng = Xoshiro256::seed_from_u64(0x5E55_1017);
+    let mut checkpoint = opts.checkpoint.clone();
+    for protocol in &protocols {
+        let name = protocol.name();
+
+        // Uninterrupted reference, stepped to count killable boundaries.
+        let mut ctx = SimContext::new(scenario.build_population(), &cfg);
+        let mut sess = Session::open(protocol.as_ref(), &ctx);
+        let mut boundaries = 0u64;
+        let reference = loop {
+            match sess.run_for(&mut ctx, 1) {
+                Some(end) => break end,
+                None => boundaries += 1,
+            }
+        };
+        let SessionEnd::Complete { report, .. } = reference else {
+            panic!("{name}: reference run did not complete");
+        };
+        let ref_json = report.to_json().to_string();
+        let ref_trace = fnv64(&ctx.log.to_jsonl());
+
+        // Killed run: crash at a seeded boundary, survive as JSON only.
+        let kill = 1 + rng.below(boundaries.max(1));
+        let mut ctx = SimContext::new(scenario.build_population(), &cfg);
+        let mut sess = Session::open(protocol.as_ref(), &ctx);
+        assert!(
+            sess.run_for(&mut ctx, kill).is_none(),
+            "{name}: kill point {kill} of {boundaries} must land mid-run"
+        );
+        let snap = sess.snapshot(&ctx, &cfg).to_string();
+        drop(sess);
+        drop(ctx);
+        if let Some(path) = checkpoint.take() {
+            match std::fs::write(&path, snap.as_bytes()) {
+                Ok(()) => println!(
+                    "checkpoint: {name} killed at step {kill} -> {} \
+                     (finish it with `repro session --resume`)",
+                    path.display()
+                ),
+                Err(e) => eprintln!("could not write {}: {e}", path.display()),
+            }
+        }
+        let doc = Json::parse(&snap).expect("snapshot parses");
+        let (mut ctx, mut sess) =
+            Session::restore(protocol.as_ref(), &doc).expect("snapshot restores");
+        let end = sess.run(&mut ctx);
+        let SessionEnd::Complete { report, .. } = end else {
+            panic!("{name}: restored run did not complete: {end:?}");
+        };
+        let identical =
+            report.to_json().to_string() == ref_json && fnv64(&ctx.log.to_jsonl()) == ref_trace;
+        println!(
+            "{name:<12} {kill:>6} {:>9}B {:>10} {:>10}",
+            snap.len(),
+            "ok",
+            if identical { "yes" } else { "NO" }
+        );
+        assert!(identical, "{name}: restored run drifted from the reference");
+    }
+    println!("(every restored run reproduced its reference bit-for-bit)");
 }
 
 // -------------------------------------------------------------- ablations

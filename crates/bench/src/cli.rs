@@ -44,6 +44,10 @@ pub const EXPERIMENTS: &[(&str, &str)] = &[
         "recovery",
         "chaos-soak recovery grid: convergence gate + overhead",
     ),
+    (
+        "session",
+        "checkpoint/restore: crash-chaos bit-identity gate",
+    ),
     ("all", "everything above"),
 ];
 
@@ -64,6 +68,10 @@ pub struct ReproOptions {
     pub cache: bool,
     /// Cache root override (`None` = `target/sweep-cache`).
     pub cache_dir: Option<PathBuf>,
+    /// Where the `session` experiment writes its mid-run snapshot.
+    pub checkpoint: Option<PathBuf>,
+    /// A snapshot file to restore and finish instead of starting fresh.
+    pub resume: Option<PathBuf>,
 }
 
 impl Default for ReproOptions {
@@ -76,6 +84,8 @@ impl Default for ReproOptions {
             run_block: None,
             cache: true,
             cache_dir: None,
+            checkpoint: None,
+            resume: None,
         }
     }
 }
@@ -84,7 +94,8 @@ impl Default for ReproOptions {
 pub fn usage() -> String {
     let mut out = String::from(
         "usage: repro [experiment] [--runs N] [--max-n N] [--workers N]\n\
-         \x20            [--run-block N] [--no-cache] [--cache-dir PATH]\n\n\
+         \x20            [--run-block N] [--no-cache] [--cache-dir PATH]\n\
+         \x20            [--checkpoint PATH] [--resume PATH]\n\n\
          experiments:\n",
     );
     for (name, desc) in EXPERIMENTS {
@@ -94,7 +105,10 @@ pub fn usage() -> String {
         "\n--runs (default 20) controls Monte-Carlo repetitions; --max-n\n\
          (default 100000) caps the population sweep. --workers 1 is the\n\
          serial reference path (output is bit-identical to any width).\n\
-         Cell results persist under target/sweep-cache/ unless --no-cache.\n",
+         Cell results persist under target/sweep-cache/ unless --no-cache.\n\
+         The session experiment kills a run mid-flight and proves the\n\
+         restored run bit-identical; --checkpoint PATH writes the snapshot\n\
+         of a killed run, --resume PATH restores one and finishes it.\n",
     );
     out
 }
@@ -118,6 +132,12 @@ pub fn parse_args(args: &[String]) -> Result<ReproOptions, String> {
             "--no-cache" => opts.cache = false,
             "--cache-dir" => {
                 opts.cache_dir = Some(PathBuf::from(it.next().ok_or("--cache-dir needs a path")?))
+            }
+            "--checkpoint" => {
+                opts.checkpoint = Some(PathBuf::from(it.next().ok_or("--checkpoint needs a path")?))
+            }
+            "--resume" => {
+                opts.resume = Some(PathBuf::from(it.next().ok_or("--resume needs a path")?))
             }
             other if !other.starts_with('-') => {
                 if let Some(first) = &experiment {
@@ -200,6 +220,16 @@ mod tests {
     }
 
     #[test]
+    fn session_flags_parse() {
+        let opts = parse(&["session", "--checkpoint", "/tmp/s.json"]).unwrap();
+        assert_eq!(opts.experiment, "session");
+        assert_eq!(opts.checkpoint, Some(PathBuf::from("/tmp/s.json")));
+        assert_eq!(opts.resume, None);
+        let opts = parse(&["session", "--resume", "/tmp/s.json"]).unwrap();
+        assert_eq!(opts.resume, Some(PathBuf::from("/tmp/s.json")));
+    }
+
+    #[test]
     fn missing_or_bad_numbers_are_errors_not_panics() {
         for args in [
             &["--runs"][..],
@@ -209,6 +239,8 @@ mod tests {
             &["--workers", "0"],
             &["--run-block", "x"],
             &["--cache-dir"],
+            &["--checkpoint"],
+            &["--resume"],
         ] {
             assert!(parse(args).is_err(), "{args:?} should be rejected");
         }

@@ -18,7 +18,7 @@ pub mod runner;
 pub mod stats;
 pub mod sweep;
 
-pub use harness::{find_target_dir, Bench, Measurement};
+pub use harness::{find_target_dir, fnv64, Bench, Measurement};
 pub use runner::{montecarlo, ProtocolFactory};
 pub use stats::Summary;
 pub use sweep::{Cell, SweepEngine, SweepStats, CACHE_SALT};

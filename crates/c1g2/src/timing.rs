@@ -144,6 +144,30 @@ impl Clock {
         Clock::default()
     }
 
+    /// Rebuilds a clock from checkpointed parts.
+    ///
+    /// The elapsed total is carried *separately* from the breakdown on
+    /// purpose: `elapsed` accumulates one floating-point addition per
+    /// `spend` in chronological order, while the breakdown accumulates per
+    /// category — the two sums can differ in the last bits, so recomputing
+    /// `elapsed` from the buckets would break the bit-identical-restore
+    /// contract of session snapshots.
+    ///
+    /// # Panics
+    /// Panics if `elapsed` strays from the breakdown total by more than
+    /// floating-point accumulation can explain (a corrupt snapshot).
+    pub fn from_parts(elapsed: Micros, breakdown: TimeBreakdown) -> Self {
+        let total = breakdown.total().as_f64();
+        let drift = (elapsed.as_f64() - total).abs();
+        assert!(
+            drift <= 1e-6 * total.max(1.0),
+            "clock elapsed {} µs inconsistent with breakdown total {} µs",
+            elapsed.as_f64(),
+            total
+        );
+        Clock { elapsed, breakdown }
+    }
+
     /// Advances the clock by `dt`, attributing it to `category`.
     #[inline]
     pub fn spend(&mut self, category: TimeCategory, dt: Micros) {
@@ -199,6 +223,33 @@ mod tests {
             c.spend(*cat, Micros::from_us((i + 1) as f64));
         }
         assert!((c.breakdown().total().as_f64() - c.total().as_f64()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_parts_preserves_elapsed_bits() {
+        // Accumulate in an order where `elapsed` and the bucket sums round
+        // differently, then check the round-trip keeps the exact bits.
+        let mut c = Clock::new();
+        let mut x = 0.1f64;
+        for i in 0..1_000 {
+            let cat = TimeCategory::ALL[i % TimeCategory::ALL.len()];
+            c.spend(cat, Micros::from_us(x));
+            x = (x * 1.37) % 10.0 + 0.01;
+        }
+        let back = Clock::from_parts(c.total(), *c.breakdown());
+        assert_eq!(
+            back.total().as_f64().to_bits(),
+            c.total().as_f64().to_bits()
+        );
+        assert_eq!(back.breakdown(), c.breakdown());
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent with breakdown")]
+    fn from_parts_rejects_corrupt_elapsed() {
+        let mut b = TimeBreakdown::default();
+        b.record(TimeCategory::TagReply, Micros::from_us(10.0));
+        let _ = Clock::from_parts(Micros::from_us(99.0), b);
     }
 
     #[test]

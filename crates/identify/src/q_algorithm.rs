@@ -16,8 +16,8 @@
 
 use rfid_c1g2::commands::{ACK_BITS, QUERY_BITS};
 use rfid_c1g2::TimeCategory;
-use rfid_protocols::{PollingError, PollingProtocol, Report, StallCause};
-use rfid_system::{BroadcastKind, Event, SimContext, SlotOutcome};
+use rfid_protocols::{PollingProtocol, ProtocolStepper, StallCause, StepDiscipline, StepOutcome};
+use rfid_system::{BroadcastKind, Event, Json, JsonError, SimContext, SlotOutcome, ToJson};
 
 /// PC + EPC + CRC-16 backscatter length.
 const EPC_REPLY_BITS: u64 = 16 + 96 + 16;
@@ -73,22 +73,72 @@ impl PollingProtocol for QAlgorithm {
         "Q-algo"
     }
 
-    fn try_run(&self, ctx: &mut SimContext) -> Result<Report, PollingError> {
-        assert!(self.cfg.initial_q <= 15, "Q must be ≤ 15");
-        assert!(self.cfg.c > 0.0, "adaptation constant must be positive");
-        let mut q_fp = self.cfg.initial_q as f64;
-        let mut slots_total = 0u64;
-        // Frame buffers reused across (re)starts: active handles, their
-        // slot draws, per-slot end offsets, and the slot-ordered handles —
-        // a counting sort replacing the old per-frame comparison sort.
-        let mut handles: Vec<usize> = Vec::new();
-        let mut slot_of: Vec<u64> = Vec::new();
-        let mut ends: Vec<usize> = Vec::new();
-        let mut ordered: Vec<usize> = Vec::new();
+    fn open_stepper(&self, _ctx: &SimContext) -> Box<dyn ProtocolStepper> {
+        Box::new(QAlgorithmStepper::open(self.cfg))
+    }
 
-        while ctx.population.active_count() > 0 {
+    fn resume_stepper(
+        &self,
+        _ctx: &SimContext,
+        state: &Json,
+    ) -> Result<Box<dyn ProtocolStepper>, JsonError> {
+        let mut stepper = QAlgorithmStepper::open(self.cfg);
+        stepper.q_fp = state.field("q_fp")?;
+        if !stepper.q_fp.is_finite() {
+            return Err(JsonError("Q-algo q_fp must be finite".into()));
+        }
+        stepper.slots_total = state.field("slots_total")?;
+        Ok(Box::new(stepper))
+    }
+}
+
+/// One step = one frame (a `Query` and every slot up to the frame end or a
+/// `QueryAdjust` restart).
+struct QAlgorithmStepper {
+    cfg: QAlgorithmConfig,
+    q_fp: f64,
+    slots_total: u64,
+    // Frame buffers reused across (re)starts: active handles, their
+    // slot draws, per-slot end offsets, and the slot-ordered handles —
+    // a counting sort replacing the old per-frame comparison sort. Rebuilt
+    // at the top of every frame, so never serialized.
+    handles: Vec<usize>,
+    slot_of: Vec<u64>,
+    ends: Vec<usize>,
+    ordered: Vec<usize>,
+}
+
+impl QAlgorithmStepper {
+    fn open(cfg: QAlgorithmConfig) -> Self {
+        assert!(cfg.initial_q <= 15, "Q must be ≤ 15");
+        assert!(cfg.c > 0.0, "adaptation constant must be positive");
+        QAlgorithmStepper {
+            cfg,
+            q_fp: cfg.initial_q as f64,
+            slots_total: 0,
+            handles: Vec::new(),
+            slot_of: Vec::new(),
+            ends: Vec::new(),
+            ordered: Vec::new(),
+        }
+    }
+}
+
+impl ProtocolStepper for QAlgorithmStepper {
+    fn discipline(&self) -> StepDiscipline {
+        // The total-slot cap below subsumes both the round budget and the
+        // stall guard.
+        StepDiscipline::self_limited()
+    }
+
+    fn done(&self, ctx: &SimContext) -> bool {
+        ctx.population.active_count() == 0
+    }
+
+    fn step(&mut self, ctx: &mut SimContext) -> StepOutcome {
+        {
             // Open (or re-open) a frame at the current Q.
-            let q = q_fp.round().clamp(0.0, 15.0) as u32;
+            let q = self.q_fp.round().clamp(0.0, 15.0) as u32;
             ctx.reader_tx(
                 BroadcastKind::Query,
                 QUERY_BITS,
@@ -109,13 +159,17 @@ impl PollingProtocol for QAlgorithm {
             // used). Group by slot with a counting sort: stable fill keeps
             // handles ascending within a slot, matching the old
             // sort-by-(slot, handle) output exactly.
+            let handles = &mut self.handles;
+            let slot_of = &mut self.slot_of;
+            let ends = &mut self.ends;
+            let ordered = &mut self.ordered;
             handles.clear();
-            ctx.population.collect_active_into(&mut handles);
+            ctx.population.collect_active_into(handles);
             slot_of.clear();
             slot_of.extend(handles.iter().map(|_| ctx.rng.below(frame)));
             ends.clear();
             ends.resize(frame as usize, 0);
-            for &s in &slot_of {
+            for &s in slot_of.iter() {
                 ends[s as usize] += 1;
             }
             let mut acc = 0usize;
@@ -133,13 +187,9 @@ impl PollingProtocol for QAlgorithm {
 
             let mut slot = 0u64;
             loop {
-                slots_total += 1;
-                if slots_total >= self.cfg.max_slots {
-                    return Err(PollingError::stalled_with(
-                        self.name(),
-                        ctx,
-                        StallCause::RoundCap,
-                    ));
+                self.slots_total += 1;
+                if self.slots_total >= self.cfg.max_slots {
+                    return StepOutcome::Stalled(StallCause::RoundCap);
                 }
                 // Tags whose counter equals the current slot reply.
                 let begin = if slot == 0 {
@@ -165,7 +215,7 @@ impl PollingProtocol for QAlgorithm {
                         ctx.wait(TimeCategory::WastedSlot, ctx.link.t3);
                         ctx.counters.empty_slots += 1;
                         ctx.trace(|| Event::SlotEmpty);
-                        q_fp = (q_fp - self.cfg.c).max(0.0);
+                        self.q_fp = (self.q_fp - self.cfg.c).max(0.0);
                     }
                     SlotOutcome::Singleton(tag) => {
                         ctx.wait(TimeCategory::TagReply, ctx.link.tag_tx(RN16_BITS));
@@ -191,7 +241,7 @@ impl PollingProtocol for QAlgorithm {
                         ctx.wait(TimeCategory::Turnaround, ctx.link.t2);
                         ctx.counters.collision_slots += 1;
                         ctx.trace(|| Event::SlotCollision { count });
-                        q_fp = (q_fp + self.cfg.c).min(15.0);
+                        self.q_fp = (self.q_fp + self.cfg.c).min(15.0);
                     }
                     SlotOutcome::Corrupted(tag) => {
                         // Garbled RN16: the reader cannot ACK it. The tag
@@ -208,7 +258,7 @@ impl PollingProtocol for QAlgorithm {
                 if slot >= frame {
                     break;
                 }
-                if q_fp.round() as u32 != q {
+                if self.q_fp.round() as u32 != q {
                     ctx.reader_tx(
                         BroadcastKind::QueryAdjust,
                         QUERY_ADJUST_BITS,
@@ -218,7 +268,19 @@ impl PollingProtocol for QAlgorithm {
                 }
             }
         }
-        Ok(Report::from_context(self.name(), ctx))
+        StepOutcome::Progressed
+    }
+
+    fn state(&self) -> Json {
+        Json::Obj(vec![
+            ("q_fp".into(), self.q_fp.to_json()),
+            ("slots_total".into(), self.slots_total.to_json()),
+        ])
+    }
+
+    fn reset(&mut self, _ctx: &SimContext) {
+        self.q_fp = self.cfg.initial_q as f64;
+        self.slots_total = 0;
     }
 }
 
@@ -231,6 +293,7 @@ rfid_system::impl_json_struct!(QAlgorithmConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rfid_protocols::Report;
     use rfid_system::{BitVec, Channel, SimConfig, TagPopulation};
 
     fn run(n: usize, seed: u64, cfg: QAlgorithmConfig) -> (Report, SimContext) {

@@ -13,9 +13,9 @@
 //! count on uniform IDs is ≈ 2.89 per tag.
 
 use rfid_c1g2::TimeCategory;
-use rfid_protocols::{PollingError, PollingProtocol, Report, StallCause};
+use rfid_protocols::{PollingProtocol, ProtocolStepper, StallCause, StepDiscipline, StepOutcome};
 use rfid_system::id::EPC_BITS;
-use rfid_system::{BroadcastKind, Event, SimContext, SlotOutcome};
+use rfid_system::{BroadcastKind, Event, Json, JsonError, SimContext, SlotOutcome, ToJson};
 
 /// Query-Tree configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,127 +67,205 @@ impl PollingProtocol for QueryTree {
         "QueryTree"
     }
 
-    fn try_run(&self, ctx: &mut SimContext) -> Result<Report, PollingError> {
-        // One-time reader-side index: IDs sorted as 96-bit values. A prefix
-        // `p` of length `L` matches exactly the sorted range
-        // `[p·2^(96-L), (p+1)·2^(96-L))`, so each query resolves its
-        // repliers by binary search instead of re-scanning (and re-building
-        // the bit image of) the whole population.
+    fn open_stepper(&self, ctx: &SimContext) -> Box<dyn ProtocolStepper> {
+        Box::new(QueryTreeStepper::open(self.cfg, ctx))
+    }
+
+    fn resume_stepper(
+        &self,
+        ctx: &SimContext,
+        state: &Json,
+    ) -> Result<Box<dyn ProtocolStepper>, JsonError> {
+        let mut stepper = QueryTreeStepper::open(self.cfg, ctx);
+        stepper.queries = state.field("queries")?;
+        let rows: Vec<Vec<u64>> = state.field("stack")?;
+        stepper.stack.clear();
+        for row in &rows {
+            let [hi, lo, len] = row[..] else {
+                return Err(JsonError(
+                    "QueryTree stack entry must be a [hi, lo, len] triple".into(),
+                ));
+            };
+            let value = (hi as u128) << 64 | lo as u128;
+            if !(1..=EPC_BITS as u64).contains(&len) || value >> len != 0 {
+                return Err(JsonError(format!(
+                    "QueryTree stack entry {value:#x}/{len} is not a valid prefix"
+                )));
+            }
+            stepper.stack.push((value, len as u32));
+        }
+        Ok(Box::new(stepper))
+    }
+}
+
+/// One step = one prefix query (one pop off the LIFO).
+struct QueryTreeStepper {
+    cfg: QueryTreeConfig,
+    /// Reader-side index: IDs sorted as 96-bit values. A prefix `p` of
+    /// length `L` matches exactly the sorted range
+    /// `[p·2^(96-L), (p+1)·2^(96-L))`, so each query resolves its repliers
+    /// by binary search instead of re-scanning the whole population. Pure
+    /// function of the immutable IDs: recomputed on resume, not serialized.
+    sorted: Vec<(u128, usize)>,
+    repliers: Vec<usize>,
+    /// LIFO keeps memory logarithmic on random IDs (depth-first). Each
+    /// entry is a right-aligned prefix value plus its bit length.
+    stack: Vec<(u128, u32)>,
+    queries: u64,
+}
+
+impl QueryTreeStepper {
+    fn open(cfg: QueryTreeConfig, ctx: &SimContext) -> Self {
         let mut sorted: Vec<(u128, usize)> = ctx
             .population
             .iter()
             .map(|(h, t)| (t.id.as_u128(), h))
             .collect();
         sorted.sort_unstable();
-        let mut repliers: Vec<usize> = Vec::new();
-        // LIFO keeps memory logarithmic on random IDs (depth-first). Each
-        // entry is a right-aligned prefix value plus its bit length.
-        let mut stack: Vec<(u128, u32)> = vec![(1, 1), (0, 1)];
-        let mut queries = 0u64;
-        while let Some(prefix) = stack.pop() {
-            let (value, len) = prefix;
-            queries += 1;
-            if queries >= 100_000_000 {
-                // Channel too lossy to ever drain the stack.
-                return Err(PollingError::stalled_with(
-                    self.name(),
-                    ctx,
-                    StallCause::RoundCap,
-                ));
+        QueryTreeStepper {
+            cfg,
+            sorted,
+            repliers: Vec::new(),
+            stack: vec![(1, 1), (0, 1)],
+            queries: 0,
+        }
+    }
+}
+
+impl ProtocolStepper for QueryTreeStepper {
+    fn discipline(&self) -> StepDiscipline {
+        // The query cap below subsumes both the round budget and the stall
+        // guard: a lossy channel shows up as a stack that never drains.
+        StepDiscipline::self_limited()
+    }
+
+    fn done(&self, _ctx: &SimContext) -> bool {
+        self.stack.is_empty()
+    }
+
+    fn step(&mut self, ctx: &mut SimContext) -> StepOutcome {
+        let Some(prefix) = self.stack.pop() else {
+            return StepOutcome::Progressed;
+        };
+        let (value, len) = prefix;
+        self.queries += 1;
+        if self.queries >= 100_000_000 {
+            // Channel too lossy to ever drain the stack.
+            return StepOutcome::Stalled(StallCause::RoundCap);
+        }
+        // Matching tags: active tags whose ID begins with the prefix,
+        // in ascending handle order (the population scan order the
+        // channel model has always seen).
+        let lo = value << (EPC_BITS as u32 - len);
+        let hi = lo + (1u128 << (EPC_BITS as u32 - len));
+        let start = self.sorted.partition_point(|&(id, _)| id < lo);
+        let end = self.sorted.partition_point(|&(id, _)| id < hi);
+        let active_words = ctx.population.active_words();
+        self.repliers.clear();
+        self.repliers.extend(
+            self.sorted[start..end]
+                .iter()
+                .map(|&(_, h)| h)
+                .filter(|&h| (active_words[h >> 6] >> (h & 63)) & 1 == 1),
+        );
+        self.repliers.sort_unstable();
+        let repliers = &self.repliers;
+
+        // The query costs the command overhead plus the prefix bits.
+        // The prefix is a `Probe`: its bits are charged to the vector
+        // metric only when the slot decodes a singleton (below).
+        ctx.reader_tx(
+            BroadcastKind::SlotPrefix,
+            self.cfg.command_bits,
+            TimeCategory::ReaderCommand,
+        );
+        ctx.counters.query_rep_bits += self.cfg.command_bits;
+        ctx.reader_tx(
+            BroadcastKind::Probe,
+            len as u64,
+            TimeCategory::PollingVector,
+        );
+        ctx.wait(TimeCategory::Turnaround, ctx.link.t1);
+
+        let reply_bits = (EPC_BITS as u32 - len) as u64 + self.cfg.reply_crc_bits;
+        match ctx.channel.resolve(repliers, &mut ctx.rng) {
+            SlotOutcome::Empty => {
+                if repliers.is_empty() {
+                    ctx.wait(TimeCategory::WastedSlot, ctx.link.t3);
+                    ctx.counters.empty_slots += 1;
+                    ctx.trace(|| Event::SlotEmpty);
+                } else {
+                    // A reply was lost; the subtree must be revisited.
+                    ctx.wait(TimeCategory::WastedSlot, ctx.link.t3);
+                    ctx.counters.lost_replies += 1;
+                    let lost = repliers[0];
+                    ctx.trace(|| Event::ReplyLost { tag: lost });
+                    ctx.counters.empty_slots += 1;
+                    ctx.trace(|| Event::SlotEmpty);
+                    self.stack.push(prefix);
+                }
             }
-            // Matching tags: active tags whose ID begins with the prefix,
-            // in ascending handle order (the population scan order the
-            // channel model has always seen).
-            let lo = value << (EPC_BITS as u32 - len);
-            let hi = lo + (1u128 << (EPC_BITS as u32 - len));
-            let start = sorted.partition_point(|&(id, _)| id < lo);
-            let end = sorted.partition_point(|&(id, _)| id < hi);
-            let active_words = ctx.population.active_words();
-            repliers.clear();
-            repliers.extend(
-                sorted[start..end]
-                    .iter()
-                    .map(|&(_, h)| h)
-                    .filter(|&h| (active_words[h >> 6] >> (h & 63)) & 1 == 1),
-            );
-            repliers.sort_unstable();
-
-            // The query costs the command overhead plus the prefix bits.
-            // The prefix is a `Probe`: its bits are charged to the vector
-            // metric only when the slot decodes a singleton (below).
-            ctx.reader_tx(
-                BroadcastKind::SlotPrefix,
-                self.cfg.command_bits,
-                TimeCategory::ReaderCommand,
-            );
-            ctx.counters.query_rep_bits += self.cfg.command_bits;
-            ctx.reader_tx(
-                BroadcastKind::Probe,
-                len as u64,
-                TimeCategory::PollingVector,
-            );
-            ctx.wait(TimeCategory::Turnaround, ctx.link.t1);
-
-            let reply_bits = (EPC_BITS as u32 - len) as u64 + self.cfg.reply_crc_bits;
-            match ctx.channel.resolve(&repliers, &mut ctx.rng) {
-                SlotOutcome::Empty => {
-                    if repliers.is_empty() {
-                        ctx.wait(TimeCategory::WastedSlot, ctx.link.t3);
-                        ctx.counters.empty_slots += 1;
-                        ctx.trace(|| Event::SlotEmpty);
-                    } else {
-                        // A reply was lost; the subtree must be revisited.
-                        ctx.wait(TimeCategory::WastedSlot, ctx.link.t3);
-                        ctx.counters.lost_replies += 1;
-                        let lost = repliers[0];
-                        ctx.trace(|| Event::ReplyLost { tag: lost });
-                        ctx.counters.empty_slots += 1;
-                        ctx.trace(|| Event::SlotEmpty);
-                        stack.push(prefix);
-                    }
+            SlotOutcome::Singleton(tag) => {
+                ctx.wait(TimeCategory::TagReply, ctx.link.tag_tx(reply_bits));
+                ctx.counters.tag_bits += reply_bits;
+                ctx.trace(|| Event::TagReply {
+                    tag,
+                    bits: reply_bits,
+                });
+                ctx.wait(TimeCategory::Turnaround, ctx.link.t2);
+                ctx.counters.vector_bits += len as u64;
+                let bits = len as u64;
+                ctx.trace(|| Event::VectorCharged { bits });
+                ctx.mark_read(tag);
+                if self.cfg.verify_singletons {
+                    self.stack.push(prefix);
                 }
-                SlotOutcome::Singleton(tag) => {
-                    ctx.wait(TimeCategory::TagReply, ctx.link.tag_tx(reply_bits));
-                    ctx.counters.tag_bits += reply_bits;
-                    ctx.trace(|| Event::TagReply {
-                        tag,
-                        bits: reply_bits,
-                    });
-                    ctx.wait(TimeCategory::Turnaround, ctx.link.t2);
-                    ctx.counters.vector_bits += len as u64;
-                    let bits = len as u64;
-                    ctx.trace(|| Event::VectorCharged { bits });
-                    ctx.mark_read(tag);
-                    if self.cfg.verify_singletons {
-                        stack.push(prefix);
-                    }
-                }
-                SlotOutcome::Collision(count) => {
-                    // Collided replies occupy the slot, then split.
-                    ctx.wait(TimeCategory::WastedSlot, ctx.link.tag_tx(reply_bits));
-                    ctx.wait(TimeCategory::Turnaround, ctx.link.t2);
-                    ctx.counters.collision_slots += 1;
-                    ctx.trace(|| Event::SlotCollision { count });
-                    debug_assert!(
-                        (len as usize) < EPC_BITS,
-                        "full-length prefix cannot collide among unique IDs"
-                    );
-                    stack.push((value << 1 | 1, len + 1));
-                    stack.push((value << 1, len + 1));
-                }
-                SlotOutcome::Corrupted(tag) => {
-                    // The reply arrived but failed CRC: re-query the SAME
-                    // prefix (splitting would descend forever on a lone
-                    // tag whose replies keep getting mangled).
-                    ctx.wait(TimeCategory::WastedSlot, ctx.link.tag_tx(reply_bits));
-                    ctx.wait(TimeCategory::Turnaround, ctx.link.t2);
-                    ctx.counters.corrupted_replies += 1;
-                    ctx.trace(|| Event::ReplyCorrupted { tag });
-                    stack.push(prefix);
-                }
+            }
+            SlotOutcome::Collision(count) => {
+                // Collided replies occupy the slot, then split.
+                ctx.wait(TimeCategory::WastedSlot, ctx.link.tag_tx(reply_bits));
+                ctx.wait(TimeCategory::Turnaround, ctx.link.t2);
+                ctx.counters.collision_slots += 1;
+                ctx.trace(|| Event::SlotCollision { count });
+                debug_assert!(
+                    (len as usize) < EPC_BITS,
+                    "full-length prefix cannot collide among unique IDs"
+                );
+                self.stack.push((value << 1 | 1, len + 1));
+                self.stack.push((value << 1, len + 1));
+            }
+            SlotOutcome::Corrupted(tag) => {
+                // The reply arrived but failed CRC: re-query the SAME
+                // prefix (splitting would descend forever on a lone
+                // tag whose replies keep getting mangled).
+                ctx.wait(TimeCategory::WastedSlot, ctx.link.tag_tx(reply_bits));
+                ctx.wait(TimeCategory::Turnaround, ctx.link.t2);
+                ctx.counters.corrupted_replies += 1;
+                ctx.trace(|| Event::ReplyCorrupted { tag });
+                self.stack.push(prefix);
             }
         }
-        Ok(Report::from_context(self.name(), ctx))
+        StepOutcome::Progressed
+    }
+
+    fn state(&self) -> Json {
+        // 96-bit prefix values split into [hi, lo, len] u64 triples.
+        let stack: Vec<Vec<u64>> = self
+            .stack
+            .iter()
+            .map(|&(v, len)| vec![(v >> 64) as u64, v as u64, len as u64])
+            .collect();
+        Json::Obj(vec![
+            ("queries".into(), self.queries.to_json()),
+            ("stack".into(), stack.to_json()),
+        ])
+    }
+
+    fn reset(&mut self, _ctx: &SimContext) {
+        self.stack.clear();
+        self.stack.push((1, 1));
+        self.stack.push((0, 1));
+        self.queries = 0;
     }
 }
 

@@ -20,11 +20,11 @@
 
 use rfid_analysis::ehpp::optimal_subset_size_with_overhead;
 use rfid_hash::TagHash;
-use rfid_system::SimContext;
+use rfid_system::{Json, JsonError, SimContext, ToJson};
 
-use crate::error::{PollingError, StallCause};
-use crate::hpp::{run_hpp_rounds, HppConfig};
-use crate::report::Report;
+use crate::error::{StallCause, StallGuard};
+use crate::hpp::{hpp_round, HppConfig};
+use crate::session::{ProtocolStepper, StepDiscipline, StepOutcome};
 use crate::PollingProtocol;
 
 /// EHPP configuration.
@@ -90,67 +90,209 @@ impl PollingProtocol for Ehpp {
         "EHPP"
     }
 
-    fn try_run(&self, ctx: &mut SimContext) -> Result<Report, PollingError> {
-        let n_star = self.cfg.effective_subset_size();
-        let hpp_cfg = HppConfig {
-            round_init_bits: self.cfg.round_init_bits,
-            with_query_rep: self.cfg.with_query_rep,
-            max_rounds: 1_000_000,
+    fn open_stepper(&self, _ctx: &SimContext) -> Box<dyn ProtocolStepper> {
+        Box::new(EhppStepper::open(&self.cfg))
+    }
+
+    fn resume_stepper(
+        &self,
+        _ctx: &SimContext,
+        state: &Json,
+    ) -> Result<Box<dyn ProtocolStepper>, JsonError> {
+        let mut stepper = EhppStepper::open(&self.cfg);
+        stepper.circles = state.field("circles")?;
+        let mode: String = state.field("mode")?;
+        stepper.inner = match mode.as_str() {
+            "select" => None,
+            "inner" => Some(InnerCircle {
+                final_drain: state.field("final_drain")?,
+                rounds: state.field("rounds")?,
+                guard: state.field("guard")?,
+            }),
+            other => return Err(JsonError(format!("unknown EHPP stepper mode '{other}'"))),
         };
-        let mut circles = 0u64;
-        while ctx.population.active_count() > 0 {
-            circles += 1;
-            if circles > self.cfg.max_circles {
-                return Err(PollingError::stalled_with(
-                    self.name(),
-                    ctx,
-                    StallCause::RoundCap,
-                ));
-            }
-            let remaining = ctx.population.active_count() as u64;
-            if remaining <= n_star {
-                // Final (or only) circle: run HPP over everyone, no circle
-                // command — EHPP degenerates to HPP on small populations.
-                if let Err(cause) = run_hpp_rounds(ctx, &hpp_cfg) {
-                    return Err(PollingError::stalled_with(self.name(), ctx, cause));
-                }
-                break;
-            }
-            // Probabilistic selection: tag joins iff H(r, id) mod F < n*.
-            // Walk only the active bitset (O(remaining), not O(n)) into a
-            // recycled scratch buffer — the selection sweep used to rescan
-            // the full population every circle.
-            let seed = ctx.draw_round_seed();
-            let selector = TagHash::new(seed);
-            let f_range = remaining;
-            let mut deselected = ctx.take_scratch();
-            let (ids_hi, ids_lo) = ctx.population.id_words();
-            ctx.population.for_each_active(|handle| {
-                if selector.modulo(ids_hi[handle], ids_lo[handle], f_range) >= n_star {
-                    deselected.push(handle);
-                }
+        Ok(Box::new(stepper))
+    }
+}
+
+/// The HPP run inside the current circle.
+struct InnerCircle {
+    /// The final circle runs over *everyone* (no selection happened), so
+    /// there is nothing to reselect when it drains or stalls.
+    final_drain: bool,
+    /// Rounds spent inside this circle (each circle gets a fresh budget).
+    rounds: u64,
+    /// Per-circle stall guard (the legacy inner loop's).
+    guard: StallGuard,
+}
+
+/// One step = one circle selection *or* one HPP round inside the current
+/// circle. Self-limited: the circle cap and the per-circle round budget and
+/// guard live here, below the driver's step granularity.
+struct EhppStepper {
+    cfg: EhppConfig,
+    n_star: u64,
+    hpp_cfg: HppConfig,
+    circles: u64,
+    /// `None` between circles (next step selects), `Some` inside one.
+    inner: Option<InnerCircle>,
+}
+
+impl EhppStepper {
+    fn open(cfg: &EhppConfig) -> Self {
+        EhppStepper {
+            cfg: *cfg,
+            n_star: cfg.effective_subset_size(),
+            hpp_cfg: HppConfig {
+                round_init_bits: cfg.round_init_bits,
+                with_query_rep: cfg.with_query_rep,
+                max_rounds: 1_000_000,
+            },
+            circles: 0,
+            inner: None,
+        }
+    }
+
+    /// Opens the next circle: probabilistic selection, or the final drain
+    /// when everyone left fits into one circle.
+    fn select_step(&mut self, ctx: &mut SimContext) -> StepOutcome {
+        self.circles += 1;
+        if self.circles > self.cfg.max_circles {
+            return StepOutcome::Stalled(StallCause::RoundCap);
+        }
+        let remaining = ctx.population.active_count() as u64;
+        if remaining <= self.n_star {
+            // Final (or only) circle: run HPP over everyone, no circle
+            // command — EHPP degenerates to HPP on small populations.
+            self.inner = Some(InnerCircle {
+                final_drain: true,
+                rounds: 0,
+                guard: StallGuard::default(),
             });
-            let selected = remaining as usize - deselected.len();
-            ctx.begin_circle(selected, self.cfg.circle_cmd_bits);
-            if selected == 0 {
-                // Nobody joined (rare); re-draw a selection seed. The circle
-                // command was still spent on the air.
-                ctx.recycle_scratch(deselected);
-                continue;
+            return StepOutcome::Progressed;
+        }
+        // Probabilistic selection: tag joins iff H(r, id) mod F < n*.
+        // Walk only the active bitset (O(remaining), not O(n)) into a
+        // recycled scratch buffer — the selection sweep used to rescan
+        // the full population every circle.
+        let seed = ctx.draw_round_seed();
+        let selector = TagHash::new(seed);
+        let f_range = remaining;
+        let n_star = self.n_star;
+        let mut deselected = ctx.take_scratch();
+        let (ids_hi, ids_lo) = ctx.population.id_words();
+        ctx.population.for_each_active(|handle| {
+            if selector.modulo(ids_hi[handle], ids_lo[handle], f_range) >= n_star {
+                deselected.push(handle);
             }
-            for &handle in &deselected {
-                ctx.population.deselect(handle);
-            }
+        });
+        let selected = remaining as usize - deselected.len();
+        ctx.begin_circle(selected, self.cfg.circle_cmd_bits);
+        if selected == 0 {
+            // Nobody joined (rare); re-draw a selection seed next step. The
+            // circle command was still spent on the air.
             ctx.recycle_scratch(deselected);
-            let circle_result = run_hpp_rounds(ctx, &hpp_cfg);
-            ctx.population.reselect_all();
-            if let Err(cause) = circle_result {
-                // Reselect first so the partial report sees the true
-                // uncollected set, then surface the stall.
-                return Err(PollingError::stalled_with(self.name(), ctx, cause));
+            return StepOutcome::Progressed;
+        }
+        for &handle in &deselected {
+            ctx.population.deselect(handle);
+        }
+        ctx.recycle_scratch(deselected);
+        self.inner = Some(InnerCircle {
+            final_drain: false,
+            rounds: 0,
+            guard: StallGuard::default(),
+        });
+        StepOutcome::Progressed
+    }
+
+    /// One HPP round inside the current circle (or the circle-drained
+    /// transition back to selection).
+    fn inner_step(&mut self, ctx: &mut SimContext) -> StepOutcome {
+        let final_drain = self
+            .inner
+            .as_ref()
+            .expect("inner_step requires an open circle")
+            .final_drain;
+        if ctx.population.active_count() == 0 {
+            // Circle drained: deselected tags rejoin, next step selects.
+            if !final_drain {
+                ctx.population.reselect_all();
+            }
+            self.inner = None;
+            return StepOutcome::Progressed;
+        }
+        let hpp_cfg = self.hpp_cfg;
+        let circle = self.inner.as_mut().expect("checked above");
+        circle.rounds += 1;
+        if circle.rounds > hpp_cfg.max_rounds {
+            // Reselect first so the partial report sees the true
+            // uncollected set, then surface the stall.
+            if !final_drain {
+                ctx.population.reselect_all();
+            }
+            return StepOutcome::Stalled(StallCause::RoundCap);
+        }
+        hpp_round(ctx, &hpp_cfg);
+        let stalled = self
+            .inner
+            .as_mut()
+            .expect("checked above")
+            .guard
+            .no_progress(ctx);
+        if stalled {
+            if !final_drain {
+                ctx.population.reselect_all();
+            }
+            return StepOutcome::Stalled(StallCause::NoProgress);
+        }
+        StepOutcome::Progressed
+    }
+}
+
+impl ProtocolStepper for EhppStepper {
+    fn discipline(&self) -> StepDiscipline {
+        StepDiscipline::self_limited()
+    }
+
+    fn done(&self, ctx: &SimContext) -> bool {
+        // Zero active tags mid-circle means the *circle* drained, not the
+        // protocol: the deselected tags still have to rejoin.
+        ctx.population.active_count() == 0
+            && !matches!(
+                self.inner,
+                Some(InnerCircle {
+                    final_drain: false,
+                    ..
+                })
+            )
+    }
+
+    fn step(&mut self, ctx: &mut SimContext) -> StepOutcome {
+        if self.inner.is_some() {
+            self.inner_step(ctx)
+        } else {
+            self.select_step(ctx)
+        }
+    }
+
+    fn state(&self) -> Json {
+        let mut fields = vec![("circles".to_string(), self.circles.to_json())];
+        match &self.inner {
+            None => fields.push(("mode".to_string(), Json::str("select"))),
+            Some(circle) => {
+                fields.push(("mode".to_string(), Json::str("inner")));
+                fields.push(("final_drain".to_string(), circle.final_drain.to_json()));
+                fields.push(("rounds".to_string(), circle.rounds.to_json()));
+                fields.push(("guard".to_string(), circle.guard.to_json()));
             }
         }
-        Ok(Report::from_context(self.name(), ctx))
+        Json::Obj(fields)
+    }
+
+    fn reset(&mut self, _ctx: &SimContext) {
+        self.circles = 0;
+        self.inner = None;
     }
 }
 
@@ -166,6 +308,7 @@ rfid_system::impl_json_struct!(EhppConfig {
 mod tests {
     use super::*;
     use crate::hpp::Hpp;
+    use crate::report::Report;
     use rfid_system::{BitVec, Channel, SimConfig, TagPopulation};
 
     fn run(n: usize, seed: u64, cfg: EhppConfig) -> (Report, SimContext) {

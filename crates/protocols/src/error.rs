@@ -130,12 +130,20 @@ impl std::error::Error for PollingError {}
 /// [`DEFAULT_STALL_ROUNDS`] (or a caller-chosen number of) consecutive
 /// rounds in which the poll counter did not advance. Progress of even one
 /// tag resets the streak, so slow-but-converging runs never stall.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StallGuard {
     cap: u64,
     last_polls: u64,
     streak: u64,
 }
+
+// The guard is part of a session's serialized driver state: a restored run
+// must resume with the same idle-round streak or stall at a different round.
+rfid_system::impl_json_struct!(StallGuard {
+    cap,
+    last_polls,
+    streak
+});
 
 impl StallGuard {
     /// A guard tripping after `cap` consecutive no-progress rounds.
@@ -217,6 +225,26 @@ mod tests {
         assert!(msg.contains("1 collected"), "{msg}");
         assert!(msg.contains("0 rounds"), "{msg}");
         assert!(msg.contains("cause: no progress"), "{msg}");
+    }
+
+    #[test]
+    fn stall_guard_round_trips_mid_streak() {
+        let mut c = ctx(2);
+        let mut guard = StallGuard::new(5);
+        c.poll_tag(1, true, 0);
+        assert!(!guard.no_progress(&mut c));
+        assert!(!guard.no_progress(&mut c));
+        let json = rfid_system::to_json_string(&guard);
+        let back: StallGuard = rfid_system::from_json_str(&json).expect("parses");
+        assert_eq!(back, guard, "streak and poll watermark must survive");
+    }
+
+    #[test]
+    fn polling_error_is_a_std_error() {
+        let c = ctx(1);
+        let err = PollingError::stalled("CPP", &c);
+        let dynerr: &dyn std::error::Error = &err;
+        assert!(dynerr.to_string().contains("cause: no progress"));
     }
 
     #[test]

@@ -15,10 +15,9 @@
 
 use rfid_analysis::hpp::index_length;
 use rfid_hash::TagHash;
-use rfid_system::SimContext;
+use rfid_system::{Json, JsonError, SimContext};
 
-use crate::error::{PollingError, StallCause, StallGuard};
-use crate::report::Report;
+use crate::session::{ProtocolStepper, StepDiscipline, StepOutcome};
 use crate::PollingProtocol;
 
 /// HPP configuration.
@@ -70,12 +69,46 @@ impl PollingProtocol for Hpp {
         "HPP"
     }
 
-    fn try_run(&self, ctx: &mut SimContext) -> Result<Report, PollingError> {
-        match run_hpp_rounds(ctx, &self.cfg) {
-            Ok(()) => Ok(Report::from_context(self.name(), ctx)),
-            Err(cause) => Err(PollingError::stalled_with(self.name(), ctx, cause)),
-        }
+    fn open_stepper(&self, _ctx: &SimContext) -> Box<dyn ProtocolStepper> {
+        Box::new(HppStepper { cfg: self.cfg })
     }
+
+    fn resume_stepper(
+        &self,
+        _ctx: &SimContext,
+        _state: &Json,
+    ) -> Result<Box<dyn ProtocolStepper>, JsonError> {
+        // All HPP cross-round state lives in the context (which tags are
+        // still awake); the stepper itself is stateless.
+        Ok(Box::new(HppStepper { cfg: self.cfg }))
+    }
+}
+
+/// One step = one HPP round. Round budget and stall guard are the
+/// driver's job.
+struct HppStepper {
+    cfg: HppConfig,
+}
+
+impl ProtocolStepper for HppStepper {
+    fn discipline(&self) -> StepDiscipline {
+        StepDiscipline::budgeted(self.cfg.max_rounds)
+    }
+
+    fn done(&self, ctx: &SimContext) -> bool {
+        ctx.population.active_count() == 0
+    }
+
+    fn step(&mut self, ctx: &mut SimContext) -> StepOutcome {
+        hpp_round(ctx, &self.cfg);
+        StepOutcome::Progressed
+    }
+
+    fn state(&self) -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    fn reset(&mut self, _ctx: &SimContext) {}
 }
 
 /// The index every tag (and the reader, by precomputation) derives in a
@@ -116,27 +149,6 @@ pub(crate) fn hpp_round(ctx: &mut SimContext, cfg: &HppConfig) -> usize {
     polled
 }
 
-/// Runs HPP rounds until every active tag is read. Shared with EHPP, which
-/// invokes it once per circle. Returns the [`StallCause`] — instead of
-/// panicking — when the round cap is hit or no tag has been read for
-/// [`crate::DEFAULT_STALL_ROUNDS`] consecutive rounds. The round counter is
-/// local, so each recovery pass gets a fresh `max_rounds` budget.
-pub(crate) fn run_hpp_rounds(ctx: &mut SimContext, cfg: &HppConfig) -> Result<(), StallCause> {
-    let mut rounds = 0u64;
-    let mut guard = StallGuard::default();
-    while ctx.population.active_count() > 0 {
-        rounds += 1;
-        if rounds > cfg.max_rounds {
-            return Err(StallCause::RoundCap);
-        }
-        hpp_round(ctx, cfg);
-        if guard.no_progress(ctx) {
-            return Err(StallCause::NoProgress);
-        }
-    }
-    Ok(())
-}
-
 rfid_system::impl_json_struct!(HppConfig {
     round_init_bits,
     with_query_rep,
@@ -146,6 +158,8 @@ rfid_system::impl_json_struct!(HppConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::{PollingError, StallCause};
+    use crate::report::Report;
     use rfid_system::{BitVec, Channel, SimConfig, TagPopulation};
 
     fn run(n: usize, seed: u64, cfg: HppConfig) -> (Report, SimContext) {

@@ -39,6 +39,7 @@ pub mod error;
 pub mod hpp;
 pub mod recovery;
 pub mod report;
+pub mod session;
 pub mod tagside;
 pub mod tpp;
 pub mod tree;
@@ -48,17 +49,38 @@ pub use error::{PollingError, StallCause, StallGuard, DEFAULT_STALL_ROUNDS};
 pub use hpp::{Hpp, HppConfig};
 pub use recovery::{run_recovered, RecoveryOutcome, RecoveryPolicy, RecoverySession};
 pub use report::Report;
+pub use session::{
+    run_recovered_session, run_session, DegradeCause, ProtocolStepper, Session, SessionEnd,
+    StepDiscipline, StepOutcome,
+};
 pub use tagside::{Broadcast, TagMachine};
 pub use tpp::{IndexRule, Tpp, TppConfig};
 pub use tree::PollingTree;
 
-use rfid_system::SimContext;
+use rfid_system::{Json, JsonError, SimContext};
 
 /// A polling protocol: drives a [`SimContext`] until every active tag has
 /// been interrogated exactly once, and reports what it cost.
+///
+/// A protocol's run logic lives in its [`ProtocolStepper`] — a pure state
+/// machine advanced one round/sweep/frame/slot at a time. The
+/// [`session::Session`] driver owns everything around it (budgets, stall
+/// guards, recovery passes, deadlines, checkpoints); `try_run`/`run` are
+/// thin wrappers over a bare session.
 pub trait PollingProtocol {
     /// Short display name (used in tables and reports).
     fn name(&self) -> &'static str;
+
+    /// Opens a fresh stepper positioned at the start of the protocol.
+    fn open_stepper(&self, ctx: &SimContext) -> Box<dyn ProtocolStepper>;
+
+    /// Rebuilds a stepper from serialized [`ProtocolStepper::state`],
+    /// validating the snapshot against the restored context.
+    fn resume_stepper(
+        &self,
+        ctx: &SimContext,
+        state: &Json,
+    ) -> Result<Box<dyn ProtocolStepper>, JsonError>;
 
     /// Runs the protocol on `ctx`, reporting non-convergence as a typed
     /// error instead of panicking.
@@ -68,7 +90,9 @@ pub trait PollingProtocol {
     /// faulty channel they must retry lost tags until done, returning
     /// [`PollingError::Stalled`] — with the partial report and the
     /// uncollected IDs — once progress provably stops.
-    fn try_run(&self, ctx: &mut SimContext) -> Result<Report, PollingError>;
+    fn try_run(&self, ctx: &mut SimContext) -> Result<Report, PollingError> {
+        session::run_session(self, ctx)
+    }
 
     /// Runs the protocol to completion, panicking on non-convergence (the
     /// pre-fault-injection contract; fine wherever the channel is benign).

@@ -43,7 +43,6 @@
 
 use rfid_system::SimContext;
 
-use crate::error::{PollingError, StallCause};
 use crate::report::Report;
 use crate::PollingProtocol;
 
@@ -225,66 +224,26 @@ pub fn run_recovered<P: PollingProtocol + ?Sized>(
     policy: &RecoveryPolicy,
     ctx: &mut SimContext,
 ) -> RecoveryOutcome {
-    let mut passes = 1u64;
-    // Consecutive rounds (across passes) that polled nothing. A NoProgress
-    // stall is worth a full guard window of idle rounds; a zero-progress
-    // RoundCap pass only its (small) budget — so dead channels terminate
-    // under any budget while survivable loss would need
-    // `limit × DEFAULT_STALL_ROUNDS` straight failures to false-trip.
-    let mut idle_rounds = 0u64;
-    let idle_cap = policy
-        .zero_progress_limit
-        .saturating_mul(crate::DEFAULT_STALL_ROUNDS);
-    loop {
-        let polls_before = ctx.counters.polls;
-        let rounds_before = ctx.counters.rounds;
-        match protocol.try_run(ctx) {
-            Ok(report) => return RecoveryOutcome::Complete { report, passes },
-            Err(PollingError::Stalled {
-                partial_report,
-                uncollected,
-                cause,
-            }) => {
-                let progressed = ctx.counters.polls > polls_before;
-                if progressed {
-                    idle_rounds = 0;
-                } else {
-                    let pass_rounds = (ctx.counters.rounds - rounds_before).max(1);
-                    idle_rounds += match cause {
-                        StallCause::NoProgress => pass_rounds.max(crate::DEFAULT_STALL_ROUNDS),
-                        StallCause::RoundCap => pass_rounds,
-                    };
-                }
-                let out_of_passes = policy.max_passes != 0 && passes >= policy.max_passes;
-                if out_of_passes || idle_rounds >= idle_cap {
-                    ctx.note_circuit_opened(passes, uncollected.len());
-                    let tags = partial_report.tags;
-                    let coverage = if tags == 0 {
-                        1.0
-                    } else {
-                        (tags - uncollected.len()) as f64 / tags as f64
-                    };
-                    return RecoveryOutcome::Degraded {
-                        report: partial_report,
-                        coverage,
-                        passes,
-                    };
-                }
-                // Exponential backoff with deterministic jitter, charged on
-                // the C1G2 clock so recovery shows up in execution time.
-                let base = policy.backoff_us(passes);
-                let jitter = if base > 1 {
-                    ctx.rng.below(base / 2 + 1)
-                } else {
-                    0
-                };
-                ctx.charge_recovery_backoff(passes, base + jitter);
-                // Defensive: a protocol that stalls mid-circle may leave
-                // tags deselected; reselection is idempotent and RNG-free.
-                ctx.population.reselect_all();
-                passes += 1;
-                ctx.note_recovery_pass(passes, uncollected.len());
-            }
+    // The pass loop — per-pass progress accounting, the idle-round circuit
+    // breaker, backoff with jitter, reselection — lives in the session
+    // driver now, shared with deadline budgets and checkpoint/restore; this
+    // wrapper only maps the richer SessionEnd onto the recovery vocabulary.
+    match crate::session::run_recovered_session(protocol, policy, ctx) {
+        crate::session::SessionEnd::Complete { report, passes } => {
+            RecoveryOutcome::Complete { report, passes }
+        }
+        crate::session::SessionEnd::Degraded {
+            report,
+            coverage,
+            passes,
+            ..
+        } => RecoveryOutcome::Degraded {
+            report,
+            coverage,
+            passes,
+        },
+        crate::session::SessionEnd::Stalled(_) => {
+            unreachable!("a session with a policy resolves every stall")
         }
     }
 }

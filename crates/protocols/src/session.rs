@@ -1,0 +1,523 @@
+//! The resumable session engine: protocols as pure step state machines
+//! under one driver that owns stalls, budgets, recovery and deadlines.
+//!
+//! Before this module every protocol carried its own copy of the control
+//! loop — a round/sweep/slot budget, a [`StallGuard`], the
+//! stall-to-[`PollingError`] conversion — and the recovery layer re-ran
+//! `try_run` from the outside. A run was therefore an opaque black box: it
+//! could not be paused, snapshotted, or resumed, and a crashed reader lost
+//! the whole inventory.
+//!
+//! The session engine inverts that. A protocol exposes a
+//! [`ProtocolStepper`] — a pure state machine advanced one *step* (round,
+//! sweep, frame, query, or slot) at a time — and [`Session`] owns
+//! everything around it:
+//!
+//! * **budget** — the per-pass step cap ([`StepDiscipline::max_steps`])
+//!   and the no-progress [`StallGuard`], applied uniformly;
+//! * **recovery** — the multi-pass backoff loop of
+//!   [`RecoveryPolicy`](crate::RecoveryPolicy), folded into the same
+//!   driver so a pass boundary is just another step boundary;
+//! * **deadline** — an optional sim-time watchdog that converts an
+//!   overrun into a typed [`SessionEnd::Degraded`] result instead of an
+//!   unbounded run;
+//! * **checkpoint/restore** — between any two steps the session (driver
+//!   state + stepper state + full [`SimContext`]) serializes to JSON via
+//!   [`Session::snapshot`] and restores into a fresh process image via
+//!   [`Session::restore`], continuing **bit-identically**: same RNG
+//!   stream, same trace, same report. The crash-chaos bench
+//!   (`BENCH_session.json`) enforces this for every protocol.
+//!
+//! [`PollingProtocol::try_run`] is now a thin wrapper over
+//! [`run_session`], and [`run_recovered`](crate::run_recovered) over a
+//! policy-carrying session — the legacy control flow is reproduced
+//! operation-for-operation, so all golden traces are unchanged.
+
+use rfid_system::{Json, JsonError, SimConfig, SimContext, ToJson};
+
+use crate::error::{PollingError, StallCause, StallGuard};
+use crate::recovery::RecoveryPolicy;
+use crate::report::Report;
+use crate::PollingProtocol;
+
+/// What one [`ProtocolStepper::step`] reported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The step ran; the driver's budget and guard decide what's next.
+    Progressed,
+    /// The stepper's *internal* budget ran out (protocols whose cap lives
+    /// below step granularity, e.g. a slot cap checked mid-frame).
+    Stalled(StallCause),
+}
+
+/// How the driver should budget and guard a stepper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepDiscipline {
+    /// Per-pass cap on driver steps; `None` when the stepper enforces its
+    /// own cap (and reports it via [`StepOutcome::Stalled`]).
+    pub max_steps: Option<u64>,
+    /// Whether the driver runs a [`StallGuard`] across steps.
+    pub guarded: bool,
+}
+
+impl StepDiscipline {
+    /// A driver-budgeted, stall-guarded stepper (one step = one round or
+    /// sweep; the common case).
+    pub fn budgeted(max_steps: u64) -> Self {
+        StepDiscipline {
+            max_steps: Some(max_steps),
+            guarded: true,
+        }
+    }
+
+    /// No step cap, but driver-guarded against zero progress.
+    pub fn guarded_unbounded() -> Self {
+        StepDiscipline {
+            max_steps: None,
+            guarded: true,
+        }
+    }
+
+    /// The stepper polices itself: internal cap, internal (or structural)
+    /// progress guarantees. The driver only routes its stall reports.
+    pub fn self_limited() -> Self {
+        StepDiscipline {
+            max_steps: None,
+            guarded: false,
+        }
+    }
+}
+
+/// A polling protocol as a resumable state machine.
+///
+/// The contract that makes snapshots bit-identical:
+///
+/// * `step` performs exactly one unit of the legacy control loop (one
+///   round, sweep, frame, query, or slot) with the same [`SimContext`]
+///   operations in the same order — RNG draw order is part of the
+///   protocol's determinism contract;
+/// * all cross-step protocol state is covered by `state`/resume (via
+///   [`PollingProtocol::resume_stepper`]); anything recomputed at
+///   construction must be derivable from the context without touching
+///   the RNG;
+/// * `done`/`discipline`/`state` never mutate the context;
+/// * `reset` re-initializes for a fresh recovery pass, RNG-free,
+///   exactly as a newly opened stepper would start.
+pub trait ProtocolStepper {
+    /// How the driver should budget and guard this stepper.
+    fn discipline(&self) -> StepDiscipline;
+
+    /// Whether the protocol has finished (the legacy loop condition).
+    fn done(&self, ctx: &SimContext) -> bool;
+
+    /// Advances the protocol by one step.
+    fn step(&mut self, ctx: &mut SimContext) -> StepOutcome;
+
+    /// Serializes the cross-step protocol state (an empty object for
+    /// steppers whose state lives entirely in the context).
+    fn state(&self) -> Json;
+
+    /// Re-initializes for a fresh recovery pass (after the driver has
+    /// reselected the population). Must not touch the RNG.
+    fn reset(&mut self, ctx: &SimContext);
+}
+
+/// Why a session degraded instead of completing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradeCause {
+    /// The zero-progress circuit breaker opened (dead channel, killed tag).
+    CircuitOpen,
+    /// The recovery pass budget ran out.
+    OutOfPasses,
+    /// The sim-time deadline passed with tags still uncollected.
+    Deadline,
+}
+
+impl DegradeCause {
+    /// Short machine-friendly label (used in session reports).
+    pub fn label(&self) -> &'static str {
+        match self {
+            DegradeCause::CircuitOpen => "circuit-open",
+            DegradeCause::OutOfPasses => "out-of-passes",
+            DegradeCause::Deadline => "deadline",
+        }
+    }
+}
+
+/// How a session ended.
+#[derive(Debug, Clone)]
+pub enum SessionEnd {
+    /// Every tag was collected.
+    Complete {
+        /// The cumulative report.
+        report: Report,
+        /// Passes used (1 = no recovery was needed).
+        passes: u64,
+    },
+    /// The protocol stalled and no recovery policy was installed.
+    Stalled(PollingError),
+    /// The session gave up with tags still uncollected — the circuit
+    /// breaker opened, the pass budget ran out, or the deadline passed.
+    Degraded {
+        /// The cumulative partial report.
+        report: Report,
+        /// Fraction of the population collected, in `[0, 1]`.
+        coverage: f64,
+        /// Passes attempted.
+        passes: u64,
+        /// What stopped the session.
+        cause: DegradeCause,
+    },
+}
+
+impl SessionEnd {
+    /// The (possibly partial) report, regardless of variant.
+    pub fn report(&self) -> &Report {
+        match self {
+            SessionEnd::Complete { report, .. } => report,
+            SessionEnd::Stalled(err) => err.partial_report(),
+            SessionEnd::Degraded { report, .. } => report,
+        }
+    }
+
+    /// Whether every tag was collected.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, SessionEnd::Complete { .. })
+    }
+}
+
+/// Runs `protocol` on `ctx` through a bare session (no recovery policy,
+/// no deadline) — the engine behind [`PollingProtocol::try_run`].
+pub fn run_session<P: PollingProtocol + ?Sized>(
+    protocol: &P,
+    ctx: &mut SimContext,
+) -> Result<Report, PollingError> {
+    let mut session = Session::open(protocol, ctx);
+    match session.run(ctx) {
+        SessionEnd::Complete { report, .. } => Ok(report),
+        SessionEnd::Stalled(err) => Err(err),
+        SessionEnd::Degraded { .. } => {
+            unreachable!("a bare session has no policy or deadline to degrade through")
+        }
+    }
+}
+
+/// A live protocol session: one stepper under the driver.
+///
+/// Snapshotable between any two steps; restorable into a fresh process.
+pub struct Session {
+    name: &'static str,
+    stepper: Box<dyn ProtocolStepper>,
+    policy: Option<RecoveryPolicy>,
+    deadline_us: Option<f64>,
+    /// Driver steps taken in the current pass.
+    steps: u64,
+    /// The driver-side stall guard for the current pass.
+    guard: StallGuard,
+    /// Current pass number (1-based; 1 = the initial attempt).
+    passes: u64,
+    /// Consecutive zero-progress rounds accumulated across passes.
+    idle_rounds: u64,
+    /// Poll counter at the start of the current pass.
+    polls_before: u64,
+    /// Round counter at the start of the current pass.
+    rounds_before: u64,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("protocol", &self.name)
+            .field("policy", &self.policy)
+            .field("deadline_us", &self.deadline_us)
+            .field("steps", &self.steps)
+            .field("passes", &self.passes)
+            .field("idle_rounds", &self.idle_rounds)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Session {
+    /// Opens a session for `protocol` over `ctx`.
+    pub fn open<P: PollingProtocol + ?Sized>(protocol: &P, ctx: &SimContext) -> Session {
+        Session {
+            name: protocol.name(),
+            stepper: protocol.open_stepper(ctx),
+            policy: None,
+            deadline_us: None,
+            steps: 0,
+            guard: StallGuard::default(),
+            passes: 1,
+            idle_rounds: 0,
+            polls_before: ctx.counters.polls,
+            rounds_before: ctx.counters.rounds,
+        }
+    }
+
+    /// Installs a recovery policy: stalls become backoff-separated passes
+    /// instead of terminal [`SessionEnd::Stalled`] results.
+    pub fn with_policy(mut self, policy: RecoveryPolicy) -> Session {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Installs a sim-time deadline (µs on the C1G2 clock): once
+    /// `ctx.clock.total()` reaches it, the session returns
+    /// [`SessionEnd::Degraded`] with [`DegradeCause::Deadline`] at the
+    /// next step boundary.
+    pub fn with_deadline_us(mut self, deadline_us: f64) -> Session {
+        self.deadline_us = Some(deadline_us);
+        self
+    }
+
+    /// The protocol's display name.
+    pub fn protocol_name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Driver steps taken in the current pass.
+    pub fn steps_taken(&self) -> u64 {
+        self.steps
+    }
+
+    /// Current pass number (1-based).
+    pub fn passes(&self) -> u64 {
+        self.passes
+    }
+
+    /// Runs the session to its end.
+    pub fn run(&mut self, ctx: &mut SimContext) -> SessionEnd {
+        loop {
+            if let Some(end) = self.step_once(ctx) {
+                return end;
+            }
+        }
+    }
+
+    /// Runs at most `max_steps` driver steps; `None` means the session is
+    /// still live (and snapshotable), `Some` that it ended within budget.
+    pub fn run_for(&mut self, ctx: &mut SimContext, max_steps: u64) -> Option<SessionEnd> {
+        for _ in 0..max_steps {
+            if let Some(end) = self.step_once(ctx) {
+                return Some(end);
+            }
+        }
+        None
+    }
+
+    /// One driver iteration: the legacy per-round control flow —
+    /// loop-condition check, budget, step, guard — plus the deadline
+    /// watchdog and (with a policy) the recovery transition.
+    fn step_once(&mut self, ctx: &mut SimContext) -> Option<SessionEnd> {
+        if self.stepper.done(ctx) {
+            let report = Report::from_context(self.name, ctx);
+            return Some(SessionEnd::Complete {
+                report,
+                passes: self.passes,
+            });
+        }
+        if let Some(deadline) = self.deadline_us {
+            if ctx.clock.total().as_f64() >= deadline {
+                return Some(self.degraded_now(ctx, DegradeCause::Deadline));
+            }
+        }
+        let discipline = self.stepper.discipline();
+        self.steps += 1;
+        let stalled = if discipline.max_steps.is_some_and(|cap| self.steps > cap) {
+            Some(StallCause::RoundCap)
+        } else {
+            match self.stepper.step(ctx) {
+                StepOutcome::Stalled(cause) => Some(cause),
+                StepOutcome::Progressed => {
+                    if discipline.guarded && self.guard.no_progress(ctx) {
+                        Some(StallCause::NoProgress)
+                    } else {
+                        None
+                    }
+                }
+            }
+        };
+        let cause = stalled?;
+        self.on_stall(ctx, cause)
+    }
+
+    /// Handles a stall: terminal without a policy, otherwise the recovery
+    /// layer's bookkeeping — breaker, backoff, reselect, fresh pass —
+    /// reproduced operation-for-operation.
+    fn on_stall(&mut self, ctx: &mut SimContext, cause: StallCause) -> Option<SessionEnd> {
+        let err = PollingError::stalled_with(self.name, ctx, cause);
+        let Some(policy) = self.policy else {
+            return Some(SessionEnd::Stalled(err));
+        };
+        let PollingError::Stalled {
+            partial_report,
+            uncollected,
+            cause,
+        } = err;
+        let progressed = ctx.counters.polls > self.polls_before;
+        if progressed {
+            self.idle_rounds = 0;
+        } else {
+            // Saturating: identical for live sessions (rounds only grow
+            // within a pass), and keeps a tampered snapshot whose
+            // `rounds_before` exceeds the live counter from underflowing.
+            let pass_rounds = ctx
+                .counters
+                .rounds
+                .saturating_sub(self.rounds_before)
+                .max(1);
+            self.idle_rounds += match cause {
+                StallCause::NoProgress => pass_rounds.max(crate::DEFAULT_STALL_ROUNDS),
+                StallCause::RoundCap => pass_rounds,
+            };
+        }
+        let idle_cap = policy
+            .zero_progress_limit
+            .saturating_mul(crate::DEFAULT_STALL_ROUNDS);
+        let out_of_passes = policy.max_passes != 0 && self.passes >= policy.max_passes;
+        if out_of_passes || self.idle_rounds >= idle_cap {
+            ctx.note_circuit_opened(self.passes, uncollected.len());
+            let tags = partial_report.tags;
+            let coverage = if tags == 0 {
+                1.0
+            } else {
+                (tags - uncollected.len()) as f64 / tags as f64
+            };
+            return Some(SessionEnd::Degraded {
+                report: partial_report,
+                coverage,
+                passes: self.passes,
+                cause: if out_of_passes {
+                    DegradeCause::OutOfPasses
+                } else {
+                    DegradeCause::CircuitOpen
+                },
+            });
+        }
+        // Exponential backoff with deterministic jitter, charged on the
+        // C1G2 clock so recovery shows up in execution time.
+        let base = policy.backoff_us(self.passes);
+        let jitter = if base > 1 {
+            ctx.rng.below(base / 2 + 1)
+        } else {
+            0
+        };
+        ctx.charge_recovery_backoff(self.passes, base + jitter);
+        // Defensive: a protocol that stalls mid-circle may leave tags
+        // deselected; reselection is idempotent and RNG-free.
+        ctx.population.reselect_all();
+        self.passes += 1;
+        ctx.note_recovery_pass(self.passes, uncollected.len());
+        // Fresh pass: new budget, new guard, re-initialized stepper.
+        self.polls_before = ctx.counters.polls;
+        self.rounds_before = ctx.counters.rounds;
+        self.steps = 0;
+        self.guard = StallGuard::default();
+        self.stepper.reset(ctx);
+        None
+    }
+
+    /// A degraded end measured from the context right now (deadline path:
+    /// no circuit event — the breaker did not open, time simply ran out).
+    fn degraded_now(&self, ctx: &SimContext, cause: DegradeCause) -> SessionEnd {
+        let report = Report::from_context(self.name, ctx);
+        let uncollected = ctx.uncollected_handles().len();
+        let tags = report.tags;
+        let coverage = if tags == 0 {
+            1.0
+        } else {
+            (tags - uncollected) as f64 / tags as f64
+        };
+        SessionEnd::Degraded {
+            report,
+            coverage,
+            passes: self.passes,
+            cause,
+        }
+    }
+
+    /// Serializes the whole session — protocol name, config, context,
+    /// driver state, stepper state — at the current step boundary.
+    ///
+    /// `config` must be the [`SimConfig`] the context was built with: the
+    /// parts of the context that are pure functions of the config (link,
+    /// channel, fault model) restore from it rather than being duplicated.
+    pub fn snapshot(&self, ctx: &SimContext, config: &SimConfig) -> Json {
+        Json::Obj(vec![
+            ("protocol".to_string(), Json::str(self.name)),
+            ("config".to_string(), config.to_json()),
+            ("context".to_string(), ctx.snapshot()),
+            (
+                "driver".to_string(),
+                Json::Obj(vec![
+                    ("steps".to_string(), self.steps.to_json()),
+                    ("guard".to_string(), self.guard.to_json()),
+                    ("passes".to_string(), self.passes.to_json()),
+                    ("idle_rounds".to_string(), self.idle_rounds.to_json()),
+                    ("polls_before".to_string(), self.polls_before.to_json()),
+                    ("rounds_before".to_string(), self.rounds_before.to_json()),
+                    ("policy".to_string(), self.policy.to_json()),
+                    ("deadline_us".to_string(), self.deadline_us.to_json()),
+                ]),
+            ),
+            ("stepper".to_string(), self.stepper.state()),
+        ])
+    }
+
+    /// Restores a session (and its context) from a [`Session::snapshot`]
+    /// document, validating that it belongs to `protocol`.
+    pub fn restore<P: PollingProtocol + ?Sized>(
+        protocol: &P,
+        doc: &Json,
+    ) -> Result<(SimContext, Session), JsonError> {
+        let name: String = doc.field("protocol")?;
+        if name != protocol.name() {
+            return Err(JsonError(format!(
+                "snapshot belongs to protocol '{name}', cannot resume as '{}'",
+                protocol.name()
+            )));
+        }
+        let config: SimConfig = doc.field("config")?;
+        let ctx_json = doc
+            .get("context")
+            .ok_or_else(|| JsonError("snapshot has no 'context'".to_string()))?;
+        let ctx = SimContext::restore(&config, ctx_json)?;
+        let driver = doc
+            .get("driver")
+            .ok_or_else(|| JsonError("snapshot has no 'driver'".to_string()))?;
+        let passes: u64 = driver.field("passes")?;
+        if passes == 0 {
+            return Err(JsonError(
+                "driver pass counter must be ≥ 1 (pass numbers are 1-based)".to_string(),
+            ));
+        }
+        let stepper_json = doc
+            .get("stepper")
+            .ok_or_else(|| JsonError("snapshot has no 'stepper'".to_string()))?;
+        let stepper = protocol.resume_stepper(&ctx, stepper_json)?;
+        let session = Session {
+            name: protocol.name(),
+            stepper,
+            policy: driver.field("policy")?,
+            deadline_us: driver.field("deadline_us")?,
+            steps: driver.field("steps")?,
+            guard: driver.field("guard")?,
+            passes,
+            idle_rounds: driver.field("idle_rounds")?,
+            polls_before: driver.field("polls_before")?,
+            rounds_before: driver.field("rounds_before")?,
+        };
+        Ok((ctx, session))
+    }
+}
+
+/// Drives `protocol` under `policy` through a session — the engine behind
+/// [`run_recovered`](crate::run_recovered).
+pub fn run_recovered_session<P: PollingProtocol + ?Sized>(
+    protocol: &P,
+    policy: &RecoveryPolicy,
+    ctx: &mut SimContext,
+) -> SessionEnd {
+    let mut session = Session::open(protocol, ctx).with_policy(*policy);
+    session.run(ctx)
+}

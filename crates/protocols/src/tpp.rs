@@ -19,11 +19,10 @@
 //! simulation settles near 3.06 bits regardless of `n`.
 
 use rfid_analysis::tpp::optimal_index_length;
-use rfid_system::SimContext;
+use rfid_system::{Json, JsonError, SimContext};
 
-use crate::error::{PollingError, StallCause, StallGuard};
 use crate::hpp::singleton_indices;
-use crate::report::Report;
+use crate::session::{ProtocolStepper, StepDiscipline, StepOutcome};
 use crate::tree::PollingTree;
 use crate::PollingProtocol;
 
@@ -89,25 +88,44 @@ impl PollingProtocol for Tpp {
         "TPP"
     }
 
-    fn try_run(&self, ctx: &mut SimContext) -> Result<Report, PollingError> {
-        let mut rounds = 0u64;
-        let mut guard = StallGuard::default();
-        while ctx.population.active_count() > 0 {
-            rounds += 1;
-            if rounds > self.cfg.max_rounds {
-                return Err(PollingError::stalled_with(
-                    self.name(),
-                    ctx,
-                    StallCause::RoundCap,
-                ));
-            }
-            tpp_round(ctx, &self.cfg);
-            if guard.no_progress(ctx) {
-                return Err(PollingError::stalled(self.name(), ctx));
-            }
-        }
-        Ok(Report::from_context(self.name(), ctx))
+    fn open_stepper(&self, _ctx: &SimContext) -> Box<dyn ProtocolStepper> {
+        Box::new(TppStepper { cfg: self.cfg })
     }
+
+    fn resume_stepper(
+        &self,
+        _ctx: &SimContext,
+        _state: &Json,
+    ) -> Result<Box<dyn ProtocolStepper>, JsonError> {
+        // Like HPP, all cross-round state is the context's active set.
+        Ok(Box::new(TppStepper { cfg: self.cfg }))
+    }
+}
+
+/// One step = one TPP round (index pick + tree build + tree broadcast).
+struct TppStepper {
+    cfg: TppConfig,
+}
+
+impl ProtocolStepper for TppStepper {
+    fn discipline(&self) -> StepDiscipline {
+        StepDiscipline::budgeted(self.cfg.max_rounds)
+    }
+
+    fn done(&self, ctx: &SimContext) -> bool {
+        ctx.population.active_count() == 0
+    }
+
+    fn step(&mut self, ctx: &mut SimContext) -> StepOutcome {
+        tpp_round(ctx, &self.cfg);
+        StepOutcome::Progressed
+    }
+
+    fn state(&self) -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    fn reset(&mut self, _ctx: &SimContext) {}
 }
 
 /// Runs one TPP round; returns the number of tags successfully polled.
@@ -181,6 +199,7 @@ rfid_system::impl_json_struct!(TppConfig {
 mod tests {
     use super::*;
     use crate::hpp::{tag_index, Hpp};
+    use crate::report::Report;
     use rfid_system::{BitVec, Channel, SimConfig, TagPopulation};
 
     fn run(n: usize, seed: u64, cfg: TppConfig) -> (Report, SimContext) {

@@ -94,16 +94,21 @@ impl Channel {
     /// # Panics
     /// Panics if either rate is outside `[0, 1]` (NaN fails the check too).
     pub fn validate(&self) {
-        assert!(
-            (0.0..=1.0).contains(&self.reply_loss_rate),
-            "loss rate {}",
-            self.reply_loss_rate
-        );
-        assert!(
-            (0.0..=1.0).contains(&self.capture_prob),
-            "capture prob {}",
-            self.capture_prob
-        );
+        if let Err(msg) = self.try_validate() {
+            panic!("{msg}");
+        }
+    }
+
+    /// Non-panicking form of [`Channel::validate`], for inputs that come
+    /// from untrusted bytes (session snapshots) rather than code.
+    pub fn try_validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.reply_loss_rate) {
+            return Err(format!("loss rate {}", self.reply_loss_rate));
+        }
+        if !(0.0..=1.0).contains(&self.capture_prob) {
+            return Err(format!("capture prob {}", self.capture_prob));
+        }
+        Ok(())
     }
 
     /// Resolves a slot given the handles of the tags that replied.

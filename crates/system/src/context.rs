@@ -23,6 +23,7 @@ use rfid_hash::Xoshiro256;
 use crate::channel::{Channel, SlotOutcome};
 use crate::event::{BroadcastKind, Event, EventLog};
 use crate::fault::FaultModel;
+use crate::json::{Json, JsonError, ToJson};
 use crate::population::TagPopulation;
 use crate::round_index::RoundIndex;
 use crate::tag::TagState;
@@ -823,6 +824,113 @@ impl SimContext {
             "poll count disagrees with population size"
         );
     }
+
+    /// Serializes the full mutable run state for a session checkpoint.
+    ///
+    /// Captures everything whose value depends on how far the run has
+    /// progressed: the RNG stream position, the clock (elapsed verbatim, so
+    /// restores are bit-exact), the population's read/deselect state, the
+    /// counters, the event trace, the per-tag downlink synchronization, the
+    /// kill-rule reply counts and the Gilbert–Elliott channel state. The
+    /// transient caches ([`RoundIndex`], arenas, scratch pool) are *not*
+    /// captured — they never carry state across a protocol step, only
+    /// capacity — and the derived desync bitset is rebuilt from `synced`.
+    ///
+    /// Pair with [`SimContext::restore`], which needs the same [`SimConfig`]
+    /// the context was created with.
+    pub fn snapshot(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "rng".to_string(),
+                Json::Arr(self.rng.state().iter().map(|&w| Json::UInt(w)).collect()),
+            ),
+            ("clock".to_string(), self.clock.to_json()),
+            ("population".to_string(), self.population.to_json()),
+            ("counters".to_string(), self.counters.to_json()),
+            ("log".to_string(), self.log.to_json()),
+            ("synced".to_string(), self.synced.to_json()),
+            ("replies_sent".to_string(), self.replies_sent.to_json()),
+            ("ge_bad".to_string(), self.ge_bad.to_json()),
+        ])
+    }
+
+    /// Rebuilds a context from a [`SimContext::snapshot`] document and the
+    /// [`SimConfig`] the original run was created with.
+    ///
+    /// Everything the snapshot does not carry (link parameters, channel and
+    /// fault models, cached flags, empty arenas) is rederived from `config`,
+    /// exactly as [`SimContext::new`] does. The restored context continues
+    /// the run bit-identically: same RNG draws, same clock bits, same trace.
+    ///
+    /// Malformed snapshots — wrong RNG shape, an all-zero RNG state, vector
+    /// lengths that disagree with the population, a clock inconsistent with
+    /// its breakdown — produce typed errors, never panics.
+    pub fn restore(config: &SimConfig, json: &Json) -> Result<SimContext, JsonError> {
+        // The config may itself come from untrusted snapshot bytes: reject
+        // smuggled NaN/out-of-range rates with an error, not a panic.
+        config
+            .channel
+            .try_validate()
+            .map_err(|msg| JsonError(format!("invalid channel in snapshot config: {msg}")))?;
+        config
+            .fault
+            .try_validate()
+            .map_err(|msg| JsonError(format!("invalid fault model in snapshot config: {msg}")))?;
+        let population: TagPopulation = json.field("population")?;
+        let n = population.len();
+        let rng_words: Vec<u64> = json.field("rng")?;
+        let state: [u64; 4] = rng_words
+            .as_slice()
+            .try_into()
+            .map_err(|_| JsonError(format!("rng state has {} words, need 4", rng_words.len())))?;
+        if state == [0; 4] {
+            return Err(JsonError("all-zero rng state is invalid".to_string()));
+        }
+        let synced: Vec<bool> = json.field("synced")?;
+        if synced.len() != n {
+            return Err(JsonError(format!(
+                "synced has {} entries for a population of {n}",
+                synced.len()
+            )));
+        }
+        let has_kills = !config.fault.plan.kill_after_replies.is_empty();
+        let replies_sent: Vec<u64> = json.field("replies_sent")?;
+        let expect_replies = if has_kills { n } else { 0 };
+        if replies_sent.len() != expect_replies {
+            return Err(JsonError(format!(
+                "replies_sent has {} entries, expected {expect_replies}",
+                replies_sent.len()
+            )));
+        }
+        let mut desynced_words = vec![0u64; n.div_ceil(64)];
+        let mut desynced_count = 0;
+        for (idx, &ok) in synced.iter().enumerate() {
+            if !ok {
+                desynced_words[idx / 64] |= 1u64 << (idx % 64);
+                desynced_count += 1;
+            }
+        }
+        Ok(SimContext {
+            link: config.link,
+            clock: json.field("clock")?,
+            population,
+            channel: config.channel,
+            fault: config.fault.clone(),
+            rng: Xoshiro256::from_state(state),
+            log: json.field("log")?,
+            counters: json.field("counters")?,
+            synced,
+            desynced_words,
+            desynced_count,
+            round_index: RoundIndex::new(),
+            singles_arena: Vec::new(),
+            scratch_pool: Vec::new(),
+            replies_sent,
+            has_kills,
+            fault_active: !config.fault.is_perfect(),
+            ge_bad: json.field("ge_bad")?,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -1118,6 +1226,95 @@ mod tests {
         assert!(kinds.iter().any(|s| s.contains("backoff after pass 1")));
         assert!(kinds.iter().any(|s| s.contains("recovery pass 2")));
         assert!(kinds.iter().any(|s| s.contains("circuit opened")));
+    }
+
+    #[test]
+    fn snapshot_restore_continues_bit_identically() {
+        use crate::fault::{FaultModel, GilbertElliott};
+        // A faulted, traced run exercises every snapshotted field: RNG,
+        // desync state, burst state, trace, counters, clock.
+        let fault = FaultModel::perfect()
+            .with_downlink_loss(0.2)
+            .with_corruption(0.2)
+            .with_burst(GilbertElliott::new(0.1, 0.5, 0.0, 0.8));
+        let cfg = SimConfig::paper(99)
+            .with_channel(Channel::lossy(0.1))
+            .with_fault(fault)
+            .with_trace();
+        let pop = TagPopulation::sequential(64, |i| BitVec::from_value(i as u64, 8));
+        let mut live = SimContext::new(pop, &cfg);
+        for round in 0..3 {
+            let _ = round;
+            live.begin_round(6, 32);
+            for t in live.population.active_handles() {
+                live.poll_tag(6, true, t);
+            }
+        }
+        let snap = live.snapshot();
+        let text = snap.to_string();
+        let parsed = Json::parse(&text).expect("snapshot parses");
+        let mut restored = SimContext::restore(&cfg, &parsed).expect("snapshot restores");
+        // Drive both a further faulted round and compare everything.
+        for c in [&mut live, &mut restored] {
+            c.begin_round(6, 32);
+            for t in c.population.active_handles() {
+                c.poll_tag(6, true, t);
+            }
+        }
+        assert_eq!(live.counters, restored.counters);
+        assert_eq!(
+            live.clock.total().as_f64().to_bits(),
+            restored.clock.total().as_f64().to_bits(),
+            "clock must continue bit-exactly"
+        );
+        assert_eq!(live.rng.state(), restored.rng.state());
+        assert_eq!(live.log.to_jsonl(), restored.log.to_jsonl());
+        assert_eq!(live.uncollected_handles(), restored.uncollected_handles());
+    }
+
+    #[test]
+    fn restore_rejects_malformed_snapshots() {
+        let cfg = SimConfig::paper(7);
+        let pop = TagPopulation::sequential(4, |i| BitVec::from_value(i as u64, 4));
+        let c = SimContext::new(pop, &cfg);
+        let good = c.snapshot();
+
+        // All-zero RNG state.
+        let mut bad = good.clone();
+        if let Json::Obj(fields) = &mut bad {
+            for (k, v) in fields.iter_mut() {
+                if k == "rng" {
+                    *v = Json::Arr(vec![Json::UInt(0); 4]);
+                }
+            }
+        }
+        assert!(SimContext::restore(&cfg, &bad).is_err());
+
+        // Wrong-shape RNG state.
+        let mut bad = good.clone();
+        if let Json::Obj(fields) = &mut bad {
+            for (k, v) in fields.iter_mut() {
+                if k == "rng" {
+                    *v = Json::Arr(vec![Json::UInt(1); 3]);
+                }
+            }
+        }
+        assert!(SimContext::restore(&cfg, &bad).is_err());
+
+        // Sync vector length disagrees with the population.
+        let mut bad = good.clone();
+        if let Json::Obj(fields) = &mut bad {
+            for (k, v) in fields.iter_mut() {
+                if k == "synced" {
+                    *v = Json::Arr(vec![Json::Bool(true); 3]);
+                }
+            }
+        }
+        assert!(SimContext::restore(&cfg, &bad).is_err());
+
+        // Missing field.
+        let bad = Json::Obj(vec![]);
+        assert!(SimContext::restore(&cfg, &bad).is_err());
     }
 
     #[test]

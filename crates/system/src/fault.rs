@@ -22,12 +22,19 @@
 //! the simulator consume *zero* extra RNG draws, so perfect-channel runs
 //! stay bit-identical to the paper-reproduction figures.
 
-fn assert_rate(rate: f64, what: &str) {
+fn check_rate(rate: f64, what: &str) -> Result<(), String> {
     // `NaN` fails both comparisons, so the message fires for it too.
-    assert!(
-        (0.0..=1.0).contains(&rate),
-        "{what} rate {rate} outside [0, 1]"
-    );
+    if (0.0..=1.0).contains(&rate) {
+        Ok(())
+    } else {
+        Err(format!("{what} rate {rate} outside [0, 1]"))
+    }
+}
+
+fn assert_rate(rate: f64, what: &str) {
+    if let Err(msg) = check_rate(rate, what) {
+        panic!("{msg}");
+    }
 }
 
 /// A two-state Gilbert–Elliott burst-loss channel for the uplink.
@@ -66,10 +73,17 @@ impl GilbertElliott {
 
     /// Checks all four probabilities; panics on any invalid one.
     pub fn validate(&self) {
-        assert_rate(self.p_enter_bad, "Gilbert-Elliott p_enter_bad");
-        assert_rate(self.p_exit_bad, "Gilbert-Elliott p_exit_bad");
-        assert_rate(self.loss_good, "Gilbert-Elliott loss_good");
-        assert_rate(self.loss_bad, "Gilbert-Elliott loss_bad");
+        if let Err(msg) = self.try_validate() {
+            panic!("{msg}");
+        }
+    }
+
+    /// Non-panicking form of [`GilbertElliott::validate`].
+    pub fn try_validate(&self) -> Result<(), String> {
+        check_rate(self.p_enter_bad, "Gilbert-Elliott p_enter_bad")?;
+        check_rate(self.p_exit_bad, "Gilbert-Elliott p_exit_bad")?;
+        check_rate(self.loss_good, "Gilbert-Elliott loss_good")?;
+        check_rate(self.loss_bad, "Gilbert-Elliott loss_bad")
     }
 }
 
@@ -318,14 +332,22 @@ impl FaultModel {
     /// Re-checks every rate and the scripted plan (for models built via
     /// struct literals or JSON).
     pub fn validate(&self) {
-        assert_rate(self.downlink_loss_rate, "downlink loss");
-        assert_rate(self.corruption_rate, "corruption");
+        if let Err(msg) = self.try_validate() {
+            panic!("{msg}");
+        }
+    }
+
+    /// Non-panicking form of [`FaultModel::validate`], for fault models
+    /// deserialized from untrusted snapshot bytes.
+    pub fn try_validate(&self) -> Result<(), String> {
+        check_rate(self.downlink_loss_rate, "downlink loss")?;
+        check_rate(self.corruption_rate, "corruption")?;
         if let Some(burst) = &self.burst {
-            burst.validate();
+            burst.try_validate()?;
         }
-        if let Err(e) = self.plan.validate() {
-            panic!("invalid fault plan: {e}");
-        }
+        self.plan
+            .validate()
+            .map_err(|e| format!("invalid fault plan: {e}"))
     }
 
     /// Whether any downlink fault (probabilistic or scripted) is configured.

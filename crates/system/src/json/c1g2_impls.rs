@@ -130,14 +130,20 @@ impl ToJson for Clock {
 
 impl FromJson for Clock {
     fn from_json(json: &Json) -> Result<Self, JsonError> {
-        // `elapsed_us` is redundant with the breakdown total (kept in the
-        // output for human readers), so reconstruction replays the buckets.
+        // `elapsed_us` must be restored verbatim, not recomputed from the
+        // buckets: the live clock accumulates it one addition per `spend`
+        // in chronological order, so a per-category re-sum can differ in
+        // the last float bits and break bit-identical session restores.
+        let elapsed: Micros = json.field("elapsed_us")?;
         let breakdown: TimeBreakdown = json.field("breakdown")?;
-        let mut clock = Clock::new();
-        for (cat, us) in breakdown.iter() {
-            clock.spend(cat, us);
+        let total = breakdown.total().as_f64();
+        if (elapsed.as_f64() - total).abs() > 1e-6 * total.max(1.0) {
+            return Err(JsonError(format!(
+                "clock elapsed_us {} inconsistent with breakdown total {total}",
+                elapsed.as_f64()
+            )));
         }
-        Ok(clock)
+        Ok(Clock::from_parts(elapsed, breakdown))
     }
 }
 
@@ -340,6 +346,16 @@ mod tests {
         for (cat, us) in clock.breakdown().iter() {
             assert_eq!(back.breakdown().get(cat), us, "bucket {cat:?}");
         }
-        assert!((back.total().as_f64() - clock.total().as_f64()).abs() < 1e-9);
+        assert_eq!(
+            back.total().as_f64().to_bits(),
+            clock.total().as_f64().to_bits(),
+            "elapsed must restore bit-exactly, not be re-summed"
+        );
+    }
+
+    #[test]
+    fn clock_rejects_inconsistent_elapsed() {
+        let text = r#"{"elapsed_us": 500.0, "breakdown": {"TagReply": 10.0}}"#;
+        assert!(from_json_str::<Clock>(text).is_err());
     }
 }

@@ -37,5 +37,13 @@ cargo bench --offline -p rfid-bench --bench hotpath
 # with the expected shape (obs_report doubles as the workspace's offline
 # JSON validator).
 cargo run --release --offline -p rfid-bench --bin obs_report -- --check-hotpath target/BENCH_hotpath.json
+# Crash-chaos checkpoint/restore gate (DESIGN.md §13): every protocol is
+# killed at a seeded slot boundary, snapshotted to JSON, restored into a
+# fresh context and run to completion; the final report and event-trace
+# digest must be bit-identical to the uninterrupted run (clean + impaired
+# channels + a multi-pass recovery kill). Writes target/BENCH_session.json.
+rm -f target/BENCH_session.json
+cargo bench --offline -p rfid-bench --bench session
+cargo run --release --offline -p rfid-bench --bin obs_report -- --check-session target/BENCH_session.json
 
 echo "verify: OK"

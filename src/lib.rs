@@ -57,18 +57,20 @@ pub use rfid_workloads as workloads;
 /// One-stop imports for the common use cases.
 pub mod prelude {
     pub use rfid_apps::info_collect::{
-        run_polling, run_polling_recovered, run_polling_recovered_in, try_run_polling,
+        run_polling, run_polling_recovered, run_polling_recovered_in, run_polling_with_deadline,
+        try_run_polling,
     };
     pub use rfid_baselines::{CodedPollingConfig, CppConfig, EcppConfig, MicConfig};
     pub use rfid_c1g2::{Clock, LinkParams, Micros, TimeCategory};
     pub use rfid_obs::{metrics_from_log, reconcile, MetricsRegistry};
     pub use rfid_protocols::{
-        run_recovered, EhppConfig, HppConfig, PollingError, PollingProtocol, RecoveryOutcome,
-        RecoveryPolicy, RecoverySession, Report, StallCause, TppConfig,
+        run_recovered, run_recovered_session, run_session, DegradeCause, EhppConfig, HppConfig,
+        PollingError, PollingProtocol, RecoveryOutcome, RecoveryPolicy, RecoverySession, Report,
+        Session, SessionEnd, StallCause, TppConfig,
     };
     pub use rfid_system::{
-        BitVec, FaultModel, FaultPlan, FaultPlanError, GilbertElliott, SlotOutcome, TagId,
-        TagPopulation,
+        BitVec, FaultModel, FaultPlan, FaultPlanError, GilbertElliott, Json, JsonError, SimConfig,
+        SimContext, SlotOutcome, TagId, TagPopulation,
     };
     pub use rfid_workloads::{IdDistribution, Scenario};
 }
