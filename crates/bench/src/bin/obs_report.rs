@@ -1,35 +1,32 @@
 //! `obs_report` — renders telemetry from traced protocol runs.
 //!
-//! ```text
-//! obs_report [--n N] [--seed S]   worked examples + metric summaries
-//! obs_report --reconcile          trace→counters gate over every protocol
-//! ```
+//! Modes (any unrecognised flag prints the full usage text and exits 2;
+//! parsing lives in `rfid_bench::cli` alongside the `repro` binary's):
 //!
-//! The default mode re-creates the paper's worked examples from event
-//! traces rather than from counters: the HPP round-by-round walk of Fig. 2,
-//! the EHPP per-circle breakdown behind Fig. 6 (vector length flat in `n`),
-//! and the TPP differential-suffix average behind Fig. 7 (~3 bits/tag),
-//! each followed by the trace-derived metric summary (vector-length,
-//! poll-latency and slot-duration histograms, unread-tags time series).
-//!
-//! `--reconcile` is the CI gate: one traced run of *every* protocol (plus
-//! an impaired run of each fault-tolerant one) is replayed through
-//! `rfid_obs::reconcile`; any counter that disagrees with its trace fails
-//! the process with a nonzero exit.
-//!
-//! `--check-hotpath <path>` validates the `BENCH_hotpath.json` report the
-//! hot-path bench writes: well-formed JSON of the expected shape, a
-//! completed 1M-tag run, and at least one gated n = 100k case at ≥ 10×
-//! the pre-change throughput (DESIGN.md §12).
-//!
-//! `--check-session <path>` validates the `BENCH_session.json` report the
-//! crash-chaos session bench writes: every kill/snapshot/restore case must
-//! be bit-identical, with full clean coverage (all 12 protocols), the four
-//! impaired paper protocols, and a multi-pass recovery case (DESIGN.md §13).
+//! * default — re-creates the paper's worked examples from event traces
+//!   rather than from counters: the HPP round-by-round walk of Fig. 2, the
+//!   EHPP per-circle breakdown behind Fig. 6 (vector length flat in `n`),
+//!   and the TPP differential-suffix average behind Fig. 7 (~3 bits/tag),
+//!   each followed by the trace-derived metric summary.
+//! * `--flame` — runs the three paper protocols with span profiling on and
+//!   renders the session→pass→round→poll hierarchy as a flame table plus
+//!   deterministic folded stacks (DESIGN.md §14).
+//! * `--reconcile` — the CI gate: one traced run of *every* protocol (plus
+//!   an impaired run of each fault-tolerant one) replayed through
+//!   `rfid_obs::reconcile`; any counter/trace disagreement exits nonzero.
+//! * `--check-hotpath <path>` — validates `BENCH_hotpath.json`: a
+//!   completed 1M-tag run and a gated n = 100k case at ≥ 10× (§12).
+//! * `--check-session <path>` — validates `BENCH_session.json`: every
+//!   kill/snapshot/restore case bit-identical, full clean coverage,
+//!   impaired paper protocols, multi-pass recovery (§13).
+//! * `--check-obsplane <path>` — validates `BENCH_obsplane.json`: the
+//!   disabled span path within noise, the enabled full-profiling overhead
+//!   under its ceiling, and profiling on/off bit-identity (§14).
 
 use rfid_baselines::{CodedPollingConfig, CppConfig, EcppConfig, FsaConfig, LowerBound, MicConfig};
+use rfid_bench::cli::{obs_usage, parse_obs_args, ObsMode};
 use rfid_identify::{BinarySplitConfig, QAlgorithmConfig, QueryTreeConfig};
-use rfid_obs::{metrics_from_log, reconcile, Log2Histogram, MetricsRegistry};
+use rfid_obs::{metrics_from_log, reconcile, render_flame, Log2Histogram, MetricsRegistry};
 use rfid_protocols::{EhppConfig, HppConfig, PollingProtocol, TppConfig};
 use rfid_system::{
     BitVec, Event, FaultModel, GilbertElliott, SimConfig, SimContext, TagPopulation, TimedEvent,
@@ -37,46 +34,31 @@ use rfid_system::{
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut n = 200usize;
-    let mut seed = 1u64;
-    let mut reconcile_mode = false;
-    let mut hotpath_report: Option<String> = None;
-    let mut session_report: Option<String> = None;
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--reconcile" => reconcile_mode = true,
-            "--check-hotpath" => hotpath_report = Some(parse_next(&mut it, "--check-hotpath")),
-            "--check-session" => session_report = Some(parse_next(&mut it, "--check-session")),
-            "--n" => n = parse_next(&mut it, "--n"),
-            "--seed" => seed = parse_next(&mut it, "--seed"),
-            other => {
-                eprintln!("unknown argument `{other}`");
-                eprintln!(
-                    "usage: obs_report [--n N] [--seed S] [--reconcile] \
-                     [--check-hotpath FILE] [--check-session FILE]"
-                );
-                std::process::exit(2);
-            }
+    let opts = match parse_obs_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("obs_report: {msg}\n");
+            eprint!("{}", obs_usage());
+            std::process::exit(2);
         }
-    }
-    if let Some(path) = hotpath_report {
-        std::process::exit(check_hotpath_report(&path));
-    }
-    if let Some(path) = session_report {
-        std::process::exit(check_session_report(&path));
-    }
-    if reconcile_mode {
-        std::process::exit(run_reconcile_gate(n.min(120), seed));
-    }
-    render_worked_examples(n, seed);
-}
-
-fn parse_next<T: std::str::FromStr>(it: &mut std::slice::Iter<'_, String>, flag: &str) -> T {
-    it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
-        eprintln!("{flag} needs a value");
-        std::process::exit(2);
-    })
+    };
+    let n = opts.n.unwrap_or(200);
+    let seed = opts.seed.unwrap_or(1);
+    let code = match opts.mode {
+        ObsMode::CheckHotpath(path) => check_hotpath_report(&path.display().to_string()),
+        ObsMode::CheckSession(path) => check_session_report(&path.display().to_string()),
+        ObsMode::CheckObsplane(path) => check_obsplane_report(&path.display().to_string()),
+        ObsMode::Reconcile => run_reconcile_gate(n.min(120), seed),
+        ObsMode::Flame => {
+            render_flame_profiles(n, seed);
+            0
+        }
+        ObsMode::Examples => {
+            render_worked_examples(n, seed);
+            0
+        }
+    };
+    std::process::exit(code);
 }
 
 fn traced_run(protocol: &dyn PollingProtocol, n: usize, cfg: &SimConfig) -> SimContext {
@@ -493,6 +475,145 @@ fn check_session_report(path: &str) -> i32 {
             eprintln!("check-session: {path} invalid: {e}");
             1
         }
+    }
+}
+
+/// Validates a `BENCH_obsplane.json` report: all three profiling-plane
+/// gates present and passing — the disabled span path within noise, the
+/// enabled overhead under its ceiling, and profiling on/off bit-identity.
+/// Returns the process exit code.
+fn check_obsplane_report(path: &str) -> i32 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("check-obsplane: cannot read {path}: {e}");
+            return 1;
+        }
+    };
+    let parsed = match rfid_system::Json::parse(&text) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("check-obsplane: {path} is not well-formed JSON: {e}");
+            return 1;
+        }
+    };
+    let validate = || -> Result<(), String> {
+        let group = parsed
+            .get("group")
+            .ok_or("missing `group`")?
+            .as_str()
+            .map_err(|e| e.to_string())?;
+        if group != "obsplane" {
+            return Err(format!("group is `{group}`, expected `obsplane`"));
+        }
+        let results = parsed
+            .get("results")
+            .ok_or("missing `results`")?
+            .as_arr()
+            .map_err(|e| e.to_string())?;
+        let find = |name: &str| {
+            results
+                .iter()
+                .find(|r| r.get("name").and_then(|n| n.as_str().ok()) == Some(name))
+                .ok_or(format!("no `{name}` result"))
+        };
+        // The two overhead gates: ratio recorded, under its ceiling, gated.
+        for name in ["disabled_span_path", "enabled_profiling_overhead"] {
+            let r = find(name)?;
+            let ratio = r
+                .get("ratio")
+                .ok_or(format!("{name}: missing `ratio`"))?
+                .as_f64()
+                .map_err(|e| e.to_string())?;
+            let ceiling = r
+                .get("ceiling")
+                .ok_or(format!("{name}: missing `ceiling`"))?
+                .as_f64()
+                .map_err(|e| e.to_string())?;
+            let gated = r
+                .get("gated")
+                .ok_or(format!("{name}: missing `gated`"))?
+                .as_bool()
+                .map_err(|e| e.to_string())?;
+            if !gated || ratio > ceiling {
+                return Err(format!(
+                    "{name}: ratio {ratio:.2} exceeds ceiling {ceiling} (gated = {gated})"
+                ));
+            }
+        }
+        // The enabled gate must have run at the full 100 k-tag population.
+        let enabled = find("enabled_profiling_overhead")?;
+        let n = enabled
+            .get("n")
+            .ok_or("enabled_profiling_overhead: missing `n`")?
+            .as_u64()
+            .map_err(|e| e.to_string())?;
+        if n < 100_000 {
+            return Err(format!(
+                "enabled_profiling_overhead ran at n = {n}, expected ≥ 100000"
+            ));
+        }
+        // Bit-identity: profiling on/off must not move a single bit.
+        let bit = find("bit_identity")?;
+        let identical = bit
+            .get("identical")
+            .ok_or("bit_identity: missing `identical`")?
+            .as_bool()
+            .map_err(|e| e.to_string())?;
+        if !identical {
+            return Err("bit_identity: profiling perturbed the run".to_string());
+        }
+        Ok(())
+    };
+    match validate() {
+        Ok(()) => {
+            println!("check-obsplane: {path} ok");
+            0
+        }
+        Err(e) => {
+            eprintln!("check-obsplane: {path} invalid: {e}");
+            1
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// --flame: span profiles of the paper protocols
+// ---------------------------------------------------------------------------
+
+/// Runs the three paper protocols through the session engine with span
+/// profiling on and renders each profile: the flame table (per-path calls,
+/// sim/wall totals, self time) followed by the deterministic folded stacks
+/// — the collapsed-flamegraph lines external flamegraph tooling consumes.
+fn render_flame_profiles(n: usize, seed: u64) {
+    use rfid_protocols::Session;
+    let cfg = SimConfig::paper(seed).with_profile();
+    let protocols: Vec<Box<dyn PollingProtocol>> = vec![
+        Box::new(HppConfig::default().into_protocol()),
+        Box::new(EhppConfig::default().into_protocol()),
+        Box::new(TppConfig::default().into_protocol()),
+    ];
+    println!("span profiles (n = {n}, seed = {seed})\n");
+    for protocol in &protocols {
+        let pop = TagPopulation::sequential(n, |i| BitVec::from_value((i % 2) as u64, 1));
+        let mut ctx = SimContext::new(pop, &cfg);
+        let mut session = Session::open(protocol.as_ref(), &ctx);
+        let end = session.run(&mut ctx);
+        println!(
+            "== {} ({}) ==",
+            protocol.name(),
+            if end.is_complete() {
+                "complete"
+            } else {
+                "incomplete"
+            }
+        );
+        print!("{}", render_flame(&ctx.profiler));
+        println!("folded stacks (collapsed-flamegraph lines, value = self sim-µs):");
+        for line in rfid_obs::folded_stacks(&ctx.profiler) {
+            println!("  {line}");
+        }
+        println!();
     }
 }
 

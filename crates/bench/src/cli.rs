@@ -1,9 +1,11 @@
-//! Argument parsing for the `repro` binary.
+//! Argument parsing for the `repro` and `obs_report` binaries.
 //!
 //! Parsing is a pure function from the argument list to either a validated
-//! [`ReproOptions`] or an error message, so both the usage-message paths
-//! and the experiment-name validation are unit-testable without spawning
-//! the binary.
+//! options struct ([`ReproOptions`] / [`ObsReportOptions`]) or an error
+//! message, so both the usage-message paths and the name validation are
+//! unit-testable without spawning the binaries. Both binaries follow the
+//! same conventions: `--help`-free (usage prints on any bad flag), exit 2
+//! on parse errors, and a subcommand list in the usage text.
 
 use std::path::PathBuf;
 
@@ -174,6 +176,118 @@ fn parse_value<T: std::str::FromStr + Copy>(
         .ok_or_else(|| format!("{flag} needs a positive integer"))
 }
 
+/// Every `obs_report` mode, with its one-line description (the usage
+/// message's subcommand list).
+pub const OBS_MODES: &[(&str, &str)] = &[
+    (
+        "(default)",
+        "worked examples + trace-derived metric summaries",
+    ),
+    (
+        "--flame",
+        "span profile of the paper protocols (flame table + folded stacks)",
+    ),
+    ("--reconcile", "trace→counters gate over every protocol"),
+    (
+        "--check-hotpath FILE",
+        "validate a BENCH_hotpath.json report",
+    ),
+    (
+        "--check-session FILE",
+        "validate a BENCH_session.json report",
+    ),
+    (
+        "--check-obsplane FILE",
+        "validate a BENCH_obsplane.json report",
+    ),
+];
+
+/// Which `obs_report` mode was selected (modes are mutually exclusive).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum ObsMode {
+    /// Render the worked examples and metric summaries.
+    #[default]
+    Examples,
+    /// Render the span profile (flame table + folded stacks).
+    Flame,
+    /// Run the trace→counters reconciliation gate.
+    Reconcile,
+    /// Validate a `BENCH_hotpath.json` report.
+    CheckHotpath(PathBuf),
+    /// Validate a `BENCH_session.json` report.
+    CheckSession(PathBuf),
+    /// Validate a `BENCH_obsplane.json` report.
+    CheckObsplane(PathBuf),
+}
+
+/// Validated `obs_report` invocation.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ObsReportOptions {
+    /// The selected mode.
+    pub mode: ObsMode,
+    /// Population size for the example/flame/reconcile runs.
+    pub n: Option<usize>,
+    /// Seed for the example/flame/reconcile runs.
+    pub seed: Option<u64>,
+}
+
+/// The full `obs_report` usage message, mode list included.
+pub fn obs_usage() -> String {
+    let mut out = String::from(
+        "usage: obs_report [mode] [--n N] [--seed S]\n\nmodes (mutually exclusive):\n",
+    );
+    for (name, desc) in OBS_MODES {
+        out.push_str(&format!("  {name:<24} {desc}\n"));
+    }
+    out.push_str(
+        "\n--n (default 200; the reconcile gate caps it at 120) sets the\n\
+         population, --seed (default 1) the master seed. The check modes\n\
+         validate bench reports written by `cargo bench` and exit nonzero\n\
+         on any malformed or failing gate.\n",
+    );
+    out
+}
+
+/// Parses `obs_report`'s arguments (without the program name). `Err`
+/// carries a one-line message; callers print it with [`obs_usage`] and
+/// exit 2.
+pub fn parse_obs_args(args: &[String]) -> Result<ObsReportOptions, String> {
+    let mut opts = ObsReportOptions::default();
+    let mut it = args.iter();
+    let set_mode = |opts: &mut ObsReportOptions, mode: ObsMode| {
+        if opts.mode != ObsMode::Examples {
+            return Err(format!(
+                "two modes given ({:?} and {mode:?}); pick one",
+                opts.mode
+            ));
+        }
+        opts.mode = mode;
+        Ok(())
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--flame" => set_mode(&mut opts, ObsMode::Flame)?,
+            "--reconcile" => set_mode(&mut opts, ObsMode::Reconcile)?,
+            "--check-hotpath" => {
+                let path = it.next().ok_or("--check-hotpath needs a file")?;
+                set_mode(&mut opts, ObsMode::CheckHotpath(PathBuf::from(path)))?;
+            }
+            "--check-session" => {
+                let path = it.next().ok_or("--check-session needs a file")?;
+                set_mode(&mut opts, ObsMode::CheckSession(PathBuf::from(path)))?;
+            }
+            "--check-obsplane" => {
+                let path = it.next().ok_or("--check-obsplane needs a file")?;
+                set_mode(&mut opts, ObsMode::CheckObsplane(PathBuf::from(path)))?;
+            }
+            "--n" => opts.n = Some(parse_value(it.next(), "--n", |v: usize| v >= 1)?),
+            "--seed" => opts.seed = Some(parse_value(it.next(), "--seed", |_: u64| true)?),
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(opts)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -267,6 +381,65 @@ mod tests {
         let text = usage();
         for (name, _) in EXPERIMENTS {
             assert!(text.contains(name), "usage missing {name}");
+        }
+    }
+
+    fn parse_obs(args: &[&str]) -> Result<ObsReportOptions, String> {
+        parse_obs_args(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn obs_defaults_to_the_examples_mode() {
+        let opts = parse_obs(&[]).unwrap();
+        assert_eq!(opts.mode, ObsMode::Examples);
+        assert_eq!(opts.n, None);
+        assert_eq!(opts.seed, None);
+    }
+
+    #[test]
+    fn obs_modes_and_knobs_parse_in_any_order() {
+        let opts = parse_obs(&["--n", "50", "--flame", "--seed", "9"]).unwrap();
+        assert_eq!(opts.mode, ObsMode::Flame);
+        assert_eq!(opts.n, Some(50));
+        assert_eq!(opts.seed, Some(9));
+        let opts = parse_obs(&["--reconcile"]).unwrap();
+        assert_eq!(opts.mode, ObsMode::Reconcile);
+        let opts = parse_obs(&["--check-obsplane", "/tmp/r.json"]).unwrap();
+        assert_eq!(
+            opts.mode,
+            ObsMode::CheckObsplane(PathBuf::from("/tmp/r.json"))
+        );
+        let opts = parse_obs(&["--check-hotpath", "a", "--seed", "2"]).unwrap();
+        assert_eq!(opts.mode, ObsMode::CheckHotpath(PathBuf::from("a")));
+        let opts = parse_obs(&["--check-session", "b"]).unwrap();
+        assert_eq!(opts.mode, ObsMode::CheckSession(PathBuf::from("b")));
+    }
+
+    #[test]
+    fn obs_bad_flags_and_mode_conflicts_are_errors() {
+        for args in [
+            &["--n"][..],
+            &["--n", "0"],
+            &["--n", "lots"],
+            &["--seed"],
+            &["--seed", "x"],
+            &["--check-hotpath"],
+            &["--check-session"],
+            &["--check-obsplane"],
+            &["--frobnicate"],
+        ] {
+            assert!(parse_obs(args).is_err(), "{args:?} should be rejected");
+        }
+        let err = parse_obs(&["--flame", "--reconcile"]).unwrap_err();
+        assert!(err.contains("pick one"), "{err}");
+    }
+
+    #[test]
+    fn obs_usage_names_every_mode() {
+        let text = obs_usage();
+        for (name, _) in OBS_MODES {
+            let flag = name.split_whitespace().next().unwrap();
+            assert!(text.contains(flag), "obs usage missing {flag}");
         }
     }
 }

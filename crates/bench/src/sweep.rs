@@ -45,7 +45,7 @@ use crate::runner::ProtocolFactory;
 /// Code-version salt folded into every cache key. Bump whenever simulator
 /// semantics change in a way that alters reports, so stale sweep caches
 /// invalidate themselves. (v2: `Counters` gained the recovery fields.)
-pub const CACHE_SALT: &str = "sweep-v2";
+pub const CACHE_SALT: &str = "sweep-v3";
 
 /// Default runs per job (run-block size): fine-grained enough that a single
 /// cell still fans out across cores.

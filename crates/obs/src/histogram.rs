@@ -249,6 +249,107 @@ mod tests {
     }
 
     #[test]
+    fn empty_histogram_percentiles_are_none_at_every_quantile() {
+        let h = Log2Histogram::new();
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0, -1.0, 2.0] {
+            assert_eq!(h.percentile(q), None, "q = {q}");
+        }
+    }
+
+    #[test]
+    fn single_sample_statistics_all_equal_the_sample() {
+        for v in [0u64, 1, 7, 1 << 40, u64::MAX] {
+            let mut h = Log2Histogram::new();
+            h.record(v);
+            assert_eq!(h.count(), 1);
+            assert_eq!(h.min(), Some(v), "v = {v}");
+            assert_eq!(h.max(), Some(v), "v = {v}");
+            assert_eq!(h.mean(), v as f64, "v = {v}");
+            // Every quantile of a one-sample distribution is the sample
+            // (the bucket ceiling clamps to the exact observed max).
+            for q in [0.0, 0.5, 1.0] {
+                assert_eq!(h.percentile(q), Some(v), "v = {v}, q = {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn top_bucket_saturates_without_overflow() {
+        let mut h = Log2Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        h.record(1 << 63);
+        assert_eq!(Log2Histogram::bucket_index(u64::MAX), 64);
+        assert_eq!(Log2Histogram::bucket_index(1 << 63), 64);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), Some(u64::MAX));
+        assert_eq!(h.min(), Some(1 << 63));
+        // The sum saturates instead of wrapping.
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.percentile(1.0), Some(u64::MAX));
+        let buckets: Vec<_> = h.nonzero_buckets().collect();
+        assert_eq!(buckets, [(1 << 63, u64::MAX, 3)]);
+    }
+
+    #[test]
+    fn merge_is_associative_and_order_independent() {
+        use rfid_hash::prop::{check, Gen};
+        check(
+            "log2hist merge associative + commutative",
+            64,
+            |g: &mut Gen| {
+                let sample = |g: &mut Gen| {
+                    // Spread samples across the full bucket range, zeros
+                    // and the saturating top bucket included.
+                    let shift = g.u64_in(0, 63) as u32;
+                    match g.u64_in(0, 9) {
+                        0 => 0,
+                        1 => u64::MAX,
+                        _ => g.u64() >> shift,
+                    }
+                };
+                let hist = |g: &mut Gen| {
+                    let mut h = Log2Histogram::new();
+                    for _ in 0..g.u64_in(0, 20) {
+                        h.record(sample(g));
+                    }
+                    h
+                };
+                let (a, b, c) = (hist(g), hist(g), hist(g));
+                // Associativity: (a ⊔ b) ⊔ c == a ⊔ (b ⊔ c).
+                let mut left = a.clone();
+                left.merge(&b);
+                left.merge(&c);
+                let mut bc = b.clone();
+                bc.merge(&c);
+                let mut right = a.clone();
+                right.merge(&bc);
+                rfid_hash::prop_assert_eq!(left, right);
+                // Order independence: every permutation of {a, b, c}
+                // folds to the same histogram.
+                let fold = |xs: [&Log2Histogram; 3]| {
+                    let mut acc = Log2Histogram::new();
+                    for x in xs {
+                        acc.merge(x);
+                    }
+                    acc
+                };
+                let canonical = fold([&a, &b, &c]);
+                for perm in [
+                    [&a, &c, &b],
+                    [&b, &a, &c],
+                    [&b, &c, &a],
+                    [&c, &a, &b],
+                    [&c, &b, &a],
+                ] {
+                    rfid_hash::prop_assert_eq!(fold(perm), canonical.clone());
+                }
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
     fn json_round_trips() {
         let mut h = Log2Histogram::new();
         for v in [0u64, 3, 3, 900] {

@@ -15,13 +15,29 @@
 //! * [`reconcile::reconcile`] — replays a trace and recomputes the run's
 //!   `Counters` bit-for-bit; a mismatch means an instrumentation bug, and
 //!   the CI reconciliation slice runs it against every protocol.
+//!
+//! PR 8 adds the profiling plane (DESIGN.md §14):
+//!
+//! * [`span`] — the analysis half of hierarchical span profiling: span
+//!   trees, deterministic folded-stack (collapsed flamegraph) export and
+//!   the `obs_report --flame` renderer (recording lives on
+//!   [`rfid_system::SpanProfiler`]),
+//! * [`flight`] — the flight recorder: postmortem JSON bundles dumped
+//!   automatically when a session ends `Stalled`/`Degraded`, parseable
+//!   back into a [`flight::FlightBundle`] repro artifact,
+//! * [`metrics::MetricsRegistry::expose_text`] — Prometheus-style text
+//!   exposition plus [`metrics::DeltaCursor`] delta-JSONL streaming.
 
+pub mod flight;
 pub mod histogram;
 pub mod metrics;
 pub mod reconcile;
+pub mod span;
 pub mod trace;
 
+pub use flight::{FlightBundle, FlightRecorder};
 pub use histogram::Log2Histogram;
-pub use metrics::{MetricsRegistry, SeriesPoint, TimeSeries};
+pub use metrics::{expose_text, DeltaCursor, MetricsRegistry, SeriesPoint, TimeSeries};
 pub use reconcile::{counters_from_events, reconcile, reconcile_counters, ReconcileError};
+pub use span::{folded_stacks, render_flame, span_tree, Span};
 pub use trace::{metrics_from_events, metrics_from_log};

@@ -71,6 +71,8 @@ pub enum ReconcileError {
     TraceTruncated {
         /// Number of evicted events.
         dropped: u64,
+        /// Number of events still in the ring.
+        retained: u64,
     },
     /// A counter disagrees between replay and run.
     Mismatch {
@@ -89,9 +91,11 @@ impl fmt::Display for ReconcileError {
             ReconcileError::TraceDisabled => {
                 write!(f, "cannot reconcile: the event log is disabled")
             }
-            ReconcileError::TraceTruncated { dropped } => write!(
+            ReconcileError::TraceTruncated { dropped, retained } => write!(
                 f,
-                "cannot reconcile: the ring buffer dropped {dropped} events"
+                "cannot reconcile: the ring buffer dropped {dropped} of {total} events \
+                 ({retained} retained) — a replay would undercount every counter",
+                total = dropped + retained
             ),
             ReconcileError::Mismatch {
                 field,
@@ -148,7 +152,11 @@ pub fn reconcile_counters(
 }
 
 /// Replays `log` and checks the result against `counters` bit-for-bit.
-/// Refuses disabled or ring-truncated logs — both would vacuously pass.
+///
+/// Refuses disabled logs (a vacuous pass) and ring-truncated logs — the
+/// error carries the drop and retention counts, so a ring-mode trace
+/// surfaces "N events were evicted" instead of the bare counter mismatch a
+/// partial replay would fabricate.
 pub fn reconcile(log: &EventLog, counters: &Counters) -> Result<(), ReconcileError> {
     if !log.is_enabled() {
         return Err(ReconcileError::TraceDisabled);
@@ -156,6 +164,7 @@ pub fn reconcile(log: &EventLog, counters: &Counters) -> Result<(), ReconcileErr
     if log.dropped() > 0 {
         return Err(ReconcileError::TraceTruncated {
             dropped: log.dropped(),
+            retained: log.len() as u64,
         });
     }
     reconcile_counters(&counters_from_events(log.events()), counters)
@@ -205,8 +214,41 @@ mod tests {
         ring.record(at(1.0), || Event::SlotEmpty);
         assert_eq!(
             reconcile(&ring, &counters),
-            Err(ReconcileError::TraceTruncated { dropped: 1 })
+            Err(ReconcileError::TraceTruncated {
+                dropped: 1,
+                retained: 1
+            })
         );
+    }
+
+    #[test]
+    fn truncated_ring_never_reports_a_bare_mismatch() {
+        // A ring trace whose retained events would replay into counters
+        // that disagree with the run: the diagnostic must blame the drops,
+        // not fabricate a counter mismatch from the partial replay.
+        let mut ring = EventLog::ring(2);
+        for i in 0..5 {
+            ring.record(at(i as f64), || Event::SlotEmpty);
+        }
+        let counters = Counters {
+            empty_slots: 5,
+            ..Counters::default()
+        };
+        let err = reconcile(&ring, &counters).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ReconcileError::TraceTruncated {
+                    dropped: 3,
+                    retained: 2
+                }
+            ),
+            "got {err:?}"
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("dropped 3"), "says how many dropped: {msg}");
+        assert!(msg.contains("2 retained"), "says how many survive: {msg}");
+        assert!(!msg.contains("mismatch"), "no bare mismatch: {msg}");
     }
 
     #[test]

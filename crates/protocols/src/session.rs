@@ -33,6 +33,9 @@
 //! policy-carrying session — the legacy control flow is reproduced
 //! operation-for-operation, so all golden traces are unchanged.
 
+use std::path::PathBuf;
+
+use rfid_obs::FlightRecorder;
 use rfid_system::{Json, JsonError, SimConfig, SimContext, ToJson};
 
 use crate::error::{PollingError, StallCause, StallGuard};
@@ -222,6 +225,13 @@ pub struct Session {
     polls_before: u64,
     /// Round counter at the start of the current pass.
     rounds_before: u64,
+    /// Postmortem dumper plus the config it needs to bundle (flight
+    /// recording is per-process, so restores start without one).
+    flight: Option<(FlightRecorder, SimConfig)>,
+    /// Whether the driver has opened its `session`/`pass` spans.
+    spans_open: bool,
+    /// Path of the most recent postmortem bundle this session dumped.
+    last_postmortem: Option<PathBuf>,
 }
 
 impl std::fmt::Debug for Session {
@@ -251,6 +261,9 @@ impl Session {
             idle_rounds: 0,
             polls_before: ctx.counters.polls,
             rounds_before: ctx.counters.rounds,
+            flight: None,
+            spans_open: false,
+            last_postmortem: None,
         }
     }
 
@@ -270,9 +283,24 @@ impl Session {
         self
     }
 
+    /// Installs a flight recorder: every non-complete end (`Stalled`, or
+    /// `Degraded` via circuit-open / out-of-passes / deadline) dumps a
+    /// postmortem bundle before the session returns. `config` must be the
+    /// [`SimConfig`] the context was built with — it goes into the bundle
+    /// so the failure reproduces from t = 0.
+    pub fn with_flight_recorder(mut self, recorder: FlightRecorder, config: &SimConfig) -> Session {
+        self.flight = Some((recorder, config.clone()));
+        self
+    }
+
     /// The protocol's display name.
     pub fn protocol_name(&self) -> &'static str {
         self.name
+    }
+
+    /// Path of the most recent postmortem bundle, if one was dumped.
+    pub fn last_postmortem(&self) -> Option<&PathBuf> {
+        self.last_postmortem.as_ref()
     }
 
     /// Driver steps taken in the current pass.
@@ -307,8 +335,20 @@ impl Session {
 
     /// One driver iteration: the legacy per-round control flow —
     /// loop-condition check, budget, step, guard — plus the deadline
-    /// watchdog and (with a policy) the recovery transition.
+    /// watchdog and (with a policy) the recovery transition. Terminal
+    /// outcomes route through [`Session::finish_end`] for span closing and
+    /// the flight recorder.
     fn step_once(&mut self, ctx: &mut SimContext) -> Option<SessionEnd> {
+        let end = self.step_once_inner(ctx)?;
+        Some(self.finish_end(ctx, end))
+    }
+
+    fn step_once_inner(&mut self, ctx: &mut SimContext) -> Option<SessionEnd> {
+        if !self.spans_open && ctx.profiler.is_enabled() {
+            ctx.span_enter("session");
+            ctx.span_enter("pass");
+            self.spans_open = true;
+        }
         if self.stepper.done(ctx) {
             let report = Report::from_context(self.name, ctx);
             return Some(SessionEnd::Complete {
@@ -326,7 +366,10 @@ impl Session {
         let stalled = if discipline.max_steps.is_some_and(|cap| self.steps > cap) {
             Some(StallCause::RoundCap)
         } else {
-            match self.stepper.step(ctx) {
+            ctx.span_enter("round");
+            let outcome = self.stepper.step(ctx);
+            ctx.span_exit();
+            match outcome {
                 StepOutcome::Stalled(cause) => Some(cause),
                 StepOutcome::Progressed => {
                     if discipline.guarded && self.guard.no_progress(ctx) {
@@ -339,6 +382,63 @@ impl Session {
         };
         let cause = stalled?;
         self.on_stall(ctx, cause)
+    }
+
+    /// Terminal bookkeeping for a session end: dump the postmortem bundle
+    /// on any non-complete end (DESIGN.md §14 trigger rules — the bundle
+    /// captures the still-open span stack first), then close the driver's
+    /// `pass` and `session` spans.
+    fn finish_end(&mut self, ctx: &mut SimContext, end: SessionEnd) -> SessionEnd {
+        match &end {
+            SessionEnd::Complete { .. } => {}
+            SessionEnd::Stalled(err) => {
+                let report = err.partial_report();
+                let uncollected = match err {
+                    PollingError::Stalled { uncollected, .. } => uncollected.len(),
+                };
+                let coverage = if report.tags == 0 {
+                    1.0
+                } else {
+                    (report.tags - uncollected) as f64 / report.tags as f64
+                };
+                self.dump_postmortem(ctx, "stalled", report, coverage);
+            }
+            SessionEnd::Degraded {
+                report,
+                coverage,
+                cause,
+                ..
+            } => {
+                self.dump_postmortem(ctx, cause.label(), report, *coverage);
+            }
+        }
+        if self.spans_open {
+            ctx.span_exit();
+            ctx.span_exit();
+            self.spans_open = false;
+        }
+        end
+    }
+
+    /// Writes a postmortem bundle if a flight recorder is installed. A
+    /// dump failure never masks the session end (the run's result is worth
+    /// more than its diagnostics); the path is kept for
+    /// [`Session::last_postmortem`].
+    fn dump_postmortem(&mut self, ctx: &SimContext, cause: &str, report: &Report, coverage: f64) {
+        let Some((recorder, config)) = &self.flight else {
+            return;
+        };
+        if let Ok(path) = recorder.dump(
+            self.name,
+            cause,
+            config,
+            ctx,
+            report.to_json(),
+            self.passes,
+            coverage,
+        ) {
+            self.last_postmortem = Some(path);
+        }
     }
 
     /// Handles a stall: terminal without a policy, otherwise the recovery
@@ -408,12 +508,17 @@ impl Session {
         ctx.population.reselect_all();
         self.passes += 1;
         ctx.note_recovery_pass(self.passes, uncollected.len());
-        // Fresh pass: new budget, new guard, re-initialized stepper.
+        // Fresh pass: new budget, new guard, re-initialized stepper — and
+        // a fresh `pass` span, so per-pass costs stay attributed.
         self.polls_before = ctx.counters.polls;
         self.rounds_before = ctx.counters.rounds;
         self.steps = 0;
         self.guard = StallGuard::default();
         self.stepper.reset(ctx);
+        if self.spans_open {
+            ctx.span_exit();
+            ctx.span_enter("pass");
+        }
         None
     }
 
@@ -506,6 +611,9 @@ impl Session {
             idle_rounds: driver.field("idle_rounds")?,
             polls_before: driver.field("polls_before")?,
             rounds_before: driver.field("rounds_before")?,
+            flight: None,
+            spans_open: false,
+            last_postmortem: None,
         };
         Ok((ctx, session))
     }
@@ -520,4 +628,179 @@ pub fn run_recovered_session<P: PollingProtocol + ?Sized>(
 ) -> SessionEnd {
     let mut session = Session::open(protocol, ctx).with_policy(*policy);
     session.run(ctx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hpp::HppConfig;
+    use rfid_system::fault::FaultModel;
+    use rfid_system::{BitVec, TagPopulation};
+
+    fn population(n: usize) -> TagPopulation {
+        TagPopulation::sequential(n, |_| BitVec::from_value(1, 1))
+    }
+
+    fn small_budget_hpp() -> crate::hpp::Hpp {
+        HppConfig {
+            max_rounds: 4,
+            ..HppConfig::default()
+        }
+        .into_protocol()
+    }
+
+    #[test]
+    fn profiling_does_not_perturb_the_run() {
+        // Same seed, same faults, trace on — the only difference is the
+        // profiler. Report and trace must be bit-identical (the obsplane
+        // bench enforces the same at scale).
+        let fault = FaultModel::perfect().with_downlink_loss(0.3);
+        let run = |profile: bool| {
+            let mut cfg = SimConfig::paper(17).with_fault(fault.clone()).with_trace();
+            if profile {
+                cfg = cfg.with_profile();
+            }
+            let mut ctx = SimContext::new(population(64), &cfg);
+            let protocol = small_budget_hpp();
+            let mut session =
+                Session::open(&protocol, &ctx).with_policy(RecoveryPolicy::unbounded());
+            let end = session.run(&mut ctx);
+            (end.report().to_json().to_string(), ctx.log.to_jsonl())
+        };
+        let (report_off, trace_off) = run(false);
+        let (report_on, trace_on) = run(true);
+        assert_eq!(report_off, report_on, "report must not see the profiler");
+        assert_eq!(trace_off, trace_on, "trace must not see the profiler");
+    }
+
+    #[test]
+    fn profiled_session_records_the_span_hierarchy() {
+        let cfg = SimConfig::paper(5).with_profile();
+        let mut ctx = SimContext::new(population(32), &cfg);
+        let protocol = HppConfig::default().into_protocol();
+        let mut session = Session::open(&protocol, &ctx);
+        let end = session.run(&mut ctx);
+        assert!(end.is_complete());
+        assert!(
+            ctx.profiler.open_stack().is_empty(),
+            "a complete session closes every span"
+        );
+        let paths: Vec<Vec<&str>> = (0..ctx.profiler.nodes().len())
+            .map(|i| ctx.profiler.path(i))
+            .collect();
+        assert!(paths.contains(&vec!["session"]));
+        assert!(paths.contains(&vec!["session", "pass"]));
+        assert!(paths.contains(&vec!["session", "pass", "round"]));
+        assert!(
+            paths.contains(&vec!["session", "pass", "round", "poll"]),
+            "the simulator's poll leaf nests under the driver's round"
+        );
+    }
+
+    #[test]
+    fn unprofiled_session_records_no_spans() {
+        let cfg = SimConfig::paper(5);
+        let mut ctx = SimContext::new(population(16), &cfg);
+        let protocol = HppConfig::default().into_protocol();
+        let end = Session::open(&protocol, &ctx).run(&mut ctx);
+        assert!(end.is_complete());
+        assert!(ctx.profiler.is_empty());
+    }
+
+    #[test]
+    fn recovery_passes_reopen_the_pass_span() {
+        let fault = FaultModel::perfect().with_downlink_loss(0.4);
+        let cfg = SimConfig::paper(7).with_fault(fault).with_profile();
+        let mut ctx = SimContext::new(population(100), &cfg);
+        let protocol = small_budget_hpp();
+        let mut session = Session::open(&protocol, &ctx).with_policy(RecoveryPolicy::unbounded());
+        let end = session.run(&mut ctx);
+        assert!(end.is_complete());
+        let passes = session.passes();
+        assert!(passes > 1, "a 4-round budget cannot finish pass 1");
+        let pass_idx = (0..ctx.profiler.nodes().len())
+            .find(|&i| ctx.profiler.path(i) == ["session", "pass"])
+            .expect("pass span exists");
+        assert_eq!(
+            ctx.profiler.nodes()[pass_idx].calls,
+            passes,
+            "one pass span per recovery pass"
+        );
+        assert!(ctx.profiler.open_stack().is_empty());
+    }
+
+    #[test]
+    fn degraded_session_dumps_a_parseable_postmortem() {
+        let dir = std::env::temp_dir().join(format!("rfid-session-flight-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // A jammed downlink with a bounded policy degrades out-of-passes.
+        let fault = FaultModel::perfect().with_downlink_loss(1.0);
+        let cfg = SimConfig::paper(11)
+            .with_fault(fault)
+            .with_trace_ring(32)
+            .with_profile();
+        let mut ctx = SimContext::new(population(20), &cfg);
+        let protocol = small_budget_hpp();
+        let mut session = Session::open(&protocol, &ctx)
+            .with_policy(RecoveryPolicy::unbounded().with_max_passes(3))
+            .with_flight_recorder(rfid_obs::FlightRecorder::new(&dir), &cfg);
+        let end = session.run(&mut ctx);
+        let SessionEnd::Degraded {
+            cause, coverage, ..
+        } = &end
+        else {
+            panic!("a jammed downlink cannot complete");
+        };
+        assert_eq!(cause.label(), "out-of-passes");
+        assert_eq!(*coverage, 0.0);
+
+        let path = session.last_postmortem().expect("bundle was dumped");
+        let bundle = rfid_obs::FlightBundle::load(path).expect("bundle parses");
+        assert_eq!(bundle.cause, "out-of-passes");
+        assert_eq!(bundle.protocol, "HPP");
+        assert_eq!(bundle.config, cfg);
+        assert_eq!(bundle.coverage, 0.0);
+        assert_eq!(bundle.passes, 3);
+        assert!(!bundle.events.is_empty(), "ring tail captured");
+        assert_eq!(
+            bundle.open_spans,
+            ["session", "pass"],
+            "the bundle captures where the run died"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stalled_session_without_policy_dumps_with_cause_stalled() {
+        let dir = std::env::temp_dir().join(format!("rfid-session-stall-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let fault = FaultModel::perfect().with_downlink_loss(1.0);
+        let cfg = SimConfig::paper(13).with_fault(fault);
+        let mut ctx = SimContext::new(population(10), &cfg);
+        let protocol = small_budget_hpp();
+        let mut session = Session::open(&protocol, &ctx)
+            .with_flight_recorder(rfid_obs::FlightRecorder::new(&dir), &cfg);
+        let end = session.run(&mut ctx);
+        assert!(matches!(end, SessionEnd::Stalled(_)));
+        let path = session.last_postmortem().expect("bundle was dumped");
+        let bundle = rfid_obs::FlightBundle::load(path).expect("bundle parses");
+        assert_eq!(bundle.cause, "stalled");
+        assert!(!bundle.trace_enabled, "tracing was off; bundle still forms");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn complete_session_never_dumps() {
+        let dir = std::env::temp_dir().join(format!("rfid-session-clean-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = SimConfig::paper(3);
+        let mut ctx = SimContext::new(population(8), &cfg);
+        let protocol = HppConfig::default().into_protocol();
+        let mut session = Session::open(&protocol, &ctx)
+            .with_flight_recorder(rfid_obs::FlightRecorder::new(&dir), &cfg);
+        let end = session.run(&mut ctx);
+        assert!(end.is_complete());
+        assert!(session.last_postmortem().is_none());
+        assert!(!dir.exists(), "no bundle directory for a clean run");
+    }
 }

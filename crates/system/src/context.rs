@@ -26,6 +26,7 @@ use crate::fault::FaultModel;
 use crate::json::{Json, JsonError, ToJson};
 use crate::population::TagPopulation;
 use crate::round_index::RoundIndex;
+use crate::span::SpanProfiler;
 use crate::tag::TagState;
 
 /// Configuration for a simulation run.
@@ -44,6 +45,9 @@ pub struct SimConfig {
     /// Trace ring-buffer capacity: `0` keeps the full trace, a positive
     /// value keeps only the newest events (long runs, bounded memory).
     pub trace_ring: usize,
+    /// Whether to record hierarchical profiling spans
+    /// ([`crate::SpanProfiler`]).
+    pub profile: bool,
 }
 
 impl SimConfig {
@@ -56,6 +60,7 @@ impl SimConfig {
             seed,
             trace: false,
             trace_ring: 0,
+            profile: false,
         }
     }
 
@@ -82,6 +87,12 @@ impl SimConfig {
     /// Replaces the fault model.
     pub fn with_fault(mut self, fault: FaultModel) -> Self {
         self.fault = fault;
+        self
+    }
+
+    /// Enables hierarchical span profiling (sim + wall time per scope).
+    pub fn with_profile(mut self) -> Self {
+        self.profile = true;
         self
     }
 }
@@ -136,7 +147,8 @@ crate::impl_json_struct!(SimConfig {
     fault,
     seed,
     trace,
-    trace_ring
+    trace_ring,
+    profile
 });
 crate::impl_json_struct!(Counters {
     reader_bits,
@@ -224,6 +236,10 @@ pub struct SimContext {
     pub log: EventLog,
     /// Aggregate counters.
     pub counters: Counters,
+    /// Hierarchical span profiler. Transient: never serialized into a
+    /// snapshot (wall-time is machine-local), rebuilt from the config on
+    /// restore.
+    pub profiler: SpanProfiler,
     /// Per-tag downlink synchronization: `false` means the tag missed a
     /// round/circle command and stays silent until the next one it hears.
     synced: Vec<bool>,
@@ -275,6 +291,11 @@ impl SimContext {
                 (true, cap) => EventLog::ring(cap),
             },
             counters: Counters::default(),
+            profiler: if config.profile {
+                SpanProfiler::enabled()
+            } else {
+                SpanProfiler::disabled()
+            },
             synced: vec![true; n],
             desynced_words: vec![0; n.div_ceil(64)],
             desynced_count: 0,
@@ -342,6 +363,27 @@ impl SimContext {
         if self.log.is_enabled() {
             let now = self.clock.total();
             self.log.record(now, make);
+        }
+    }
+
+    /// Opens a profiling span named `name`, stamped with the current sim
+    /// clock. No-op (clock never read) when profiling is off — callers keep
+    /// the call unconditional, same discipline as [`SimContext::trace`].
+    #[inline]
+    pub fn span_enter(&mut self, name: &'static str) {
+        if self.profiler.is_enabled() {
+            let now = self.clock.total();
+            self.profiler.enter(name, now);
+        }
+    }
+
+    /// Closes the innermost open profiling span. No-op when profiling is
+    /// off.
+    #[inline]
+    pub fn span_exit(&mut self) {
+        if self.profiler.is_enabled() {
+            let now = self.clock.total();
+            self.profiler.exit(now);
         }
     }
 
@@ -527,7 +569,9 @@ impl SimContext {
     pub fn poll_tag(&mut self, vector_bits: u64, with_query_rep: bool, target: usize) -> bool {
         #[cfg(debug_assertions)]
         let scans_at_entry = self.population.scan_epoch();
+        self.span_enter("poll");
         let delivered = self.poll_tag_inner(vector_bits, with_query_rep, target);
+        self.span_exit();
         #[cfg(debug_assertions)]
         debug_assert_eq!(
             scans_at_entry,
@@ -651,7 +695,9 @@ impl SimContext {
     pub fn slot(&mut self, repliers: &[usize], prefix_bits: u64) -> SlotOutcome {
         #[cfg(debug_assertions)]
         let scans_at_entry = self.population.scan_epoch();
+        self.span_enter("slot");
         let outcome = self.slot_inner(repliers, prefix_bits);
+        self.span_exit();
         #[cfg(debug_assertions)]
         debug_assert_eq!(
             scans_at_entry,
@@ -832,9 +878,11 @@ impl SimContext {
     /// restores are bit-exact), the population's read/deselect state, the
     /// counters, the event trace, the per-tag downlink synchronization, the
     /// kill-rule reply counts and the Gilbert–Elliott channel state. The
-    /// transient caches ([`RoundIndex`], arenas, scratch pool) are *not*
-    /// captured — they never carry state across a protocol step, only
-    /// capacity — and the derived desync bitset is rebuilt from `synced`.
+    /// transient caches ([`RoundIndex`], arenas, scratch pool) and the
+    /// [`SpanProfiler`] are *not* captured — the caches never carry state
+    /// across a protocol step, only capacity, and profiler wall-times are
+    /// machine-local — and the derived desync bitset is rebuilt from
+    /// `synced`.
     ///
     /// Pair with [`SimContext::restore`], which needs the same [`SimConfig`]
     /// the context was created with.
@@ -919,6 +967,11 @@ impl SimContext {
             rng: Xoshiro256::from_state(state),
             log: json.field("log")?,
             counters: json.field("counters")?,
+            profiler: if config.profile {
+                SpanProfiler::enabled()
+            } else {
+                SpanProfiler::disabled()
+            },
             synced,
             desynced_words,
             desynced_count,

@@ -15,6 +15,8 @@
 //! * [`RoundIndex`] — the reusable per-round bucket sort of hashed tag
 //!   indices that makes the singleton sift O(active) and allocation-free,
 //! * [`EventLog`] — an optional, self-describing trace of a protocol run,
+//! * [`SpanProfiler`] — hierarchical span profiling (sim-time and host
+//!   wall-time per scope) with a zero-cost disabled path,
 //! * [`json`] — the zero-dependency JSON writer/parser (with the
 //!   [`impl_json_struct!`] / [`impl_json_enum_units!`] macros) that persists
 //!   configurations and results without `serde`,
@@ -38,6 +40,7 @@ pub mod id;
 pub mod json;
 pub mod population;
 pub mod round_index;
+pub mod span;
 pub mod tag;
 
 pub use bitvec::BitVec;
@@ -49,4 +52,5 @@ pub use id::TagId;
 pub use json::{from_json_str, to_json_string, FromJson, Json, JsonError, ToJson};
 pub use population::TagPopulation;
 pub use round_index::RoundIndex;
+pub use span::{SpanNode, SpanProfiler};
 pub use tag::{Tag, TagState};

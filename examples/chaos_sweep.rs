@@ -9,8 +9,10 @@
 //! (jammed downlink) that must stall. Invariants checked per run:
 //!
 //! * survivable cell → completes, every tag collected exactly once,
-//! * pathological cell → `PollingError::Stalled` with a coherent partial
-//!   report (polls + uncollected = n), never a panic,
+//! * pathological cell → the session engine reports a stall with a
+//!   coherent partial report (polls + uncollected = n), never a panic,
+//!   **and** the attached flight recorder dumps a parseable postmortem
+//!   bundle whose cause and coverage match the observed failure,
 //! * fault counters are non-zero when the matching fault is injected.
 //!
 //! Exits non-zero on the first violated invariant, so `scripts/chaos.sh`
@@ -34,8 +36,10 @@ fn protocols() -> Vec<Box<dyn PollingProtocol>> {
 fn main() {
     let seeds = parse_seeds();
     let bursts = [None, Some(GilbertElliott::new(0.1, 0.5, 0.0, 0.8))];
+    let flight_dir = std::env::temp_dir().join(format!("chaos-flight-{}", std::process::id()));
     let mut runs = 0u64;
     let mut stalls = 0u64;
+    let mut postmortems = 0u64;
     let (mut total_downlink, mut total_corrupted, mut total_retx, mut total_resync) =
         (0u64, 0u64, 0u64, 0u64);
 
@@ -76,18 +80,22 @@ fn main() {
                     }
                 }
             }
-            // Pathological cell: jammed downlink must stall, not panic.
+            // Pathological cell: jammed downlink must stall, not panic —
+            // and the flight recorder must leave a parseable postmortem.
             let scenario = Scenario::uniform(N, 4).with_seed(seed + 1);
             let cfg = SimConfig::paper(scenario.protocol_seed())
                 .with_fault(FaultModel::perfect().with_downlink_loss(1.0));
             let mut ctx = SimContext::new(scenario.build_population(), &cfg);
+            let recorder = FlightRecorder::new(&flight_dir);
+            let mut session =
+                Session::open(protocol.as_ref(), &ctx).with_flight_recorder(recorder, &cfg);
             runs += 1;
-            match protocol.try_run(&mut ctx) {
-                Ok(_) => panic!(
+            match session.run(&mut ctx) {
+                SessionEnd::Complete { .. } => panic!(
                     "seed {seed} {}: completed on a jammed downlink",
                     protocol.name()
                 ),
-                Err(PollingError::Stalled {
+                SessionEnd::Stalled(PollingError::Stalled {
                     partial_report,
                     uncollected,
                     ..
@@ -100,7 +108,30 @@ fn main() {
                     );
                     stalls += 1;
                 }
+                SessionEnd::Degraded { cause, .. } => panic!(
+                    "seed {seed} {}: degraded ({}) without a recovery policy",
+                    protocol.name(),
+                    cause.label()
+                ),
             }
+            let bundle_path = session
+                .last_postmortem()
+                .unwrap_or_else(|| panic!("seed {seed} {}: no postmortem dumped", protocol.name()))
+                .clone();
+            let bundle = FlightBundle::load(&bundle_path).unwrap_or_else(|e| {
+                panic!(
+                    "seed {seed} {}: postmortem {} does not parse: {e}",
+                    protocol.name(),
+                    bundle_path.display()
+                )
+            });
+            assert_eq!(bundle.cause, "stalled");
+            assert_eq!(bundle.protocol, protocol.name());
+            assert_eq!(
+                bundle.coverage, 0.0,
+                "jammed downlink collected a tag somehow"
+            );
+            postmortems += 1;
         }
         println!("seed {seed}: ok");
     }
@@ -111,10 +142,13 @@ fn main() {
     assert!(total_retx > 0, "no NAK retransmissions happened");
     assert!(total_resync > 0, "no desync recoveries happened");
     assert_eq!(stalls, seeds * protocols().len() as u64);
+    assert_eq!(postmortems, stalls, "a stall without a postmortem bundle");
+    let _ = std::fs::remove_dir_all(&flight_dir);
     println!(
         "chaos: {runs} runs ok — {total_downlink} downlink losses, \
          {total_corrupted} corrupted replies, {total_retx} retransmissions, \
-         {total_resync} desync recoveries, {stalls} clean stalls"
+         {total_resync} desync recoveries, {stalls} clean stalls, \
+         {postmortems} postmortem bundles"
     );
 }
 

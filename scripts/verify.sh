@@ -45,5 +45,13 @@ cargo run --release --offline -p rfid-bench --bin obs_report -- --check-hotpath 
 rm -f target/BENCH_session.json
 cargo bench --offline -p rfid-bench --bench session
 cargo run --release --offline -p rfid-bench --bin obs_report -- --check-session target/BENCH_session.json
+# Profiling-plane gate (DESIGN.md §14): the disabled span path must stay
+# within timer noise of the profiled run, full profiling on a 100k-tag HPP
+# session must stay under its overhead ceiling, and profiling on/off must
+# be bit-identical (report, counters, trace digest). Writes
+# target/BENCH_obsplane.json.
+rm -f target/BENCH_obsplane.json
+cargo bench --offline -p rfid-bench --bench obsplane
+cargo run --release --offline -p rfid-bench --bin obs_report -- --check-obsplane target/BENCH_obsplane.json
 
 echo "verify: OK"

@@ -62,7 +62,10 @@ pub mod prelude {
     };
     pub use rfid_baselines::{CodedPollingConfig, CppConfig, EcppConfig, MicConfig};
     pub use rfid_c1g2::{Clock, LinkParams, Micros, TimeCategory};
-    pub use rfid_obs::{metrics_from_log, reconcile, MetricsRegistry};
+    pub use rfid_obs::{
+        expose_text, folded_stacks, metrics_from_log, reconcile, render_flame, FlightBundle,
+        FlightRecorder, MetricsRegistry, Span,
+    };
     pub use rfid_protocols::{
         run_recovered, run_recovered_session, run_session, DegradeCause, EhppConfig, HppConfig,
         PollingError, PollingProtocol, RecoveryOutcome, RecoveryPolicy, RecoverySession, Report,
@@ -70,7 +73,7 @@ pub mod prelude {
     };
     pub use rfid_system::{
         BitVec, FaultModel, FaultPlan, FaultPlanError, GilbertElliott, Json, JsonError, SimConfig,
-        SimContext, SlotOutcome, TagId, TagPopulation,
+        SimContext, SlotOutcome, SpanProfiler, TagId, TagPopulation,
     };
     pub use rfid_workloads::{IdDistribution, Scenario};
 }
