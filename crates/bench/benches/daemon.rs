@@ -1,0 +1,226 @@
+//! Daemon serving-layer throughput bench: an in-process fleet on port 0
+//! absorbs hundreds of short inventory sessions from concurrent TCP
+//! clients, plus a single-connection loopback baseline with no kernel
+//! sockets in the path. Per-session wall latency lands in a
+//! `Log2Histogram` for percentile reporting; every session must complete
+//! (the gate), and the report records sessions/sec alongside the latency
+//! distribution.
+//!
+//! Writes `BENCH_daemon.json` (schema: `{"group":"daemon","results":
+//! [{"name","protocol","clients","sessions","expected","completed","n",
+//! "sessions_per_sec","latency_p50_us","latency_p90_us","latency_p99_us",
+//! "latency_mean_us"}]}`) next to the other bench reports so
+//! `scripts/verify.sh` and `obs_report --check-daemon` can gate on it.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use rfid_bench::find_target_dir;
+use rfid_daemon::{serve_connection, Daemon, DaemonClient, RunEnd, Service};
+use rfid_obs::Log2Histogram;
+use rfid_system::{Json, ToJson};
+use rfid_wire::{loopback, OpenRequest, Transport};
+
+const PROTOCOL: &str = "TPP";
+const N: u64 = 64;
+const INFO_BITS: u64 = 4;
+
+struct CaseResult {
+    name: &'static str,
+    clients: u64,
+    expected: u64,
+    completed: u64,
+    seconds: f64,
+    latencies: Log2Histogram,
+}
+
+/// Opens, runs and closes one session; returns whether it completed and
+/// its wall latency in µs (clamped to ≥ 1 so log2 percentiles stay
+/// positive).
+fn one_session<T: Transport>(client: &mut DaemonClient<T>, seed: u64) -> (bool, u64) {
+    let started = Instant::now();
+    let req = OpenRequest::new(PROTOCOL, N, INFO_BITS, seed);
+    let session = client.open(req).expect("open");
+    let outcome = match client.run(session, None, |_, _, _, _| {}).expect("run") {
+        RunEnd::Done(outcome) => outcome,
+        RunEnd::Paused { .. } => panic!("unbounded run paused"),
+    };
+    client.close(session).expect("close");
+    let us = started.elapsed().as_micros().max(1) as u64;
+    (outcome.status == "complete", us)
+}
+
+/// Hundreds of sessions from concurrent TCP clients against one fleet.
+fn tcp_fanout(clients: usize, sessions_per_client: usize) -> CaseResult {
+    let daemon = Daemon::bind("127.0.0.1:0").expect("bind");
+    let addr = daemon.local_addr();
+    let stop = daemon.stop_handle();
+    let server = std::thread::spawn(move || daemon.run());
+
+    let started = Instant::now();
+    let per_client: Vec<(u64, Vec<u64>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut client = DaemonClient::connect(addr).expect("connect");
+                    let mut completed = 0u64;
+                    let mut latencies = Vec::with_capacity(sessions_per_client);
+                    for s in 0..sessions_per_client {
+                        let seed = 1 + (c * sessions_per_client + s) as u64;
+                        let (ok, us) = one_session(&mut client, seed);
+                        completed += ok as u64;
+                        latencies.push(us);
+                    }
+                    (completed, latencies)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
+    });
+    let seconds = started.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Relaxed);
+    server.join().expect("daemon thread").expect("daemon ok");
+
+    let mut latencies = Log2Histogram::new();
+    let mut completed = 0;
+    for (ok, times) in per_client {
+        completed += ok;
+        for us in times {
+            latencies.record(us);
+        }
+    }
+    CaseResult {
+        name: "tcp_fanout",
+        clients: clients as u64,
+        expected: (clients * sessions_per_client) as u64,
+        completed,
+        seconds,
+        latencies,
+    }
+}
+
+/// The same session stream over the in-memory loopback — the no-kernel
+/// baseline the TCP figures are read against.
+fn loopback_serial(sessions: usize) -> CaseResult {
+    let (server_end, client_end) = loopback();
+    let stop = Arc::new(AtomicBool::new(false));
+    let server_stop = Arc::clone(&stop);
+    let server = std::thread::spawn(move || {
+        let mut transport = server_end;
+        let mut service = Service::new();
+        serve_connection(&mut transport, &mut service, &server_stop)
+    });
+
+    let mut client = DaemonClient::new(client_end);
+    let mut latencies = Log2Histogram::new();
+    let mut completed = 0;
+    let started = Instant::now();
+    for s in 0..sessions {
+        let (ok, us) = one_session(&mut client, 1 + s as u64);
+        completed += ok as u64;
+        latencies.record(us);
+    }
+    let seconds = started.elapsed().as_secs_f64();
+    client.shutdown().expect("shutdown");
+    drop(client);
+    server.join().expect("server thread").expect("serve ok");
+    CaseResult {
+        name: "loopback_serial",
+        clients: 1,
+        expected: sessions as u64,
+        completed,
+        seconds,
+        latencies,
+    }
+}
+
+fn main() {
+    let filter = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with('-'))
+        .filter(|a| !a.is_empty());
+    let mut results: Vec<Json> = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+
+    let cases: Vec<CaseResult> = [
+        (
+            "tcp_fanout",
+            Box::new(|| tcp_fanout(8, 25)) as Box<dyn Fn() -> CaseResult>,
+        ),
+        ("loopback_serial", Box::new(|| loopback_serial(50))),
+    ]
+    .into_iter()
+    .filter(|(name, _)| filter.as_deref().map_or(true, |f| name.contains(f)))
+    .map(|(_, run)| run())
+    .collect();
+
+    for case in &cases {
+        let pct = |q: f64| case.latencies.percentile(q).unwrap_or(0) as f64;
+        let sessions_per_sec = case.completed as f64 / case.seconds.max(1e-9);
+        println!(
+            "daemon/{}: {} clients, {}/{} sessions in {:.3}s ({:.0}/s), \
+             latency p50≤{:.0}µs p90≤{:.0}µs p99≤{:.0}µs mean {:.0}µs",
+            case.name,
+            case.clients,
+            case.completed,
+            case.expected,
+            case.seconds,
+            sessions_per_sec,
+            pct(0.5),
+            pct(0.9),
+            pct(0.99),
+            case.latencies.mean(),
+        );
+        if case.completed != case.expected {
+            failures.push(format!(
+                "{}: only {}/{} sessions completed",
+                case.name, case.completed, case.expected
+            ));
+        }
+        results.push(Json::Obj(vec![
+            ("name".to_string(), case.name.to_json()),
+            ("protocol".to_string(), PROTOCOL.to_json()),
+            ("clients".to_string(), case.clients.to_json()),
+            ("sessions".to_string(), case.expected.to_json()),
+            ("expected".to_string(), case.expected.to_json()),
+            ("completed".to_string(), case.completed.to_json()),
+            ("n".to_string(), N.to_json()),
+            ("sessions_per_sec".to_string(), sessions_per_sec.to_json()),
+            ("latency_p50_us".to_string(), pct(0.5).to_json()),
+            ("latency_p90_us".to_string(), pct(0.9).to_json()),
+            ("latency_p99_us".to_string(), pct(0.99).to_json()),
+            (
+                "latency_mean_us".to_string(),
+                case.latencies.mean().to_json(),
+            ),
+        ]));
+    }
+
+    if !results.is_empty() {
+        let report = Json::Obj(vec![
+            ("group".to_string(), "daemon".to_json()),
+            ("results".to_string(), Json::Arr(results)),
+        ])
+        .to_pretty_string();
+        let file = "BENCH_daemon.json";
+        let path = find_target_dir()
+            .map(|d| d.join(file))
+            .unwrap_or_else(|| file.into());
+        match std::fs::write(&path, report + "\n") {
+            Ok(()) => println!("report: {}", path.display()),
+            Err(e) => eprintln!("could not write {}: {e}", path.display()),
+        }
+    }
+
+    if !failures.is_empty() {
+        eprintln!("daemon serving gate FAILED:");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -22,6 +22,9 @@
 //! * `--check-obsplane <path>` — validates `BENCH_obsplane.json`: the
 //!   disabled span path within noise, the enabled full-profiling overhead
 //!   under its ceiling, and profiling on/off bit-identity (§14).
+//! * `--check-daemon <path>` — validates `BENCH_daemon.json`: every case
+//!   completed its expected sessions, positive ordered latency
+//!   percentiles, and a concurrent fan-out case (§15).
 
 use rfid_baselines::{CodedPollingConfig, CppConfig, EcppConfig, FsaConfig, LowerBound, MicConfig};
 use rfid_bench::cli::{obs_usage, parse_obs_args, ObsMode};
@@ -48,6 +51,7 @@ fn main() {
         ObsMode::CheckHotpath(path) => check_hotpath_report(&path.display().to_string()),
         ObsMode::CheckSession(path) => check_session_report(&path.display().to_string()),
         ObsMode::CheckObsplane(path) => check_obsplane_report(&path.display().to_string()),
+        ObsMode::CheckDaemon(path) => check_daemon_report(&path.display().to_string()),
         ObsMode::Reconcile => run_reconcile_gate(n.min(120), seed),
         ObsMode::Flame => {
             render_flame_profiles(n, seed);
@@ -572,6 +576,116 @@ fn check_obsplane_report(path: &str) -> i32 {
         }
         Err(e) => {
             eprintln!("check-obsplane: {path} invalid: {e}");
+            1
+        }
+    }
+}
+
+/// Validates a `BENCH_daemon.json` report: every case completed exactly
+/// its expected session count, throughput and latency figures are
+/// positive and finite with ordered percentiles, and at least one case
+/// exercised real concurrency (multiple clients) at fan-out scale
+/// (≥ 100 sessions). Returns the process exit code.
+fn check_daemon_report(path: &str) -> i32 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("check-daemon: cannot read {path}: {e}");
+            return 1;
+        }
+    };
+    let parsed = match rfid_system::Json::parse(&text) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("check-daemon: {path} is not well-formed JSON: {e}");
+            return 1;
+        }
+    };
+    let validate = || -> Result<(), String> {
+        let group = parsed
+            .get("group")
+            .ok_or("missing `group`")?
+            .as_str()
+            .map_err(|e| e.to_string())?;
+        if group != "daemon" {
+            return Err(format!("group is `{group}`, expected `daemon`"));
+        }
+        let results = parsed
+            .get("results")
+            .ok_or("missing `results`")?
+            .as_arr()
+            .map_err(|e| e.to_string())?;
+        if results.is_empty() {
+            return Err("empty `results`".to_string());
+        }
+        let mut concurrent_fanout = false;
+        for r in results {
+            let name = r
+                .get("name")
+                .ok_or("result missing `name`")?
+                .as_str()
+                .map_err(|e| e.to_string())?;
+            r.get("protocol")
+                .ok_or_else(|| format!("{name}: missing `protocol`"))?
+                .as_str()
+                .map_err(|e| e.to_string())?;
+            let mut ints = std::collections::BTreeMap::new();
+            for field in ["clients", "sessions", "expected", "completed", "n"] {
+                let v = r
+                    .get(field)
+                    .ok_or_else(|| format!("{name}: missing `{field}`"))?
+                    .as_u64()
+                    .map_err(|e| e.to_string())?;
+                if v == 0 {
+                    return Err(format!("{name}: `{field}` is 0"));
+                }
+                ints.insert(field, v);
+            }
+            if ints["completed"] != ints["expected"] {
+                return Err(format!(
+                    "{name}: completed {} of {} sessions",
+                    ints["completed"], ints["expected"]
+                ));
+            }
+            let mut floats = std::collections::BTreeMap::new();
+            for field in [
+                "sessions_per_sec",
+                "latency_p50_us",
+                "latency_p90_us",
+                "latency_p99_us",
+                "latency_mean_us",
+            ] {
+                let v = r
+                    .get(field)
+                    .ok_or_else(|| format!("{name}: missing `{field}`"))?
+                    .as_f64()
+                    .map_err(|e| e.to_string())?;
+                if !v.is_finite() || v <= 0.0 {
+                    return Err(format!("{name}: `{field}` = {v} is not positive"));
+                }
+                floats.insert(field, v);
+            }
+            if floats["latency_p50_us"] > floats["latency_p90_us"]
+                || floats["latency_p90_us"] > floats["latency_p99_us"]
+            {
+                return Err(format!("{name}: latency percentiles are not ordered"));
+            }
+            if ints["clients"] > 1 && ints["sessions"] >= 100 {
+                concurrent_fanout = true;
+            }
+        }
+        if !concurrent_fanout {
+            return Err("no concurrent fan-out case (clients > 1, sessions ≥ 100)".to_string());
+        }
+        Ok(())
+    };
+    match validate() {
+        Ok(()) => {
+            println!("check-daemon: {path} ok");
+            0
+        }
+        Err(e) => {
+            eprintln!("check-daemon: {path} invalid: {e}");
             1
         }
     }

@@ -1,11 +1,13 @@
-//! Argument parsing for the `repro` and `obs_report` binaries.
+//! Argument parsing for the `repro`, `obs_report` and `rfid_daemon`
+//! binaries.
 //!
 //! Parsing is a pure function from the argument list to either a validated
-//! options struct ([`ReproOptions`] / [`ObsReportOptions`]) or an error
-//! message, so both the usage-message paths and the name validation are
-//! unit-testable without spawning the binaries. Both binaries follow the
-//! same conventions: `--help`-free (usage prints on any bad flag), exit 2
-//! on parse errors, and a subcommand list in the usage text.
+//! options struct ([`ReproOptions`] / [`ObsReportOptions`] /
+//! [`DaemonOptions`]) or an error message, so both the usage-message paths
+//! and the name validation are unit-testable without spawning the
+//! binaries. All binaries follow the same conventions: `--help`-free
+//! (usage prints on any bad flag), exit 2 on parse errors, and a
+//! subcommand list in the usage text.
 
 use std::path::PathBuf;
 
@@ -200,6 +202,7 @@ pub const OBS_MODES: &[(&str, &str)] = &[
         "--check-obsplane FILE",
         "validate a BENCH_obsplane.json report",
     ),
+    ("--check-daemon FILE", "validate a BENCH_daemon.json report"),
 ];
 
 /// Which `obs_report` mode was selected (modes are mutually exclusive).
@@ -218,6 +221,8 @@ pub enum ObsMode {
     CheckSession(PathBuf),
     /// Validate a `BENCH_obsplane.json` report.
     CheckObsplane(PathBuf),
+    /// Validate a `BENCH_daemon.json` report.
+    CheckDaemon(PathBuf),
 }
 
 /// Validated `obs_report` invocation.
@@ -280,11 +285,124 @@ pub fn parse_obs_args(args: &[String]) -> Result<ObsReportOptions, String> {
                 let path = it.next().ok_or("--check-obsplane needs a file")?;
                 set_mode(&mut opts, ObsMode::CheckObsplane(PathBuf::from(path)))?;
             }
+            "--check-daemon" => {
+                let path = it.next().ok_or("--check-daemon needs a file")?;
+                set_mode(&mut opts, ObsMode::CheckDaemon(PathBuf::from(path)))?;
+            }
             "--n" => opts.n = Some(parse_value(it.next(), "--n", |v: usize| v >= 1)?),
             "--seed" => opts.seed = Some(parse_value(it.next(), "--seed", |_: u64| true)?),
             other => return Err(format!("unknown option {other}")),
         }
     }
+    Ok(opts)
+}
+
+/// Which `rfid_daemon` mode was selected (modes are mutually exclusive).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum DaemonMode {
+    /// Bind and serve until a client sends `Shutdown`.
+    #[default]
+    Serve,
+    /// Connect to a running daemon and drive one session.
+    Client(String),
+    /// In-process end-to-end smoke: port 0, one clean + one impaired
+    /// session over real TCP, clean shutdown.
+    Smoke,
+}
+
+/// Validated `rfid_daemon` invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DaemonOptions {
+    /// The selected mode.
+    pub mode: DaemonMode,
+    /// Bind address for `Serve` (port 0 picks a free port).
+    pub addr: String,
+    /// Accept shards for `Serve` (`None` = one per core).
+    pub shards: Option<usize>,
+    /// Flight-bundle directory override for `Serve`.
+    pub flight_dir: Option<PathBuf>,
+    /// Protocol the `Client`/`Smoke` session runs.
+    pub protocol: String,
+    /// Population size for the `Client`/`Smoke` session.
+    pub n: u64,
+    /// Bits of information per tag.
+    pub info_bits: u64,
+    /// Scenario seed.
+    pub seed: u64,
+}
+
+impl Default for DaemonOptions {
+    fn default() -> Self {
+        DaemonOptions {
+            mode: DaemonMode::Serve,
+            addr: "127.0.0.1:0".to_string(),
+            shards: None,
+            flight_dir: None,
+            protocol: "TPP".to_string(),
+            n: 150,
+            info_bits: 4,
+            seed: 31,
+        }
+    }
+}
+
+/// The full `rfid_daemon` usage message.
+pub fn daemon_usage() -> String {
+    "usage: rfid_daemon [mode] [options]\n\n\
+     modes (mutually exclusive; default --serve):\n\
+     \x20 --serve             bind --addr and serve until a Shutdown command\n\
+     \x20 --client ADDR       connect and run one session against a daemon\n\
+     \x20 --smoke             in-process TCP smoke: one clean + one impaired\n\
+     \x20                     session on port 0, then a clean shutdown\n\n\
+     serve options:\n\
+     \x20 --addr HOST:PORT    bind address (default 127.0.0.1:0)\n\
+     \x20 --shards N          accept shards (default: one per core)\n\
+     \x20 --flight-dir PATH   where postmortem flight bundles are written\n\n\
+     session options (client/smoke):\n\
+     \x20 --protocol NAME     protocol to serve (default TPP)\n\
+     \x20 --n N               population size (default 150)\n\
+     \x20 --info-bits N       information bits per tag (default 4)\n\
+     \x20 --seed S            scenario seed (default 31)\n"
+        .to_string()
+}
+
+/// Parses `rfid_daemon`'s arguments (without the program name). `Err`
+/// carries a one-line message; callers print it with [`daemon_usage`] and
+/// exit 2.
+pub fn parse_daemon_args(args: &[String]) -> Result<DaemonOptions, String> {
+    let mut opts = DaemonOptions::default();
+    let mut mode: Option<DaemonMode> = None;
+    let set_mode = |mode_slot: &mut Option<DaemonMode>, m: DaemonMode| {
+        if let Some(first) = mode_slot {
+            return Err(format!("two modes given ({first:?} and {m:?}); pick one"));
+        }
+        *mode_slot = Some(m);
+        Ok(())
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--serve" => set_mode(&mut mode, DaemonMode::Serve)?,
+            "--client" => {
+                let addr = it.next().ok_or("--client needs an address")?;
+                set_mode(&mut mode, DaemonMode::Client(addr.clone()))?;
+            }
+            "--smoke" => set_mode(&mut mode, DaemonMode::Smoke)?,
+            "--addr" => opts.addr = it.next().ok_or("--addr needs HOST:PORT")?.clone(),
+            "--shards" => {
+                opts.shards = Some(parse_value(it.next(), "--shards", |v: usize| v >= 1)?)
+            }
+            "--flight-dir" => {
+                opts.flight_dir = Some(PathBuf::from(it.next().ok_or("--flight-dir needs a path")?))
+            }
+            "--protocol" => opts.protocol = it.next().ok_or("--protocol needs a name")?.clone(),
+            "--n" => opts.n = parse_value(it.next(), "--n", |v| v >= 1)?,
+            "--info-bits" => opts.info_bits = parse_value(it.next(), "--info-bits", |v| v >= 1)?,
+            "--seed" => opts.seed = parse_value(it.next(), "--seed", |_: u64| true)?,
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    opts.mode = mode.unwrap_or_default();
     Ok(opts)
 }
 
@@ -413,6 +531,11 @@ mod tests {
         assert_eq!(opts.mode, ObsMode::CheckHotpath(PathBuf::from("a")));
         let opts = parse_obs(&["--check-session", "b"]).unwrap();
         assert_eq!(opts.mode, ObsMode::CheckSession(PathBuf::from("b")));
+        let opts = parse_obs(&["--check-daemon", "target/BENCH_daemon.json"]).unwrap();
+        assert_eq!(
+            opts.mode,
+            ObsMode::CheckDaemon(PathBuf::from("target/BENCH_daemon.json"))
+        );
     }
 
     #[test]
@@ -426,6 +549,7 @@ mod tests {
             &["--check-hotpath"],
             &["--check-session"],
             &["--check-obsplane"],
+            &["--check-daemon"],
             &["--frobnicate"],
         ] {
             assert!(parse_obs(args).is_err(), "{args:?} should be rejected");
@@ -440,6 +564,91 @@ mod tests {
         for (name, _) in OBS_MODES {
             let flag = name.split_whitespace().next().unwrap();
             assert!(text.contains(flag), "obs usage missing {flag}");
+        }
+    }
+
+    fn parse_daemon(args: &[&str]) -> Result<DaemonOptions, String> {
+        parse_daemon_args(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn daemon_defaults_to_serving_a_free_port() {
+        let opts = parse_daemon(&[]).unwrap();
+        assert_eq!(opts, DaemonOptions::default());
+        assert_eq!(opts.mode, DaemonMode::Serve);
+        assert_eq!(opts.addr, "127.0.0.1:0");
+        assert_eq!(opts.shards, None);
+    }
+
+    #[test]
+    fn daemon_modes_and_knobs_parse_in_any_order() {
+        let opts = parse_daemon(&["--shards", "4", "--serve", "--addr", "0.0.0.0:9000"]).unwrap();
+        assert_eq!(opts.mode, DaemonMode::Serve);
+        assert_eq!(opts.addr, "0.0.0.0:9000");
+        assert_eq!(opts.shards, Some(4));
+        let opts = parse_daemon(&[
+            "--client",
+            "localhost:9000",
+            "--protocol",
+            "hpp",
+            "--n",
+            "500",
+            "--info-bits",
+            "16",
+            "--seed",
+            "7",
+        ])
+        .unwrap();
+        assert_eq!(opts.mode, DaemonMode::Client("localhost:9000".to_string()));
+        assert_eq!(opts.protocol, "hpp");
+        assert_eq!(opts.n, 500);
+        assert_eq!(opts.info_bits, 16);
+        assert_eq!(opts.seed, 7);
+        let opts = parse_daemon(&["--smoke", "--flight-dir", "/tmp/f"]).unwrap();
+        assert_eq!(opts.mode, DaemonMode::Smoke);
+        assert_eq!(opts.flight_dir, Some(PathBuf::from("/tmp/f")));
+    }
+
+    #[test]
+    fn daemon_bad_flags_and_mode_conflicts_are_errors() {
+        for args in [
+            &["--client"][..],
+            &["--addr"],
+            &["--shards"],
+            &["--shards", "0"],
+            &["--shards", "many"],
+            &["--flight-dir"],
+            &["--protocol"],
+            &["--n", "0"],
+            &["--info-bits", "x"],
+            &["--seed"],
+            &["--frobnicate"],
+            &["serve"],
+        ] {
+            assert!(parse_daemon(args).is_err(), "{args:?} should be rejected");
+        }
+        let err = parse_daemon(&["--smoke", "--serve"]).unwrap_err();
+        assert!(err.contains("pick one"), "{err}");
+        let err = parse_daemon(&["--client", "a:1", "--client", "b:2"]).unwrap_err();
+        assert!(err.contains("pick one"), "{err}");
+    }
+
+    #[test]
+    fn daemon_usage_names_every_mode_and_flag() {
+        let text = daemon_usage();
+        for flag in [
+            "--serve",
+            "--client",
+            "--smoke",
+            "--addr",
+            "--shards",
+            "--flight-dir",
+            "--protocol",
+            "--n",
+            "--info-bits",
+            "--seed",
+        ] {
+            assert!(text.contains(flag), "daemon usage missing {flag}");
         }
     }
 }

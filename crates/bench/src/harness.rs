@@ -166,16 +166,11 @@ impl Bench {
 
 /// FNV-1a over a string — cheap, stable, and order sensitive. The shared
 /// digest for trace bit-identity gates (golden tests, the crash-chaos
-/// session bench, `repro session`): any reordered, dropped, or extra event
-/// in a serialized trace changes the digest.
-pub fn fnv64(s: &str) -> u64 {
-    let mut h = 0xCBF2_9CE4_8422_2325u64;
-    for b in s.bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    h
-}
+/// session bench, the daemon's wire reports, `repro session`): any
+/// reordered, dropped, or extra event in a serialized trace changes the
+/// digest. The definition lives in `rfid-hash` so the serving layer can
+/// digest traces without depending on the bench harness.
+pub use rfid_hash::fnv64;
 
 /// The nearest `target/` directory at or above the current directory —
 /// honours `CARGO_TARGET_DIR` when set. Shared by the bench reports

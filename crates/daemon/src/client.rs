@@ -1,0 +1,228 @@
+//! A typed client over any [`Transport`].
+//!
+//! [`DaemonClient`] wraps the request/response choreography — send one
+//! command, read frames until the terminal response, surface server-side
+//! [`ErrorCode`]s as typed errors — so callers (the CLI, the bench
+//! harness, the bit-identity gates) never touch raw frames. The same
+//! client drives a TCP socket or a loopback pipe; which one is a
+//! constructor choice, nothing more.
+
+use std::net::{TcpStream, ToSocketAddrs};
+
+use rfid_system::{FaultModel, Json};
+use rfid_wire::{
+    Command, ErrorCode, OpenRequest, Response, SessionOutcome, StreamTransport, Transport,
+    WireError,
+};
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport or codec failed.
+    Wire(WireError),
+    /// The server answered with a typed error.
+    Server {
+        /// The server's error category.
+        code: ErrorCode,
+        /// The server's human-readable detail.
+        message: String,
+    },
+    /// The server sent a response that does not fit the pending command.
+    Unexpected(String),
+    /// The server closed the connection mid-exchange.
+    Closed,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Wire(e) => write!(f, "{e}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error {code:?}: {message}")
+            }
+            ClientError::Unexpected(what) => write!(f, "unexpected response: {what}"),
+            ClientError::Closed => write!(f, "server closed the connection"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> ClientError {
+        ClientError::Wire(e)
+    }
+}
+
+/// How a [`DaemonClient::run`] call ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunEnd {
+    /// The session finished; the outcome carries report and digest.
+    Done(SessionOutcome),
+    /// The step budget ran out with the session still live.
+    Paused {
+        /// Driver steps taken in the current pass so far.
+        steps: u64,
+    },
+}
+
+/// A typed connection to a daemon.
+pub struct DaemonClient<T> {
+    transport: T,
+}
+
+impl DaemonClient<StreamTransport<TcpStream>> {
+    /// Connects over TCP.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(DaemonClient::new(StreamTransport::new(stream)))
+    }
+}
+
+impl<T: Transport> DaemonClient<T> {
+    /// Wraps an already-connected transport.
+    pub fn new(transport: T) -> Self {
+        DaemonClient { transport }
+    }
+
+    /// The underlying transport (tests use this to inject raw bytes).
+    pub fn transport_mut(&mut self) -> &mut T {
+        &mut self.transport
+    }
+
+    fn request(&mut self, cmd: &Command) -> Result<Response, ClientError> {
+        self.transport.send(&cmd.to_frame())?;
+        self.next_response()
+    }
+
+    fn next_response(&mut self) -> Result<Response, ClientError> {
+        match self.transport.recv()? {
+            None => Err(ClientError::Closed),
+            Some(frame) => {
+                let response =
+                    Response::from_frame(&frame).map_err(|e| ClientError::Wire(e.into()))?;
+                if let Response::Error { code, message } = response {
+                    return Err(ClientError::Server { code, message });
+                }
+                Ok(response)
+            }
+        }
+    }
+
+    /// Handshake: returns the server's wire version and identity.
+    pub fn hello(&mut self) -> Result<(u8, String), ClientError> {
+        match self.request(&Command::Hello)? {
+            Response::HelloOk { version, server } => Ok((version, server)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Opens a session, returning its id.
+    pub fn open(&mut self, req: OpenRequest) -> Result<u64, ClientError> {
+        match self.request(&Command::Open(req))? {
+            Response::Opened { session } => Ok(session),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Runs a session, streaming progress frames into `on_progress`
+    /// (steps, polls, rounds, sim-clock µs) until `Done` or `Paused`.
+    pub fn run(
+        &mut self,
+        session: u64,
+        max_steps: Option<u64>,
+        mut on_progress: impl FnMut(u64, u64, u64, f64),
+    ) -> Result<RunEnd, ClientError> {
+        self.transport
+            .send(&Command::Run { session, max_steps }.to_frame())?;
+        loop {
+            match self.next_response()? {
+                Response::Progress {
+                    steps,
+                    polls,
+                    rounds,
+                    clock_us,
+                    ..
+                } => on_progress(steps, polls, rounds, clock_us),
+                Response::Done { outcome, .. } => return Ok(RunEnd::Done(outcome)),
+                Response::Paused { steps, .. } => return Ok(RunEnd::Paused { steps }),
+                other => return Err(unexpected(&other)),
+            }
+        }
+    }
+
+    /// Checkpoints a live session into a snapshot document.
+    pub fn checkpoint(&mut self, session: u64) -> Result<Json, ClientError> {
+        match self.request(&Command::Checkpoint { session })? {
+            Response::Snapshot { snapshot, .. } => Ok(snapshot),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Resumes a snapshot into a fresh session, returning the new id.
+    pub fn resume(&mut self, snapshot: Json) -> Result<u64, ClientError> {
+        match self.request(&Command::Resume { snapshot })? {
+            Response::Opened { session } => Ok(session),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Swaps a session's fault model mid-flight.
+    pub fn inject(&mut self, session: u64, fault: FaultModel) -> Result<(), ClientError> {
+        match self.request(&Command::Inject { session, fault })? {
+            Response::Opened { .. } => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetches the session's metrics as Prometheus text.
+    pub fn metrics_text(&mut self, session: u64) -> Result<String, ClientError> {
+        match self.request(&Command::Metrics {
+            session,
+            delta: false,
+        })? {
+            Response::MetricsText { text, .. } => Ok(text),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetches delta-JSONL of metrics changed since the last delta fetch.
+    pub fn metrics_delta(&mut self, session: u64) -> Result<Option<String>, ClientError> {
+        match self.request(&Command::Metrics {
+            session,
+            delta: true,
+        })? {
+            Response::MetricsDelta { jsonl, .. } => Ok(jsonl),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetches the session's most recent flight bundle, if any.
+    pub fn flight(&mut self, session: u64) -> Result<Option<Json>, ClientError> {
+        match self.request(&Command::Flight { session })? {
+            Response::FlightInfo { bundle, .. } => Ok(bundle),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Discards a session.
+    pub fn close(&mut self, session: u64) -> Result<(), ClientError> {
+        match self.request(&Command::Close { session })? {
+            Response::Closed { .. } => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Asks the daemon to stop accepting and drain.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.request(&Command::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+fn unexpected(response: &Response) -> ClientError {
+    ClientError::Unexpected(format!("{response:?}"))
+}

@@ -1,0 +1,35 @@
+//! # rfid-daemon — the reader-fleet service layer
+//!
+//! Serves the workspace's inventory protocols over the
+//! [`rfid_wire`] protocol: a warehouse controller opens hundreds of
+//! concurrent virtual reader sessions, drives each through the resumable
+//! [`rfid_protocols::Session`] engine, checkpoints and resumes them
+//! across process lives, injects faults mid-flight, and scrapes metrics
+//! and flight bundles — all over plain `std::net` TCP or an in-memory
+//! loopback pipe.
+//!
+//! * [`registry`] — wire names → the twelve servable protocols,
+//! * [`service`] — the per-connection dispatcher ([`Service`]) and the
+//!   shared read→dispatch→write loop ([`serve_connection`]),
+//! * [`server`] — the sharded-accept TCP [`Daemon`],
+//! * [`client`] — the typed [`DaemonClient`] over any [`Transport`].
+//!
+//! Determinism survives serving: a session opened with the same request
+//! produces the same report JSON and FNV-1a trace digest whether it runs
+//! in-process, over loopback, or over TCP — with checkpoints in between
+//! or not. The serving gates in `tests/` hold the layer to that.
+//!
+//! [`Transport`]: rfid_wire::Transport
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod registry;
+pub mod server;
+pub mod service;
+
+pub use client::{ClientError, DaemonClient, RunEnd};
+pub use registry::{all_protocols, protocol_by_name, protocol_names};
+pub use server::Daemon;
+pub use service::{serve_connection, Service, SERVER_NAME};

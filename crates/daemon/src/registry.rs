@@ -1,0 +1,65 @@
+//! The daemon's protocol registry.
+//!
+//! Maps wire protocol names to the workspace's twelve inventory
+//! protocols — the paper's three (HPP, EHPP, TPP) plus every baseline —
+//! so an [`crate::service::Service`] can open or resume a session from a
+//! name alone. The list mirrors the crash-chaos bench's `all_protocols`
+//! so anything the bit-identity gate covers is also servable.
+
+use rfid_baselines::{CodedPollingConfig, CppConfig, EcppConfig, FsaConfig, LowerBound, MicConfig};
+use rfid_identify::{BinarySplitConfig, QAlgorithmConfig, QueryTreeConfig};
+use rfid_protocols::{EhppConfig, HppConfig, PollingProtocol, TppConfig};
+
+/// Every protocol the daemon can serve, default-configured.
+pub fn all_protocols() -> Vec<Box<dyn PollingProtocol>> {
+    vec![
+        Box::new(CppConfig::default().into_protocol()),
+        Box::new(EcppConfig::default().into_protocol()),
+        Box::new(CodedPollingConfig::default().into_protocol()),
+        Box::new(HppConfig::default().into_protocol()),
+        Box::new(EhppConfig::default().into_protocol()),
+        Box::new(TppConfig::default().into_protocol()),
+        Box::new(MicConfig::default().into_protocol()),
+        Box::new(FsaConfig::default().into_protocol()),
+        Box::new(LowerBound),
+        Box::new(QueryTreeConfig::default().into_protocol()),
+        Box::new(BinarySplitConfig::default().into_protocol()),
+        Box::new(QAlgorithmConfig::default().into_protocol()),
+    ]
+}
+
+/// Looks a protocol up by its display name (case-insensitive).
+pub fn protocol_by_name(name: &str) -> Option<Box<dyn PollingProtocol>> {
+    all_protocols()
+        .into_iter()
+        .find(|p| p.name().eq_ignore_ascii_case(name))
+}
+
+/// The servable protocol names, in registry order.
+pub fn protocol_names() -> Vec<&'static str> {
+    all_protocols().iter().map(|p| p.name()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_serves_twelve_distinct_protocols() {
+        let names = protocol_names();
+        assert_eq!(names.len(), 12);
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "names must be unique");
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive_and_total() {
+        for name in protocol_names() {
+            assert!(protocol_by_name(name).is_some());
+            assert!(protocol_by_name(&name.to_lowercase()).is_some());
+        }
+        assert!(protocol_by_name("no-such-protocol").is_none());
+    }
+}

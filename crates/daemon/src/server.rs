@@ -1,0 +1,147 @@
+//! The TCP daemon: hundreds of virtual readers over `std::net`.
+//!
+//! [`Daemon`] binds a `TcpListener`, shares it across a thread-per-core
+//! set of acceptor shards (a `TcpListener` handle can be cloned; the
+//! kernel hands each incoming connection to exactly one accepter), and
+//! gives every accepted connection its own scoped handler thread running
+//! [`serve_connection`] over a fresh [`Service`]. Everything lives inside
+//! one `std::thread::scope`, so [`Daemon::run`] returns only after every
+//! handler has drained — no detached threads, no leaked sessions.
+//!
+//! Shutdown is cooperative: the listener is non-blocking and every
+//! connection wears a short read timeout, so all threads observe the
+//! shared stop flag within one tick. The flag is raised by a wire
+//! `Shutdown` command, or externally through [`Daemon::stop_handle`].
+
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use rfid_wire::StreamTransport;
+
+use crate::service::{serve_connection, Service};
+
+/// How long accept loops sleep when idle, and how long connection reads
+/// block before re-checking the stop flag.
+const TICK: Duration = Duration::from_millis(25);
+
+/// A multi-shard TCP server for the wire protocol.
+pub struct Daemon {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    shards: usize,
+    stop: Arc<AtomicBool>,
+    flight_dir: Option<PathBuf>,
+}
+
+impl Daemon {
+    /// Binds `addr` (use port 0 for an OS-assigned port) with one accept
+    /// shard per available core.
+    pub fn bind(addr: impl ToSocketAddrs) -> std::io::Result<Daemon> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shards = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        Ok(Daemon {
+            listener,
+            local_addr,
+            shards,
+            stop: Arc::new(AtomicBool::new(false)),
+            flight_dir: None,
+        })
+    }
+
+    /// Overrides the number of accept shards (clamped to ≥ 1).
+    pub fn with_shards(mut self, shards: usize) -> Daemon {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Sets the directory served sessions dump flight bundles into.
+    pub fn with_flight_dir(mut self, dir: impl Into<PathBuf>) -> Daemon {
+        self.flight_dir = Some(dir.into());
+        self
+    }
+
+    /// The bound address (resolves port 0 to the real port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A handle that stops the daemon when set to `true` — from a ctrl-c
+    /// handler, a test, or another thread.
+    pub fn stop_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.stop)
+    }
+
+    /// Serves until the stop flag rises (wire `Shutdown` or
+    /// [`Daemon::stop_handle`]), then drains every live connection and
+    /// returns. Connection-level failures are contained: a handler that
+    /// hits a hard I/O error drops its connection, never the daemon.
+    pub fn run(&self) -> std::io::Result<()> {
+        std::thread::scope(|scope| {
+            for _shard in 0..self.shards {
+                let listener = self
+                    .listener
+                    .try_clone()
+                    .expect("listener handles are cloneable");
+                let stop = &self.stop;
+                let flight_dir = &self.flight_dir;
+                scope.spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        match listener.accept() {
+                            Ok((stream, _peer)) => {
+                                scope.spawn(move || handle(stream, stop, flight_dir));
+                            }
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                                std::thread::sleep(TICK);
+                            }
+                            Err(_) => std::thread::sleep(TICK),
+                        }
+                    }
+                });
+            }
+        });
+        Ok(())
+    }
+}
+
+fn handle(stream: TcpStream, stop: &AtomicBool, flight_dir: &Option<PathBuf>) {
+    // The read timeout is what lets this thread notice `stop` while the
+    // peer is idle; serve_connection treats WouldBlock/TimedOut as ticks.
+    let _ = stream.set_read_timeout(Some(TICK));
+    let _ = stream.set_nodelay(true);
+    let mut transport = StreamTransport::new(stream);
+    let mut service = Service::new();
+    if let Some(dir) = flight_dir {
+        service = service.with_flight_dir(dir);
+    }
+    let result = serve_connection(&mut transport, &mut service, stop);
+    if service.shutdown_requested() {
+        stop.store(true, Ordering::Relaxed);
+    }
+    // A torn connection is that client's problem, not the fleet's.
+    let _ = result;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn daemon_binds_port_zero_and_stops() {
+        let daemon = Daemon::bind("127.0.0.1:0").unwrap().with_shards(2);
+        assert_ne!(daemon.local_addr().port(), 0);
+        let stop = daemon.stop_handle();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            stop.store(true, Ordering::Relaxed);
+        });
+        daemon.run().unwrap();
+        t.join().unwrap();
+    }
+}

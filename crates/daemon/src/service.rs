@@ -1,0 +1,666 @@
+//! The per-connection command dispatcher.
+//!
+//! A [`Service`] owns one connection's worth of virtual reader sessions
+//! and turns each wire [`Command`] into the [`Response`]s to send back.
+//! It is transport-agnostic and single-threaded by construction — the
+//! daemon gives every connection its own `Service` on its own thread, so
+//! sessions never need locks and every run stays deterministic.
+//!
+//! [`serve_connection`] is the read→dispatch→write loop shared by the
+//! TCP server and the in-memory loopback path: codec violations are
+//! answered with typed [`ErrorCode::BadFrame`]/[`ErrorCode::BadPayload`]
+//! errors and the loop keeps going — a hostile or corrupted byte stream
+//! can never wedge the connection state machine.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use rfid_hash::fnv64;
+use rfid_obs::{metrics_from_log, DeltaCursor, FlightRecorder};
+use rfid_protocols::{Session, SessionEnd};
+use rfid_system::{Json, SimConfig, SimContext, ToJson};
+use rfid_wire::{
+    Command, ErrorCode, FrameError, OpenRequest, Response, SessionOutcome, Transport, WireError,
+    WIRE_VERSION,
+};
+use rfid_workloads::Scenario;
+
+use crate::registry::{protocol_by_name, protocol_names};
+
+/// What the server calls itself in the `Hello` handshake.
+pub const SERVER_NAME: &str = "rfid-daemon/0.1";
+
+/// One virtual reader session: the resumable engine plus the bookkeeping
+/// the wire verbs need around it.
+struct ReaderSession {
+    session: Session,
+    ctx: SimContext,
+    /// The config the context was built with — updated on fault injection
+    /// so later checkpoints restore against the live model.
+    config: SimConfig,
+    /// Emit a progress frame every this many driver steps (0 = never).
+    progress_every: u64,
+    /// Delta-JSONL cursor for `Metrics { delta: true }`.
+    cursor: DeltaCursor,
+    /// Set once the session ended; further `Run`/`Checkpoint` are
+    /// `BadState`, but metrics and flight bundles stay fetchable.
+    done: bool,
+}
+
+/// One connection's session table and dispatch logic.
+pub struct Service {
+    sessions: HashMap<u64, ReaderSession>,
+    next_id: u64,
+    shutdown: bool,
+    flight_dir: PathBuf,
+}
+
+impl Default for Service {
+    fn default() -> Self {
+        Service::new()
+    }
+}
+
+impl Service {
+    /// A fresh service with no sessions. Flight bundles go under the OS
+    /// temp dir unless [`Service::with_flight_dir`] overrides it.
+    pub fn new() -> Service {
+        Service {
+            sessions: HashMap::new(),
+            next_id: 1,
+            shutdown: false,
+            flight_dir: std::env::temp_dir().join("rfid-daemon-flight"),
+        }
+    }
+
+    /// Sets the directory postmortem flight bundles are dumped into.
+    pub fn with_flight_dir(mut self, dir: impl Into<PathBuf>) -> Service {
+        self.flight_dir = dir.into();
+        self
+    }
+
+    /// Whether a `Shutdown` command has been handled.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown
+    }
+
+    /// Live sessions on this connection.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Handles one command, returning every response frame to send, in
+    /// order (progress frames precede the terminal `Done`/`Paused`).
+    pub fn handle(&mut self, cmd: Command) -> Vec<Response> {
+        match cmd {
+            Command::Hello => vec![Response::HelloOk {
+                version: WIRE_VERSION,
+                server: SERVER_NAME.to_string(),
+            }],
+            Command::Open(req) => vec![self.open(req)],
+            Command::Run { session, max_steps } => self.run(session, max_steps),
+            Command::Checkpoint { session } => vec![self.checkpoint(session)],
+            Command::Resume { snapshot } => vec![self.resume(&snapshot)],
+            Command::Inject { session, fault } => vec![match self.get(session) {
+                Err(e) => e,
+                Ok(rs) => match rs.ctx.inject_fault(fault.clone()) {
+                    Ok(()) => {
+                        rs.config.fault = fault;
+                        Response::Opened { session }
+                    }
+                    Err(msg) => err(ErrorCode::Rejected, format!("fault rejected: {msg}")),
+                },
+            }],
+            Command::Metrics { session, delta } => vec![match self.get(session) {
+                Err(e) => e,
+                Ok(rs) => {
+                    let registry = metrics_from_log(&rs.ctx.log);
+                    if delta {
+                        Response::MetricsDelta {
+                            session,
+                            jsonl: rs.cursor.delta(&registry),
+                        }
+                    } else {
+                        Response::MetricsText {
+                            session,
+                            text: registry.expose_text(),
+                        }
+                    }
+                }
+            }],
+            Command::Flight { session } => vec![match self.get(session) {
+                Err(e) => e,
+                Ok(rs) => match rs.session.last_postmortem() {
+                    None => Response::FlightInfo {
+                        session,
+                        bundle: None,
+                    },
+                    Some(path) => match std::fs::read_to_string(path)
+                        .map_err(|e| e.to_string())
+                        .and_then(|text| Json::parse(&text).map_err(|e| e.to_string()))
+                    {
+                        Ok(bundle) => Response::FlightInfo {
+                            session,
+                            bundle: Some(bundle),
+                        },
+                        Err(e) => err(
+                            ErrorCode::Rejected,
+                            format!("flight bundle unreadable: {e}"),
+                        ),
+                    },
+                },
+            }],
+            Command::Close { session } => vec![if self.sessions.remove(&session).is_some() {
+                Response::Closed { session }
+            } else {
+                unknown_session(session)
+            }],
+            Command::Shutdown => {
+                self.shutdown = true;
+                vec![Response::ShuttingDown]
+            }
+        }
+    }
+
+    fn get(&mut self, session: u64) -> Result<&mut ReaderSession, Response> {
+        self.sessions
+            .get_mut(&session)
+            .ok_or_else(|| unknown_session(session))
+    }
+
+    fn open(&mut self, req: OpenRequest) -> Response {
+        let Some(protocol) = protocol_by_name(&req.protocol) else {
+            return err(
+                ErrorCode::UnknownProtocol,
+                format!(
+                    "unknown protocol '{}'; servable: {}",
+                    req.protocol,
+                    protocol_names().join(", ")
+                ),
+            );
+        };
+        if req.n == 0 {
+            return err(ErrorCode::Rejected, "population must be non-empty");
+        }
+        let scenario =
+            Scenario::uniform(req.n as usize, req.info_bits as usize).with_seed(req.seed);
+        // The default config keeps tracing on: served runs are auditable
+        // (trace digests, metrics, flight bundles) unless the caller
+        // explicitly opts out by sending a config with `trace: false`.
+        let config = req
+            .config
+            .clone()
+            .unwrap_or_else(|| SimConfig::paper(scenario.protocol_seed()).with_trace());
+        if let Err(msg) = config.channel.try_validate() {
+            return err(ErrorCode::Rejected, format!("invalid channel: {msg}"));
+        }
+        if let Err(msg) = config.fault.try_validate() {
+            return err(ErrorCode::Rejected, format!("invalid fault model: {msg}"));
+        }
+        let ctx = SimContext::new(scenario.build_population(), &config);
+        let mut session = Session::open(protocol.as_ref(), &ctx);
+        if let Some(policy) = req.policy.clone() {
+            session = session.with_policy(policy);
+        }
+        if let Some(deadline) = req.deadline_us {
+            session = session.with_deadline_us(deadline);
+        }
+        if req.flight {
+            session = session.with_flight_recorder(FlightRecorder::new(&self.flight_dir), &config);
+        }
+        self.insert(ReaderSession {
+            session,
+            ctx,
+            config,
+            progress_every: req.progress_every.unwrap_or(0),
+            cursor: DeltaCursor::new(),
+            done: false,
+        })
+    }
+
+    fn insert(&mut self, rs: ReaderSession) -> Response {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.sessions.insert(id, rs);
+        Response::Opened { session: id }
+    }
+
+    fn resume(&mut self, snapshot: &Json) -> Response {
+        let name: String = match snapshot.field("protocol") {
+            Ok(name) => name,
+            Err(e) => return err(ErrorCode::BadPayload, format!("snapshot: {e}")),
+        };
+        let Some(protocol) = protocol_by_name(&name) else {
+            return err(
+                ErrorCode::UnknownProtocol,
+                format!("snapshot protocol '{name}' is not servable"),
+            );
+        };
+        let config: SimConfig = match snapshot.field("config") {
+            Ok(config) => config,
+            Err(e) => return err(ErrorCode::BadPayload, format!("snapshot: {e}")),
+        };
+        match Session::restore(protocol.as_ref(), snapshot) {
+            Ok((ctx, session)) => self.insert(ReaderSession {
+                session,
+                ctx,
+                config,
+                progress_every: 0,
+                cursor: DeltaCursor::new(),
+                done: false,
+            }),
+            Err(e) => err(ErrorCode::Rejected, format!("snapshot rejected: {e}")),
+        }
+    }
+
+    fn checkpoint(&mut self, session: u64) -> Response {
+        match self.get(session) {
+            Err(e) => e,
+            Ok(rs) => {
+                if rs.done {
+                    return err(
+                        ErrorCode::BadState,
+                        format!("session {session} already ended"),
+                    );
+                }
+                Response::Snapshot {
+                    session,
+                    snapshot: rs.session.snapshot(&rs.ctx, &rs.config),
+                }
+            }
+        }
+    }
+
+    fn run(&mut self, session: u64, max_steps: Option<u64>) -> Vec<Response> {
+        let rs = match self.get(session) {
+            Err(e) => return vec![e],
+            Ok(rs) => rs,
+        };
+        if rs.done {
+            return vec![err(
+                ErrorCode::BadState,
+                format!("session {session} already ended"),
+            )];
+        }
+        let mut out = Vec::new();
+        let mut budget = max_steps;
+        let end = loop {
+            // Chunk the drive so progress frames interleave at exact,
+            // deterministic step boundaries.
+            let chunk = match (rs.progress_every, budget) {
+                (0, None) => break rs.session.run(&mut rs.ctx),
+                (0, Some(b)) => b,
+                (p, None) => p,
+                (p, Some(b)) => p.min(b),
+            };
+            if chunk == 0 {
+                // A zero budget: report where we stand without stepping.
+                out.push(Response::Paused {
+                    session,
+                    steps: rs.session.steps_taken(),
+                });
+                return out;
+            }
+            match rs.session.run_for(&mut rs.ctx, chunk) {
+                Some(end) => break end,
+                None => {
+                    if let Some(b) = &mut budget {
+                        *b -= chunk;
+                        if *b == 0 {
+                            out.push(Response::Paused {
+                                session,
+                                steps: rs.session.steps_taken(),
+                            });
+                            return out;
+                        }
+                    }
+                    if rs.progress_every > 0 {
+                        out.push(Response::Progress {
+                            session,
+                            steps: rs.session.steps_taken(),
+                            polls: rs.ctx.counters.polls,
+                            rounds: rs.ctx.counters.rounds,
+                            clock_us: rs.ctx.clock.total().as_f64(),
+                        });
+                    }
+                }
+            }
+        };
+        rs.done = true;
+        let n = rs.ctx.population.len().max(1) as f64;
+        let trace_digest = rs.config.trace.then(|| fnv64(&rs.ctx.log.to_jsonl()));
+        let outcome = match end {
+            SessionEnd::Complete { report, passes } => SessionOutcome {
+                status: "complete".to_string(),
+                report: report.to_json(),
+                passes,
+                coverage: 1.0,
+                cause: None,
+                trace_digest,
+            },
+            SessionEnd::Stalled(e) => SessionOutcome {
+                status: "stalled".to_string(),
+                report: e.partial_report().to_json(),
+                passes: rs.session.passes(),
+                coverage: rs.ctx.counters.polls as f64 / n,
+                cause: Some(e.cause().label().to_string()),
+                trace_digest,
+            },
+            SessionEnd::Degraded {
+                report,
+                coverage,
+                passes,
+                cause,
+            } => SessionOutcome {
+                status: "degraded".to_string(),
+                report: report.to_json(),
+                passes,
+                coverage,
+                cause: Some(cause.label().to_string()),
+                trace_digest,
+            },
+        };
+        out.push(Response::Done { session, outcome });
+        out
+    }
+}
+
+fn err(code: ErrorCode, message: impl Into<String>) -> Response {
+    Response::Error {
+        code,
+        message: message.into(),
+    }
+}
+
+fn unknown_session(session: u64) -> Response {
+    err(ErrorCode::UnknownSession, format!("no session {session}"))
+}
+
+/// Classifies a decode failure for the error reply: integrity failures
+/// are `BadFrame`; a well-framed payload that does not parse is
+/// `BadPayload`.
+fn classify(e: &FrameError) -> ErrorCode {
+    match e {
+        FrameError::Payload(_) | FrameError::UnknownKind(_) => ErrorCode::BadPayload,
+        _ => ErrorCode::BadFrame,
+    }
+}
+
+/// Drives one connection until the peer closes, `Shutdown` is handled,
+/// or `stop` is raised. Read timeouts (`WouldBlock`/`TimedOut`) are how
+/// a TCP handler notices `stop`; hard I/O errors end the connection.
+pub fn serve_connection<T: Transport>(
+    transport: &mut T,
+    service: &mut Service,
+    stop: &AtomicBool,
+) -> Result<(), WireError> {
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        match transport.recv() {
+            Ok(None) => return Ok(()),
+            Ok(Some(frame)) => match Command::from_frame(&frame) {
+                Ok(cmd) => {
+                    for response in service.handle(cmd) {
+                        transport.send(&response.to_frame())?;
+                    }
+                    if service.shutdown_requested() {
+                        return Ok(());
+                    }
+                }
+                Err(e) => {
+                    let reply = err(classify(&e), e.to_string());
+                    transport.send(&reply.to_frame())?;
+                }
+            },
+            Err(WireError::Frame(e)) => {
+                let reply = err(ErrorCode::BadFrame, e.to_string());
+                transport.send(&reply.to_frame())?;
+            }
+            Err(WireError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn open_req(n: u64) -> OpenRequest {
+        OpenRequest::new("HPP", n, 4, 31)
+    }
+
+    fn opened(service: &mut Service, req: OpenRequest) -> u64 {
+        match service.handle(Command::Open(req)).remove(0) {
+            Response::Opened { session } => session,
+            other => panic!("expected Opened, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn open_run_completes_with_trace_digest() {
+        let mut service = Service::new();
+        let id = opened(&mut service, open_req(64));
+        let responses = service.handle(Command::Run {
+            session: id,
+            max_steps: None,
+        });
+        let Response::Done { outcome, .. } = responses.last().unwrap() else {
+            panic!("expected Done, got {responses:?}");
+        };
+        assert_eq!(outcome.status, "complete");
+        assert_eq!(outcome.coverage, 1.0);
+        assert!(outcome.trace_digest.is_some(), "default config traces");
+    }
+
+    #[test]
+    fn progress_frames_interleave_and_precede_done() {
+        let mut service = Service::new();
+        let mut req = open_req(64);
+        req.progress_every = Some(2);
+        let id = opened(&mut service, req);
+        let responses = service.handle(Command::Run {
+            session: id,
+            max_steps: None,
+        });
+        assert!(responses.len() > 1, "expected progress frames");
+        for r in &responses[..responses.len() - 1] {
+            assert!(matches!(r, Response::Progress { .. }), "got {r:?}");
+        }
+        assert!(matches!(responses.last(), Some(Response::Done { .. })));
+    }
+
+    #[test]
+    fn budgeted_run_pauses_then_finishes() {
+        let mut service = Service::new();
+        let id = opened(&mut service, open_req(64));
+        let responses = service.handle(Command::Run {
+            session: id,
+            max_steps: Some(1),
+        });
+        assert!(matches!(
+            responses.last(),
+            Some(Response::Paused { steps: 1, .. })
+        ));
+        let responses = service.handle(Command::Run {
+            session: id,
+            max_steps: None,
+        });
+        assert!(matches!(responses.last(), Some(Response::Done { .. })));
+        // A third run is a state error, not a crash.
+        let responses = service.handle(Command::Run {
+            session: id,
+            max_steps: None,
+        });
+        assert!(matches!(
+            responses.last(),
+            Some(Response::Error {
+                code: ErrorCode::BadState,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn checkpoint_resume_continues_bit_identically() {
+        let mut service = Service::new();
+        // Reference run, uninterrupted.
+        let ref_id = opened(&mut service, open_req(96));
+        let ref_digest = match service
+            .handle(Command::Run {
+                session: ref_id,
+                max_steps: None,
+            })
+            .remove(0)
+        {
+            Response::Done { outcome, .. } => outcome.trace_digest.unwrap(),
+            other => panic!("expected Done, got {other:?}"),
+        };
+        // Same scenario, paused, checkpointed, closed, resumed, finished.
+        let id = opened(&mut service, open_req(96));
+        service.handle(Command::Run {
+            session: id,
+            max_steps: Some(3),
+        });
+        let snapshot = match service
+            .handle(Command::Checkpoint { session: id })
+            .remove(0)
+        {
+            Response::Snapshot { snapshot, .. } => snapshot,
+            other => panic!("expected Snapshot, got {other:?}"),
+        };
+        service.handle(Command::Close { session: id });
+        let resumed = match service.handle(Command::Resume { snapshot }).remove(0) {
+            Response::Opened { session } => session,
+            other => panic!("expected Opened, got {other:?}"),
+        };
+        let digest = match service
+            .handle(Command::Run {
+                session: resumed,
+                max_steps: None,
+            })
+            .remove(0)
+        {
+            Response::Done { outcome, .. } => outcome.trace_digest.unwrap(),
+            other => panic!("expected Done, got {other:?}"),
+        };
+        assert_eq!(digest, ref_digest, "resume must not perturb the trace");
+    }
+
+    #[test]
+    fn inject_fault_updates_stored_config() {
+        use rfid_system::FaultModel;
+        let mut service = Service::new();
+        let id = opened(&mut service, open_req(64));
+        let fault = FaultModel::perfect().with_corruption(0.3);
+        let responses = service.handle(Command::Inject {
+            session: id,
+            fault: fault.clone(),
+        });
+        assert!(matches!(responses[0], Response::Opened { .. }));
+        // The checkpoint now carries the injected model.
+        let snapshot = match service
+            .handle(Command::Checkpoint { session: id })
+            .remove(0)
+        {
+            Response::Snapshot { snapshot, .. } => snapshot,
+            other => panic!("expected Snapshot, got {other:?}"),
+        };
+        let config: SimConfig = snapshot.field("config").unwrap();
+        assert_eq!(config.fault, fault);
+        // And the snapshot still resumes.
+        assert!(matches!(
+            service.handle(Command::Resume { snapshot }).remove(0),
+            Response::Opened { .. }
+        ));
+    }
+
+    #[test]
+    fn typed_errors_for_unknown_things() {
+        let mut service = Service::new();
+        let responses = service.handle(Command::Open(OpenRequest::new("XYZ", 8, 1, 1)));
+        assert!(matches!(
+            responses[0],
+            Response::Error {
+                code: ErrorCode::UnknownProtocol,
+                ..
+            }
+        ));
+        let responses = service.handle(Command::Run {
+            session: 99,
+            max_steps: None,
+        });
+        assert!(matches!(
+            responses[0],
+            Response::Error {
+                code: ErrorCode::UnknownSession,
+                ..
+            }
+        ));
+        let mut bad = open_req(8);
+        bad.config = Some({
+            let mut cfg = SimConfig::paper(1);
+            cfg.channel.reply_loss_rate = 2.0;
+            cfg
+        });
+        let responses = service.handle(Command::Open(bad));
+        assert!(matches!(
+            responses[0],
+            Response::Error {
+                code: ErrorCode::Rejected,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn metrics_expose_and_delta_stream() {
+        let mut service = Service::new();
+        let id = opened(&mut service, open_req(32));
+        service.handle(Command::Run {
+            session: id,
+            max_steps: None,
+        });
+        let responses = service.handle(Command::Metrics {
+            session: id,
+            delta: false,
+        });
+        let Response::MetricsText { text, .. } = &responses[0] else {
+            panic!("expected MetricsText, got {responses:?}");
+        };
+        assert!(text.contains("# TYPE"), "Prometheus exposition expected");
+        // First delta carries everything; a second immediate delta is empty.
+        let responses = service.handle(Command::Metrics {
+            session: id,
+            delta: true,
+        });
+        let Response::MetricsDelta { jsonl, .. } = &responses[0] else {
+            panic!("expected MetricsDelta, got {responses:?}");
+        };
+        assert!(jsonl.is_some());
+        let responses = service.handle(Command::Metrics {
+            session: id,
+            delta: true,
+        });
+        let Response::MetricsDelta { jsonl, .. } = &responses[0] else {
+            panic!("expected MetricsDelta, got {responses:?}");
+        };
+        assert!(jsonl.is_none(), "nothing changed since the last delta");
+    }
+
+    #[test]
+    fn shutdown_flag_raises_after_command() {
+        let mut service = Service::new();
+        assert!(!service.shutdown_requested());
+        let responses = service.handle(Command::Shutdown);
+        assert!(matches!(responses[0], Response::ShuttingDown));
+        assert!(service.shutdown_requested());
+    }
+}

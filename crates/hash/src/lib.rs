@@ -31,5 +31,5 @@ pub mod rng;
 pub mod uniformity;
 
 pub use family::HashFamily;
-pub use mix::TagHash;
+pub use mix::{fnv64, TagHash};
 pub use rng::{split_seed, Xoshiro256};

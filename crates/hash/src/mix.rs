@@ -34,6 +34,18 @@ pub fn mix64(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// FNV-1a over a string: the workspace's canonical content digest for
+/// bit-identity gates (event-trace digests, sweep cache keys). Shared here
+/// so the serving layer and the bench harness agree on one definition.
+pub fn fnv64(s: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
 impl TagHash {
     /// Creates the hash function for round seed `r`.
     #[inline]

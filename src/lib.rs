@@ -26,6 +26,8 @@
 //! | [`baselines`] | `rfid-baselines` | CPP, enhanced CPP, CP, MIC, ALOHA |
 //! | [`apps`] | `rfid-apps` | info collection, missing tags, multi-reader |
 //! | [`obs`] | `rfid-obs` | sim-time traces, metrics, trace→counter reconciliation |
+//! | [`wire`] | `rfid-wire` | framed wire protocol: codec, transports, loopback |
+//! | [`daemon`] | `rfid-daemon` | reader-fleet daemon: TCP server, typed client |
 //! | [`bench`] | `rfid-bench` | parallel sweep engine, Monte-Carlo runner, micro-bench harness |
 //!
 //! ## Quickstart
@@ -46,12 +48,14 @@ pub use rfid_apps as apps;
 pub use rfid_baselines as baselines;
 pub use rfid_bench as bench;
 pub use rfid_c1g2 as c1g2;
+pub use rfid_daemon as daemon;
 pub use rfid_estimate as estimate;
 pub use rfid_hash as hash;
 pub use rfid_identify as identify;
 pub use rfid_obs as obs;
 pub use rfid_protocols as protocols;
 pub use rfid_system as system;
+pub use rfid_wire as wire;
 pub use rfid_workloads as workloads;
 
 /// One-stop imports for the common use cases.

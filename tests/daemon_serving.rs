@@ -1,0 +1,259 @@
+//! Serving-layer bit-identity gate: the same seeded inventory must
+//! produce byte-identical report JSON and FNV-1a trace digests whether
+//! the session runs in-process, over the in-memory loopback transport,
+//! or over a real TCP socket — with a mid-session checkpoint/resume over
+//! the wire in between or not, and regardless of which transport took
+//! the checkpoint and which resumed it. Anything less means the service
+//! layer perturbed an RNG draw, a float accumulation, or a trace event.
+
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use fast_rfid_polling::bench::fnv64;
+use fast_rfid_polling::daemon::{serve_connection, Daemon, DaemonClient, RunEnd, Service};
+use fast_rfid_polling::prelude::*;
+use fast_rfid_polling::system::ToJson;
+use fast_rfid_polling::wire::Transport;
+use fast_rfid_polling::wire::{loopback, OpenRequest, Pipe, SessionOutcome, StreamTransport};
+
+const N: u64 = 120;
+const INFO_BITS: u64 = 4;
+const SEED: u64 = 31;
+
+fn impaired_config(seed: u64) -> SimConfig {
+    SimConfig::paper(seed).with_trace().with_fault(
+        FaultModel::perfect()
+            .with_downlink_loss(0.1)
+            .with_corruption(0.1),
+    )
+}
+
+fn open_request(config: Option<SimConfig>) -> OpenRequest {
+    let mut req = OpenRequest::new("HPP", N, INFO_BITS, SEED);
+    req.config = config;
+    req
+}
+
+/// The in-process reference: same scenario driven directly through the
+/// session engine, no wire anywhere.
+fn local_reference(config: Option<SimConfig>) -> (String, u64) {
+    let scenario = Scenario::uniform(N as usize, INFO_BITS as usize).with_seed(SEED);
+    let config = config.unwrap_or_else(|| SimConfig::paper(scenario.protocol_seed()).with_trace());
+    let protocol = HppConfig::default().into_protocol();
+    let mut ctx = SimContext::new(scenario.build_population(), &config);
+    let mut session = Session::open(&protocol, &ctx);
+    let SessionEnd::Complete { report, .. } = session.run(&mut ctx) else {
+        panic!("reference run did not complete");
+    };
+    (report.to_json().to_string(), fnv64(&ctx.log.to_jsonl()))
+}
+
+fn outcome_identity(outcome: &SessionOutcome) -> (String, u64) {
+    assert_eq!(outcome.status, "complete", "served run must complete");
+    (
+        outcome.report.to_string(),
+        outcome.trace_digest.expect("trace digest must be present"),
+    )
+}
+
+/// Drives `f` with a client connected to an in-memory served loopback.
+fn with_loopback_client<R>(f: impl FnOnce(&mut DaemonClient<StreamTransport<Pipe>>) -> R) -> R {
+    let (server_end, client_end) = loopback();
+    let stop = Arc::new(AtomicBool::new(false));
+    let server_stop = Arc::clone(&stop);
+    let server = std::thread::spawn(move || {
+        let mut transport = server_end;
+        let mut service = Service::new();
+        serve_connection(&mut transport, &mut service, &server_stop)
+    });
+    let mut client = DaemonClient::new(client_end);
+    let result = f(&mut client);
+    client.shutdown().expect("shutdown");
+    drop(client);
+    server.join().expect("server thread").expect("serve ok");
+    result
+}
+
+/// Drives `f` with a client connected to a real TCP daemon on port 0.
+fn with_tcp_client<R>(f: impl FnOnce(&mut DaemonClient<StreamTransport<TcpStream>>) -> R) -> R {
+    let daemon = Daemon::bind("127.0.0.1:0").expect("bind").with_shards(2);
+    let addr = daemon.local_addr();
+    let stop = daemon.stop_handle();
+    let server = std::thread::spawn(move || daemon.run());
+    let mut client = DaemonClient::connect(addr).expect("connect");
+    let result = f(&mut client);
+    client.shutdown().expect("shutdown");
+    drop(client);
+    // The wire Shutdown raises the daemon's stop flag; joining proves the
+    // accept shards and handlers drained.
+    server.join().expect("daemon thread").expect("daemon ok");
+    assert!(stop.load(Ordering::Relaxed), "shutdown must raise stop");
+    result
+}
+
+fn run_to_done<T: Transport>(client: &mut DaemonClient<T>, req: OpenRequest) -> SessionOutcome {
+    let session = client.open(req).expect("open");
+    match client.run(session, None, |_, _, _, _| {}).expect("run") {
+        RunEnd::Done(outcome) => outcome,
+        RunEnd::Paused { .. } => panic!("unbounded run paused"),
+    }
+}
+
+#[test]
+fn loopback_and_tcp_match_the_inprocess_reference() {
+    for config in [None, Some(impaired_config(77))] {
+        let reference = local_reference(config.clone());
+        let via_loopback = with_loopback_client(|client| {
+            outcome_identity(&run_to_done(client, open_request(config.clone())))
+        });
+        let via_tcp = with_tcp_client(|client| {
+            outcome_identity(&run_to_done(client, open_request(config.clone())))
+        });
+        assert_eq!(via_loopback, reference, "loopback drifted from in-process");
+        assert_eq!(via_tcp, reference, "tcp drifted from in-process");
+    }
+}
+
+/// Checkpoint over one transport, resume over the *other*: the snapshot
+/// crosses the wire as JSON both ways and the finished run must still be
+/// bit-identical to the uninterrupted reference.
+#[test]
+fn checkpoint_over_loopback_resumes_over_tcp_bit_identically() {
+    let reference = local_reference(None);
+
+    let snapshot = with_loopback_client(|client| {
+        let session = client.open(open_request(None)).expect("open");
+        match client.run(session, Some(5), |_, _, _, _| {}).expect("run") {
+            RunEnd::Paused { steps } => assert_eq!(steps, 5),
+            RunEnd::Done(_) => panic!("5 steps must not finish {N} tags"),
+        }
+        let snapshot = client.checkpoint(session).expect("checkpoint");
+        client.close(session).expect("close");
+        snapshot
+    });
+
+    let finished = with_tcp_client(|client| {
+        let session = client.resume(snapshot).expect("resume");
+        match client.run(session, None, |_, _, _, _| {}).expect("run") {
+            RunEnd::Done(outcome) => outcome_identity(&outcome),
+            RunEnd::Paused { .. } => panic!("unbounded run paused"),
+        }
+    });
+    assert_eq!(finished, reference, "wire checkpoint/resume drifted");
+}
+
+#[test]
+fn checkpoint_over_tcp_resumes_over_loopback_bit_identically() {
+    let config = Some(impaired_config(77));
+    let reference = local_reference(config.clone());
+
+    let snapshot = with_tcp_client(|client| {
+        let session = client.open(open_request(config)).expect("open");
+        match client.run(session, Some(7), |_, _, _, _| {}).expect("run") {
+            RunEnd::Paused { .. } => {}
+            RunEnd::Done(_) => panic!("7 steps must not finish {N} tags"),
+        }
+        client.checkpoint(session).expect("checkpoint")
+    });
+
+    let finished = with_loopback_client(|client| {
+        let session = client.resume(snapshot).expect("resume");
+        match client.run(session, None, |_, _, _, _| {}).expect("run") {
+            RunEnd::Done(outcome) => outcome_identity(&outcome),
+            RunEnd::Paused { .. } => panic!("unbounded run paused"),
+        }
+    });
+    assert_eq!(finished, reference, "wire checkpoint/resume drifted");
+}
+
+/// Many concurrent TCP clients, one session each, all seeded identically:
+/// every outcome must equal the in-process reference — concurrency on the
+/// server must never leak state across connections.
+#[test]
+fn concurrent_tcp_sessions_stay_deterministic() {
+    let reference = local_reference(None);
+    let daemon = Daemon::bind("127.0.0.1:0").expect("bind").with_shards(4);
+    let addr = daemon.local_addr();
+    let stop = daemon.stop_handle();
+    let server = std::thread::spawn(move || daemon.run());
+
+    let identities: Vec<(String, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut client = DaemonClient::connect(addr).expect("connect");
+                    outcome_identity(&run_to_done(&mut client, open_request(None)))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
+    });
+    stop.store(true, Ordering::Relaxed);
+    server.join().expect("daemon thread").expect("daemon ok");
+
+    for identity in identities {
+        assert_eq!(identity, reference, "a concurrent session drifted");
+    }
+}
+
+fn collect_progress<T: Transport>(client: &mut DaemonClient<T>) -> Vec<(u64, u64, u64, u64)> {
+    let mut req = open_request(None);
+    req.progress_every = Some(8);
+    let session = client.open(req).expect("open");
+    let mut progress = Vec::new();
+    match client
+        .run(session, None, |steps, polls, rounds, clock_us| {
+            progress.push((steps, polls, rounds, clock_us.to_bits()));
+        })
+        .expect("run")
+    {
+        RunEnd::Done(outcome) => assert_eq!(outcome.status, "complete"),
+        RunEnd::Paused { .. } => panic!("unbounded run paused"),
+    }
+    progress
+}
+
+/// Progress streaming is deterministic in *steps*: the same request with
+/// the same progress cadence yields the same progress frame sequence
+/// (down to the clock bits) over loopback and TCP.
+#[test]
+fn progress_streams_are_transport_invariant() {
+    let via_loopback = with_loopback_client(collect_progress);
+    let via_tcp = with_tcp_client(collect_progress);
+    assert!(!via_loopback.is_empty(), "expected progress frames");
+    assert_eq!(via_loopback, via_tcp, "progress streams drifted");
+}
+
+/// Metrics fetched over the wire equal metrics derived from the same
+/// trace in-process.
+#[test]
+fn wire_metrics_match_inprocess_metrics() {
+    let scenario = Scenario::uniform(N as usize, INFO_BITS as usize).with_seed(SEED);
+    let config = SimConfig::paper(scenario.protocol_seed()).with_trace();
+    let protocol = HppConfig::default().into_protocol();
+    let mut ctx = SimContext::new(scenario.build_population(), &config);
+    let mut session = Session::open(&protocol, &ctx);
+    let _ = session.run(&mut ctx);
+    let expected = metrics_from_log(&ctx.log).expose_text();
+
+    let served = with_tcp_client(|client| {
+        let session = client.open(open_request(None)).expect("open");
+        match client.run(session, None, |_, _, _, _| {}).expect("run") {
+            RunEnd::Done(_) => {}
+            RunEnd::Paused { .. } => panic!("unbounded run paused"),
+        }
+        let text = client.metrics_text(session).expect("metrics");
+        let delta = client.metrics_delta(session).expect("delta");
+        assert!(delta.is_some(), "first delta must carry the full state");
+        assert!(
+            client.metrics_delta(session).expect("delta").is_none(),
+            "second immediate delta must be empty"
+        );
+        text
+    });
+    assert_eq!(served, expected, "wire metrics drifted from in-process");
+}
