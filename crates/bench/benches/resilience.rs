@@ -1,0 +1,401 @@
+//! Chaos-soak resilience gate: client-side chaos (seeded byte flips,
+//! cuts, Gilbert–Elliott bursts), daemon-side kill points, shedding
+//! pressure, and drain-on-shutdown — every faulted session must finish
+//! with report JSON and FNV-1a trace digest *bit-identical* to its
+//! unfaulted in-process reference. Because every chaos plan carries a
+//! finite fault budget, the link is eventually usable, so the gate
+//! demands a 100% recovery rate.
+//!
+//! Writes `BENCH_resilience.json` (schema: `{"group":"resilience",
+//! "results":[{"name","protocol","n","sessions","recovered",
+//! "recovery_rate","retries","reconnects","faults_injected",
+//! "resurrections","shed","drains",("latency_p50_us","latency_p90_us",
+//! "latency_p99_us")}]}`) next to the other bench reports so
+//! `scripts/verify.sh` and `obs_report --check-resilience` can gate on
+//! it.
+
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+use rfid_bench::{find_target_dir, fnv64};
+use rfid_daemon::{
+    install_killpoint_hook, DaemonClient, FleetLimits, ResilientClient, RetryPolicy,
+};
+use rfid_obs::Log2Histogram;
+use rfid_protocols::{Session, SessionEnd, TppConfig};
+use rfid_system::{GilbertElliott, Json, SimConfig, SimContext, ToJson};
+use rfid_wire::{ChaosDirector, ChaosPlan, OpenRequest};
+use rfid_workloads::Scenario;
+
+const PROTOCOL: &str = "TPP";
+const N: u64 = 96;
+const INFO_BITS: u64 = 4;
+const SEEDS: [u64; 3] = [11, 47, 203];
+
+struct CaseResult {
+    name: &'static str,
+    sessions: u64,
+    recovered: u64,
+    retries: u64,
+    reconnects: u64,
+    faults_injected: u64,
+    resurrections: u64,
+    shed: u64,
+    drains: u64,
+    latencies: Option<Log2Histogram>,
+}
+
+impl CaseResult {
+    fn zero(name: &'static str) -> CaseResult {
+        CaseResult {
+            name,
+            sessions: 0,
+            recovered: 0,
+            retries: 0,
+            reconnects: 0,
+            faults_injected: 0,
+            resurrections: 0,
+            shed: 0,
+            drains: 0,
+            latencies: None,
+        }
+    }
+}
+
+/// The unfaulted in-process reference identity for one seed.
+fn local_identity(seed: u64) -> (String, u64) {
+    let scenario = Scenario::uniform(N as usize, INFO_BITS as usize).with_seed(seed);
+    let config = SimConfig::paper(scenario.protocol_seed()).with_trace();
+    let protocol = TppConfig::default().into_protocol();
+    let mut ctx = SimContext::new(scenario.build_population(), &config);
+    let mut session = Session::open(&protocol, &ctx);
+    let SessionEnd::Complete { report, .. } = session.run(&mut ctx) else {
+        panic!("reference run did not complete (seed {seed})");
+    };
+    (report.to_json().to_string(), fnv64(&ctx.log.to_jsonl()))
+}
+
+fn open_req(seed: u64) -> OpenRequest {
+    OpenRequest::new(PROTOCOL, N, INFO_BITS, seed)
+}
+
+fn policy() -> RetryPolicy {
+    RetryPolicy::default()
+        .with_verb_timeout(Duration::from_millis(800))
+        .with_checkpoint_every(3)
+        .with_backoff_us(200, 5_000)
+        .with_max_attempts(80)
+}
+
+fn outcome_identity(outcome: &rfid_wire::SessionOutcome) -> Option<(String, u64)> {
+    (outcome.status == "complete").then(|| {
+        (
+            outcome.report.to_string(),
+            outcome.trace_digest.unwrap_or(0),
+        )
+    })
+}
+
+/// Clean serving baseline: a plain client on an unfaulted link must
+/// match the in-process reference (the control arm of the soak).
+fn reference_case() -> CaseResult {
+    let mut case = CaseResult::zero("reference");
+    let daemon = rfid_daemon::Daemon::bind("127.0.0.1:0").expect("bind");
+    let addr = daemon.local_addr();
+    let stop = daemon.stop_handle();
+    let server = std::thread::spawn(move || daemon.run());
+    for seed in SEEDS {
+        case.sessions += 1;
+        let mut client = DaemonClient::connect(addr).expect("connect");
+        let session = client.open(open_req(seed)).expect("open");
+        let outcome = match client.run(session, None, |_, _, _, _| {}).expect("run") {
+            rfid_daemon::RunEnd::Done(outcome) => outcome,
+            rfid_daemon::RunEnd::Paused { .. } => panic!("unbounded run paused"),
+        };
+        client.close(session).expect("close");
+        if outcome_identity(&outcome) == Some(local_identity(seed)) {
+            case.recovered += 1;
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    server.join().expect("daemon thread").expect("daemon ok");
+    case
+}
+
+/// One chaos arm: every seed runs through a fresh daemon and a chaos
+/// link built from `mk_plan(seed)`; the resilient client must land on
+/// the bit-identical reference.
+fn chaos_case(
+    name: &'static str,
+    kill_after: Option<u64>,
+    mk_plan: impl Fn(u64) -> ChaosPlan,
+) -> CaseResult {
+    let mut case = CaseResult::zero(name);
+    for seed in SEEDS {
+        case.sessions += 1;
+        let mut daemon = rfid_daemon::Daemon::bind("127.0.0.1:0")
+            .expect("bind")
+            .with_shards(2)
+            .with_supervise_every(2);
+        if let Some(after) = kill_after {
+            daemon = daemon.with_kill_after(after);
+        }
+        let addr = daemon.local_addr();
+        let stop = daemon.stop_handle();
+        let supervisor = daemon.supervisor();
+        let server = std::thread::spawn(move || daemon.run());
+
+        let director = ChaosDirector::new(mk_plan(seed));
+        let dialer = director.clone();
+        let policy = policy();
+        let verb_timeout = policy.verb_timeout;
+        let mut client = ResilientClient::new(
+            move || {
+                let stream = TcpStream::connect(addr)?;
+                stream.set_nodelay(true)?;
+                stream.set_read_timeout(Some(Duration::from_millis(10)))?;
+                Ok(DaemonClient::new(dialer.transport(stream)).with_verb_timeout(verb_timeout))
+            },
+            policy,
+        );
+        let outcome = client.run_to_done(&open_req(seed)).expect("chaos run");
+        if outcome_identity(&outcome) == Some(local_identity(seed)) {
+            case.recovered += 1;
+        }
+        case.retries += client.retries();
+        case.reconnects += client.reconnects();
+        case.faults_injected += director.faults_injected();
+
+        stop.store(true, Ordering::Relaxed);
+        server.join().expect("daemon thread").expect("daemon ok");
+        case.resurrections += supervisor.counter("sessions_resurrected");
+        supervisor.reconcile().expect("session conservation");
+    }
+    case
+}
+
+/// Shedding pressure: more resilient clients than the admission budget
+/// allows. Every client must complete bit-identically; per-session wall
+/// latency (including Busy backoff) lands in the percentile histogram.
+fn shed_pressure_case(clients: usize) -> CaseResult {
+    let mut case = CaseResult::zero("shed_pressure");
+    let daemon = rfid_daemon::Daemon::bind("127.0.0.1:0")
+        .expect("bind")
+        .with_shards(4)
+        .with_limits(FleetLimits::bounded(2, 2).with_retry_after_us(2_000));
+    let addr = daemon.local_addr();
+    let stop = daemon.stop_handle();
+    let supervisor = daemon.supervisor();
+    let server = std::thread::spawn(move || daemon.run());
+
+    let outcomes: Vec<(bool, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let seed = SEEDS[c % SEEDS.len()];
+                    let started = Instant::now();
+                    let mut client = ResilientClient::tcp(
+                        addr,
+                        policy()
+                            .with_verb_timeout(Duration::from_secs(5))
+                            .with_checkpoint_every(16),
+                    );
+                    let outcome = client.run_to_done(&open_req(seed)).expect("run");
+                    let us = started.elapsed().as_micros().max(1) as u64;
+                    (outcome_identity(&outcome) == Some(local_identity(seed)), us)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
+    });
+    stop.store(true, Ordering::Relaxed);
+    server.join().expect("daemon thread").expect("daemon ok");
+
+    let mut latencies = Log2Histogram::new();
+    for (ok, us) in outcomes {
+        case.sessions += 1;
+        case.recovered += ok as u64;
+        latencies.record(us);
+    }
+    case.shed = supervisor.counter("sessions_shed");
+    case.latencies = Some(latencies);
+    supervisor.reconcile().expect("session conservation");
+    case
+}
+
+/// Drain-on-shutdown: sessions still live when the listener closes are
+/// checkpointed; each drained snapshot must restore in-process to the
+/// bit-identical reference.
+fn drain_shutdown_case() -> CaseResult {
+    let mut case = CaseResult::zero("drain_shutdown");
+    let daemon = rfid_daemon::Daemon::bind("127.0.0.1:0")
+        .expect("bind")
+        .with_shards(2);
+    let addr = daemon.local_addr();
+    let supervisor = daemon.supervisor();
+    let server = std::thread::spawn(move || daemon.run());
+
+    let mut client = DaemonClient::connect(addr).expect("connect");
+    for seed in SEEDS {
+        let session = client.open(open_req(seed)).expect("open");
+        match client.run(session, Some(5), |_, _, _, _| {}).expect("run") {
+            rfid_daemon::RunEnd::Paused { .. } => {}
+            rfid_daemon::RunEnd::Done(_) => panic!("5 steps must not finish {N} tags"),
+        }
+    }
+    client.shutdown().expect("shutdown");
+    drop(client);
+    server.join().expect("daemon thread").expect("daemon ok");
+
+    case.drains = supervisor.counter("drain_checkpoints");
+    let drained = supervisor.drained();
+    let protocol = rfid_daemon::protocol_by_name(PROTOCOL).expect("servable");
+    // Drain order is session-table order, not open order: match each
+    // finished snapshot against the reference identity *set*.
+    let mut expected: Vec<(String, u64)> = SEEDS.iter().map(|&s| local_identity(s)).collect();
+    for (_gid, snapshot) in &drained {
+        case.sessions += 1;
+        let (mut ctx, mut session) =
+            Session::restore(protocol.as_ref(), snapshot).expect("drained snapshot restores");
+        let SessionEnd::Complete { report, .. } = session.run(&mut ctx) else {
+            panic!("drained snapshot did not complete");
+        };
+        let identity = (report.to_json().to_string(), fnv64(&ctx.log.to_jsonl()));
+        if let Some(at) = expected.iter().position(|e| *e == identity) {
+            expected.remove(at);
+            case.recovered += 1;
+        }
+    }
+    supervisor.reconcile().expect("session conservation");
+    case
+}
+
+fn main() {
+    install_killpoint_hook();
+    let filter = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with('-'))
+        .filter(|a| !a.is_empty());
+    let mut results: Vec<Json> = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+
+    let cases: Vec<CaseResult> = [
+        (
+            "reference",
+            Box::new(reference_case) as Box<dyn Fn() -> CaseResult>,
+        ),
+        (
+            "chaos_flips",
+            Box::new(|| {
+                chaos_case("chaos_flips", None, |seed| {
+                    ChaosPlan::flips(seed, 0.002, 30)
+                })
+            }),
+        ),
+        (
+            "chaos_cuts",
+            Box::new(|| chaos_case("chaos_cuts", None, |seed| ChaosPlan::cuts(seed, 0.0008, 12))),
+        ),
+        (
+            "chaos_burst",
+            Box::new(|| {
+                chaos_case("chaos_burst", None, |seed| {
+                    ChaosPlan::flips(seed, 0.02, 30)
+                        .with_burst(GilbertElliott::new(0.002, 0.05, 0.0, 1.0))
+                })
+            }),
+        ),
+        (
+            "chaos_kill",
+            Box::new(|| {
+                // A mild flip plan plus a fire-once daemon-side kill at
+                // step 4 (sessions run 6–8 steps): both fault planes in
+                // one arm.
+                chaos_case("chaos_kill", Some(4), |seed| {
+                    ChaosPlan::flips(seed, 0.0005, 10)
+                })
+            }),
+        ),
+        ("shed_pressure", Box::new(|| shed_pressure_case(6))),
+        ("drain_shutdown", Box::new(drain_shutdown_case)),
+    ]
+    .into_iter()
+    .filter(|(name, _)| filter.as_deref().map_or(true, |f| name.contains(f)))
+    .map(|(_, run)| run())
+    .collect();
+
+    for case in &cases {
+        let rate = case.recovered as f64 / (case.sessions as f64).max(1.0);
+        println!(
+            "resilience/{}: {}/{} recovered bit-identically ({} retries, {} reconnects, \
+             {} faults, {} resurrected, {} shed, {} drained)",
+            case.name,
+            case.recovered,
+            case.sessions,
+            case.retries,
+            case.reconnects,
+            case.faults_injected,
+            case.resurrections,
+            case.shed,
+            case.drains,
+        );
+        if case.recovered != case.sessions {
+            failures.push(format!(
+                "{}: only {}/{} sessions recovered bit-identically",
+                case.name, case.recovered, case.sessions
+            ));
+        }
+        let mut fields = vec![
+            ("name".to_string(), case.name.to_json()),
+            ("protocol".to_string(), PROTOCOL.to_json()),
+            ("n".to_string(), N.to_json()),
+            ("sessions".to_string(), case.sessions.to_json()),
+            ("recovered".to_string(), case.recovered.to_json()),
+            ("recovery_rate".to_string(), rate.to_json()),
+            ("retries".to_string(), case.retries.to_json()),
+            ("reconnects".to_string(), case.reconnects.to_json()),
+            (
+                "faults_injected".to_string(),
+                case.faults_injected.to_json(),
+            ),
+            ("resurrections".to_string(), case.resurrections.to_json()),
+            ("shed".to_string(), case.shed.to_json()),
+            ("drains".to_string(), case.drains.to_json()),
+        ];
+        if let Some(latencies) = &case.latencies {
+            let pct = |q: f64| latencies.percentile(q).unwrap_or(0) as f64;
+            fields.push(("latency_p50_us".to_string(), pct(0.5).to_json()));
+            fields.push(("latency_p90_us".to_string(), pct(0.9).to_json()));
+            fields.push(("latency_p99_us".to_string(), pct(0.99).to_json()));
+        }
+        results.push(Json::Obj(fields));
+    }
+
+    if !results.is_empty() {
+        let report = Json::Obj(vec![
+            ("group".to_string(), "resilience".to_json()),
+            ("results".to_string(), Json::Arr(results)),
+        ])
+        .to_pretty_string();
+        let file = "BENCH_resilience.json";
+        let path = find_target_dir()
+            .map(|d| d.join(file))
+            .unwrap_or_else(|| file.into());
+        match std::fs::write(&path, report + "\n") {
+            Ok(()) => println!("report: {}", path.display()),
+            Err(e) => eprintln!("could not write {}: {e}", path.display()),
+        }
+    }
+
+    if !failures.is_empty() {
+        eprintln!("resilience gate FAILED:");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+}

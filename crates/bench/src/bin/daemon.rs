@@ -12,11 +12,20 @@
 //! * `--smoke` — the CI slice: an in-process daemon on port 0 serves one
 //!   clean and one impaired session over real TCP, the impaired client
 //!   shuts the fleet down, and any failure exits nonzero.
+//! * `--chaos-smoke` — the resilience CI slice: a clean reference session,
+//!   then the same session over a chaos-impaired link (seeded byte flips
+//!   and connection cuts) driven by the checkpoint-resuming
+//!   [`ResilientClient`]; the recovered outcome must be bit-identical to
+//!   the reference and the session conservation law must hold.
+
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::time::Duration;
 
 use rfid_bench::cli::{daemon_usage, parse_daemon_args, DaemonMode, DaemonOptions};
-use rfid_daemon::{Daemon, DaemonClient, RunEnd};
+use rfid_daemon::{Daemon, DaemonClient, ResilientClient, RetryPolicy, RunEnd};
 use rfid_system::{FaultModel, SimConfig};
-use rfid_wire::{OpenRequest, SessionOutcome, Transport, WIRE_VERSION};
+use rfid_wire::{ChaosDirector, ChaosPlan, OpenRequest, SessionOutcome, Transport, WIRE_VERSION};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,6 +41,7 @@ fn main() {
         DaemonMode::Serve => serve(&opts),
         DaemonMode::Client(addr) => client(addr, &opts),
         DaemonMode::Smoke => smoke(&opts),
+        DaemonMode::ChaosSmoke => chaos_smoke(&opts),
     };
     if let Err(msg) = result {
         eprintln!("rfid_daemon: {msg}");
@@ -170,5 +180,93 @@ fn smoke(opts: &DaemonOptions) -> Result<(), String> {
         .map_err(|_| "daemon thread panicked".to_string())?
         .map_err(|e| format!("daemon failed: {e}"))?;
     println!("smoke: clean shutdown — OK");
+    Ok(())
+}
+
+/// The resilience verify.sh slice: one seed, one chaos-impaired link.
+/// Runs the session cleanly for a reference identity, then re-runs it
+/// through a [`ResilientClient`] over a link with seeded byte flips and
+/// connection cuts; the recovered outcome must be bit-identical and the
+/// supervisor's session accounting must balance.
+fn chaos_smoke(opts: &DaemonOptions) -> Result<(), String> {
+    let daemon = build_daemon("127.0.0.1:0", opts)?.with_supervise_every(2);
+    let addr = daemon.local_addr();
+    let stop = daemon.stop_handle();
+    let supervisor = daemon.supervisor();
+    println!("chaos-smoke: daemon on {addr}");
+    let server = std::thread::spawn(move || daemon.run());
+
+    let identity = |outcome: &SessionOutcome| -> Result<(String, u64), String> {
+        if outcome.status != "complete" {
+            return Err(format!(
+                "session ended {} ({})",
+                outcome.status,
+                outcome.cause.as_deref().unwrap_or("no cause"),
+            ));
+        }
+        let digest = outcome
+            .trace_digest
+            .ok_or("session has no trace digest".to_string())?;
+        Ok((outcome.report.to_string(), digest))
+    };
+
+    // Clean reference run over an unimpaired connection.
+    let req = OpenRequest::new(&opts.protocol, opts.n, opts.info_bits, opts.seed);
+    let mut clean =
+        DaemonClient::connect(addr).map_err(|e| format!("clean connect failed: {e}"))?;
+    let reference = identity(&drive_session(&mut clean, req.clone(), true)?)?;
+    drop(clean);
+    println!(
+        "chaos-smoke: clean reference, trace digest {:#018x}",
+        reference.1
+    );
+
+    // Same session over a hostile link: seeded flips plus rare cuts, a
+    // finite fault budget so the link is eventually usable.
+    let mut plan = ChaosPlan::flips(opts.seed ^ 0xC4A0_5EED, 0.0015, 25);
+    plan.cut_rate = 0.0004;
+    let director = ChaosDirector::new(plan);
+    let dialer = director.clone();
+    let policy = RetryPolicy::default()
+        .with_verb_timeout(Duration::from_millis(500))
+        .with_checkpoint_every(6)
+        .with_backoff_us(200, 5_000)
+        .with_max_attempts(64);
+    let verb_timeout = policy.verb_timeout;
+    let mut resilient = ResilientClient::new(
+        move || {
+            let stream = TcpStream::connect(addr)?;
+            stream.set_nodelay(true)?;
+            stream.set_read_timeout(Some(Duration::from_millis(10)))?;
+            Ok(DaemonClient::new(dialer.transport(stream)).with_verb_timeout(verb_timeout))
+        },
+        policy,
+    );
+    let outcome = resilient
+        .run_to_done(&req)
+        .map_err(|e| format!("chaos run failed: {e}"))?;
+    let recovered = identity(&outcome)?;
+    println!(
+        "chaos-smoke: {} faults injected, {} retries, {} reconnects",
+        director.faults_injected(),
+        resilient.retries(),
+        resilient.reconnects(),
+    );
+    if recovered != reference {
+        return Err("chaos recovery drifted from the clean reference".to_string());
+    }
+    if director.faults_injected() == 0 {
+        return Err("the chaos plan never bit — tighten the rates".to_string());
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    server
+        .join()
+        .map_err(|_| "daemon thread panicked".to_string())?
+        .map_err(|e| format!("daemon failed: {e}"))?;
+    supervisor
+        .reconcile()
+        .map_err(|e| format!("session conservation violated: {e}"))?;
+    println!("chaos-smoke: bit-identical recovery — OK");
     Ok(())
 }

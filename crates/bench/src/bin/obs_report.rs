@@ -25,6 +25,9 @@
 //! * `--check-daemon <path>` — validates `BENCH_daemon.json`: every case
 //!   completed its expected sessions, positive ordered latency
 //!   percentiles, and a concurrent fan-out case (§15).
+//! * `--check-resilience <path>` — validates `BENCH_resilience.json`:
+//!   100% bit-identical recovery in every chaos-soak arm, faults actually
+//!   injected, resurrection and shedding floors met (§16).
 
 use rfid_baselines::{CodedPollingConfig, CppConfig, EcppConfig, FsaConfig, LowerBound, MicConfig};
 use rfid_bench::cli::{obs_usage, parse_obs_args, ObsMode};
@@ -52,6 +55,7 @@ fn main() {
         ObsMode::CheckSession(path) => check_session_report(&path.display().to_string()),
         ObsMode::CheckObsplane(path) => check_obsplane_report(&path.display().to_string()),
         ObsMode::CheckDaemon(path) => check_daemon_report(&path.display().to_string()),
+        ObsMode::CheckResilience(path) => check_resilience_report(&path.display().to_string()),
         ObsMode::Reconcile => run_reconcile_gate(n.min(120), seed),
         ObsMode::Flame => {
             render_flame_profiles(n, seed);
@@ -686,6 +690,145 @@ fn check_daemon_report(path: &str) -> i32 {
         }
         Err(e) => {
             eprintln!("check-daemon: {path} invalid: {e}");
+            1
+        }
+    }
+}
+
+/// Validates a `BENCH_resilience.json` report: every chaos-soak case is
+/// present with a 100% bit-identical recovery rate, the chaos arms
+/// actually injected faults, the kill arm resurrected at least one
+/// session, the shedding arm shed at least one client and reports
+/// ordered positive latency percentiles, and the drain arm checkpointed
+/// at least one live session. Returns the process exit code.
+fn check_resilience_report(path: &str) -> i32 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("check-resilience: cannot read {path}: {e}");
+            return 1;
+        }
+    };
+    let parsed = match rfid_system::Json::parse(&text) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("check-resilience: {path} is not well-formed JSON: {e}");
+            return 1;
+        }
+    };
+    let validate = || -> Result<(), String> {
+        let group = parsed
+            .get("group")
+            .ok_or("missing `group`")?
+            .as_str()
+            .map_err(|e| e.to_string())?;
+        if group != "resilience" {
+            return Err(format!("group is `{group}`, expected `resilience`"));
+        }
+        let results = parsed
+            .get("results")
+            .ok_or("missing `results`")?
+            .as_arr()
+            .map_err(|e| e.to_string())?;
+        let find = |name: &str| {
+            results
+                .iter()
+                .find(|r| r.get("name").and_then(|n| n.as_str().ok()) == Some(name))
+                .ok_or(format!("no `{name}` result"))
+        };
+        let int = |r: &rfid_system::Json, name: &str, field: &str| -> Result<u64, String> {
+            r.get(field)
+                .ok_or_else(|| format!("{name}: missing `{field}`"))?
+                .as_u64()
+                .map_err(|e| e.to_string())
+        };
+        // Every case: sessions attempted, and every one of them recovered
+        // to the bit-identical clean-run report and trace digest.
+        for name in [
+            "reference",
+            "chaos_flips",
+            "chaos_cuts",
+            "chaos_burst",
+            "chaos_kill",
+            "shed_pressure",
+            "drain_shutdown",
+        ] {
+            let r = find(name)?;
+            r.get("protocol")
+                .ok_or_else(|| format!("{name}: missing `protocol`"))?
+                .as_str()
+                .map_err(|e| e.to_string())?;
+            let sessions = int(r, name, "sessions")?;
+            let recovered = int(r, name, "recovered")?;
+            if sessions == 0 {
+                return Err(format!("{name}: no sessions were attempted"));
+            }
+            if recovered != sessions {
+                return Err(format!(
+                    "{name}: only {recovered}/{sessions} sessions recovered bit-identically"
+                ));
+            }
+            let rate = r
+                .get("recovery_rate")
+                .ok_or_else(|| format!("{name}: missing `recovery_rate`"))?
+                .as_f64()
+                .map_err(|e| e.to_string())?;
+            if rate != 1.0 {
+                return Err(format!("{name}: recovery_rate {rate} is not 1.0"));
+            }
+        }
+        // The chaos arms only prove something if the link actually hurt.
+        for name in ["chaos_flips", "chaos_cuts", "chaos_burst", "chaos_kill"] {
+            let r = find(name)?;
+            if int(r, name, "faults_injected")? == 0 {
+                return Err(format!("{name}: chaos injected no faults"));
+            }
+            if int(r, name, "retries")? + int(r, name, "reconnects")? == 0 {
+                return Err(format!("{name}: client never had to retry or reconnect"));
+            }
+        }
+        // The kill arm must have crossed the supervisor's resurrection path.
+        let kill = find("chaos_kill")?;
+        if int(kill, "chaos_kill", "resurrections")? == 0 {
+            return Err("chaos_kill: no session was resurrected".to_string());
+        }
+        // The shedding arm must have shed, and its client-observed wall
+        // latency (Busy backoff included) must be a sane distribution.
+        let shed = find("shed_pressure")?;
+        if int(shed, "shed_pressure", "shed")? == 0 {
+            return Err("shed_pressure: admission control never shed".to_string());
+        }
+        let mut latencies = std::collections::BTreeMap::new();
+        for field in ["latency_p50_us", "latency_p90_us", "latency_p99_us"] {
+            let v = shed
+                .get(field)
+                .ok_or_else(|| format!("shed_pressure: missing `{field}`"))?
+                .as_f64()
+                .map_err(|e| e.to_string())?;
+            if !v.is_finite() || v <= 0.0 {
+                return Err(format!("shed_pressure: `{field}` = {v} is not positive"));
+            }
+            latencies.insert(field, v);
+        }
+        if latencies["latency_p50_us"] > latencies["latency_p90_us"]
+            || latencies["latency_p90_us"] > latencies["latency_p99_us"]
+        {
+            return Err("shed_pressure: latency percentiles are not ordered".to_string());
+        }
+        // The drain arm must have checkpointed live sessions at shutdown.
+        let drain = find("drain_shutdown")?;
+        if int(drain, "drain_shutdown", "drains")? == 0 {
+            return Err("drain_shutdown: shutdown drained no sessions".to_string());
+        }
+        Ok(())
+    };
+    match validate() {
+        Ok(()) => {
+            println!("check-resilience: {path} ok");
+            0
+        }
+        Err(e) => {
+            eprintln!("check-resilience: {path} invalid: {e}");
             1
         }
     }

@@ -203,6 +203,10 @@ pub const OBS_MODES: &[(&str, &str)] = &[
         "validate a BENCH_obsplane.json report",
     ),
     ("--check-daemon FILE", "validate a BENCH_daemon.json report"),
+    (
+        "--check-resilience FILE",
+        "validate a BENCH_resilience.json report",
+    ),
 ];
 
 /// Which `obs_report` mode was selected (modes are mutually exclusive).
@@ -223,6 +227,8 @@ pub enum ObsMode {
     CheckObsplane(PathBuf),
     /// Validate a `BENCH_daemon.json` report.
     CheckDaemon(PathBuf),
+    /// Validate a `BENCH_resilience.json` report.
+    CheckResilience(PathBuf),
 }
 
 /// Validated `obs_report` invocation.
@@ -289,6 +295,10 @@ pub fn parse_obs_args(args: &[String]) -> Result<ObsReportOptions, String> {
                 let path = it.next().ok_or("--check-daemon needs a file")?;
                 set_mode(&mut opts, ObsMode::CheckDaemon(PathBuf::from(path)))?;
             }
+            "--check-resilience" => {
+                let path = it.next().ok_or("--check-resilience needs a file")?;
+                set_mode(&mut opts, ObsMode::CheckResilience(PathBuf::from(path)))?;
+            }
             "--n" => opts.n = Some(parse_value(it.next(), "--n", |v: usize| v >= 1)?),
             "--seed" => opts.seed = Some(parse_value(it.next(), "--seed", |_: u64| true)?),
             other => return Err(format!("unknown option {other}")),
@@ -308,6 +318,9 @@ pub enum DaemonMode {
     /// In-process end-to-end smoke: port 0, one clean + one impaired
     /// session over real TCP, clean shutdown.
     Smoke,
+    /// In-process resilience smoke: a chaos-impaired resilient client
+    /// must finish bit-identically to a clean in-process run.
+    ChaosSmoke,
 }
 
 /// Validated `rfid_daemon` invocation.
@@ -353,7 +366,9 @@ pub fn daemon_usage() -> String {
      \x20 --serve             bind --addr and serve until a Shutdown command\n\
      \x20 --client ADDR       connect and run one session against a daemon\n\
      \x20 --smoke             in-process TCP smoke: one clean + one impaired\n\
-     \x20                     session on port 0, then a clean shutdown\n\n\
+     \x20                     session on port 0, then a clean shutdown\n\
+     \x20 --chaos-smoke       in-process resilience smoke: a chaos-impaired\n\
+     \x20                     link must finish bit-identically to a clean run\n\n\
      serve options:\n\
      \x20 --addr HOST:PORT    bind address (default 127.0.0.1:0)\n\
      \x20 --shards N          accept shards (default: one per core)\n\
@@ -388,6 +403,7 @@ pub fn parse_daemon_args(args: &[String]) -> Result<DaemonOptions, String> {
                 set_mode(&mut mode, DaemonMode::Client(addr.clone()))?;
             }
             "--smoke" => set_mode(&mut mode, DaemonMode::Smoke)?,
+            "--chaos-smoke" => set_mode(&mut mode, DaemonMode::ChaosSmoke)?,
             "--addr" => opts.addr = it.next().ok_or("--addr needs HOST:PORT")?.clone(),
             "--shards" => {
                 opts.shards = Some(parse_value(it.next(), "--shards", |v: usize| v >= 1)?)
@@ -536,6 +552,11 @@ mod tests {
             opts.mode,
             ObsMode::CheckDaemon(PathBuf::from("target/BENCH_daemon.json"))
         );
+        let opts = parse_obs(&["--check-resilience", "target/BENCH_resilience.json"]).unwrap();
+        assert_eq!(
+            opts.mode,
+            ObsMode::CheckResilience(PathBuf::from("target/BENCH_resilience.json"))
+        );
     }
 
     #[test]
@@ -550,6 +571,7 @@ mod tests {
             &["--check-session"],
             &["--check-obsplane"],
             &["--check-daemon"],
+            &["--check-resilience"],
             &["--frobnicate"],
         ] {
             assert!(parse_obs(args).is_err(), "{args:?} should be rejected");
@@ -607,6 +629,9 @@ mod tests {
         let opts = parse_daemon(&["--smoke", "--flight-dir", "/tmp/f"]).unwrap();
         assert_eq!(opts.mode, DaemonMode::Smoke);
         assert_eq!(opts.flight_dir, Some(PathBuf::from("/tmp/f")));
+        let opts = parse_daemon(&["--chaos-smoke", "--seed", "11"]).unwrap();
+        assert_eq!(opts.mode, DaemonMode::ChaosSmoke);
+        assert_eq!(opts.seed, 11);
     }
 
     #[test]
@@ -629,6 +654,8 @@ mod tests {
         }
         let err = parse_daemon(&["--smoke", "--serve"]).unwrap_err();
         assert!(err.contains("pick one"), "{err}");
+        let err = parse_daemon(&["--chaos-smoke", "--smoke"]).unwrap_err();
+        assert!(err.contains("pick one"), "{err}");
         let err = parse_daemon(&["--client", "a:1", "--client", "b:2"]).unwrap_err();
         assert!(err.contains("pick one"), "{err}");
     }
@@ -640,6 +667,7 @@ mod tests {
             "--serve",
             "--client",
             "--smoke",
+            "--chaos-smoke",
             "--addr",
             "--shards",
             "--flight-dir",

@@ -8,6 +8,7 @@
 //! constructor choice, nothing more.
 
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
 
 use rfid_system::{FaultModel, Json};
 use rfid_wire::{
@@ -27,6 +28,13 @@ pub enum ClientError {
         /// The server's human-readable detail.
         message: String,
     },
+    /// The server shed the request under admission control.
+    Busy {
+        /// Backoff the server suggested, in microseconds.
+        retry_after_us: u64,
+    },
+    /// No response arrived within the configured verb timeout.
+    TimedOut,
     /// The server sent a response that does not fit the pending command.
     Unexpected(String),
     /// The server closed the connection mid-exchange.
@@ -40,6 +48,10 @@ impl std::fmt::Display for ClientError {
             ClientError::Server { code, message } => {
                 write!(f, "server error {code:?}: {message}")
             }
+            ClientError::Busy { retry_after_us } => {
+                write!(f, "server busy; retry after {retry_after_us}µs")
+            }
+            ClientError::TimedOut => write!(f, "no response within the verb timeout"),
             ClientError::Unexpected(what) => write!(f, "unexpected response: {what}"),
             ClientError::Closed => write!(f, "server closed the connection"),
         }
@@ -66,9 +78,18 @@ pub enum RunEnd {
     },
 }
 
+/// How often a timeout-armed TCP client wakes from a blocked read to
+/// check its verb deadline.
+const READ_TICK: Duration = Duration::from_millis(10);
+
 /// A typed connection to a daemon.
 pub struct DaemonClient<T> {
     transport: T,
+    /// Give up on an exchange after this much response silence. Needs a
+    /// transport whose blocked reads tick (`WouldBlock`/`TimedOut`), as
+    /// [`DaemonClient::connect_with_timeout`] arranges for TCP; a
+    /// loopback pipe blocks indefinitely and never observes it.
+    verb_timeout: Option<Duration>,
 }
 
 impl DaemonClient<StreamTransport<TcpStream>> {
@@ -78,12 +99,40 @@ impl DaemonClient<StreamTransport<TcpStream>> {
         stream.set_nodelay(true)?;
         Ok(DaemonClient::new(StreamTransport::new(stream)))
     }
+
+    /// Connects over TCP with a per-exchange response timeout: any verb
+    /// waiting longer than `verb_timeout` for the next response frame
+    /// fails with [`ClientError::TimedOut`] instead of hanging. A `Run`
+    /// streaming progress frames stays alive as long as frames keep
+    /// arriving — the clock measures silence, not total verb duration.
+    pub fn connect_with_timeout(
+        addr: impl ToSocketAddrs,
+        verb_timeout: Duration,
+    ) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(
+            verb_timeout.clamp(Duration::from_millis(1), READ_TICK),
+        ))?;
+        Ok(DaemonClient::new(StreamTransport::new(stream)).with_verb_timeout(verb_timeout))
+    }
 }
 
 impl<T: Transport> DaemonClient<T> {
     /// Wraps an already-connected transport.
     pub fn new(transport: T) -> Self {
-        DaemonClient { transport }
+        DaemonClient {
+            transport,
+            verb_timeout: None,
+        }
+    }
+
+    /// Arms the per-exchange response timeout. The transport's blocked
+    /// reads must return `WouldBlock`/`TimedOut` ticks for the deadline
+    /// to be observed.
+    pub fn with_verb_timeout(mut self, verb_timeout: Duration) -> Self {
+        self.verb_timeout = Some(verb_timeout);
+        self
     }
 
     /// The underlying transport (tests use this to inject raw bytes).
@@ -97,15 +146,37 @@ impl<T: Transport> DaemonClient<T> {
     }
 
     fn next_response(&mut self) -> Result<Response, ClientError> {
-        match self.transport.recv()? {
-            None => Err(ClientError::Closed),
-            Some(frame) => {
-                let response =
-                    Response::from_frame(&frame).map_err(|e| ClientError::Wire(e.into()))?;
-                if let Response::Error { code, message } = response {
-                    return Err(ClientError::Server { code, message });
+        let waiting_since = Instant::now();
+        loop {
+            match self.transport.recv() {
+                Ok(None) => return Err(ClientError::Closed),
+                Ok(Some(frame)) => {
+                    let response =
+                        Response::from_frame(&frame).map_err(|e| ClientError::Wire(e.into()))?;
+                    return match response {
+                        Response::Error { code, message } => {
+                            Err(ClientError::Server { code, message })
+                        }
+                        Response::Busy { retry_after_us } => {
+                            Err(ClientError::Busy { retry_after_us })
+                        }
+                        other => Ok(other),
+                    };
                 }
-                Ok(response)
+                Err(WireError::Io(e))
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    match self.verb_timeout {
+                        Some(limit) if waiting_since.elapsed() >= limit => {
+                            return Err(ClientError::TimedOut)
+                        }
+                        _ => {}
+                    }
+                }
+                Err(e) => return Err(e.into()),
             }
         }
     }

@@ -12,12 +12,21 @@
 //! * [`service`] — the per-connection dispatcher ([`Service`]) and the
 //!   shared read→dispatch→write loop ([`serve_connection`]),
 //! * [`server`] — the sharded-accept TCP [`Daemon`],
-//! * [`client`] — the typed [`DaemonClient`] over any [`Transport`].
+//! * [`client`] — the typed [`DaemonClient`] over any [`Transport`],
+//! * [`supervisor`] — the fleet resilience layer (DESIGN.md §16):
+//!   admission control with typed `Busy` shedding, periodic session
+//!   checkpoints, resurrection of sessions orphaned by dead connections
+//!   or handler panics, and drain-on-shutdown,
+//! * [`resilient`] — the self-healing [`ResilientClient`]: retry with
+//!   capped backoff, transparent reconnect, and checkpoint-based run
+//!   resumption that ends bit-identical to an unfaulted run.
 //!
-//! Determinism survives serving: a session opened with the same request
-//! produces the same report JSON and FNV-1a trace digest whether it runs
-//! in-process, over loopback, or over TCP — with checkpoints in between
-//! or not. The serving gates in `tests/` hold the layer to that.
+//! Determinism survives serving — and chaos: a session opened with the
+//! same request produces the same report JSON and FNV-1a trace digest
+//! whether it runs in-process, over loopback, over TCP, through a
+//! corrupted-and-reconnected link, or resurrected by the supervisor
+//! after its handler was killed mid-run. The serving and resilience
+//! gates in `tests/` hold the layer to that.
 //!
 //! [`Transport`]: rfid_wire::Transport
 
@@ -26,10 +35,16 @@
 
 pub mod client;
 pub mod registry;
+pub mod resilient;
 pub mod server;
 pub mod service;
+pub mod supervisor;
 
 pub use client::{ClientError, DaemonClient, RunEnd};
 pub use registry::{all_protocols, protocol_by_name, protocol_names};
+pub use resilient::{ResilientClient, RetryPolicy};
 pub use server::Daemon;
 pub use service::{serve_connection, Service, SERVER_NAME};
+pub use supervisor::{
+    install_killpoint_hook, FleetLimits, KillPoint, KillSwitch, Resurrection, Retire, Supervisor,
+};

@@ -8,12 +8,22 @@
 //! one `std::thread::scope`, so [`Daemon::run`] returns only after every
 //! handler has drained — no detached threads, no leaked sessions.
 //!
+//! Every connection's sessions are admitted through one shared
+//! [`Supervisor`] (DESIGN.md §16): admission budgets shed load with
+//! typed `Busy` responses; a connection that dies — handler panic,
+//! poisoned byte stream, vanished client — has its unfinished sessions
+//! resurrected from their last supervisor checkpoints; and shutdown is a
+//! *drain*, depositing one final checkpoint per live session before the
+//! listener closes. Handler panics are caught per-connection
+//! (`catch_unwind`), so a crashing session never takes the fleet down.
+//!
 //! Shutdown is cooperative: the listener is non-blocking and every
 //! connection wears a short read timeout, so all threads observe the
 //! shared stop flag within one tick. The flag is raised by a wire
 //! `Shutdown` command, or externally through [`Daemon::stop_handle`].
 
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -22,6 +32,7 @@ use std::time::Duration;
 use rfid_wire::StreamTransport;
 
 use crate::service::{serve_connection, Service};
+use crate::supervisor::{FleetLimits, KillPoint, KillSwitch, Supervisor};
 
 /// How long accept loops sleep when idle, and how long connection reads
 /// block before re-checking the stop flag.
@@ -34,11 +45,15 @@ pub struct Daemon {
     shards: usize,
     stop: Arc<AtomicBool>,
     flight_dir: Option<PathBuf>,
+    supervisor: Arc<Supervisor>,
+    supervise_every: u64,
+    kill_switch: Option<Arc<KillSwitch>>,
 }
 
 impl Daemon {
     /// Binds `addr` (use port 0 for an OS-assigned port) with one accept
-    /// shard per available core.
+    /// shard per available core and an unlimited (never-shedding)
+    /// supervisor.
     pub fn bind(addr: impl ToSocketAddrs) -> std::io::Result<Daemon> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
@@ -52,6 +67,9 @@ impl Daemon {
             shards,
             stop: Arc::new(AtomicBool::new(false)),
             flight_dir: None,
+            supervisor: Arc::new(Supervisor::unlimited()),
+            supervise_every: 0,
+            kill_switch: None,
         })
     }
 
@@ -61,10 +79,44 @@ impl Daemon {
         self
     }
 
-    /// Sets the directory served sessions dump flight bundles into.
+    /// Sets the directory served sessions dump flight bundles into (also
+    /// where the supervisor dumps failed-resurrection bundles).
     pub fn with_flight_dir(mut self, dir: impl Into<PathBuf>) -> Daemon {
-        self.flight_dir = Some(dir.into());
+        let dir = dir.into();
+        self.supervisor.set_flight_dir(&dir);
+        self.flight_dir = Some(dir);
         self
+    }
+
+    /// Replaces the supervisor with one enforcing `limits` (admission
+    /// control / shedding).
+    pub fn with_limits(mut self, limits: FleetLimits) -> Daemon {
+        let sup = Supervisor::new(limits);
+        if let Some(dir) = &self.flight_dir {
+            sup.set_flight_dir(dir);
+        }
+        self.supervisor = Arc::new(sup);
+        self
+    }
+
+    /// Deposits a supervisor checkpoint every `steps` driver steps
+    /// during served runs.
+    pub fn with_supervise_every(mut self, steps: u64) -> Daemon {
+        self.supervise_every = steps;
+        self
+    }
+
+    /// Arms a fire-once chaos kill point: the first served run to pass
+    /// `after_steps` steps panics its handler thread mid-inventory.
+    pub fn with_kill_after(mut self, after_steps: u64) -> Daemon {
+        self.kill_switch = Some(Arc::new(KillSwitch::new(after_steps)));
+        self
+    }
+
+    /// The shared fleet supervisor (counters, resurrection records,
+    /// drained checkpoints).
+    pub fn supervisor(&self) -> Arc<Supervisor> {
+        Arc::clone(&self.supervisor)
     }
 
     /// The bound address (resolves port 0 to the real port).
@@ -81,7 +133,8 @@ impl Daemon {
     /// Serves until the stop flag rises (wire `Shutdown` or
     /// [`Daemon::stop_handle`]), then drains every live connection and
     /// returns. Connection-level failures are contained: a handler that
-    /// hits a hard I/O error drops its connection, never the daemon.
+    /// hits a hard I/O error or panics drops its connection — and hands
+    /// its orphaned sessions to the supervisor — never the daemon.
     pub fn run(&self) -> std::io::Result<()> {
         std::thread::scope(|scope| {
             for _shard in 0..self.shards {
@@ -90,12 +143,12 @@ impl Daemon {
                     .try_clone()
                     .expect("listener handles are cloneable");
                 let stop = &self.stop;
-                let flight_dir = &self.flight_dir;
+                let this = self;
                 scope.spawn(move || {
                     while !stop.load(Ordering::Relaxed) {
                         match listener.accept() {
                             Ok((stream, _peer)) => {
-                                scope.spawn(move || handle(stream, stop, flight_dir));
+                                scope.spawn(move || this.handle(stream));
                             }
                             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                                 std::thread::sleep(TICK);
@@ -108,24 +161,55 @@ impl Daemon {
         });
         Ok(())
     }
-}
 
-fn handle(stream: TcpStream, stop: &AtomicBool, flight_dir: &Option<PathBuf>) {
-    // The read timeout is what lets this thread notice `stop` while the
-    // peer is idle; serve_connection treats WouldBlock/TimedOut as ticks.
-    let _ = stream.set_read_timeout(Some(TICK));
-    let _ = stream.set_nodelay(true);
-    let mut transport = StreamTransport::new(stream);
-    let mut service = Service::new();
-    if let Some(dir) = flight_dir {
-        service = service.with_flight_dir(dir);
+    fn handle(&self, stream: TcpStream) {
+        // The read timeout is what lets this thread notice `stop` while
+        // the peer is idle; serve_connection treats WouldBlock/TimedOut
+        // as ticks.
+        let _ = stream.set_read_timeout(Some(TICK));
+        let _ = stream.set_nodelay(true);
+        let stop = &self.stop;
+        let mut transport = StreamTransport::new(stream);
+        let mut service = Service::new()
+            .with_supervisor(Arc::clone(&self.supervisor))
+            .with_supervise_every(self.supervise_every);
+        if let Some(dir) = &self.flight_dir {
+            service = service.with_flight_dir(dir);
+        }
+        if let Some(switch) = &self.kill_switch {
+            service = service.with_kill_switch(Arc::clone(switch));
+        }
+        // Contain handler panics to this connection: the session table
+        // survives the unwind, which is exactly what lets the supervisor
+        // learn which sessions were orphaned.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            serve_connection(&mut transport, &mut service, stop)
+        }));
+        if service.shutdown_requested() {
+            stop.store(true, Ordering::Relaxed);
+        }
+        match result {
+            Ok(Ok(())) if stop.load(Ordering::Relaxed) => {
+                // Clean stop: drain — checkpoint every live session into
+                // the supervisor before the listener closes.
+                service.drain();
+            }
+            Ok(Ok(())) => {
+                // The peer hung up with sessions still open: they are
+                // orphans now, and the supervisor finishes their work.
+                self.supervisor.connection_lost(&service.orphan_gids());
+            }
+            Ok(Err(_wire_error)) => {
+                // A poisoned byte stream tore the connection down.
+                self.supervisor.connection_lost(&service.orphan_gids());
+            }
+            Err(payload) => {
+                let kill_point = payload.is::<KillPoint>();
+                self.supervisor.note_panic(kill_point);
+                self.supervisor.connection_lost(&service.orphan_gids());
+            }
+        }
     }
-    let result = serve_connection(&mut transport, &mut service, stop);
-    if service.shutdown_requested() {
-        stop.store(true, Ordering::Relaxed);
-    }
-    // A torn connection is that client's problem, not the fleet's.
-    let _ = result;
 }
 
 #[cfg(test)]

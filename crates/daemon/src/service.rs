@@ -15,18 +15,18 @@
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
-use rfid_hash::fnv64;
 use rfid_obs::{metrics_from_log, DeltaCursor, FlightRecorder};
-use rfid_protocols::{Session, SessionEnd};
-use rfid_system::{Json, SimConfig, SimContext, ToJson};
+use rfid_protocols::Session;
+use rfid_system::{Json, SimConfig, SimContext};
 use rfid_wire::{
-    Command, ErrorCode, FrameError, OpenRequest, Response, SessionOutcome, Transport, WireError,
-    WIRE_VERSION,
+    Command, ErrorCode, FrameError, OpenRequest, Response, Transport, WireError, WIRE_VERSION,
 };
 use rfid_workloads::Scenario;
 
 use crate::registry::{protocol_by_name, protocol_names};
+use crate::supervisor::{outcome_from_end, KillPoint, KillSwitch, Retire, Supervisor};
 
 /// What the server calls itself in the `Hello` handshake.
 pub const SERVER_NAME: &str = "rfid-daemon/0.1";
@@ -36,6 +36,8 @@ pub const SERVER_NAME: &str = "rfid-daemon/0.1";
 struct ReaderSession {
     session: Session,
     ctx: SimContext,
+    /// Supervisor-global session id (admission, deposits, retirement).
+    gid: u64,
     /// The config the context was built with — updated on fault injection
     /// so later checkpoints restore against the live model.
     config: SimConfig,
@@ -54,6 +56,11 @@ pub struct Service {
     next_id: u64,
     shutdown: bool,
     flight_dir: PathBuf,
+    supervisor: Arc<Supervisor>,
+    /// Deposit a supervisor checkpoint every this many driver steps
+    /// during `Run` (0 = only at natural boundaries).
+    supervise_every: u64,
+    kill_switch: Option<Arc<KillSwitch>>,
 }
 
 impl Default for Service {
@@ -62,15 +69,41 @@ impl Default for Service {
     }
 }
 
+/// Drop guard for one claimed in-flight run slot: a panicking handler
+/// still releases its slot.
+struct RunSlot {
+    sup: Arc<Supervisor>,
+}
+
+impl RunSlot {
+    fn claim(sup: &Arc<Supervisor>) -> Result<RunSlot, u64> {
+        sup.begin_run()?;
+        Ok(RunSlot {
+            sup: Arc::clone(sup),
+        })
+    }
+}
+
+impl Drop for RunSlot {
+    fn drop(&mut self) {
+        self.sup.end_run();
+    }
+}
+
 impl Service {
     /// A fresh service with no sessions. Flight bundles go under the OS
-    /// temp dir unless [`Service::with_flight_dir`] overrides it.
+    /// temp dir unless [`Service::with_flight_dir`] overrides it; a
+    /// private never-shedding supervisor is used unless
+    /// [`Service::with_supervisor`] attaches the daemon's shared one.
     pub fn new() -> Service {
         Service {
             sessions: HashMap::new(),
             next_id: 1,
             shutdown: false,
             flight_dir: std::env::temp_dir().join("rfid-daemon-flight"),
+            supervisor: Arc::new(Supervisor::unlimited()),
+            supervise_every: 0,
+            kill_switch: None,
         }
     }
 
@@ -78,6 +111,32 @@ impl Service {
     pub fn with_flight_dir(mut self, dir: impl Into<PathBuf>) -> Service {
         self.flight_dir = dir.into();
         self
+    }
+
+    /// Attaches the fleet supervisor every session on this connection is
+    /// admitted through.
+    pub fn with_supervisor(mut self, supervisor: Arc<Supervisor>) -> Service {
+        self.supervisor = supervisor;
+        self
+    }
+
+    /// Deposits a supervisor checkpoint every `steps` driver steps
+    /// during `Run`.
+    pub fn with_supervise_every(mut self, steps: u64) -> Service {
+        self.supervise_every = steps;
+        self
+    }
+
+    /// Arms a chaos kill point: the first `Run` chunk boundary past the
+    /// switch's threshold panics with [`KillPoint`].
+    pub fn with_kill_switch(mut self, switch: Arc<KillSwitch>) -> Service {
+        self.kill_switch = Some(switch);
+        self
+    }
+
+    /// The supervisor sessions on this connection are admitted through.
+    pub fn supervisor(&self) -> &Arc<Supervisor> {
+        &self.supervisor
     }
 
     /// Whether a `Shutdown` command has been handled.
@@ -88,6 +147,29 @@ impl Service {
     /// Live sessions on this connection.
     pub fn session_count(&self) -> usize {
         self.sessions.len()
+    }
+
+    /// Supervisor-global ids of this connection's unfinished sessions —
+    /// the orphans to resurrect if the connection dies.
+    pub fn orphan_gids(&self) -> Vec<u64> {
+        self.sessions
+            .values()
+            .filter(|rs| !rs.done)
+            .map(|rs| rs.gid)
+            .collect()
+    }
+
+    /// Shutdown drain: deposits one final checkpoint per unfinished
+    /// session into the supervisor (retiring it as drained) so the
+    /// fleet's work survives the listener closing.
+    pub fn drain(&mut self) {
+        let sup = Arc::clone(&self.supervisor);
+        for rs in self.sessions.values_mut() {
+            if !rs.done {
+                sup.drain_session(rs.gid, rs.session.snapshot(&rs.ctx, &rs.config));
+            }
+        }
+        self.sessions.clear();
     }
 
     /// Handles one command, returning every response frame to send, in
@@ -151,10 +233,12 @@ impl Service {
                     },
                 },
             }],
-            Command::Close { session } => vec![if self.sessions.remove(&session).is_some() {
-                Response::Closed { session }
-            } else {
-                unknown_session(session)
+            Command::Close { session } => vec![match self.sessions.remove(&session) {
+                Some(rs) => {
+                    self.supervisor.retire(rs.gid, Retire::Closed);
+                    Response::Closed { session }
+                }
+                None => unknown_session(session),
             }],
             Command::Shutdown => {
                 self.shutdown = true;
@@ -209,9 +293,16 @@ impl Service {
         if req.flight {
             session = session.with_flight_recorder(FlightRecorder::new(&self.flight_dir), &config);
         }
+        // Admission control: the supervisor either registers the newborn
+        // session (with its birth checkpoint) or sheds it.
+        let gid = match self.supervisor.admit(session.snapshot(&ctx, &config)) {
+            Ok(gid) => gid,
+            Err(retry_after_us) => return Response::Busy { retry_after_us },
+        };
         self.insert(ReaderSession {
             session,
             ctx,
+            gid,
             config,
             progress_every: req.progress_every.unwrap_or(0),
             cursor: DeltaCursor::new(),
@@ -242,19 +333,27 @@ impl Service {
             Err(e) => return err(ErrorCode::BadPayload, format!("snapshot: {e}")),
         };
         match Session::restore(protocol.as_ref(), snapshot) {
-            Ok((ctx, session)) => self.insert(ReaderSession {
-                session,
-                ctx,
-                config,
-                progress_every: 0,
-                cursor: DeltaCursor::new(),
-                done: false,
-            }),
+            Ok((ctx, session)) => {
+                let gid = match self.supervisor.admit(snapshot.clone()) {
+                    Ok(gid) => gid,
+                    Err(retry_after_us) => return Response::Busy { retry_after_us },
+                };
+                self.insert(ReaderSession {
+                    session,
+                    ctx,
+                    gid,
+                    config,
+                    progress_every: 0,
+                    cursor: DeltaCursor::new(),
+                    done: false,
+                })
+            }
             Err(e) => err(ErrorCode::Rejected, format!("snapshot rejected: {e}")),
         }
     }
 
     fn checkpoint(&mut self, session: u64) -> Response {
+        let sup = Arc::clone(&self.supervisor);
         match self.get(session) {
             Err(e) => e,
             Ok(rs) => {
@@ -264,15 +363,24 @@ impl Service {
                         format!("session {session} already ended"),
                     );
                 }
-                Response::Snapshot {
-                    session,
-                    snapshot: rs.session.snapshot(&rs.ctx, &rs.config),
-                }
+                let snapshot = rs.session.snapshot(&rs.ctx, &rs.config);
+                // A client-requested checkpoint is also the freshest
+                // possible recovery point — deposit it.
+                sup.deposit(rs.gid, snapshot.clone());
+                Response::Snapshot { session, snapshot }
             }
         }
     }
 
     fn run(&mut self, session: u64, max_steps: Option<u64>) -> Vec<Response> {
+        let sup = Arc::clone(&self.supervisor);
+        let supervise = self.supervise_every;
+        let kill = self.kill_switch.clone();
+        // Claim an in-flight slot first: a shed `Run` touches nothing.
+        let _slot = match RunSlot::claim(&sup) {
+            Ok(slot) => slot,
+            Err(retry_after_us) => return vec![Response::Busy { retry_after_us }],
+        };
         let rs = match self.get(session) {
             Err(e) => return vec![e],
             Ok(rs) => rs,
@@ -284,41 +392,58 @@ impl Service {
             )];
         }
         let mut out = Vec::new();
-        let mut budget = max_steps;
+        let budget_end = max_steps.map(|b| rs.session.steps_taken() + b);
         let end = loop {
-            // Chunk the drive so progress frames interleave at exact,
-            // deterministic step boundaries.
-            let chunk = match (rs.progress_every, budget) {
-                (0, None) => break rs.session.run(&mut rs.ctx),
-                (0, Some(b)) => b,
-                (p, None) => p,
-                (p, Some(b)) => p.min(b),
+            let now = rs.session.steps_taken();
+            // Stop at the next progress/supervise/budget boundary,
+            // whichever comes first. Targets are absolute step counts so
+            // progress frames stay on exact `progress_every` multiples
+            // even when the supervise cadence differs.
+            let mut target = budget_end;
+            for stride in [rs.progress_every, supervise] {
+                if stride > 0 {
+                    let boundary = (now / stride + 1) * stride;
+                    target = Some(target.map_or(boundary, |t| t.min(boundary)));
+                }
+            }
+            let chunk = match target {
+                None => break rs.session.run(&mut rs.ctx),
+                Some(t) => t - now,
             };
             if chunk == 0 {
                 // A zero budget: report where we stand without stepping.
                 out.push(Response::Paused {
                     session,
-                    steps: rs.session.steps_taken(),
+                    steps: now,
                 });
                 return out;
             }
             match rs.session.run_for(&mut rs.ctx, chunk) {
                 Some(end) => break end,
                 None => {
-                    if let Some(b) = &mut budget {
-                        *b -= chunk;
-                        if *b == 0 {
-                            out.push(Response::Paused {
-                                session,
-                                steps: rs.session.steps_taken(),
-                            });
-                            return out;
+                    let now = rs.session.steps_taken();
+                    if let Some(switch) = &kill {
+                        if switch.should_fire(now) {
+                            // A deliberate chaos crash: unwind without
+                            // depositing, exactly like a real handler
+                            // bug between checkpoints.
+                            std::panic::panic_any(KillPoint);
                         }
                     }
-                    if rs.progress_every > 0 {
+                    if supervise > 0 && now % supervise == 0 {
+                        sup.deposit(rs.gid, rs.session.snapshot(&rs.ctx, &rs.config));
+                    }
+                    if budget_end == Some(now) {
+                        out.push(Response::Paused {
+                            session,
+                            steps: now,
+                        });
+                        return out;
+                    }
+                    if rs.progress_every > 0 && now % rs.progress_every == 0 {
                         out.push(Response::Progress {
                             session,
-                            steps: rs.session.steps_taken(),
+                            steps: now,
                             polls: rs.ctx.counters.polls,
                             rounds: rs.ctx.counters.rounds,
                             clock_us: rs.ctx.clock.total().as_f64(),
@@ -328,39 +453,8 @@ impl Service {
             }
         };
         rs.done = true;
-        let n = rs.ctx.population.len().max(1) as f64;
-        let trace_digest = rs.config.trace.then(|| fnv64(&rs.ctx.log.to_jsonl()));
-        let outcome = match end {
-            SessionEnd::Complete { report, passes } => SessionOutcome {
-                status: "complete".to_string(),
-                report: report.to_json(),
-                passes,
-                coverage: 1.0,
-                cause: None,
-                trace_digest,
-            },
-            SessionEnd::Stalled(e) => SessionOutcome {
-                status: "stalled".to_string(),
-                report: e.partial_report().to_json(),
-                passes: rs.session.passes(),
-                coverage: rs.ctx.counters.polls as f64 / n,
-                cause: Some(e.cause().label().to_string()),
-                trace_digest,
-            },
-            SessionEnd::Degraded {
-                report,
-                coverage,
-                passes,
-                cause,
-            } => SessionOutcome {
-                status: "degraded".to_string(),
-                report: report.to_json(),
-                passes,
-                coverage,
-                cause: Some(cause.label().to_string()),
-                trace_digest,
-            },
-        };
+        sup.retire(rs.gid, Retire::Completed);
+        let outcome = outcome_from_end(end, &rs.session, &rs.ctx, rs.config.trace);
         out.push(Response::Done { session, outcome });
         out
     }
@@ -390,33 +484,46 @@ fn classify(e: &FrameError) -> ErrorCode {
 /// Drives one connection until the peer closes, `Shutdown` is handled,
 /// or `stop` is raised. Read timeouts (`WouldBlock`/`TimedOut`) are how
 /// a TCP handler notices `stop`; hard I/O errors end the connection.
+///
+/// Garbage *before the first decoded frame* is answered with
+/// [`ErrorCode::Resync`] — the peer is probably not speaking this
+/// protocol (or an older version of it) at all, which deserves a
+/// distinct diagnostic from mid-stream corruption (`BadFrame`).
 pub fn serve_connection<T: Transport>(
     transport: &mut T,
     service: &mut Service,
     stop: &AtomicBool,
 ) -> Result<(), WireError> {
+    let mut frames_decoded: u64 = 0;
     loop {
         if stop.load(Ordering::Relaxed) {
             return Ok(());
         }
         match transport.recv() {
             Ok(None) => return Ok(()),
-            Ok(Some(frame)) => match Command::from_frame(&frame) {
-                Ok(cmd) => {
-                    for response in service.handle(cmd) {
-                        transport.send(&response.to_frame())?;
+            Ok(Some(frame)) => {
+                frames_decoded += 1;
+                match Command::from_frame(&frame) {
+                    Ok(cmd) => {
+                        for response in service.handle(cmd) {
+                            transport.send(&response.to_frame())?;
+                        }
+                        if service.shutdown_requested() {
+                            return Ok(());
+                        }
                     }
-                    if service.shutdown_requested() {
-                        return Ok(());
+                    Err(e) => {
+                        let reply = err(classify(&e), e.to_string());
+                        transport.send(&reply.to_frame())?;
                     }
                 }
-                Err(e) => {
-                    let reply = err(classify(&e), e.to_string());
-                    transport.send(&reply.to_frame())?;
-                }
-            },
+            }
             Err(WireError::Frame(e)) => {
-                let reply = err(ErrorCode::BadFrame, e.to_string());
+                let code = match &e {
+                    FrameError::Garbage { .. } if frames_decoded == 0 => ErrorCode::Resync,
+                    _ => ErrorCode::BadFrame,
+                };
+                let reply = err(code, e.to_string());
                 transport.send(&reply.to_frame())?;
             }
             Err(WireError::Io(e))

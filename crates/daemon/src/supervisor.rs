@@ -1,0 +1,571 @@
+//! Fleet supervision: checkpoints, resurrection, admission control.
+//!
+//! A [`Supervisor`] is the daemon's cross-connection safety net. Every
+//! served session is *admitted* through it (which is where the
+//! [`FleetLimits`] admission budget sheds load with typed
+//! `Busy{retry_after_us}` responses), deposits periodic checkpoints into
+//! it, and is *retired* when it completes or is closed. When a
+//! connection dies with live sessions on it — a handler panic, a
+//! poisoned byte stream, a client that vanished — the supervisor
+//! *resurrects* each orphan from its last deposited checkpoint and runs
+//! it to completion, so the inventory the reader was collecting is never
+//! lost. Deterministic replay makes resurrection exact: the restored run
+//! finishes with the same report JSON and FNV-1a trace digest the
+//! uninterrupted run would have produced (the resilience gate pins
+//! this). If a checkpoint cannot be restored, the supervisor dumps a
+//! flight bundle for the postmortem instead of dying quietly.
+//!
+//! Shutdown is a *drain*: the serving loop deposits one final checkpoint
+//! per live session before the listener closes, so a controller can
+//! resume the fleet's work elsewhere.
+//!
+//! Everything is counted in a [`MetricsRegistry`] using the canonical
+//! [`wire_counters`] names, and [`Supervisor::reconcile`] checks the
+//! conservation law every admitted session must satisfy: it is retired
+//! exactly once — completed, closed, resurrected, failed, or drained —
+//! or it is still live.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use rfid_hash::fnv64;
+use rfid_obs::{wire_counters, MetricsRegistry};
+use rfid_protocols::{Session, SessionEnd};
+use rfid_system::{Json, SimConfig, SimContext, ToJson};
+use rfid_wire::SessionOutcome;
+
+use crate::registry::protocol_by_name;
+
+/// Admission-control budgets for a served fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetLimits {
+    /// Maximum concurrently live (admitted, not yet retired) sessions.
+    pub max_sessions: usize,
+    /// Maximum concurrently executing `Run` commands.
+    pub max_inflight: usize,
+    /// Backoff suggested to shed clients, in microseconds.
+    pub busy_retry_after_us: u64,
+}
+
+impl FleetLimits {
+    /// No budgets: nothing is ever shed.
+    pub fn unlimited() -> FleetLimits {
+        FleetLimits {
+            max_sessions: usize::MAX,
+            max_inflight: usize::MAX,
+            busy_retry_after_us: 10_000,
+        }
+    }
+
+    /// A bounded fleet: at most `max_sessions` live sessions and
+    /// `max_inflight` concurrent runs.
+    pub fn bounded(max_sessions: usize, max_inflight: usize) -> FleetLimits {
+        FleetLimits {
+            max_sessions: max_sessions.max(1),
+            max_inflight: max_inflight.max(1),
+            busy_retry_after_us: 10_000,
+        }
+    }
+
+    /// Overrides the backoff suggested to shed clients.
+    pub fn with_retry_after_us(mut self, us: u64) -> FleetLimits {
+        self.busy_retry_after_us = us;
+        self
+    }
+}
+
+/// One resurrected orphan: which global session, and how its restored
+/// run ended.
+#[derive(Debug, Clone)]
+pub struct Resurrection {
+    /// The supervisor-global session id.
+    pub gid: u64,
+    /// The outcome of running the restored checkpoint to completion.
+    pub outcome: SessionOutcome,
+}
+
+/// How a session left the live set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Retire {
+    /// The session ran to its end on its own connection.
+    Completed,
+    /// The client discarded it with `Close` before it ended.
+    Closed,
+}
+
+#[derive(Debug)]
+struct SupState {
+    /// gid → last deposited checkpoint, for every live session.
+    live: HashMap<u64, Json>,
+    next_gid: u64,
+    inflight: usize,
+    metrics: MetricsRegistry,
+    resurrections: Vec<Resurrection>,
+    drained: Vec<(u64, Json)>,
+    flight_dir: PathBuf,
+}
+
+/// The fleet-wide session registry: admission, checkpoints, resurrection.
+#[derive(Debug)]
+pub struct Supervisor {
+    limits: FleetLimits,
+    state: Mutex<SupState>,
+}
+
+impl Supervisor {
+    /// A supervisor enforcing `limits`.
+    pub fn new(limits: FleetLimits) -> Supervisor {
+        Supervisor {
+            limits,
+            state: Mutex::new(SupState {
+                live: HashMap::new(),
+                next_gid: 1,
+                inflight: 0,
+                metrics: MetricsRegistry::enabled(),
+                resurrections: Vec::new(),
+                drained: Vec::new(),
+                flight_dir: std::env::temp_dir().join("rfid-daemon-flight"),
+            }),
+        }
+    }
+
+    /// A supervisor that never sheds.
+    pub fn unlimited() -> Supervisor {
+        Supervisor::new(FleetLimits::unlimited())
+    }
+
+    /// The limits this supervisor enforces.
+    pub fn limits(&self) -> FleetLimits {
+        self.limits
+    }
+
+    /// Where failed-resurrection flight bundles are dumped.
+    pub fn set_flight_dir(&self, dir: impl Into<PathBuf>) {
+        self.lock().flight_dir = dir.into();
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SupState> {
+        self.state.lock().expect("supervisor lock")
+    }
+
+    /// Admits a new session with its initial checkpoint, or sheds it.
+    /// `Ok` carries the global session id; `Err` carries the suggested
+    /// retry backoff in microseconds.
+    pub fn admit(&self, checkpoint: Json) -> Result<u64, u64> {
+        let mut s = self.lock();
+        if s.live.len() >= self.limits.max_sessions {
+            s.metrics.inc(wire_counters::SESSIONS_SHED, 1);
+            return Err(self.limits.busy_retry_after_us);
+        }
+        let gid = s.next_gid;
+        s.next_gid += 1;
+        s.live.insert(gid, checkpoint);
+        s.metrics.inc("sessions_admitted", 1);
+        Ok(gid)
+    }
+
+    /// Deposits a fresher checkpoint for a live session (no-op once the
+    /// session has been retired).
+    pub fn deposit(&self, gid: u64, checkpoint: Json) {
+        let mut s = self.lock();
+        if let Some(slot) = s.live.get_mut(&gid) {
+            *slot = checkpoint;
+            s.metrics.inc("supervisor_checkpoints", 1);
+        }
+    }
+
+    /// Claims an in-flight run slot, or sheds the run. Pair every `Ok`
+    /// with exactly one [`Supervisor::end_run`] (use a drop guard so a
+    /// panicking handler still releases its slot).
+    pub fn begin_run(&self) -> Result<(), u64> {
+        let mut s = self.lock();
+        if s.inflight >= self.limits.max_inflight {
+            s.metrics.inc(wire_counters::SESSIONS_SHED, 1);
+            return Err(self.limits.busy_retry_after_us);
+        }
+        s.inflight += 1;
+        Ok(())
+    }
+
+    /// Releases an in-flight run slot.
+    pub fn end_run(&self) {
+        let mut s = self.lock();
+        s.inflight = s.inflight.saturating_sub(1);
+    }
+
+    /// Removes a session from the live set (idempotent).
+    pub fn retire(&self, gid: u64, how: Retire) {
+        let mut s = self.lock();
+        if s.live.remove(&gid).is_some() {
+            let name = match how {
+                Retire::Completed => "sessions_completed",
+                Retire::Closed => "sessions_closed",
+            };
+            s.metrics.inc(name, 1);
+        }
+    }
+
+    /// Deposits a final checkpoint for a live session being drained at
+    /// shutdown and retires it. The snapshot stays fetchable through
+    /// [`Supervisor::drained`] so a controller can resume it elsewhere.
+    pub fn drain_session(&self, gid: u64, checkpoint: Json) {
+        let mut s = self.lock();
+        if s.live.remove(&gid).is_some() {
+            s.drained.push((gid, checkpoint));
+            s.metrics.inc(wire_counters::DRAIN_CHECKPOINTS, 1);
+        }
+    }
+
+    /// Resurrects every still-live session in `gids` from its last
+    /// deposited checkpoint: restore, run to completion, record the
+    /// outcome. Called by the serving layer when a connection dies with
+    /// sessions on it. Restoration failures dump a flight bundle and are
+    /// counted, never propagated — the fleet outlives any one corpse.
+    pub fn connection_lost(&self, gids: &[u64]) {
+        for &gid in gids {
+            let Some(checkpoint) = self.lock().live.remove(&gid) else {
+                continue; // already retired
+            };
+            match resurrect(&checkpoint) {
+                Ok(outcome) => {
+                    let mut s = self.lock();
+                    s.metrics.inc(wire_counters::SESSIONS_RESURRECTED, 1);
+                    s.resurrections.push(Resurrection { gid, outcome });
+                }
+                Err(why) => {
+                    let mut s = self.lock();
+                    s.metrics.inc("sessions_resurrect_failed", 1);
+                    dump_flight_bundle(&s.flight_dir, gid, &why, &checkpoint);
+                }
+            }
+        }
+    }
+
+    /// Counts a caught handler panic (`kill_point` distinguishes the
+    /// chaos harness's deliberate kills from genuine bugs).
+    pub fn note_panic(&self, kill_point: bool) {
+        let name = if kill_point {
+            "kill_points_fired"
+        } else {
+            "handler_panics"
+        };
+        self.lock().metrics.inc(name, 1);
+    }
+
+    /// Folds client-side counters (retries, reconnects) into the fleet
+    /// registry so one exposition covers the whole resilience picture.
+    pub fn absorb(&self, other: &MetricsRegistry) {
+        self.lock().metrics.merge(other);
+    }
+
+    /// Live (admitted, unretired) sessions right now.
+    pub fn live_sessions(&self) -> usize {
+        self.lock().live.len()
+    }
+
+    /// A named counter's current value.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.lock().metrics.counter(name)
+    }
+
+    /// A snapshot of the fleet metrics registry.
+    pub fn metrics(&self) -> MetricsRegistry {
+        self.lock().metrics.clone()
+    }
+
+    /// Prometheus text exposition of the fleet metrics.
+    pub fn expose_text(&self) -> String {
+        self.lock().metrics.expose_text()
+    }
+
+    /// Outcomes of every resurrection so far.
+    pub fn resurrections(&self) -> Vec<Resurrection> {
+        self.lock().resurrections.clone()
+    }
+
+    /// Final checkpoints deposited by shutdown drains.
+    pub fn drained(&self) -> Vec<(u64, Json)> {
+        self.lock().drained.clone()
+    }
+
+    /// The conservation law: every admitted session is accounted for
+    /// exactly once — completed, closed, resurrected, failed, drained,
+    /// or still live.
+    pub fn reconcile(&self) -> Result<(), String> {
+        let s = self.lock();
+        let admitted = s.metrics.counter("sessions_admitted");
+        let accounted = s.metrics.counter("sessions_completed")
+            + s.metrics.counter("sessions_closed")
+            + s.metrics.counter(wire_counters::SESSIONS_RESURRECTED)
+            + s.metrics.counter("sessions_resurrect_failed")
+            + s.metrics.counter(wire_counters::DRAIN_CHECKPOINTS)
+            + s.live.len() as u64;
+        if admitted != accounted {
+            return Err(format!(
+                "session conservation violated: {admitted} admitted, {accounted} accounted for"
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Restores a checkpoint and runs it to completion, producing the same
+/// outcome shape the wire's `Done` response carries.
+fn resurrect(checkpoint: &Json) -> Result<SessionOutcome, String> {
+    let name: String = checkpoint
+        .field("protocol")
+        .map_err(|e| format!("checkpoint has no protocol: {e}"))?;
+    let protocol =
+        protocol_by_name(&name).ok_or_else(|| format!("protocol '{name}' is not servable"))?;
+    let config: SimConfig = checkpoint
+        .field("config")
+        .map_err(|e| format!("checkpoint has no config: {e}"))?;
+    let (mut ctx, mut session) = Session::restore(protocol.as_ref(), checkpoint)
+        .map_err(|e| format!("checkpoint rejected: {e}"))?;
+    let end = session.run(&mut ctx);
+    Ok(outcome_from_end(end, &session, &ctx, config.trace))
+}
+
+/// Builds the serializable outcome for a finished session — shared by
+/// the per-connection dispatcher and supervisor resurrection so both
+/// report bit-identical JSON for the same run.
+pub(crate) fn outcome_from_end(
+    end: SessionEnd,
+    session: &Session,
+    ctx: &SimContext,
+    traced: bool,
+) -> SessionOutcome {
+    let n = ctx.population.len().max(1) as f64;
+    let trace_digest = traced.then(|| fnv64(&ctx.log.to_jsonl()));
+    match end {
+        SessionEnd::Complete { report, passes } => SessionOutcome {
+            status: "complete".to_string(),
+            report: report.to_json(),
+            passes,
+            coverage: 1.0,
+            cause: None,
+            trace_digest,
+        },
+        SessionEnd::Stalled(e) => SessionOutcome {
+            status: "stalled".to_string(),
+            report: e.partial_report().to_json(),
+            passes: session.passes(),
+            coverage: ctx.counters.polls as f64 / n,
+            cause: Some(e.cause().label().to_string()),
+            trace_digest,
+        },
+        SessionEnd::Degraded {
+            report,
+            coverage,
+            passes,
+            cause,
+        } => SessionOutcome {
+            status: "degraded".to_string(),
+            report: report.to_json(),
+            passes,
+            coverage,
+            cause: Some(cause.label().to_string()),
+            trace_digest,
+        },
+    }
+}
+
+fn dump_flight_bundle(dir: &PathBuf, gid: u64, why: &str, checkpoint: &Json) {
+    let bundle = Json::Obj(vec![
+        ("kind".to_string(), Json::str("resurrection_failure")),
+        ("gid".to_string(), gid.to_json()),
+        ("error".to_string(), why.to_json()),
+        ("checkpoint".to_string(), checkpoint.clone()),
+    ]);
+    if std::fs::create_dir_all(dir).is_ok() {
+        let path = dir.join(format!("resurrect-{gid}.json"));
+        let _ = std::fs::write(path, bundle.to_pretty_string() + "\n");
+    }
+}
+
+/// The panic payload of a deliberate chaos kill point. The serving loop
+/// recognizes it when unwinding a handler, so harness-induced crashes
+/// are counted apart from genuine bugs, and
+/// [`install_killpoint_hook`] keeps them out of stderr.
+#[derive(Debug)]
+pub struct KillPoint;
+
+/// A fire-once crash trigger: the first session to reach `after_steps`
+/// driver steps inside a `Run` panics with [`KillPoint`] at a chunk
+/// boundary, simulating a handler crash mid-inventory. Armed once per
+/// switch — resurrections and reconnects do not re-trip it, which is
+/// what makes a chaos-killed link "eventually usable".
+#[derive(Debug)]
+pub struct KillSwitch {
+    after_steps: u64,
+    fired: AtomicBool,
+}
+
+impl KillSwitch {
+    /// A switch that fires once a run passes `after_steps` steps.
+    pub fn new(after_steps: u64) -> KillSwitch {
+        KillSwitch {
+            after_steps,
+            fired: AtomicBool::new(false),
+        }
+    }
+
+    /// Whether the switch fires at this step boundary (true exactly once
+    /// across the fleet).
+    pub fn should_fire(&self, steps: u64) -> bool {
+        steps >= self.after_steps
+            && self
+                .fired
+                .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+    }
+
+    /// Whether the switch has already fired.
+    pub fn fired(&self) -> bool {
+        self.fired.load(Ordering::SeqCst)
+    }
+}
+
+/// Installs a process-wide panic hook that suppresses [`KillPoint`]
+/// panics (they are the chaos harness working as intended) and defers
+/// everything else to the previous hook. Idempotent.
+pub fn install_killpoint_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().is::<KillPoint>() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfid_system::SimContext;
+    use rfid_workloads::Scenario;
+
+    fn checkpoint_at(steps: u64) -> (Json, SessionOutcome) {
+        let scenario = Scenario::uniform(48, 4).with_seed(9);
+        let config = SimConfig::paper(scenario.protocol_seed()).with_trace();
+        let protocol = protocol_by_name("TPP").unwrap();
+        let mut ctx = SimContext::new(scenario.build_population(), &config);
+        let mut session = Session::open(protocol.as_ref(), &ctx);
+        if steps > 0 {
+            assert!(session.run_for(&mut ctx, steps).is_none(), "ended early");
+        }
+        let snapshot = session.snapshot(&ctx, &config);
+        let end = session.run(&mut ctx);
+        let outcome = outcome_from_end(end, &session, &ctx, true);
+        (snapshot, outcome)
+    }
+
+    #[test]
+    fn resurrection_finishes_bit_identically() {
+        for steps in [0, 5] {
+            let (snapshot, reference) = checkpoint_at(steps);
+            let sup = Supervisor::unlimited();
+            let gid = sup.admit(snapshot.clone()).unwrap();
+            sup.deposit(gid, snapshot);
+            sup.connection_lost(&[gid]);
+            let records = sup.resurrections();
+            assert_eq!(records.len(), 1);
+            assert_eq!(records[0].gid, gid);
+            assert_eq!(
+                records[0].outcome, reference,
+                "resurrected run drifted from the uninterrupted one (from step {steps})"
+            );
+            assert_eq!(sup.counter(wire_counters::SESSIONS_RESURRECTED), 1);
+            assert_eq!(sup.live_sessions(), 0);
+            sup.reconcile().unwrap();
+        }
+    }
+
+    #[test]
+    fn admission_budget_sheds_then_readmits() {
+        let sup = Supervisor::new(FleetLimits::bounded(1, 4).with_retry_after_us(123));
+        let gid = sup.admit(Json::Obj(vec![])).unwrap();
+        assert_eq!(sup.admit(Json::Obj(vec![])), Err(123));
+        assert_eq!(sup.counter(wire_counters::SESSIONS_SHED), 1);
+        sup.retire(gid, Retire::Completed);
+        assert!(sup.admit(Json::Obj(vec![])).is_ok());
+        sup.reconcile().unwrap();
+    }
+
+    #[test]
+    fn inflight_budget_sheds_runs() {
+        let sup = Supervisor::new(FleetLimits::bounded(8, 1));
+        sup.begin_run().unwrap();
+        assert!(sup.begin_run().is_err());
+        sup.end_run();
+        sup.begin_run().unwrap();
+        sup.end_run();
+    }
+
+    #[test]
+    fn drain_keeps_the_snapshot_and_counts() {
+        let (snapshot, reference) = checkpoint_at(3);
+        let sup = Supervisor::unlimited();
+        let gid = sup.admit(snapshot.clone()).unwrap();
+        sup.drain_session(gid, snapshot);
+        assert_eq!(sup.counter(wire_counters::DRAIN_CHECKPOINTS), 1);
+        let drained = sup.drained();
+        assert_eq!(drained.len(), 1);
+        // The drained snapshot must still finish bit-identically.
+        let outcome = resurrect(&drained[0].1).unwrap();
+        assert_eq!(outcome, reference);
+        sup.reconcile().unwrap();
+    }
+
+    #[test]
+    fn unrestorable_checkpoint_dumps_a_flight_bundle() {
+        let dir = std::env::temp_dir().join(format!(
+            "rfid-sup-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let sup = Supervisor::unlimited();
+        sup.set_flight_dir(&dir);
+        let bogus = Json::Obj(vec![("protocol".to_string(), Json::str("TPP"))]);
+        let gid = sup.admit(bogus).unwrap();
+        sup.connection_lost(&[gid]);
+        assert_eq!(sup.counter("sessions_resurrect_failed"), 1);
+        assert!(sup.resurrections().is_empty());
+        let bundle = std::fs::read_to_string(dir.join(format!("resurrect-{gid}.json")))
+            .expect("flight bundle written");
+        assert!(bundle.contains("resurrection_failure"));
+        sup.reconcile().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retire_is_idempotent_and_deposit_ignores_retired() {
+        let sup = Supervisor::unlimited();
+        let gid = sup.admit(Json::Obj(vec![])).unwrap();
+        sup.retire(gid, Retire::Closed);
+        sup.retire(gid, Retire::Closed);
+        sup.deposit(gid, Json::Obj(vec![]));
+        assert_eq!(sup.counter("sessions_closed"), 1);
+        assert_eq!(sup.counter("supervisor_checkpoints"), 0);
+        // connection_lost on a retired gid is a no-op, not a double count.
+        sup.connection_lost(&[gid]);
+        assert_eq!(sup.counter(wire_counters::SESSIONS_RESURRECTED), 0);
+        sup.reconcile().unwrap();
+    }
+
+    #[test]
+    fn kill_switch_fires_exactly_once() {
+        let k = KillSwitch::new(10);
+        assert!(!k.should_fire(9));
+        assert!(!k.fired());
+        assert!(k.should_fire(10));
+        assert!(k.fired());
+        assert!(!k.should_fire(11), "armed once, never again");
+    }
+}

@@ -122,6 +122,74 @@ fn raw_garbage_yields_typed_errors_and_leaves_sessions_alive() {
 }
 
 #[test]
+fn pre_hello_garbage_is_a_resync_diagnostic() {
+    // Garbage *before the first decoded frame* (a peer speaking some
+    // other protocol at our port) is answered with the distinct
+    // `Resync` code, not the mid-stream `BadFrame` — and the connection
+    // still serves normally once real frames arrive.
+    prop::check("daemon_pre_hello_garbage", 30, |g| {
+        let (server_end, client_end) = loopback();
+        let stop = Arc::new(AtomicBool::new(false));
+        let server_stop = Arc::clone(&stop);
+        let server = std::thread::spawn(move || {
+            let mut transport = server_end;
+            let mut service = Service::new();
+            let _ = serve_connection(&mut transport, &mut service, &server_stop);
+        });
+
+        let mut client = DaemonClient::new(client_end);
+        // No byte may be the start-of-frame delimiter, so the whole
+        // prefix is skipped in one resynchronization scan.
+        let mut bytes = Vec::new();
+        for _ in 0..g.len_in(1, 64) {
+            let b = g.u8();
+            bytes.push(if b == 0xBB { 0xBA } else { b });
+        }
+        use std::io::Write as _;
+        client
+            .transport_mut()
+            .get_mut()
+            .write_all(&bytes)
+            .map_err(|e| format!("write failed: {e}"))?;
+        client
+            .transport_mut()
+            .send(&Command::Hello.to_frame())
+            .map_err(|e| format!("hello send failed: {e}"))?;
+
+        let mut saw_resync = false;
+        loop {
+            match client.transport_mut().recv() {
+                Ok(Some(frame)) => match Response::from_frame(&frame) {
+                    Ok(Response::Error { code, .. }) => {
+                        prop_assert!(
+                            matches!(code, ErrorCode::Resync),
+                            "pre-hello garbage produced {code:?}, not Resync"
+                        );
+                        saw_resync = true;
+                    }
+                    Ok(Response::HelloOk { .. }) => break,
+                    Ok(other) => return Err(format!("unsolicited response: {other:?}")),
+                    Err(e) => return Err(format!("server sent undecodable frame: {e}")),
+                },
+                Ok(None) => return Err("server closed the connection".to_string()),
+                Err(e) => return Err(format!("recv failed: {e}")),
+            }
+        }
+        prop_assert!(
+            saw_resync,
+            "garbage before the first frame went undiagnosed"
+        );
+
+        client
+            .shutdown()
+            .map_err(|e| format!("shutdown failed: {e}"))?;
+        drop(client);
+        server.join().map_err(|_| "server thread panicked")?;
+        Ok(())
+    });
+}
+
+#[test]
 fn corrupted_frames_yield_bad_frame_errors() {
     prop::check("daemon_corrupt_frame", 40, |g| {
         let errors = survives_abuse(g, |g, bytes| {

@@ -37,7 +37,9 @@ pub mod trace;
 
 pub use flight::{FlightBundle, FlightRecorder};
 pub use histogram::Log2Histogram;
-pub use metrics::{expose_text, DeltaCursor, MetricsRegistry, SeriesPoint, TimeSeries};
+pub use metrics::{
+    expose_text, wire_counters, DeltaCursor, MetricsRegistry, SeriesPoint, TimeSeries,
+};
 pub use reconcile::{counters_from_events, reconcile, reconcile_counters, ReconcileError};
 pub use span::{folded_stacks, render_flame, span_tree, Span};
 pub use trace::{metrics_from_events, metrics_from_log};

@@ -16,6 +16,38 @@ use rfid_system::json::{Json, ToJson};
 
 use crate::histogram::Log2Histogram;
 
+/// Canonical names of the wire/fleet resilience counters, so the
+/// resilient client, the daemon supervisor, the chaos-soak bench and the
+/// `BENCH_resilience.json` checker all agree on one vocabulary. Each is
+/// an ordinary [`MetricsRegistry`] counter (incremented with
+/// [`MetricsRegistry::inc`], rendered by
+/// [`MetricsRegistry::expose_text`] with the `rfid_` prefix) and is
+/// reconciled by the resilience gate's conservation law.
+pub mod wire_counters {
+    /// Client verb exchanges retried after a transport/timeout failure.
+    pub const WIRE_RETRIES: &str = "wire_retries";
+    /// Client re-dials after a poisoned or severed connection.
+    pub const WIRE_RECONNECTS: &str = "wire_reconnects";
+    /// Commands shed with a `Busy` response at an admission/in-flight
+    /// budget.
+    pub const SESSIONS_SHED: &str = "sessions_shed";
+    /// Orphaned sessions the supervisor restored from their last
+    /// checkpoint and ran to completion.
+    pub const SESSIONS_RESURRECTED: &str = "sessions_resurrected";
+    /// Final checkpoints deposited while draining live sessions at
+    /// shutdown.
+    pub const DRAIN_CHECKPOINTS: &str = "drain_checkpoints";
+
+    /// Every wire-resilience counter name, in exposition order.
+    pub const ALL: &[&str] = &[
+        WIRE_RETRIES,
+        WIRE_RECONNECTS,
+        SESSIONS_SHED,
+        SESSIONS_RESURRECTED,
+        DRAIN_CHECKPOINTS,
+    ];
+}
+
 /// One `(sim-time, value)` sample of a time series.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SeriesPoint {
@@ -366,6 +398,21 @@ impl DeltaCursor {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn wire_counters_expose_with_prefix() {
+        let mut m = MetricsRegistry::enabled();
+        for name in wire_counters::ALL {
+            m.inc(name, 1);
+        }
+        let text = m.expose_text();
+        for name in wire_counters::ALL {
+            assert!(
+                text.contains(&format!("# TYPE rfid_{name} counter")),
+                "{name} missing from exposition:\n{text}"
+            );
+        }
+    }
 
     #[test]
     fn disabled_registry_records_nothing() {

@@ -17,16 +17,22 @@
 //!   path for TCP and in-memory bytes.
 //! * [`loopback`] — the in-memory duplex pipe used as the bit-identity
 //!   reference for the TCP path.
+//! * [`chaos`] — seeded deterministic fault injection ([`ChaosDirector`]
+//!   wrapping any stream in a [`ChaosStream`]): byte flips, bounded
+//!   delays, mid-frame disconnects and Gilbert–Elliott bursts, under a
+//!   finite budget so a soaked link is always eventually usable.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod frame;
 pub mod loopback;
 pub mod message;
 pub mod transport;
 
+pub use chaos::{ChaosDirector, ChaosPlan, ChaosStream, ChaosTransport};
 pub use frame::{Decoder, Frame, FrameError, MAX_PAYLOAD, WIRE_VERSION};
-pub use loopback::{loopback, Pipe};
+pub use loopback::{loopback, loopback_streams, Pipe};
 pub use message::{Command, ErrorCode, OpenRequest, Response, SessionOutcome};
 pub use transport::{StreamTransport, Transport, WireError};

@@ -95,9 +95,9 @@ impl Drop for Pipe {
     }
 }
 
-/// Two connected in-memory transports: what one end sends, the other
-/// receives.
-pub fn loopback() -> (StreamTransport<Pipe>, StreamTransport<Pipe>) {
+/// Two connected raw byte pipes — for wrappers (like the chaos stream)
+/// that need the bare `Read + Write` ends without framing on top.
+pub fn loopback_streams() -> (Pipe, Pipe) {
     let ab = Arc::new(Shared::default());
     let ba = Arc::new(Shared::default());
     let a = Pipe {
@@ -105,6 +105,13 @@ pub fn loopback() -> (StreamTransport<Pipe>, StreamTransport<Pipe>) {
         tx: Arc::clone(&ab),
     };
     let b = Pipe { rx: ab, tx: ba };
+    (a, b)
+}
+
+/// Two connected in-memory transports: what one end sends, the other
+/// receives.
+pub fn loopback() -> (StreamTransport<Pipe>, StreamTransport<Pipe>) {
+    let (a, b) = loopback_streams();
     (StreamTransport::new(a), StreamTransport::new(b))
 }
 

@@ -120,6 +120,11 @@ pub enum ErrorCode {
     BadState,
     /// The server refused the request (validation failed).
     Rejected,
+    /// The decoder discarded garbage at the very start of the stream
+    /// before finding the first frame — a resynchronization diagnostic
+    /// (chaos soaks assert on it), distinct from a broken frame on an
+    /// established stream.
+    Resync,
 }
 
 rfid_system::impl_json_enum_units!(ErrorCode {
@@ -129,6 +134,7 @@ rfid_system::impl_json_enum_units!(ErrorCode {
     UnknownSession,
     BadState,
     Rejected,
+    Resync,
 });
 
 /// Client → server messages.
@@ -262,6 +268,12 @@ pub enum Response {
     },
     /// The daemon acknowledged [`Command::Shutdown`].
     ShuttingDown,
+    /// The fleet is at its admission or in-flight budget; the command was
+    /// shed, not failed — retry after the suggested delay.
+    Busy {
+        /// Suggested client backoff before retrying, in microseconds.
+        retry_after_us: u64,
+    },
     /// The previous command failed.
     Error {
         /// Machine-readable category.
@@ -294,6 +306,7 @@ const K_METRICS_DELTA: u8 = 0x88;
 const K_FLIGHT_INFO: u8 = 0x89;
 const K_CLOSED: u8 = 0x8A;
 const K_SHUTTING_DOWN: u8 = 0x8B;
+const K_BUSY: u8 = 0x8C;
 const K_ERROR: u8 = 0x8F;
 
 fn obj(fields: Vec<(&str, Json)>) -> Vec<u8> {
@@ -476,6 +489,10 @@ impl Response {
                 Frame::new(K_CLOSED, obj(vec![("session", session.to_json())]))
             }
             Response::ShuttingDown => Frame::new(K_SHUTTING_DOWN, obj(vec![])),
+            Response::Busy { retry_after_us } => Frame::new(
+                K_BUSY,
+                obj(vec![("retry_after_us", retry_after_us.to_json())]),
+            ),
             Response::Error { code, message } => Frame::new(
                 K_ERROR,
                 obj(vec![
@@ -532,6 +549,9 @@ impl Response {
                 session: field(&doc, "session")?,
             }),
             K_SHUTTING_DOWN => Ok(Response::ShuttingDown),
+            K_BUSY => Ok(Response::Busy {
+                retry_after_us: field(&doc, "retry_after_us")?,
+            }),
             K_ERROR => Ok(Response::Error {
                 code: field(&doc, "code")?,
                 message: field(&doc, "message")?,
@@ -579,6 +599,24 @@ mod tests {
             assert!(k < 0x80, "command kind {k:#04x} must be < 0x80");
         }
         assert!(Response::ShuttingDown.to_frame().kind >= 0x80);
+    }
+
+    #[test]
+    fn busy_response_round_trips() {
+        let r = Response::Busy {
+            retry_after_us: 50_000,
+        };
+        assert_eq!(Response::from_frame(&r.to_frame()).unwrap(), r);
+        assert!(r.to_frame().kind >= 0x80);
+    }
+
+    #[test]
+    fn resync_error_code_round_trips() {
+        let r = Response::Error {
+            code: ErrorCode::Resync,
+            message: "skipped 12 byte(s) before the first frame".to_string(),
+        };
+        assert_eq!(Response::from_frame(&r.to_frame()).unwrap(), r);
     }
 
     #[test]

@@ -63,5 +63,15 @@ rm -f target/BENCH_daemon.json
 cargo bench --offline -p rfid-bench --bench daemon
 cargo run --release --offline -p rfid-bench --bin obs_report -- --check-daemon target/BENCH_daemon.json
 cargo run --release --offline -p rfid-bench --bin rfid_daemon -- --smoke
+# Fleet-resilience gate (DESIGN.md §16): the chaos-soak grid drives every
+# session through seeded byte flips, connection cuts, loss bursts, a
+# daemon-side kill and admission-control shedding; every session must
+# recover to a report and trace digest bit-identical to the clean run
+# (recovery rate 1.0), with resurrection/shed/drain floors schema-checked.
+# The chaos-smoke run then proves one seed end-to-end over real TCP.
+rm -f target/BENCH_resilience.json
+cargo bench --offline -p rfid-bench --bench resilience
+cargo run --release --offline -p rfid-bench --bin obs_report -- --check-resilience target/BENCH_resilience.json
+cargo run --release --offline -p rfid-bench --bin rfid_daemon -- --chaos-smoke
 
 echo "verify: OK"

@@ -6,16 +6,22 @@
 //! the checkpoint and which resumed it. Anything less means the service
 //! layer perturbed an RNG draw, a float accumulation, or a trace event.
 
-use std::net::TcpStream;
+use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use fast_rfid_polling::bench::fnv64;
-use fast_rfid_polling::daemon::{serve_connection, Daemon, DaemonClient, RunEnd, Service};
+use fast_rfid_polling::daemon::{
+    install_killpoint_hook, protocol_by_name, serve_connection, ClientError, Daemon, DaemonClient,
+    FleetLimits, ResilientClient, RetryPolicy, RunEnd, Service,
+};
 use fast_rfid_polling::prelude::*;
 use fast_rfid_polling::system::ToJson;
 use fast_rfid_polling::wire::Transport;
-use fast_rfid_polling::wire::{loopback, OpenRequest, Pipe, SessionOutcome, StreamTransport};
+use fast_rfid_polling::wire::{
+    loopback, ChaosDirector, ChaosPlan, OpenRequest, Pipe, SessionOutcome, StreamTransport,
+};
 
 const N: u64 = 120;
 const INFO_BITS: u64 = 4;
@@ -226,6 +232,256 @@ fn progress_streams_are_transport_invariant() {
     let via_tcp = with_tcp_client(collect_progress);
     assert!(!via_loopback.is_empty(), "expected progress frames");
     assert_eq!(via_loopback, via_tcp, "progress streams drifted");
+}
+
+/// Regression for the client timeout path: a server that accepts and
+/// then never replies must produce a typed `TimedOut` error — never a
+/// hang — and a clean reconnect to a healthy daemon must work first try.
+#[test]
+fn stalled_server_times_out_then_reconnects_cleanly() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let stall = std::thread::spawn(move || {
+        // Accept, then hold the connection open in silence.
+        let (_stream, _peer) = listener.accept().expect("accept");
+        std::thread::sleep(Duration::from_millis(400));
+    });
+
+    let mut client =
+        DaemonClient::connect_with_timeout(addr, Duration::from_millis(80)).expect("connect");
+    let started = std::time::Instant::now();
+    match client.hello() {
+        Err(ClientError::TimedOut) => {}
+        other => panic!("expected TimedOut from a stalled server, got {other:?}"),
+    }
+    assert!(
+        started.elapsed() < Duration::from_millis(350),
+        "verb timeout fired far too late"
+    );
+    drop(client);
+
+    let outcome = with_tcp_client(|client| run_to_done(client, open_request(None)));
+    assert_eq!(outcome.status, "complete", "reconnect after timeout failed");
+    stall.join().expect("stall thread");
+}
+
+/// The tentpole gate, small edition: a resilient client over a chaos
+/// transport (seeded byte flips + mid-frame cuts, finite fault budget)
+/// must finish with report JSON and trace digest bit-identical to the
+/// unfaulted in-process reference — and the chaos must actually bite.
+#[test]
+fn chaos_client_recovers_bit_identically() {
+    let reference = local_reference(None);
+    let daemon = Daemon::bind("127.0.0.1:0").expect("bind").with_shards(2);
+    let addr = daemon.local_addr();
+    let stop = daemon.stop_handle();
+    let supervisor = daemon.supervisor();
+    let server = std::thread::spawn(move || daemon.run());
+
+    let mut plan = ChaosPlan::flips(0xC4A0, 0.0015, 30);
+    plan.cut_rate = 0.0004;
+    let director = ChaosDirector::new(plan);
+    let dialer = director.clone();
+    let policy = RetryPolicy::default()
+        .with_verb_timeout(Duration::from_millis(500))
+        .with_checkpoint_every(6)
+        .with_backoff_us(200, 5_000)
+        .with_max_attempts(64);
+    let verb_timeout = policy.verb_timeout;
+    let mut client = ResilientClient::new(
+        move || {
+            let stream = TcpStream::connect(addr)?;
+            stream.set_nodelay(true)?;
+            stream.set_read_timeout(Some(Duration::from_millis(10)))?;
+            Ok(DaemonClient::new(dialer.transport(stream)).with_verb_timeout(verb_timeout))
+        },
+        policy,
+    );
+    let outcome = client.run_to_done(&open_request(None)).expect("chaos run");
+    assert_eq!(
+        outcome_identity(&outcome),
+        reference,
+        "chaos recovery drifted from the unfaulted reference"
+    );
+    assert!(
+        director.faults_injected() > 0,
+        "the chaos plan never bit — tighten the rates"
+    );
+    assert!(
+        client.retries() + client.reconnects() > 0,
+        "chaos was injected but the client never had to recover"
+    );
+
+    stop.store(true, Ordering::Relaxed);
+    server.join().expect("daemon thread").expect("daemon ok");
+    supervisor.reconcile().expect("session conservation");
+}
+
+/// Admission control is typed and deterministic: the budget's first
+/// excess open is shed with the configured `retry_after_us`, freeing a
+/// slot readmits, and the conservation law holds through shutdown.
+#[test]
+fn admission_budget_sheds_with_typed_busy() {
+    let daemon = Daemon::bind("127.0.0.1:0")
+        .expect("bind")
+        .with_shards(2)
+        .with_limits(FleetLimits::bounded(2, 8).with_retry_after_us(1234));
+    let addr = daemon.local_addr();
+    let supervisor = daemon.supervisor();
+    let server = std::thread::spawn(move || daemon.run());
+
+    let mut client = DaemonClient::connect(addr).expect("connect");
+    let first = client.open(open_request(None)).expect("open 1");
+    let _second = client.open(open_request(None)).expect("open 2");
+    match client.open(open_request(None)) {
+        Err(ClientError::Busy { retry_after_us }) => assert_eq!(retry_after_us, 1234),
+        other => panic!("expected Busy from a full fleet, got {other:?}"),
+    }
+    client.close(first).expect("close");
+    let readmitted = client.open(open_request(None)).expect("open after close");
+    assert!(readmitted > 0);
+    client.shutdown().expect("shutdown");
+    drop(client);
+    server.join().expect("daemon thread").expect("daemon ok");
+
+    assert_eq!(supervisor.counter("sessions_shed"), 1);
+    assert_eq!(
+        supervisor.counter("drain_checkpoints"),
+        2,
+        "the two sessions still open at shutdown must be drained"
+    );
+    supervisor.reconcile().expect("session conservation");
+}
+
+/// Overload pressure: more resilient clients than the fleet admits.
+/// Shed clients back off and retry; every one of them must eventually
+/// complete bit-identically.
+#[test]
+fn shedding_pressure_still_recovers_every_client() {
+    let reference = local_reference(None);
+    let daemon = Daemon::bind("127.0.0.1:0")
+        .expect("bind")
+        .with_shards(4)
+        .with_limits(FleetLimits::bounded(2, 2).with_retry_after_us(2_000));
+    let addr = daemon.local_addr();
+    let stop = daemon.stop_handle();
+    let supervisor = daemon.supervisor();
+    let server = std::thread::spawn(move || daemon.run());
+
+    let identities: Vec<(String, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..6)
+            .map(|_| {
+                scope.spawn(move || {
+                    let policy = RetryPolicy::default()
+                        .with_verb_timeout(Duration::from_secs(5))
+                        .with_checkpoint_every(16)
+                        .with_backoff_us(200, 10_000);
+                    let mut client = ResilientClient::tcp(addr, policy);
+                    let outcome = client.run_to_done(&open_request(None)).expect("run");
+                    outcome_identity(&outcome)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
+    });
+    stop.store(true, Ordering::Relaxed);
+    server.join().expect("daemon thread").expect("daemon ok");
+
+    for identity in identities {
+        assert_eq!(identity, reference, "a shed client's recovery drifted");
+    }
+    supervisor.reconcile().expect("session conservation");
+}
+
+/// A handler killed mid-run (fire-once chaos kill point) is contained:
+/// the supervisor resurrects the orphaned session from its last
+/// checkpoint to the same bit-identical outcome, and the client's own
+/// reconnect-and-resume also lands on the reference.
+#[test]
+fn killed_handler_resurrects_and_client_recovers() {
+    install_killpoint_hook();
+    let reference = local_reference(None);
+    let daemon = Daemon::bind("127.0.0.1:0")
+        .expect("bind")
+        .with_shards(2)
+        .with_supervise_every(2)
+        .with_kill_after(4);
+    let addr = daemon.local_addr();
+    let stop = daemon.stop_handle();
+    let supervisor = daemon.supervisor();
+    let server = std::thread::spawn(move || daemon.run());
+
+    let policy = RetryPolicy::default()
+        .with_verb_timeout(Duration::from_secs(2))
+        .with_checkpoint_every(2)
+        .with_backoff_us(200, 5_000);
+    let mut client = ResilientClient::tcp(addr, policy);
+    let outcome = client.run_to_done(&open_request(None)).expect("run");
+    assert_eq!(
+        outcome_identity(&outcome),
+        reference,
+        "client recovery after the kill drifted"
+    );
+    assert!(
+        client.reconnects() >= 1,
+        "the kill point must have torn the client's connection"
+    );
+
+    stop.store(true, Ordering::Relaxed);
+    server.join().expect("daemon thread").expect("daemon ok");
+
+    assert_eq!(supervisor.counter("kill_points_fired"), 1);
+    assert_eq!(supervisor.counter("sessions_resurrected"), 1);
+    let resurrections = supervisor.resurrections();
+    assert_eq!(resurrections.len(), 1);
+    assert_eq!(
+        outcome_identity(&resurrections[0].outcome),
+        reference,
+        "the resurrected orphan drifted from the reference"
+    );
+    supervisor.reconcile().expect("session conservation");
+}
+
+/// Drain-on-shutdown: a session still live when the listener closes is
+/// checkpointed into the supervisor, and that final snapshot restores
+/// in-process to the bit-identical reference outcome.
+#[test]
+fn shutdown_drains_live_sessions_with_resumable_checkpoints() {
+    let reference = local_reference(None);
+    let daemon = Daemon::bind("127.0.0.1:0").expect("bind").with_shards(2);
+    let addr = daemon.local_addr();
+    let supervisor = daemon.supervisor();
+    let server = std::thread::spawn(move || daemon.run());
+
+    let mut client = DaemonClient::connect(addr).expect("connect");
+    let session = client.open(open_request(None)).expect("open");
+    match client.run(session, Some(5), |_, _, _, _| {}).expect("run") {
+        RunEnd::Paused { steps } => assert_eq!(steps, 5),
+        RunEnd::Done(_) => panic!("5 steps must not finish {N} tags"),
+    }
+    client.shutdown().expect("shutdown");
+    drop(client);
+    server.join().expect("daemon thread").expect("daemon ok");
+
+    assert_eq!(supervisor.counter("drain_checkpoints"), 1);
+    let drained = supervisor.drained();
+    assert_eq!(drained.len(), 1);
+    supervisor.reconcile().expect("session conservation");
+
+    let protocol = protocol_by_name("HPP").expect("servable");
+    let (mut ctx, mut session) =
+        Session::restore(protocol.as_ref(), &drained[0].1).expect("drained snapshot restores");
+    let SessionEnd::Complete { report, .. } = session.run(&mut ctx) else {
+        panic!("drained snapshot did not run to completion");
+    };
+    assert_eq!(
+        (report.to_json().to_string(), fnv64(&ctx.log.to_jsonl())),
+        reference,
+        "drained checkpoint drifted from the reference"
+    );
 }
 
 /// Metrics fetched over the wire equal metrics derived from the same
